@@ -1,0 +1,87 @@
+//! Macro-benchmarks: whole-experiment simulation cost, plus `cargo
+//! bench` entry points that *also* regenerate the paper's Table I and
+//! Fig. 4 headline numbers (printed once per run, before timing).
+//!
+//! The dedicated regeneration binaries (`table1`, `fig4`, the `A*`
+//! ablations) print the full artifacts; these benches make `cargo bench
+//! --workspace` alone exercise every experiment path end-to-end.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use vmr_bench::{calibrated_sizing, row_config, table1_rows};
+use vmr_core::{run_experiment, ExperimentConfig, MrMode};
+use vmr_mapreduce::apps::WordCount;
+use vmr_mapreduce::JobSpec;
+use vmr_rtnet::{run_cluster, ClusterConfig};
+
+/// Prints the Table I reproduction once, then benches one row's
+/// simulation wall-cost (the whole table is 9 such runs).
+fn bench_table1(c: &mut Criterion) {
+    let sizing = calibrated_sizing();
+    println!("\n=== Table I reproduction (headline; full table: --bin table1) ===");
+    for row in table1_rows() {
+        let out = run_experiment(&row_config(&row, sizing));
+        let r = &out.reports[0];
+        println!(
+            "{:>2} nodes {:>2} maps {:>2} red [{}]: map {:>4.0}s reduce {:>4.0}s total {:>5.0}s (paper {:>4.0}/{:>4.0}/{:>5.0})",
+            row.nodes, row.n_maps, row.n_reduces, row.mode,
+            r.map_s, r.reduce_s, r.total_s,
+            row.paper_map.0, row.paper_reduce.0, row.paper_total.0,
+        );
+    }
+    let mut g = c.benchmark_group("experiments/table1");
+    g.sample_size(10);
+    let rows = table1_rows();
+    for row in [&rows[0], &rows[8]] {
+        let cfg = row_config(row, sizing);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!(
+                "{}n-{}m-{}r-{}",
+                row.nodes, row.n_maps, row.n_reduces, row.mode
+            )),
+            &cfg,
+            |b, cfg| b.iter(|| black_box(run_experiment(cfg).finished_at)),
+        );
+    }
+    g.finish();
+}
+
+/// Fig. 4 headline + simulation cost with full timeline recording.
+fn bench_fig4(c: &mut Criterion) {
+    let sizing = calibrated_sizing();
+    let mut cfg = ExperimentConfig::table1(15, 15, 3, MrMode::ServerRelay);
+    cfg.sizing = sizing;
+    cfg.record_timeline = true;
+    cfg.seed = 0xF164;
+    let out = run_experiment(&cfg);
+    let r = &out.reports[0];
+    println!(
+        "\n=== Fig. 4 reproduction: map {:.0}s (paper 747[396]), reduce start gap visible; full series: --bin fig4 ===",
+        r.map_s
+    );
+    let mut g = c.benchmark_group("experiments/fig4");
+    g.sample_size(10);
+    g.bench_function("15n-15m-3r-timeline", |b| {
+        b.iter(|| black_box(run_experiment(&cfg).timeline.spans().len()))
+    });
+    g.finish();
+}
+
+/// Real TCP cluster end-to-end cost (actual sockets + threads).
+fn bench_real_cluster(c: &mut Criterion) {
+    let mut gen = vmr_mapreduce::CorpusGen::new(&vmr_mapreduce::CorpusSpec::default());
+    let data = Arc::new(gen.generate(512 << 10));
+    let mut g = c.benchmark_group("rtnet/local-cluster");
+    g.sample_size(10);
+    g.bench_function("wordcount-512KiB-4w-4m-2r", |b| {
+        b.iter(|| {
+            let cfg = ClusterConfig::new(4, JobSpec::new("wc", 4, 2));
+            let report = run_cluster(Arc::new(WordCount), data.clone(), &cfg);
+            black_box(report.output.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1, bench_fig4, bench_real_cluster);
+criterion_main!(benches);

@@ -1,0 +1,147 @@
+//! Micro-benchmarks of the substrate hot paths: event queue, fair-share
+//! allocator, partitioner, map task, SHA-256, corpus generation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vmr_desim::{EventQueue, SimTime, Simulation};
+use vmr_mapreduce::apps::WordCount;
+use vmr_mapreduce::{run_map_task, sha256, CorpusGen, CorpusSpec, HashPartitioner};
+use vmr_netsim::{allocate, Direction, FlowDemand, HostId, HostLink, LinkRef, Priority, Topology};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("desim/event-queue");
+    for n in [1_000usize, 10_000, 100_000] {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("schedule+pop", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                for i in 0..n {
+                    q.schedule(SimTime::from_micros(((i * 2_654_435_761) % n) as u64), i);
+                }
+                let mut out = 0usize;
+                while let Some((_, _, p)) = q.pop() {
+                    out = out.wrapping_add(p);
+                }
+                black_box(out)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_sim_loop(c: &mut Criterion) {
+    c.bench_function("desim/self-perpetuating-run-100k", |b| {
+        b.iter(|| {
+            let mut sim: Simulation<u32> = Simulation::new(1);
+            sim.schedule_at(SimTime::ZERO, 0);
+            let mut world = 0u64;
+            sim.run(&mut world, 100_000, |sim, world, ev| {
+                *world += ev.payload as u64;
+                sim.schedule_in(vmr_desim::SimDuration::from_micros(10), ev.payload + 1);
+            });
+            black_box(world)
+        })
+    });
+}
+
+fn bench_allocator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("netsim/max-min-allocate");
+    for n_flows in [10usize, 100, 400] {
+        let mut topo = Topology::new();
+        for _ in 0..32 {
+            topo.add_host(HostLink::symmetric_mbit(100.0, 0.001));
+        }
+        let flows: Vec<FlowDemand<usize>> = (0..n_flows)
+            .map(|i| FlowDemand {
+                key: i,
+                links: vec![
+                    LinkRef { host: HostId((i % 32) as u32), dir: Direction::Up },
+                    LinkRef { host: HostId(((i * 7 + 1) % 32) as u32), dir: Direction::Down },
+                ],
+                priority: if i % 4 == 0 { Priority::Background } else { Priority::Foreground },
+                rate_cap: None,
+            })
+            .collect();
+        g.throughput(Throughput::Elements(n_flows as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n_flows), &flows, |b, flows| {
+            b.iter(|| black_box(allocate(&topo, flows)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_partitioner(c: &mut Criterion) {
+    let part = HashPartitioner::new(16);
+    let keys: Vec<String> = (0..10_000).map(|i| format!("word-{i}")).collect();
+    let mut g = c.benchmark_group("mapreduce/partitioner");
+    g.throughput(Throughput::Elements(keys.len() as u64));
+    g.bench_function("fnv-mod-16/10k-keys", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for k in &keys {
+                acc += part.partition_str(k);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_map_task(c: &mut Criterion) {
+    let mut gen = CorpusGen::new(&CorpusSpec::default());
+    let chunk = gen.generate(1 << 20);
+    let part = HashPartitioner::new(8);
+    let mut g = c.benchmark_group("mapreduce/map-task");
+    g.throughput(Throughput::Bytes(chunk.len() as u64));
+    g.sample_size(20);
+    g.bench_function("wordcount-1MiB-8parts", |b| {
+        b.iter(|| {
+            let mo = run_map_task(&WordCount, &chunk, &part, |k| k.as_bytes().to_vec());
+            black_box(mo.partitions.len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_sha256(c: &mut Criterion) {
+    let data = vec![0xabu8; 1 << 20];
+    let mut g = c.benchmark_group("hashes/sha256");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("1MiB", |b| b.iter(|| black_box(sha256(&data))));
+    g.finish();
+}
+
+fn bench_corpus(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mapreduce/corpus-gen");
+    g.throughput(Throughput::Bytes(1 << 20));
+    g.sample_size(20);
+    g.bench_function("zipf-1MiB", |b| {
+        b.iter(|| {
+            let mut gen = CorpusGen::new(&CorpusSpec::default());
+            black_box(gen.generate(1 << 20).len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut gen = CorpusGen::new(&CorpusSpec::default());
+    let chunk = gen.generate(256 << 10);
+    let part = HashPartitioner::new(4);
+    let mo = run_map_task(&WordCount, &chunk, &part, |k| k.as_bytes().to_vec());
+    c.bench_function("mapreduce/encode-partition", |b| {
+        b.iter(|| black_box(mo.encode_partition(&WordCount, 0).len()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_sim_loop,
+    bench_allocator,
+    bench_partitioner,
+    bench_map_task,
+    bench_sha256,
+    bench_corpus,
+    bench_encode,
+);
+criterion_main!(benches);

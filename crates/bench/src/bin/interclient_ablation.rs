@@ -1,0 +1,87 @@
+//! Ablation **A2**: inter-client transfers vs server relay (§III.B,
+//! Table I's BOINC vs BOINC-MR axis) across reducer counts — where does
+//! the crossover sit, and how much server bandwidth does BOINC-MR save?
+//!
+//! Usage: `cargo run -p vmr-bench --release --bin interclient_ablation`
+
+use vmr_bench::calibrated_sizing;
+use vmr_core::{run_experiment, ExperimentConfig, MrMode};
+
+fn main() {
+    let sizing = calibrated_sizing();
+    println!("# A2 — inter-client vs server relay (20 nodes, 20 maps, 1 GB)");
+    println!(
+        "{:>4} | {:>22} | {:>22} | {:>14} | {:>14}",
+        "R", "BOINC red/total s", "BOINC-MR red/total s", "GB via server", "GB via server"
+    );
+    for n_reduces in [1usize, 2, 5, 10] {
+        let run = |mode| {
+            let mut cfg = ExperimentConfig::table1(20, 20, n_reduces, mode);
+            cfg.sizing = sizing;
+            cfg.seed = 77 + n_reduces as u64;
+            let out = run_experiment(&cfg);
+            assert!(out.all_done);
+            (
+                out.reports[0].reduce_s,
+                out.reports[0].total_s,
+                out.stats.bytes_via_server / 1e9,
+            )
+        };
+        let (rr, rt, rb) = run(MrMode::ServerRelay);
+        let (pr, pt, pb) = run(MrMode::InterClient);
+        println!(
+            "{:>4} | {:>10.0} / {:>9.0} | {:>10.0} / {:>9.0} | {:>14.2} | {:>14.2}",
+            n_reduces, rr, rt, pr, pt, rb, pb
+        );
+    }
+
+    // The pure BOINC-MR data path (no fall-back copies on the server).
+    println!("\n# same, with map outputs NOT returned to the server (hash-only reporting)");
+    let mut cfg = ExperimentConfig::table1(20, 20, 5, MrMode::InterClient);
+    cfg.sizing = sizing;
+    cfg.seed = 99;
+    let with_upload = run_experiment(&cfg);
+    let mut cfg2 = cfg.clone();
+    cfg2.sizing = sizing;
+    // map_outputs_to_server is a job-level knob; thread it via sizing…
+    // (exposed through MrJobConfig in the library; the harness uses the
+    // config directly:)
+    let out2 = {
+        use vmr_core::{MrJobConfig, MrPolicy};
+        use vmr_netsim::HostLink;
+        use vmr_vcore::{Engine, HostProfile, ProjectConfig};
+        let mut eng = Engine::testbed(cfg2.seed, ProjectConfig::default());
+        for _ in 0..20 {
+            eng.add_client(HostProfile::pc3001(), HostLink::symmetric_mbit(100.0, 0.000_5));
+        }
+        let mut jc = MrJobConfig::paper_wordcount(20, 5, MrMode::InterClient);
+        jc.sizing = sizing;
+        jc.map_outputs_to_server = false;
+        let mut pol = MrPolicy::new();
+        pol.submit_job(&mut eng, jc);
+        eng.run_until(&mut pol, vmr_desim::SimTime::from_secs(180_000), |e| {
+            e.db.all_wus_terminal()
+        });
+        let job = &pol.tracker.jobs[0];
+        (
+            job.map_time().unwrap_or(f64::NAN),
+            job.total_time().unwrap_or(f64::NAN),
+            eng.stats.bytes_via_server / 1e9,
+        )
+    };
+    println!(
+        "with upload    : map {:>5.0} s total {:>5.0} s, {:.2} GB via server",
+        with_upload.reports[0].map_s,
+        with_upload.reports[0].total_s,
+        with_upload.stats.bytes_via_server / 1e9
+    );
+    println!(
+        "hash-only maps : map {:>5.0} s total {:>5.0} s, {:.2} GB via server",
+        out2.0, out2.1, out2.2
+    );
+    println!(
+        "\nShape: BOINC-MR wins the reduce phase everywhere and its advantage \
+         grows with R (the server uplink is the relay bottleneck); hash-only \
+         reporting removes the map-output upload stream entirely."
+    );
+}

@@ -1,0 +1,87 @@
+//! Ablation **A3**: the §IV.C mitigations for the slow-node problem.
+//!
+//! "Map work units should have priority … and be reported as soon as
+//! their upload is completed"; "clients should be able to start
+//! downloading as soon as files become available"; "this may be less
+//! noticeable when using a larger number of jobs at the same time."
+//!
+//! Usage: `cargo run -p vmr-bench --release --bin mitigation_study`
+
+use vmr_bench::calibrated_sizing;
+use vmr_core::{run_experiment, ExperimentConfig, MitigationPlan, MrMode};
+
+fn main() {
+    let sizing = calibrated_sizing();
+    let base = |seed| {
+        let mut c = ExperimentConfig::table1(15, 15, 3, MrMode::InterClient);
+        c.sizing = sizing;
+        c.seed = seed;
+        c
+    };
+    println!("# A3 — §IV.C mitigation study (15 nodes, 15 maps, 3 reduces, BOINC-MR)");
+    println!(
+        "{:<34} | {:>7} | {:>8} | {:>8} | {:>12}",
+        "variant", "map s", "reduce s", "total s", "mean delay s"
+    );
+
+    let variants: Vec<(&str, MitigationPlan)> = vec![
+        ("baseline (paper's behaviour)", MitigationPlan::default()),
+        (
+            "immediate report",
+            MitigationPlan { immediate_report: true, ..Default::default() },
+        ),
+        (
+            "intermediate downloads",
+            MitigationPlan { intermediate_downloads: true, ..Default::default() },
+        ),
+        (
+            "both",
+            MitigationPlan { immediate_report: true, intermediate_downloads: true },
+        ),
+    ];
+    const SEEDS: [u64; 3] = [5, 6, 7];
+    for (name, plan) in variants {
+        let (mut tm, mut tr, mut tt, mut td) = (0.0, 0.0, 0.0, 0.0);
+        for seed in SEEDS {
+            let mut cfg = base(seed);
+            cfg.mitigation = plan;
+            let out = run_experiment(&cfg);
+            assert!(out.all_done, "{name} failed");
+            tm += out.reports[0].map_s;
+            tr += out.reports[0].reduce_s;
+            tt += out.reports[0].total_s;
+            td += out.stats.report_delay.mean();
+        }
+        let n = SEEDS.len() as f64;
+        println!(
+            "{:<34} | {:>7.0} | {:>8.0} | {:>8.0} | {:>12.1}",
+            name,
+            tm / n,
+            tr / n,
+            tt / n,
+            td / n
+        );
+    }
+
+    // "using a larger number of jobs at the same time": steady feed.
+    println!("\n# multi-job steady feed (same geometry, J concurrent jobs; per-job mean)");
+    for jobs in [1usize, 2, 4] {
+        let mut cfg = base(42);
+        cfg.concurrent_jobs = jobs;
+        let out = run_experiment(&cfg);
+        assert!(out.all_done);
+        let n = out.reports.len() as f64;
+        let map: f64 = out.reports.iter().map(|r| r.map_s).sum::<f64>() / n;
+        let total: f64 = out.reports.iter().map(|r| r.total_s).sum::<f64>() / n;
+        let makespan = out.finished_at.as_secs_f64();
+        println!(
+            "J={jobs}: mean map {:>6.0} s, mean total {:>6.0} s, fleet makespan {:>7.0} s, mean report delay {:>6.1} s",
+            map, total, makespan, out.stats.report_delay.mean()
+        );
+    }
+    println!(
+        "\nShape: immediate reporting removes the report-delay tail; constant \
+         work availability keeps clients out of deep backoff, so per-job \
+         overhead shrinks as J grows."
+    );
+}

@@ -1,0 +1,60 @@
+//! Regenerates the paper's **Table I** (word-count makespans).
+//!
+//! Usage: `cargo run -p vmr-bench --release --bin table1`
+//!
+//! Prints, for every row, the simulated map/reduce/total times with the
+//! "slowest node discarded" derivation in brackets, next to the paper's
+//! published values.
+
+use vmr_bench::{calibrated_sizing, row_config, table1_rows};
+use vmr_core::{format_row, run_experiment};
+
+fn main() {
+    let mixed = std::env::args().any(|a| a == "--mixed");
+    let sizing = calibrated_sizing();
+    println!(
+        "# Table I — word count makespan (1 GB input, replication 2, quorum 2, 100 Mbit)"
+    );
+    if mixed {
+        println!("# node fleet: half pc3001, half quad-core pcr200 (--mixed)");
+    }
+    println!(
+        "# sizing calibrated on real word count: expansion={:.3}, final output={} KiB",
+        sizing.expansion,
+        sizing.reduce_output_total_bytes >> 10
+    );
+    println!(
+        "{:>5} | {:>5} | {:>4} | {:^12} | {:^12} | {:^12} || {:^22}",
+        "Nodes", "Map", "Red", "Map Time", "Reduce Time", "Total Time", "paper (map/red/total)"
+    );
+    println!("{}", "-".repeat(104));
+    let mut prev_mode = None;
+    for row in table1_rows() {
+        if prev_mode != Some(row.mode) {
+            println!("--- {} ---", row.mode);
+            prev_mode = Some(row.mode);
+        }
+        let mut cfg = row_config(&row, sizing);
+        if mixed {
+            // §IV.A used two node types; split the fleet half/half.
+            cfg.nodes = vmr_core::NodeMix {
+                pc3001: row.nodes / 2,
+                pcr200: row.nodes - row.nodes / 2,
+            };
+        }
+        let out = run_experiment(&cfg);
+        assert!(out.all_done, "row did not complete");
+        let r = &out.reports[0];
+        let paper = |p: (f64, Option<f64>)| match p.1 {
+            Some(d) => format!("{:.0}[{:.0}]", p.0, d),
+            None => format!("{:.0}", p.0),
+        };
+        println!(
+            "{} || {} / {} / {}",
+            format_row(row.nodes, row.n_maps, row.n_reduces, r),
+            paper(row.paper_map),
+            paper(row.paper_reduce),
+            paper(row.paper_total),
+        );
+    }
+}

@@ -1,0 +1,246 @@
+//! BOINC-MR job configuration — the model-side equivalent of the
+//! paper's `mr_jobtracker.xml` ("a general configuration file … used to
+//! specify MapReduce parameters, such as number of mappers and
+//! reducers").
+
+use serde::{Deserialize, Serialize};
+use vmr_mapreduce::{run_map_task, HashPartitioner, JobSpec, MapReduceApp};
+
+/// How reduce tasks obtain their map-output inputs (the two systems
+/// Table I compares).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum MrMode {
+    /// Plain BOINC clients: every byte relays through the project data
+    /// server ("this option is nowhere near optimal since all data must
+    /// go through the server").
+    ServerRelay,
+    /// BOINC-MR clients: reducers download map outputs straight from
+    /// the mappers over TCP, with server fall-back.
+    InterClient,
+}
+
+impl std::fmt::Display for MrMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MrMode::ServerRelay => f.write_str("BOINC"),
+            MrMode::InterClient => f.write_str("BOINC-MR"),
+        }
+    }
+}
+
+/// §IV.C's proposed fixes for the slow-node/backoff problem, togglable
+/// for the mitigation ablation.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct MitigationPlan {
+    /// Report map results as soon as their upload completes (extra RPC,
+    /// bypassing the backoff gate).
+    pub immediate_report: bool,
+    /// Intermediate data downloads: reducers prefetch map outputs while
+    /// the map phase still runs, so at reduce start only the partitions
+    /// of the *last-validated* map remain to fetch. (Approximation: the
+    /// shuffle overlap leaves only the critical-path tail.)
+    pub intermediate_downloads: bool,
+}
+
+/// Byte-size model of a MapReduce job on a given application, used to
+/// parameterize the timing simulation. Calibrated by actually running
+/// the app's map function on a corpus sample (see
+/// [`SizingModel::calibrate`]), so the simulated transfer volumes track
+/// the real data volumes.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SizingModel {
+    /// map_output_bytes ≈ input_bytes × expansion.
+    pub expansion: f64,
+    /// Total final-output bytes across all reducers. Word-count output
+    /// is *vocabulary*-bound, not input-bound, so this is an absolute
+    /// size rather than an input fraction.
+    pub reduce_output_total_bytes: u64,
+    /// FLOPs charged per input byte mapped (text scanning + hashing).
+    pub map_flops_per_byte: f64,
+    /// FLOPs charged per intermediate byte reduced.
+    pub reduce_flops_per_byte: f64,
+}
+
+impl Default for SizingModel {
+    fn default() -> Self {
+        // Word-count-like defaults; `calibrate` refines the data ratios.
+        SizingModel {
+            expansion: 1.3,
+            reduce_output_total_bytes: 800 << 10,
+            // The paper's prototype parses text word by word through
+            // BOINC's C API; ~1.5 MB/s on the P4 Xeon reproduces its
+            // phase lengths (map: tokenize + hash + write ~1.4× output;
+            // reduce: parse + accumulate, roughly 3× cheaper).
+            map_flops_per_byte: 1000.0,
+            reduce_flops_per_byte: 150.0,
+        }
+    }
+}
+
+impl SizingModel {
+    /// Measures `expansion` and `reduce_output_frac` by running the
+    /// app's real map/reduce over `sample`, keeping the default FLOP
+    /// costs. This ties the simulator's transfer volumes to the actual
+    /// application data.
+    pub fn calibrate<A>(app: &A, sample: &[u8]) -> Self
+    where
+        A: MapReduceApp<K = String>,
+    {
+        let part = HashPartitioner::new(1);
+        let mo = run_map_task(app, sample, &part, |k| k.as_bytes().to_vec());
+        // The paper's pipeline has no combiner (one line per word), so
+        // expansion is measured against the *uncombined* stream: re-emit
+        // raw pairs.
+        let mut raw_bytes = 0usize;
+        let mut line = String::new();
+        app.map(sample, &mut |k, v| {
+            line.clear();
+            app.encode(&k, &v, &mut line);
+            raw_bytes += line.len();
+        });
+        let reduced = vmr_mapreduce::run_reduce_task(app, vec![mo.partitions[0].clone()]);
+        let mut out_bytes = 0usize;
+        for (k, v) in &reduced {
+            line.clear();
+            app.encode(k, v, &mut line);
+            out_bytes += line.len();
+        }
+        let n = sample.len().max(1) as f64;
+        SizingModel {
+            expansion: raw_bytes as f64 / n,
+            // The sample sees most of the vocabulary (Zipf); pad for
+            // the unseen tail.
+            reduce_output_total_bytes: (out_bytes as f64 * 1.5) as u64,
+            ..SizingModel::default()
+        }
+    }
+
+    /// Bytes of one map task's full output for a chunk of `chunk` bytes.
+    pub fn map_output_bytes(&self, chunk: u64) -> u64 {
+        (chunk as f64 * self.expansion) as u64
+    }
+
+    /// Bytes of one (map, partition) intermediate file.
+    pub fn partition_bytes(&self, chunk: u64, n_reduces: usize) -> u64 {
+        self.map_output_bytes(chunk) / n_reduces.max(1) as u64
+    }
+
+    /// Bytes of one reduce task's final output.
+    pub fn reduce_output_bytes(&self, _input_total: u64, n_reduces: usize) -> u64 {
+        (self.reduce_output_total_bytes / n_reduces.max(1) as u64).max(1)
+    }
+
+    /// FLOPs of a map task over `chunk` bytes.
+    pub fn map_flops(&self, chunk: u64) -> f64 {
+        chunk as f64 * self.map_flops_per_byte
+    }
+
+    /// FLOPs of a reduce task over `bytes` of intermediate data.
+    pub fn reduce_flops(&self, bytes: u64) -> f64 {
+        bytes as f64 * self.reduce_flops_per_byte
+    }
+}
+
+/// Full description of one MapReduce job submitted to the project.
+#[derive(Clone, Debug)]
+pub struct MrJobConfig {
+    /// Job geometry (maps, reduces).
+    pub job: JobSpec,
+    /// Total initial input bytes (the paper's 1 GB).
+    pub input_bytes: u64,
+    /// Replication per work unit (paper: 2).
+    pub replication: u32,
+    /// Quorum of identical outputs (paper: 2).
+    pub quorum: u32,
+    /// Transfer mode (the Table I comparison axis).
+    pub mode: MrMode,
+    /// Data/compute sizing.
+    pub sizing: SizingModel,
+    /// Whether BOINC-MR mappers also return outputs to the server (v1
+    /// prototype behaviour: required for the server fall-back path).
+    pub map_outputs_to_server: bool,
+    /// §IV.C mitigation toggles.
+    pub mitigation: MitigationPlan,
+    /// Report deadline per result, seconds (BOINC `delay_bound`).
+    pub delay_bound_s: f64,
+}
+
+impl MrJobConfig {
+    /// The paper's word-count setup: 1 GB input, replication 2/quorum 2.
+    pub fn paper_wordcount(n_maps: usize, n_reduces: usize, mode: MrMode) -> Self {
+        MrJobConfig {
+            job: JobSpec::new("mr0", n_maps, n_reduces),
+            input_bytes: 1 << 30,
+            replication: 2,
+            quorum: 2,
+            mode,
+            sizing: SizingModel::default(),
+            map_outputs_to_server: true,
+            mitigation: MitigationPlan::default(),
+            delay_bound_s: 6.0 * 3600.0,
+        }
+    }
+
+    /// Bytes of one map input chunk.
+    pub fn chunk_bytes(&self) -> u64 {
+        self.input_bytes / self.job.n_maps as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmr_mapreduce::apps::WordCount;
+    use vmr_mapreduce::{CorpusGen, CorpusSpec};
+
+    #[test]
+    fn paper_config_shape() {
+        let c = MrJobConfig::paper_wordcount(20, 5, MrMode::InterClient);
+        assert_eq!(c.chunk_bytes(), (1u64 << 30) / 20);
+        assert_eq!(c.replication, 2);
+        assert_eq!(c.quorum, 2);
+    }
+
+    #[test]
+    fn calibration_on_real_corpus() {
+        let mut gen = CorpusGen::new(&CorpusSpec::default());
+        let sample = gen.generate(200_000);
+        let s = SizingModel::calibrate(&WordCount, &sample);
+        // Word count without combiner: map output a bit larger than the
+        // input ("word 1\n" per token).
+        assert!(
+            s.expansion > 1.0 && s.expansion < 2.0,
+            "expansion = {}",
+            s.expansion
+        );
+        // Zipf text: distinct words ≪ tokens, so the final output is
+        // far smaller than the sample it was measured on.
+        assert!(
+            s.reduce_output_total_bytes < 200_000 * 3,
+            "reduce_output_total_bytes = {}",
+            s.reduce_output_total_bytes
+        );
+        assert!(s.reduce_output_total_bytes > 0);
+    }
+
+    #[test]
+    fn sizing_arithmetic() {
+        let s = SizingModel {
+            expansion: 1.5,
+            reduce_output_total_bytes: 1000,
+            map_flops_per_byte: 10.0,
+            reduce_flops_per_byte: 5.0,
+        };
+        assert_eq!(s.map_output_bytes(1000), 1500);
+        assert_eq!(s.partition_bytes(1000, 3), 500);
+        assert_eq!(s.reduce_output_bytes(100_000, 2), 500);
+        assert_eq!(s.map_flops(100), 1000.0);
+        assert_eq!(s.reduce_flops(100), 500.0);
+    }
+
+    #[test]
+    fn mode_labels_match_table1() {
+        assert_eq!(MrMode::ServerRelay.to_string(), "BOINC");
+        assert_eq!(MrMode::InterClient.to_string(), "BOINC-MR");
+    }
+}

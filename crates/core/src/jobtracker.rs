@@ -1,0 +1,206 @@
+//! The JobTracker — the paper's new server-side module.
+//!
+//! "JobTracker, a new module on the server, provides information on map
+//! or reduce tasks to be given to the client … Information on which
+//! users ran map tasks for each MapReduce job is saved on the central
+//! database, so the scheduler appends to each reduce result the address
+//! (IP and port) of mappers holding output for the same job."
+
+use crate::config::MrJobConfig;
+use std::collections::HashMap;
+use vmr_desim::SimTime;
+use vmr_vcore::{ClientId, WuId};
+
+/// Which MapReduce task a work unit implements.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TaskKind {
+    /// Map task `m`.
+    Map(usize),
+    /// Reduce task `r`.
+    Reduce(usize),
+}
+
+/// Phase of one job.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Phase {
+    /// Map work units outstanding.
+    Map,
+    /// All maps validated; reduce work units outstanding.
+    Reduce,
+    /// All reduce work units validated.
+    Done,
+    /// A work unit failed permanently; the job cannot complete.
+    Failed,
+}
+
+/// Server-side state of one MapReduce job.
+#[derive(Debug)]
+pub struct JobState {
+    /// Job configuration.
+    pub cfg: MrJobConfig,
+    /// Map work units, indexed by map task.
+    pub map_wus: Vec<WuId>,
+    /// Reduce work units, indexed by reduce task (empty until the map
+    /// phase completes).
+    pub reduce_wus: Vec<WuId>,
+    /// Validated holders of each map task's output (the clients whose
+    /// results matched the canonical fingerprint).
+    pub holders: Vec<Vec<ClientId>>,
+    /// Current phase.
+    pub phase: Phase,
+    /// Map WUs validated so far.
+    pub maps_validated: usize,
+    /// Reduce WUs validated so far.
+    pub reduces_validated: usize,
+    /// Index of the map task that validated last (its partitions are the
+    /// only ones a prefetching reducer still needs).
+    pub last_validated_map: Option<usize>,
+
+    // ----- phase timestamps (Table I semantics) -----
+    /// First map task assigned to a client ("phase execution is
+    /// considered to start once the first task is assigned").
+    pub first_map_assign: Option<SimTime>,
+    /// Last accepted map report ("the end of a phase is signaled by the
+    /// report or upload of the last output file").
+    pub last_map_report: Option<SimTime>,
+    /// When the final map WU validated (reduce WUs are created here).
+    pub map_phase_validated_at: Option<SimTime>,
+    /// First reduce task assigned.
+    pub first_reduce_assign: Option<SimTime>,
+    /// Last accepted reduce report.
+    pub last_reduce_report: Option<SimTime>,
+    /// When the final reduce WU validated (job complete).
+    pub done_at: Option<SimTime>,
+}
+
+impl JobState {
+    /// A fresh job in the map phase.
+    pub fn new(cfg: MrJobConfig) -> Self {
+        let n_maps = cfg.job.n_maps;
+        JobState {
+            cfg,
+            map_wus: Vec::new(),
+            reduce_wus: Vec::new(),
+            holders: vec![Vec::new(); n_maps],
+            phase: Phase::Map,
+            maps_validated: 0,
+            reduces_validated: 0,
+            last_validated_map: None,
+            first_map_assign: None,
+            last_map_report: None,
+            map_phase_validated_at: None,
+            first_reduce_assign: None,
+            last_reduce_report: None,
+            done_at: None,
+        }
+    }
+
+    /// Map-phase duration per Table I (first assignment → last report).
+    pub fn map_time(&self) -> Option<f64> {
+        Some(
+            self.map_phase_validated_at?
+                .saturating_since(self.first_map_assign?)
+                .as_secs_f64(),
+        )
+    }
+
+    /// Reduce-phase duration per Table I.
+    pub fn reduce_time(&self) -> Option<f64> {
+        Some(
+            self.done_at?
+                .saturating_since(self.first_reduce_assign?)
+                .as_secs_f64(),
+        )
+    }
+
+    /// Total makespan per Table I ("interval between the scheduling of
+    /// the first map task and the return of the last reduce output").
+    pub fn total_time(&self) -> Option<f64> {
+        Some(
+            self.done_at?
+                .saturating_since(self.first_map_assign?)
+                .as_secs_f64(),
+        )
+    }
+}
+
+/// Registry of all jobs plus the WU → (job, task) reverse index.
+#[derive(Debug, Default)]
+pub struct JobTracker {
+    /// All submitted jobs.
+    pub jobs: Vec<JobState>,
+    index: HashMap<WuId, (usize, TaskKind)>,
+}
+
+impl JobTracker {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        JobTracker::default()
+    }
+
+    /// Registers a job, returning its index.
+    pub fn add_job(&mut self, state: JobState) -> usize {
+        self.jobs.push(state);
+        self.jobs.len() - 1
+    }
+
+    /// Indexes a work unit as (job, task).
+    pub fn index_wu(&mut self, wu: WuId, job: usize, task: TaskKind) {
+        self.index.insert(wu, (job, task));
+    }
+
+    /// Looks up which job/task a WU implements (None for non-MR WUs —
+    /// the `mapreduce` tag check).
+    pub fn lookup(&self, wu: WuId) -> Option<(usize, TaskKind)> {
+        self.index.get(&wu).copied()
+    }
+
+    /// True when every job has finished (validated or failed).
+    pub fn all_done(&self) -> bool {
+        self.jobs
+            .iter()
+            .all(|j| matches!(j.phase, Phase::Done | Phase::Failed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{MrJobConfig, MrMode};
+
+    fn job() -> JobState {
+        JobState::new(MrJobConfig::paper_wordcount(4, 2, MrMode::InterClient))
+    }
+
+    #[test]
+    fn fresh_job_is_mapping() {
+        let j = job();
+        assert_eq!(j.phase, Phase::Map);
+        assert_eq!(j.holders.len(), 4);
+        assert_eq!(j.map_time(), None);
+    }
+
+    #[test]
+    fn phase_times_compute() {
+        let mut j = job();
+        j.first_map_assign = Some(SimTime::from_secs(10));
+        j.map_phase_validated_at = Some(SimTime::from_secs(110));
+        j.first_reduce_assign = Some(SimTime::from_secs(150));
+        j.done_at = Some(SimTime::from_secs(250));
+        assert_eq!(j.map_time(), Some(100.0));
+        assert_eq!(j.reduce_time(), Some(100.0));
+        assert_eq!(j.total_time(), Some(240.0));
+    }
+
+    #[test]
+    fn tracker_index_roundtrip() {
+        let mut t = JobTracker::new();
+        let ji = t.add_job(job());
+        t.index_wu(WuId(7), ji, TaskKind::Map(3));
+        assert_eq!(t.lookup(WuId(7)), Some((ji, TaskKind::Map(3))));
+        assert_eq!(t.lookup(WuId(8)), None);
+        assert!(!t.all_done());
+        t.jobs[ji].phase = Phase::Done;
+        assert!(t.all_done());
+    }
+}

@@ -1,0 +1,31 @@
+//! # vmr-core — BOINC-MR
+//!
+//! The paper's contribution: MapReduce over a pull-model volunteer
+//! computing middleware.
+//!
+//! * [`config`] — `mr_jobtracker.xml` equivalents: job geometry,
+//!   replication/quorum, transfer mode, data sizing calibrated against
+//!   the real word-count application, §IV.C mitigation toggles.
+//! * [`jobtracker`] — the paper's new server module: WU ↔ (job, task)
+//!   index, validated map-output holders, phase state and timestamps.
+//! * [`policy`] — the orchestration: map WUs scheduled as ordinary
+//!   BOINC work, mapper-side serving registration, automatic reduce WU
+//!   creation carrying mapper addresses, job completion.
+//! * [`experiment`] — the §IV harness: build a testbed, run a job,
+//!   report Table I rows and Fig. 4 timelines.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod experiment;
+pub mod jobtracker;
+pub mod policy;
+pub mod workflow;
+
+pub use config::{MitigationPlan, MrJobConfig, MrMode, SizingModel};
+pub use experiment::{
+    format_row, run_experiment, ExperimentConfig, ExperimentOutcome, NodeMix, PhaseReport,
+};
+pub use jobtracker::{JobState, JobTracker, Phase, TaskKind};
+pub use policy::MrPolicy;
+pub use workflow::{Stage, Workflow};

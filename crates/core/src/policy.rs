@@ -1,0 +1,415 @@
+//! The BOINC-MR orchestration policy: map/reduce phase coordination
+//! plugged into the vcore engine hooks (§III.B of the paper).
+//!
+//! * Map work units are scheduled like ordinary BOINC work ("BOINC-MR
+//!   follows the traditional protocol when scheduling work during the
+//!   map phase").
+//! * When a map task finishes executing on a BOINC-MR client, the client
+//!   starts serving its partitioned outputs to peers.
+//! * "Once all the map work units have been returned and the results
+//!   have been validated, the system moves to the reduce phase": reduce
+//!   work units are created automatically, each carrying the locations
+//!   (holders) of every map output partition it needs.
+//! * When all reduce work units validate, the job is done and mappers
+//!   stop serving ("we … stop accepting connections when there are no
+//!   more files available for upload").
+
+use crate::config::{MrJobConfig, MrMode};
+use crate::jobtracker::{JobState, JobTracker, Phase, TaskKind};
+use vmr_desim::SimDuration;
+use vmr_vcore::{
+    ClientId, Engine, FileRef, FileSource, Policy, ResultId, WorkUnitSpec, WuId,
+};
+
+/// The BOINC-MR server policy.
+#[derive(Debug, Default)]
+pub struct MrPolicy {
+    /// Job registry (public so harnesses can read phase times).
+    pub tracker: JobTracker,
+}
+
+impl MrPolicy {
+    /// An empty policy; submit jobs with [`MrPolicy::submit_job`].
+    pub fn new() -> Self {
+        MrPolicy::default()
+    }
+
+    /// Submits a job: inserts its map work units and registers it with
+    /// the JobTracker. Returns the job index.
+    pub fn submit_job(&mut self, eng: &mut Engine, mut cfg: MrJobConfig) -> usize {
+        let job_idx = self.tracker.jobs.len();
+        cfg.job.name = format!("mr{job_idx}");
+        let mut state = JobState::new(cfg);
+        let cfg = &state.cfg;
+        let chunk = cfg.chunk_bytes();
+        for m in 0..cfg.job.n_maps {
+            let mut spec = WorkUnitSpec::basic(
+                format!("{}_map_{m}", cfg.job.name),
+                format!("{}_map", cfg.job.name),
+                cfg.sizing.map_flops(chunk),
+            );
+            spec.inputs = vec![FileRef::on_server(
+                format!("{}_in_{m}", cfg.job.name),
+                chunk,
+            )];
+            spec.target_nresults = cfg.replication;
+            spec.min_quorum = cfg.quorum;
+            spec.max_total_results = cfg.replication * 4;
+            spec.delay_bound = vmr_desim::SimDuration::from_secs_f64(cfg.delay_bound_s);
+            spec.output_bytes = cfg.sizing.map_output_bytes(chunk);
+            // Plain BOINC always uploads; BOINC-MR v1 keeps uploading as
+            // fall-back insurance unless configured otherwise.
+            spec.upload_outputs = match cfg.mode {
+                MrMode::ServerRelay => true,
+                MrMode::InterClient => cfg.map_outputs_to_server,
+            };
+            spec.payload = m as u64;
+            let wu = eng.insert_workunit(spec);
+            state.map_wus.push(wu);
+        }
+        let map_wus = state.map_wus.clone();
+        self.tracker.add_job(state);
+        for (m, wu) in map_wus.into_iter().enumerate() {
+            self.tracker.index_wu(wu, job_idx, TaskKind::Map(m));
+        }
+        job_idx
+    }
+
+    /// True when every submitted job is done or failed.
+    pub fn all_done(&self) -> bool {
+        self.tracker.all_done()
+    }
+
+    /// Creates the reduce work units of job `job_idx` (the automatic
+    /// phase transition). Requires every map WU validated.
+    fn create_reduce_wus(&mut self, eng: &mut Engine, job_idx: usize) {
+        let job = &self.tracker.jobs[job_idx];
+        let cfg = &job.cfg;
+        let chunk = cfg.chunk_bytes();
+        let n_maps = cfg.job.n_maps;
+        let n_reduces = cfg.job.n_reduces;
+        let total_intermediate = cfg.sizing.map_output_bytes(chunk) * n_maps as u64;
+        let mut new_wus = Vec::with_capacity(n_reduces);
+        for r in 0..n_reduces {
+            let mut inputs = Vec::with_capacity(n_maps);
+            for m in 0..n_maps {
+                let mut bytes = cfg.sizing.partition_bytes(chunk, n_reduces);
+                // §IV.C "intermediate data downloads": everything except
+                // the last-validated map was prefetched during the map
+                // phase; only the tail remains to fetch.
+                if cfg.mitigation.intermediate_downloads
+                    && job.last_validated_map != Some(m)
+                {
+                    bytes = 0;
+                }
+                let source = match cfg.mode {
+                    MrMode::ServerRelay => FileSource::DataServer,
+                    MrMode::InterClient => FileSource::Peers(job.holders[m].clone()),
+                };
+                inputs.push(FileRef {
+                    name: cfg.job.partition_file(m, r),
+                    bytes,
+                    source,
+                });
+            }
+            let in_bytes = total_intermediate / n_reduces as u64;
+            let mut spec = WorkUnitSpec::basic(
+                format!("{}_red_{r}", cfg.job.name),
+                format!("{}_red", cfg.job.name),
+                cfg.sizing.reduce_flops(in_bytes),
+            );
+            spec.inputs = inputs;
+            spec.target_nresults = cfg.replication;
+            spec.min_quorum = cfg.quorum;
+            spec.max_total_results = cfg.replication * 4;
+            spec.delay_bound = vmr_desim::SimDuration::from_secs_f64(cfg.delay_bound_s);
+            spec.output_bytes = cfg.sizing.reduce_output_bytes(cfg.input_bytes, n_reduces);
+            spec.upload_outputs = true; // "the output is uploaded back to the server"
+            spec.payload = r as u64;
+            new_wus.push(eng.insert_workunit(spec));
+        }
+        let job = &mut self.tracker.jobs[job_idx];
+        job.reduce_wus = new_wus.clone();
+        job.phase = Phase::Reduce;
+        for (r, wu) in new_wus.into_iter().enumerate() {
+            self.tracker.index_wu(wu, job_idx, TaskKind::Reduce(r));
+        }
+    }
+
+    /// Stops all mapper serving for a finished job.
+    fn stop_serving(&self, eng: &mut Engine, job_idx: usize) {
+        let job = &self.tracker.jobs[job_idx];
+        let cfg = &job.cfg;
+        for m in 0..cfg.job.n_maps {
+            for r in 0..cfg.job.n_reduces {
+                let name = cfg.job.partition_file(m, r);
+                for c in 0..eng.n_clients() {
+                    eng.unregister_served_file(ClientId(c as u32), &name);
+                }
+            }
+        }
+    }
+}
+
+impl Policy for MrPolicy {
+    fn on_task_granted(&mut self, eng: &mut Engine, _client: ClientId, rid: ResultId) {
+        let wu = eng.db.result(rid).wu;
+        let Some((ji, task)) = self.tracker.lookup(wu) else {
+            return;
+        };
+        let now = eng.now();
+        let job = &mut self.tracker.jobs[ji];
+        match task {
+            TaskKind::Map(_) => {
+                if job.first_map_assign.is_none() {
+                    job.first_map_assign = Some(now);
+                    eng.timeline.point("server", "phase", "map-start", now);
+                }
+            }
+            TaskKind::Reduce(_) => {
+                if job.first_reduce_assign.is_none() {
+                    job.first_reduce_assign = Some(now);
+                    eng.timeline.point("server", "phase", "reduce-start", now);
+                }
+            }
+        }
+    }
+
+    fn on_task_executed(&mut self, eng: &mut Engine, client: ClientId, rid: ResultId) {
+        let wu = eng.db.result(rid).wu;
+        let Some((ji, TaskKind::Map(m))) = self.tracker.lookup(wu) else {
+            return;
+        };
+        let job = &self.tracker.jobs[ji];
+        if job.cfg.mode != MrMode::InterClient {
+            return;
+        }
+        // "We open a TCP [socket] for listening to incoming connections
+        // whenever a map task has finished and its output(s) is
+        // available" — register every partition file, with the serving
+        // timeout from the project config.
+        let chunk = job.cfg.chunk_bytes();
+        let n_reduces = job.cfg.job.n_reduces;
+        let until = eng.now() + SimDuration::from_secs_f64(eng.cfg.serving_timeout_s);
+        for r in 0..n_reduces {
+            let name = job.cfg.job.partition_file(m, r);
+            let bytes = job.cfg.sizing.partition_bytes(chunk, n_reduces);
+            eng.register_served_file(client, name, bytes, Some(until));
+        }
+    }
+
+    fn on_result_reported(&mut self, eng: &mut Engine, rid: ResultId) {
+        let r = eng.db.result(rid);
+        if !r.is_success() {
+            return;
+        }
+        let wu = r.wu;
+        let Some((ji, task)) = self.tracker.lookup(wu) else {
+            return;
+        };
+        let now = eng.now();
+        let job = &mut self.tracker.jobs[ji];
+        match task {
+            TaskKind::Map(_) => {
+                job.last_map_report = Some(job.last_map_report.unwrap_or(now).max(now));
+            }
+            TaskKind::Reduce(_) => {
+                job.last_reduce_report = Some(job.last_reduce_report.unwrap_or(now).max(now));
+            }
+        }
+    }
+
+    fn on_wu_validated(&mut self, eng: &mut Engine, wu: WuId, agreeing: &[ClientId]) {
+        let Some((ji, task)) = self.tracker.lookup(wu) else {
+            return;
+        };
+        let now = eng.now();
+        match task {
+            TaskKind::Map(m) => {
+                {
+                    let job = &mut self.tracker.jobs[ji];
+                    job.holders[m] = agreeing.to_vec();
+                    job.maps_validated += 1;
+                    job.last_validated_map = Some(m);
+                }
+                // "In case the server decides a reduce task should be …
+                // scheduled on another client, the map outputs' timeout
+                // is reset": extend serving windows of this map's files.
+                let (names, until) = {
+                    let job = &self.tracker.jobs[ji];
+                    let names: Vec<String> = (0..job.cfg.job.n_reduces)
+                        .map(|r| job.cfg.job.partition_file(m, r))
+                        .collect();
+                    (
+                        names,
+                        now + SimDuration::from_secs_f64(eng.cfg.serving_timeout_s),
+                    )
+                };
+                for c in agreeing {
+                    for name in &names {
+                        eng.reset_serving_timeout(*c, name, Some(until));
+                    }
+                }
+                let job = &self.tracker.jobs[ji];
+                if job.maps_validated == job.cfg.job.n_maps {
+                    self.tracker.jobs[ji].map_phase_validated_at = Some(now);
+                    eng.timeline.point("server", "phase", "maps-validated", now);
+                    self.create_reduce_wus(eng, ji);
+                }
+            }
+            TaskKind::Reduce(_) => {
+                let job = &mut self.tracker.jobs[ji];
+                job.reduces_validated += 1;
+                if job.reduces_validated == job.cfg.job.n_reduces {
+                    job.phase = Phase::Done;
+                    job.done_at = Some(now);
+                    eng.timeline.point("server", "phase", "job-done", now);
+                    self.stop_serving(eng, ji);
+                }
+            }
+        }
+    }
+
+    fn on_wu_failed(&mut self, eng: &mut Engine, wu: WuId) {
+        if let Some((ji, _)) = self.tracker.lookup(wu) {
+            self.tracker.jobs[ji].phase = Phase::Failed;
+            eng.timeline.point("server", "phase", "job-failed", eng.now());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmr_desim::SimTime;
+    use vmr_netsim::HostLink;
+    use vmr_vcore::{HostProfile, ProjectConfig};
+
+    fn engine(n: usize) -> Engine {
+        let mut eng = Engine::testbed(1, ProjectConfig::default());
+        for _ in 0..n {
+            eng.add_client(HostProfile::pc3001(), HostLink::symmetric_mbit(100.0, 0.000_5));
+        }
+        eng
+    }
+
+    fn tiny_job(mode: MrMode) -> MrJobConfig {
+        let mut cfg = MrJobConfig::paper_wordcount(3, 2, mode);
+        cfg.input_bytes = 6_000_000; // 6 MB → 2 MB chunks: seconds, not hours
+        cfg
+    }
+
+    #[test]
+    fn submit_creates_map_wus_only() {
+        let mut eng = engine(4);
+        let mut pol = MrPolicy::new();
+        let ji = pol.submit_job(&mut eng, tiny_job(MrMode::InterClient));
+        assert_eq!(pol.tracker.jobs[ji].map_wus.len(), 3);
+        assert!(pol.tracker.jobs[ji].reduce_wus.is_empty());
+        assert_eq!(eng.db.n_wus(), 3);
+        // Replication 2 → 6 results.
+        assert_eq!(eng.db.n_results(), 6);
+    }
+
+    #[test]
+    fn full_job_interclient_completes() {
+        let mut eng = engine(5);
+        let mut pol = MrPolicy::new();
+        let ji = pol.submit_job(&mut eng, tiny_job(MrMode::InterClient));
+        eng.run_until(&mut pol, SimTime::from_secs(50_000), |e| e.db.all_wus_terminal());
+        let job = &pol.tracker.jobs[ji];
+        assert_eq!(job.phase, Phase::Done, "job should finish");
+        assert!(job.map_time().unwrap() > 0.0);
+        assert!(job.reduce_time().unwrap() > 0.0);
+        assert!(job.total_time().unwrap() >= job.map_time().unwrap());
+        // Inter-client mode with everyone open: no server fallbacks.
+        assert_eq!(eng.stats.server_fallbacks, 0);
+        // Holders recorded for every map.
+        for h in &job.holders {
+            assert_eq!(h.len(), 2, "quorum-2 leaves two holders");
+        }
+    }
+
+    #[test]
+    fn full_job_server_relay_completes() {
+        let mut eng = engine(5);
+        let mut pol = MrPolicy::new();
+        let ji = pol.submit_job(&mut eng, tiny_job(MrMode::ServerRelay));
+        eng.run_until(&mut pol, SimTime::from_secs(50_000), |e| e.db.all_wus_terminal());
+        assert_eq!(pol.tracker.jobs[ji].phase, Phase::Done);
+        // Server-relay reduces download from the data server only.
+        assert_eq!(eng.stats.traversal.successes(), 0);
+    }
+
+    #[test]
+    fn reduce_wus_created_exactly_on_map_validation() {
+        let mut eng = engine(5);
+        let mut pol = MrPolicy::new();
+        let ji = pol.submit_job(&mut eng, tiny_job(MrMode::InterClient));
+        eng.run_until(&mut pol, SimTime::from_secs(50_000), |e| {
+            e.db.n_wus() > 3 // stop as soon as reduce WUs appear
+        });
+        let job = &pol.tracker.jobs[ji];
+        assert_eq!(job.phase, Phase::Reduce);
+        assert_eq!(job.reduce_wus.len(), 2);
+        assert!(job.map_phase_validated_at.is_some());
+        assert!(job.first_reduce_assign.is_none(), "not yet assigned");
+        // Reduce inputs must point at the map holders.
+        let rwu = job.reduce_wus[0];
+        let inputs = &eng.db.wu(rwu).spec.inputs;
+        assert_eq!(inputs.len(), 3, "one partition per map");
+        for (m, f) in inputs.iter().enumerate() {
+            match &f.source {
+                FileSource::Peers(peers) => assert_eq!(peers, &job.holders[m]),
+                other => panic!("expected peer source, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn interclient_moves_less_data_through_server() {
+        let run = |mode| {
+            let mut eng = engine(6);
+            let mut pol = MrPolicy::new();
+            let mut cfg = tiny_job(mode);
+            cfg.map_outputs_to_server = false; // pure BOINC-MR data path
+            pol.submit_job(&mut eng, cfg);
+            eng.run_until(&mut pol, SimTime::from_secs(50_000), |e| e.db.all_wus_terminal());
+            assert!(pol.all_done());
+            eng.stats.bytes_via_server
+        };
+        let relay = run(MrMode::ServerRelay);
+        let p2p = run(MrMode::InterClient);
+        assert!(
+            p2p < relay * 0.7,
+            "inter-client should cut server traffic: p2p={p2p} relay={relay}"
+        );
+    }
+
+    #[test]
+    fn mitigation_intermediate_downloads_shrinks_reduce_inputs() {
+        let mut eng = engine(5);
+        let mut pol = MrPolicy::new();
+        let mut cfg = tiny_job(MrMode::InterClient);
+        cfg.mitigation.intermediate_downloads = true;
+        let ji = pol.submit_job(&mut eng, cfg);
+        eng.run_until(&mut pol, SimTime::from_secs(50_000), |e| e.db.n_wus() > 3);
+        let job = &pol.tracker.jobs[ji];
+        let rwu = job.reduce_wus[0];
+        let inputs = &eng.db.wu(rwu).spec.inputs;
+        let nonzero = inputs.iter().filter(|f| f.bytes > 0).count();
+        assert_eq!(nonzero, 1, "only the last-validated map still costs bytes");
+    }
+
+    #[test]
+    fn two_concurrent_jobs_complete() {
+        let mut eng = engine(8);
+        let mut pol = MrPolicy::new();
+        pol.submit_job(&mut eng, tiny_job(MrMode::InterClient));
+        pol.submit_job(&mut eng, tiny_job(MrMode::ServerRelay));
+        eng.run_until(&mut pol, SimTime::from_secs(100_000), |e| e.db.all_wus_terminal());
+        assert!(pol.all_done());
+        assert_eq!(pol.tracker.jobs[0].phase, Phase::Done);
+        assert_eq!(pol.tracker.jobs[1].phase, Phase::Done);
+    }
+}

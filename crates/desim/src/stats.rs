@@ -1,0 +1,363 @@
+//! Run statistics: counters, tallies, time-weighted means, histograms.
+//!
+//! These accumulators are deliberately streaming (O(1) memory per sample
+//! except the reservoir quantile sketch) so experiment sweeps can record
+//! millions of samples without blowing up.
+
+use crate::time::{SimDuration, SimTime};
+
+/// Streaming tally of scalar samples: count / mean / min / max / variance
+/// (Welford's algorithm).
+#[derive(Clone, Debug, Default)]
+pub struct Tally {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl Tally {
+    /// Creates an empty tally.
+    pub fn new() -> Self {
+        Tally {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        self.sum += x;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Records a duration sample in seconds.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_secs_f64());
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sum of samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Smallest sample (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest sample (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Unbiased sample variance (0 with fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Merges another tally into this one (parallel-merge form of
+    /// Welford/Chan).
+    pub fn merge(&mut self, other: &Tally) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        self.n = n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Time-weighted average of a piecewise-constant signal, e.g. "number of
+/// concurrent transfers" or "feeder occupancy".
+#[derive(Clone, Debug)]
+pub struct TimeWeighted {
+    last_t: SimTime,
+    last_v: f64,
+    area: f64,
+    start: SimTime,
+    max: f64,
+}
+
+impl TimeWeighted {
+    /// Starts tracking at `t0` with initial value `v0`.
+    pub fn new(t0: SimTime, v0: f64) -> Self {
+        TimeWeighted {
+            last_t: t0,
+            last_v: v0,
+            area: 0.0,
+            start: t0,
+            max: v0,
+        }
+    }
+
+    /// Sets the signal to `v` at time `t` (t must not precede the last
+    /// update; equal times are fine and just replace the value).
+    pub fn set(&mut self, t: SimTime, v: f64) {
+        debug_assert!(t >= self.last_t, "TimeWeighted updates must be ordered");
+        let dt = t.saturating_since(self.last_t).as_secs_f64();
+        self.area += self.last_v * dt;
+        self.last_t = t;
+        self.last_v = v;
+        self.max = self.max.max(v);
+    }
+
+    /// Adds `dv` to the current value at time `t`.
+    pub fn add(&mut self, t: SimTime, dv: f64) {
+        let v = self.last_v + dv;
+        self.set(t, v);
+    }
+
+    /// Current value of the signal.
+    pub fn current(&self) -> f64 {
+        self.last_v
+    }
+
+    /// Largest value seen.
+    pub fn max_value(&self) -> f64 {
+        self.max
+    }
+
+    /// Time-weighted mean over `[start, t]`.
+    pub fn mean_until(&self, t: SimTime) -> f64 {
+        let total = t.saturating_since(self.start).as_secs_f64();
+        if total <= 0.0 {
+            return self.last_v;
+        }
+        let tail = t.saturating_since(self.last_t).as_secs_f64();
+        (self.area + self.last_v * tail) / total
+    }
+}
+
+/// Fixed-bucket histogram over `[0, limit)` seconds with an overflow
+/// bucket; used for task latency and backoff-delay distributions.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    width: f64,
+    overflow: u64,
+    tally: Tally,
+}
+
+impl Histogram {
+    /// `n_buckets` equal-width buckets spanning `[0, limit)`.
+    pub fn new(limit: f64, n_buckets: usize) -> Self {
+        assert!(limit > 0.0 && n_buckets > 0);
+        Histogram {
+            buckets: vec![0; n_buckets],
+            width: limit / n_buckets as f64,
+            overflow: 0,
+            tally: Tally::new(),
+        }
+    }
+
+    /// Records one sample (negative samples clamp into bucket 0).
+    pub fn record(&mut self, x: f64) {
+        self.tally.record(x);
+        let x = x.max(0.0);
+        let idx = (x / self.width) as usize;
+        if idx < self.buckets.len() {
+            self.buckets[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.tally.count()
+    }
+
+    /// Samples beyond the histogram limit.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Underlying scalar tally (mean/min/max/stddev).
+    pub fn tally(&self) -> &Tally {
+        &self.tally
+    }
+
+    /// Approximate quantile (0..=1) by walking the buckets; returns the
+    /// bucket upper edge containing the q-th sample. `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some((i as f64 + 1.0) * self.width);
+            }
+        }
+        // In the overflow region: report the observed max.
+        self.tally.max()
+    }
+
+    /// Bucket counts (for rendering).
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Bucket width in the sample unit.
+    pub fn bucket_width(&self) -> f64 {
+        self.width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tally_basics() {
+        let mut t = Tally::new();
+        assert_eq!(t.mean(), 0.0);
+        assert_eq!(t.min(), None);
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            t.record(x);
+        }
+        assert_eq!(t.count(), 4);
+        assert_eq!(t.mean(), 2.5);
+        assert_eq!(t.min(), Some(1.0));
+        assert_eq!(t.max(), Some(4.0));
+        assert!((t.variance() - 5.0 / 3.0).abs() < 1e-12);
+        assert_eq!(t.sum(), 10.0);
+    }
+
+    #[test]
+    fn tally_merge_equals_combined() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Tally::new();
+        for &x in &xs {
+            whole.record(x);
+        }
+        let mut a = Tally::new();
+        let mut b = Tally::new();
+        for (i, &x) in xs.iter().enumerate() {
+            if i % 3 == 0 {
+                a.record(x)
+            } else {
+                b.record(x)
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_sides() {
+        let mut a = Tally::new();
+        let mut b = Tally::new();
+        b.record(5.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.mean(), 5.0);
+        let empty = Tally::new();
+        a.merge(&empty);
+        assert_eq!(a.count(), 1);
+    }
+
+    #[test]
+    fn time_weighted_mean() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
+        tw.set(SimTime::from_secs(10), 2.0); // 0 for 10s
+        tw.set(SimTime::from_secs(20), 4.0); // 2 for 10s
+        // up to t=30: 4 for 10s → area = 0*10 + 2*10 + 4*10 = 60 over 30s
+        assert!((tw.mean_until(SimTime::from_secs(30)) - 2.0).abs() < 1e-12);
+        assert_eq!(tw.current(), 4.0);
+        assert_eq!(tw.max_value(), 4.0);
+    }
+
+    #[test]
+    fn time_weighted_add() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 1.0);
+        tw.add(SimTime::from_secs(5), 2.0);
+        assert_eq!(tw.current(), 3.0);
+        tw.add(SimTime::from_secs(5), -1.0);
+        assert_eq!(tw.current(), 2.0);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Histogram::new(100.0, 100);
+        for i in 0..100 {
+            h.record(i as f64 + 0.5);
+        }
+        assert_eq!(h.count(), 100);
+        let med = h.quantile(0.5).unwrap();
+        assert!((45.0..=55.0).contains(&med), "median {med}");
+        assert_eq!(h.quantile(0.0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn histogram_overflow_and_clamp() {
+        let mut h = Histogram::new(10.0, 10);
+        h.record(-5.0); // clamps into bucket 0
+        h.record(50.0); // overflow
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile(1.0), Some(50.0));
+    }
+
+    #[test]
+    fn histogram_empty_quantile() {
+        let h = Histogram::new(10.0, 10);
+        assert_eq!(h.quantile(0.5), None);
+    }
+}

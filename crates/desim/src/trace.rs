@@ -1,0 +1,246 @@
+//! Timeline recording.
+//!
+//! Experiments record *spans* (named intervals attached to an actor, e.g.
+//! "node-7 executes map result 12") and *points* (instant markers, e.g.
+//! "reduce phase starts"). The Fig. 4 reproduction renders one lane per
+//! node from these spans.
+
+use crate::time::{SimDuration, SimTime};
+use std::fmt::Write as _;
+
+/// A named interval on some actor's lane.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Span {
+    /// Lane key, e.g. a node name.
+    pub actor: String,
+    /// What happened, e.g. `map:dl`, `map:exec`, `report`.
+    pub kind: String,
+    /// Free-form detail (task id etc.).
+    pub detail: String,
+    /// Interval start.
+    pub start: SimTime,
+    /// Interval end.
+    pub end: SimTime,
+}
+
+impl Span {
+    /// Span length.
+    pub fn duration(&self) -> SimDuration {
+        self.end.saturating_since(self.start)
+    }
+}
+
+/// An instantaneous marker.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Point {
+    /// Lane key ("" for global markers).
+    pub actor: String,
+    /// Marker kind.
+    pub kind: String,
+    /// Free-form detail.
+    pub detail: String,
+    /// When it happened.
+    pub at: SimTime,
+}
+
+/// An in-memory event timeline.
+#[derive(Clone, Debug, Default)]
+pub struct Timeline {
+    spans: Vec<Span>,
+    points: Vec<Point>,
+    enabled: bool,
+}
+
+impl Timeline {
+    /// A recording timeline.
+    pub fn new() -> Self {
+        Timeline {
+            spans: Vec::new(),
+            points: Vec::new(),
+            enabled: true,
+        }
+    }
+
+    /// A timeline that drops everything (zero overhead for sweeps).
+    pub fn disabled() -> Self {
+        Timeline {
+            spans: Vec::new(),
+            points: Vec::new(),
+            enabled: false,
+        }
+    }
+
+    /// Whether recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records a span.
+    pub fn span(
+        &mut self,
+        actor: impl Into<String>,
+        kind: impl Into<String>,
+        detail: impl Into<String>,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.spans.push(Span {
+            actor: actor.into(),
+            kind: kind.into(),
+            detail: detail.into(),
+            start,
+            end,
+        });
+    }
+
+    /// Records a point marker.
+    pub fn point(
+        &mut self,
+        actor: impl Into<String>,
+        kind: impl Into<String>,
+        detail: impl Into<String>,
+        at: SimTime,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.points.push(Point {
+            actor: actor.into(),
+            kind: kind.into(),
+            detail: detail.into(),
+            at,
+        });
+    }
+
+    /// All recorded spans, in recording order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// All recorded points, in recording order.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Spans on one actor's lane, sorted by start time.
+    pub fn lane(&self, actor: &str) -> Vec<&Span> {
+        let mut v: Vec<&Span> = self.spans.iter().filter(|s| s.actor == actor).collect();
+        v.sort_by_key(|s| (s.start, s.end));
+        v
+    }
+
+    /// Distinct actor names, sorted.
+    pub fn actors(&self) -> Vec<String> {
+        let mut v: Vec<String> = self
+            .spans
+            .iter()
+            .map(|s| s.actor.clone())
+            .chain(self.points.iter().map(|p| p.actor.clone()))
+            .filter(|a| !a.is_empty())
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Latest span/point time (simulation-activity horizon).
+    pub fn end_time(&self) -> SimTime {
+        let s = self.spans.iter().map(|s| s.end).max().unwrap_or(SimTime::ZERO);
+        let p = self.points.iter().map(|p| p.at).max().unwrap_or(SimTime::ZERO);
+        s.max(p)
+    }
+
+    /// Renders a fixed-width ASCII Gantt chart, one lane per actor —
+    /// this is how the Fig. 4 binary prints per-node map timelines.
+    ///
+    /// `width` is the number of character cells spanning `[0, end_time]`;
+    /// each span paints the first letter of its kind.
+    pub fn render_ascii(&self, width: usize) -> String {
+        let end = self.end_time();
+        let total = end.as_secs_f64().max(1e-9);
+        let mut out = String::new();
+        let actors = self.actors();
+        let name_w = actors.iter().map(|a| a.len()).max().unwrap_or(4).max(4);
+        for actor in &actors {
+            let mut row = vec![b'.'; width];
+            for s in self.lane(actor) {
+                let a = ((s.start.as_secs_f64() / total) * width as f64) as usize;
+                let b = ((s.end.as_secs_f64() / total) * width as f64).ceil() as usize;
+                let ch = s.kind.bytes().next().unwrap_or(b'#');
+                for cell in row.iter_mut().take(b.min(width)).skip(a.min(width)) {
+                    *cell = ch;
+                }
+            }
+            let _ = writeln!(
+                out,
+                "{actor:<name_w$} |{}|",
+                String::from_utf8_lossy(&row)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:<name_w$}  0{:>w$}",
+            "",
+            format!("{:.0}s", total),
+            w = width
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn records_spans_and_points() {
+        let mut tl = Timeline::new();
+        tl.span("n1", "exec", "wu0", t(1), t(5));
+        tl.point("", "phase", "reduce-start", t(6));
+        assert_eq!(tl.spans().len(), 1);
+        assert_eq!(tl.points().len(), 1);
+        assert_eq!(tl.spans()[0].duration(), SimDuration::from_secs(4));
+        assert_eq!(tl.end_time(), t(6));
+    }
+
+    #[test]
+    fn disabled_timeline_drops_everything() {
+        let mut tl = Timeline::disabled();
+        tl.span("n1", "exec", "", t(0), t(1));
+        tl.point("n1", "x", "", t(0));
+        assert!(tl.spans().is_empty());
+        assert!(tl.points().is_empty());
+        assert!(!tl.is_enabled());
+    }
+
+    #[test]
+    fn lanes_are_sorted_and_filtered() {
+        let mut tl = Timeline::new();
+        tl.span("b", "x", "", t(5), t(6));
+        tl.span("a", "x", "", t(3), t(4));
+        tl.span("b", "y", "", t(1), t(2));
+        let lane_b = tl.lane("b");
+        assert_eq!(lane_b.len(), 2);
+        assert!(lane_b[0].start < lane_b[1].start);
+        assert_eq!(tl.actors(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn ascii_render_contains_lanes() {
+        let mut tl = Timeline::new();
+        tl.span("node-1", "exec", "", t(0), t(50));
+        tl.span("node-2", "download", "", t(50), t(100));
+        let art = tl.render_ascii(40);
+        assert!(art.contains("node-1"));
+        assert!(art.contains("node-2"));
+        assert!(art.contains('e'));
+        assert!(art.contains('d'));
+    }
+}

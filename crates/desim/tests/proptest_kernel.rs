@@ -1,0 +1,122 @@
+//! Property tests for the simulation kernel's ordering and determinism
+//! invariants. These invariants are what let the experiment harness claim
+//! bit-reproducibility of every table in EXPERIMENTS.md.
+
+use proptest::prelude::*;
+use vmr_desim::{EventQueue, SimDuration, SimTime, Simulation, Tally};
+
+proptest! {
+    /// Events always pop in non-decreasing time order, regardless of the
+    /// order and times they were scheduled in.
+    #[test]
+    fn queue_pops_sorted(times in proptest::collection::vec(0u64..100_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_micros(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut n = 0;
+        while let Some((at, _, _)) = q.pop() {
+            prop_assert!(at >= last);
+            last = at;
+            n += 1;
+        }
+        prop_assert_eq!(n, times.len());
+    }
+
+    /// Same-time events pop in scheduling (FIFO) order.
+    #[test]
+    fn queue_fifo_within_timestamp(
+        times in proptest::collection::vec(0u64..10, 1..200)
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_micros(t), i);
+        }
+        let mut last_per_time = std::collections::HashMap::new();
+        while let Some((at, _, idx)) = q.pop() {
+            if let Some(prev) = last_per_time.insert(at, idx) {
+                prop_assert!(idx > prev, "FIFO violated at {:?}", at);
+            }
+        }
+    }
+
+    /// Cancelling an arbitrary subset removes exactly that subset.
+    #[test]
+    fn cancellation_subset(
+        times in proptest::collection::vec(0u64..1000, 1..100),
+        kill_mask in proptest::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (i, q.schedule(SimTime::from_micros(t), i)))
+            .collect();
+        let mut killed = std::collections::HashSet::new();
+        for ((i, id), &kill) in ids.iter().zip(kill_mask.iter()) {
+            if kill {
+                prop_assert!(q.cancel(*id));
+                killed.insert(*i);
+            }
+        }
+        let mut delivered = std::collections::HashSet::new();
+        while let Some((_, _, idx)) = q.pop() {
+            delivered.insert(idx);
+        }
+        for i in 0..times.len() {
+            prop_assert_eq!(delivered.contains(&i), !killed.contains(&i));
+        }
+    }
+
+    /// Two simulations with the same seed and same schedule deliver the
+    /// same events at the same times and draw identical random values.
+    #[test]
+    fn determinism_across_runs(
+        seed in any::<u64>(),
+        delays in proptest::collection::vec(1u64..10_000, 1..50),
+    ) {
+        let run = |seed: u64| {
+            let mut sim: Simulation<usize> = Simulation::new(seed);
+            for (i, &d) in delays.iter().enumerate() {
+                sim.schedule_in(SimDuration::from_millis(d), i);
+            }
+            let mut log = vec![];
+            while let Some(ev) = sim.next_event() {
+                log.push((ev.at, ev.payload, sim.rng().next_u64()));
+            }
+            log
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    /// Welford tally mean/variance agree with the naive two-pass
+    /// formulas for any finite input.
+    #[test]
+    fn tally_matches_naive(xs in proptest::collection::vec(-1e6f64..1e6, 2..200)) {
+        let mut t = Tally::new();
+        for &x in &xs {
+            t.record(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        prop_assert!((t.mean() - mean).abs() < 1e-6 * mean.abs().max(1.0));
+        prop_assert!((t.variance() - var).abs() < 1e-5 * var.abs().max(1.0));
+    }
+
+    /// Forked RNG streams with distinct labels do not produce identical
+    /// prefixes (independence smoke test), while identical labels do.
+    #[test]
+    fn rng_fork_label_separation(seed in any::<u64>()) {
+        let master = vmr_desim::RngStream::new(seed);
+        let mut a1 = master.fork("alpha");
+        let mut a2 = master.fork("alpha");
+        let mut b = master.fork("beta");
+        let xs1: Vec<u64> = (0..8).map(|_| a1.next_u64()).collect();
+        let xs2: Vec<u64> = (0..8).map(|_| a2.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        prop_assert_eq!(&xs1, &xs2);
+        prop_assert_ne!(&xs1, &ys);
+    }
+}

@@ -1,0 +1,120 @@
+//! The MapReduce application interface.
+//!
+//! The paper did not ship a "full-blown MapReduce API" (§III.C) — it
+//! hard-wired word count into the client. This crate *does* provide the
+//! API, so every executor (sequential oracle, threaded local runtime,
+//! simulated BOINC-MR, real TCP cluster) runs the same application code.
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// Key type bound: hashable (partitioning), ordered (deterministic
+/// reduce order), printable (text encoding).
+pub trait Key: Clone + Eq + Hash + Ord + Send + Sync + Debug + 'static {}
+impl<T: Clone + Eq + Hash + Ord + Send + Sync + Debug + 'static> Key for T {}
+
+/// Value type bound.
+pub trait Value: Clone + Send + Sync + Debug + 'static {}
+impl<T: Clone + Send + Sync + Debug + 'static> Value for T {}
+
+/// The record boundary an application's input respects: chunk cuts must
+/// not split a record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum InputFormat {
+    /// Whitespace-separated tokens (word count).
+    #[default]
+    Tokens,
+    /// Newline-terminated records (grep, log processing).
+    Lines,
+}
+
+/// A complete MapReduce application: map + reduce + wire codec, with an
+/// optional combiner.
+pub trait MapReduceApp: Send + Sync {
+    /// Intermediate/output key.
+    type K: Key;
+    /// Intermediate/output value.
+    type V: Value;
+
+    /// Application name (work unit labels, directories).
+    fn name(&self) -> &str;
+
+    /// How input chunks must be cut (token vs line boundaries).
+    fn input_format(&self) -> InputFormat {
+        InputFormat::Tokens
+    }
+
+    /// Processes one input chunk, emitting intermediate pairs.
+    fn map(&self, chunk: &[u8], emit: &mut dyn FnMut(Self::K, Self::V));
+
+    /// Folds all values of one key into the final value.
+    fn reduce(&self, key: &Self::K, values: &[Self::V]) -> Self::V;
+
+    /// Optional map-side combiner: pre-folds values of one key within a
+    /// single map task's output. Defaults to no combining.
+    fn combine(&self, _key: &Self::K, values: &[Self::V]) -> Vec<Self::V> {
+        values.to_vec()
+    }
+
+    /// Encodes one pair as a text line (the paper's format: `word 1`).
+    fn encode(&self, key: &Self::K, value: &Self::V, out: &mut String);
+
+    /// Parses a line produced by [`MapReduceApp::encode`].
+    fn decode(&self, line: &str) -> Option<(Self::K, Self::V)>;
+}
+
+/// Static description of a job: how the input splits and how many
+/// reducers partition the key space (`mr_jobtracker.xml` in the paper).
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobSpec {
+    /// Job name.
+    pub name: String,
+    /// Number of map tasks (== number of input chunks).
+    pub n_maps: usize,
+    /// Number of reduce tasks (key-space partitions).
+    pub n_reduces: usize,
+}
+
+impl JobSpec {
+    /// A job with the given geometry.
+    pub fn new(name: impl Into<String>, n_maps: usize, n_reduces: usize) -> Self {
+        let spec = JobSpec {
+            name: name.into(),
+            n_maps,
+            n_reduces,
+        };
+        assert!(spec.n_maps > 0, "need at least one map task");
+        assert!(spec.n_reduces > 0, "need at least one reduce task");
+        spec
+    }
+
+    /// Canonical name of the intermediate file holding map `m`'s output
+    /// for partition `p` — the unit of inter-client transfer.
+    pub fn partition_file(&self, m: usize, p: usize) -> String {
+        format!("{}_m{m}_p{p}", self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_spec_basics() {
+        let j = JobSpec::new("wc", 4, 2);
+        assert_eq!(j.partition_file(1, 0), "wc_m1_p0");
+        assert_eq!(j.n_maps, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one map")]
+    fn zero_maps_rejected() {
+        JobSpec::new("wc", 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one reduce")]
+    fn zero_reduces_rejected() {
+        JobSpec::new("wc", 1, 0);
+    }
+}

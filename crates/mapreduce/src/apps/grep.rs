@@ -1,0 +1,103 @@
+//! Distributed grep — the classic second MapReduce example (Dean &
+//! Ghemawat §2.3), and the shape of workload the paper's §V discusses
+//! for Bloom-filter-style reduces: map emits matching lines, reduce is
+//! (nearly) the identity.
+
+use crate::api::MapReduceApp;
+use crate::record::lines;
+
+/// Emits `(line, count)` for every line containing the pattern.
+#[derive(Clone, Debug)]
+pub struct DistGrep {
+    /// Substring to search for.
+    pub pattern: String,
+}
+
+impl DistGrep {
+    /// A grep for `pattern`.
+    pub fn new(pattern: impl Into<String>) -> Self {
+        DistGrep {
+            pattern: pattern.into(),
+        }
+    }
+}
+
+impl MapReduceApp for DistGrep {
+    type K = String;
+    type V = u64;
+
+    fn name(&self) -> &str {
+        "grep"
+    }
+
+    fn input_format(&self) -> crate::api::InputFormat {
+        crate::api::InputFormat::Lines
+    }
+
+    fn map(&self, chunk: &[u8], emit: &mut dyn FnMut(String, u64)) {
+        for line in lines(chunk) {
+            if let Ok(s) = std::str::from_utf8(line) {
+                if s.contains(&self.pattern) {
+                    emit(s.to_string(), 1);
+                }
+            }
+        }
+    }
+
+    fn reduce(&self, _key: &String, values: &[u64]) -> u64 {
+        // Duplicate matching lines collapse to an occurrence count.
+        values.iter().sum()
+    }
+
+    fn encode(&self, key: &String, value: &u64, out: &mut String) {
+        out.push_str(&value.to_string());
+        out.push('\t');
+        out.push_str(key);
+        out.push('\n');
+    }
+
+    fn decode(&self, line: &str) -> Option<(String, u64)> {
+        let (n, l) = line.split_once('\t')?;
+        Some((l.to_string(), n.parse().ok()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_matching_lines_only() {
+        let g = DistGrep::new("err");
+        let mut out = Vec::new();
+        g.map(b"ok line\nerr one\nfine\nanother err here\n", &mut |k, v| {
+            out.push((k, v))
+        });
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|(k, _)| k.contains("err")));
+    }
+
+    #[test]
+    fn duplicate_lines_counted() {
+        let g = DistGrep::new("x");
+        assert_eq!(g.reduce(&"x line".into(), &[1, 1, 1]), 3);
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let g = DistGrep::new("x");
+        let mut s = String::new();
+        g.encode(&"a line with x".into(), &2, &mut s);
+        let (k, v) = g.decode(s.trim_end()).unwrap();
+        assert_eq!(k, "a line with x");
+        assert_eq!(v, 2);
+    }
+
+    #[test]
+    fn empty_pattern_matches_everything() {
+        let g = DistGrep::new("");
+        let mut n = 0;
+        g.map(b"a\nb\nc\n", &mut |_, _| n += 1);
+        assert_eq!(n, 3);
+    }
+}

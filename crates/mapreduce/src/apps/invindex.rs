@@ -1,0 +1,118 @@
+//! Inverted index — term → sorted document-id list. The classic
+//! "web-scale" MapReduce workload (the paper's §II motivates deploying
+//! BOINC clients as distributed web crawlers; this is the indexing side
+//! of that pipeline).
+//!
+//! Input chunks are lines of the form `doc_id<TAB>text…`.
+
+use crate::api::MapReduceApp;
+use crate::record::lines;
+
+/// Builds `term → "doc1,doc2,…"` postings.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct InvertedIndex;
+
+impl MapReduceApp for InvertedIndex {
+    type K = String;
+    /// Comma-joined sorted unique doc ids (string form keeps the wire
+    /// codec line-oriented like the paper's).
+    type V = String;
+
+    fn name(&self) -> &str {
+        "invindex"
+    }
+
+    fn input_format(&self) -> crate::api::InputFormat {
+        crate::api::InputFormat::Lines
+    }
+
+    fn map(&self, chunk: &[u8], emit: &mut dyn FnMut(String, String)) {
+        for line in lines(chunk) {
+            let Ok(s) = std::str::from_utf8(line) else {
+                continue;
+            };
+            let Some((doc, text)) = s.split_once('\t') else {
+                continue;
+            };
+            for term in text.split_ascii_whitespace() {
+                emit(term.to_string(), doc.to_string());
+            }
+        }
+    }
+
+    fn reduce(&self, _key: &String, values: &[String]) -> String {
+        let mut docs: Vec<&str> = values
+            .iter()
+            .flat_map(|v| v.split(','))
+            .filter(|d| !d.is_empty())
+            .collect();
+        docs.sort_unstable();
+        docs.dedup();
+        docs.join(",")
+    }
+
+    fn combine(&self, key: &String, values: &[String]) -> Vec<String> {
+        vec![self.reduce(key, values)]
+    }
+
+    fn encode(&self, key: &String, value: &String, out: &mut String) {
+        out.push_str(key);
+        out.push('\t');
+        out.push_str(value);
+        out.push('\n');
+    }
+
+    fn decode(&self, line: &str) -> Option<(String, String)> {
+        let (t, d) = line.split_once('\t')?;
+        Some((t.to_string(), d.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_terms_to_docs() {
+        let ix = InvertedIndex;
+        let mut out = Vec::new();
+        ix.map(b"d1\tred fox\nd2\tred dog\n", &mut |k, v| out.push((k, v)));
+        assert!(out.contains(&("red".into(), "d1".into())));
+        assert!(out.contains(&("red".into(), "d2".into())));
+        assert!(out.contains(&("fox".into(), "d1".into())));
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn reduce_sorts_and_dedups() {
+        let ix = InvertedIndex;
+        let postings = ix.reduce(
+            &"red".into(),
+            &["d2".into(), "d1".into(), "d2".into()],
+        );
+        assert_eq!(postings, "d1,d2");
+    }
+
+    #[test]
+    fn combiner_collapses_partial_postings() {
+        let ix = InvertedIndex;
+        let combined = ix.combine(&"t".into(), &["d3,d1".into(), "d2".into()]);
+        assert_eq!(combined, vec!["d1,d2,d3".to_string()]);
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let ix = InvertedIndex;
+        let mut s = String::new();
+        ix.encode(&"term".into(), &"d1,d2".into(), &mut s);
+        assert_eq!(ix.decode(s.trim_end()), Some(("term".into(), "d1,d2".into())));
+    }
+
+    #[test]
+    fn malformed_lines_skipped() {
+        let ix = InvertedIndex;
+        let mut n = 0;
+        ix.map(b"no-tab-here\nd1\tok\n", &mut |_, _| n += 1);
+        assert_eq!(n, 1);
+    }
+}

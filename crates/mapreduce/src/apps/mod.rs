@@ -1,0 +1,17 @@
+//! Reference MapReduce applications.
+//!
+//! Word count is the paper's proof of concept; the others are the
+//! classic companion workloads (distributed grep, inverted index, URL
+//! visit aggregation) used by the extra examples and benches.
+
+pub mod grep;
+pub mod montecarlo;
+pub mod invindex;
+pub mod urlvisits;
+pub mod wordcount;
+
+pub use grep::DistGrep;
+pub use montecarlo::{pi_estimate, pi_input, MonteCarloPi};
+pub use invindex::InvertedIndex;
+pub use urlvisits::{synth_log, UrlVisits};
+pub use wordcount::WordCount;

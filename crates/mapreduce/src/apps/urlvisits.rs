@@ -1,0 +1,125 @@
+//! Per-URL visit aggregation — the "count of URL access frequency"
+//! workload from the original MapReduce paper, standing in for the
+//! data-intensive log-processing scenarios §II says volunteer clouds
+//! should take on.
+//!
+//! Input chunks are web-server log lines: `url<SPACE>bytes_sent`.
+//! The job sums bytes per URL (a weighted word count — exercises
+//! non-unit values through the whole pipeline).
+
+use crate::api::MapReduceApp;
+use crate::record::lines;
+
+/// Sums bytes transferred per URL.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct UrlVisits;
+
+impl MapReduceApp for UrlVisits {
+    type K = String;
+    type V = u64;
+
+    fn name(&self) -> &str {
+        "urlvisits"
+    }
+
+    fn input_format(&self) -> crate::api::InputFormat {
+        crate::api::InputFormat::Lines
+    }
+
+    fn map(&self, chunk: &[u8], emit: &mut dyn FnMut(String, u64)) {
+        for line in lines(chunk) {
+            let Ok(s) = std::str::from_utf8(line) else {
+                continue;
+            };
+            let Some((url, bytes)) = s.rsplit_once(' ') else {
+                continue;
+            };
+            if let Ok(b) = bytes.trim().parse::<u64>() {
+                emit(url.to_string(), b);
+            }
+        }
+    }
+
+    fn reduce(&self, _key: &String, values: &[u64]) -> u64 {
+        values.iter().sum()
+    }
+
+    fn combine(&self, _key: &String, values: &[u64]) -> Vec<u64> {
+        vec![values.iter().sum()]
+    }
+
+    fn encode(&self, key: &String, value: &u64, out: &mut String) {
+        out.push_str(key);
+        out.push(' ');
+        out.push_str(&value.to_string());
+        out.push('\n');
+    }
+
+    fn decode(&self, line: &str) -> Option<(String, u64)> {
+        let (url, n) = line.rsplit_once(' ')?;
+        Some((url.to_string(), n.trim().parse().ok()?))
+    }
+}
+
+/// Generates a deterministic synthetic access log of roughly `bytes`
+/// bytes over `n_urls` URLs (Zipf-ranked popularity).
+pub fn synth_log(bytes: usize, n_urls: usize, seed: u64) -> Vec<u8> {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(bytes + 64);
+    while out.len() < bytes {
+        // Zipf-ish rank via inverse power of a uniform draw.
+        let u: f64 = rng.random::<f64>().max(1e-12);
+        let rank = ((1.0 / u) as usize).min(n_urls - 1);
+        let sent = rng.random_range(200u64..50_000);
+        out.extend_from_slice(format!("/page/{rank} {sent}\n").as_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_bytes_per_url() {
+        let app = UrlVisits;
+        let mut out = Vec::new();
+        app.map(b"/a 100\n/b 50\n/a 25\n", &mut |k, v| out.push((k, v)));
+        assert_eq!(out.len(), 3);
+        assert_eq!(app.reduce(&"/a".into(), &[100, 25]), 125);
+    }
+
+    #[test]
+    fn skips_malformed_lines() {
+        let app = UrlVisits;
+        let mut n = 0;
+        app.map(b"garbage\n/a xyz\n/a 5\n", &mut |_, _| n += 1);
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let app = UrlVisits;
+        let mut s = String::new();
+        app.encode(&"/x/y".into(), &42, &mut s);
+        assert_eq!(app.decode(s.trim_end()), Some(("/x/y".into(), 42)));
+    }
+
+    #[test]
+    fn synth_log_parses_fully() {
+        let log = synth_log(10_000, 100, 3);
+        let app = UrlVisits;
+        let mut n = 0u64;
+        app.map(&log, &mut |_, _| n += 1);
+        let line_count = crate::record::lines(&log).count() as u64;
+        assert_eq!(n, line_count, "every synthetic line must parse");
+        assert!(n > 100);
+    }
+
+    #[test]
+    fn synth_log_deterministic() {
+        assert_eq!(synth_log(5_000, 50, 9), synth_log(5_000, 50, 9));
+    }
+}

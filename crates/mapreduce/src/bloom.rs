@@ -1,0 +1,328 @@
+//! Bloom filters, and set-membership MapReduce.
+//!
+//! §V (related work) highlights ParaMEDIC's trick: "using the reduce
+//! phase as a bloom filter enabled large scale. Results came back as 0
+//! or 1, and the successful searches would then be re-run locally. This
+//! turned out to be faster than transferring the full result back to
+//! the master." For a volunteer cloud this matters doubly: reduce
+//! outputs (and hence uploads through volunteers' thin uplinks) shrink
+//! from result sets to fixed-size bit arrays.
+
+use crate::hashes::fnv1a;
+
+/// A classic Bloom filter over byte-string items.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    n_bits: usize,
+    n_hashes: u32,
+    n_items: u64,
+}
+
+impl BloomFilter {
+    /// A filter with `n_bits` bits (rounded up to a multiple of 64) and
+    /// `n_hashes` probe positions per item.
+    pub fn new(n_bits: usize, n_hashes: u32) -> Self {
+        assert!(n_bits > 0 && n_hashes > 0);
+        let words = n_bits.div_ceil(64);
+        BloomFilter {
+            bits: vec![0; words],
+            n_bits: words * 64,
+            n_hashes,
+            n_items: 0,
+        }
+    }
+
+    /// Sizes a filter for `n_items` at a target false-positive rate
+    /// (standard optimum: m = −n·ln p ∕ ln²2, k = m/n·ln 2).
+    pub fn with_capacity(n_items: usize, fp_rate: f64) -> Self {
+        let n = n_items.max(1) as f64;
+        let p = fp_rate.clamp(1e-9, 0.5);
+        let m = (-n * p.ln() / (std::f64::consts::LN_2 * std::f64::consts::LN_2)).ceil();
+        let k = ((m / n) * std::f64::consts::LN_2).round().max(1.0);
+        BloomFilter::new(m as usize, k as u32)
+    }
+
+    /// Double hashing: position_i = h1 + i·h2 (Kirsch–Mitzenmacher).
+    fn positions(&self, item: &[u8]) -> impl Iterator<Item = usize> + '_ {
+        let h1 = fnv1a(item);
+        // Independent second hash: FNV over the reversed length-prefixed
+        // item (cheap and adequate for double hashing).
+        let mut pre = item.to_vec();
+        pre.push(0x9e);
+        pre.reverse();
+        let h2 = fnv1a(&pre) | 1; // odd → full period mod power of two
+        let n_bits = self.n_bits as u64;
+        (0..self.n_hashes as u64).map(move |i| (h1.wrapping_add(i.wrapping_mul(h2)) % n_bits) as usize)
+    }
+
+    /// Inserts an item.
+    pub fn insert(&mut self, item: &[u8]) {
+        let positions: Vec<usize> = self.positions(item).collect();
+        for p in positions {
+            self.bits[p / 64] |= 1u64 << (p % 64);
+        }
+        self.n_items += 1;
+    }
+
+    /// Membership test: false negatives never, false positives rarely.
+    pub fn contains(&self, item: &[u8]) -> bool {
+        self.positions(item)
+            .all(|p| self.bits[p / 64] & (1u64 << (p % 64)) != 0)
+    }
+
+    /// Unions another filter into this one (the reduce operation).
+    ///
+    /// # Panics
+    /// If geometries differ.
+    pub fn union(&mut self, other: &BloomFilter) {
+        assert_eq!(self.n_bits, other.n_bits, "filter geometry mismatch");
+        assert_eq!(self.n_hashes, other.n_hashes, "filter geometry mismatch");
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a |= b;
+        }
+        self.n_items += other.n_items;
+    }
+
+    /// Estimated false-positive rate at the current fill.
+    pub fn fp_estimate(&self) -> f64 {
+        let set = self.bits.iter().map(|w| w.count_ones() as f64).sum::<f64>();
+        let frac = set / self.n_bits as f64;
+        frac.powi(self.n_hashes as i32)
+    }
+
+    /// Items inserted (including unioned).
+    pub fn n_items(&self) -> u64 {
+        self.n_items
+    }
+
+    /// Size of the filter in bytes (the reduce-output size).
+    pub fn size_bytes(&self) -> usize {
+        self.bits.len() * 8
+    }
+
+    /// Hex encoding (wire form: `n_hashes:hex(bits)`).
+    pub fn encode(&self) -> String {
+        let mut s = format!("{}:", self.n_hashes);
+        for w in &self.bits {
+            s.push_str(&format!("{w:016x}"));
+        }
+        s
+    }
+
+    /// Parses [`BloomFilter::encode`] output.
+    pub fn decode(text: &str) -> Option<BloomFilter> {
+        let (k, hex) = text.split_once(':')?;
+        let n_hashes: u32 = k.parse().ok()?;
+        if hex.is_empty() || hex.len() % 16 != 0 || n_hashes == 0 {
+            return None;
+        }
+        let mut bits = Vec::with_capacity(hex.len() / 16);
+        for chunk in hex.as_bytes().chunks(16) {
+            let s = std::str::from_utf8(chunk).ok()?;
+            bits.push(u64::from_str_radix(s, 16).ok()?);
+        }
+        let n_bits = bits.len() * 64;
+        Some(BloomFilter {
+            bits,
+            n_bits,
+            n_hashes,
+            n_items: 0,
+        })
+    }
+}
+
+/// Set-membership MapReduce (the §V pattern): map scans its chunk for
+/// lines containing a pattern and inserts the *line's key* (first
+/// token) into a Bloom filter; reduce unions the filters. The driver
+/// then answers "does key X have a match?" from the tiny filter and
+/// re-runs only positives locally.
+#[derive(Clone, Debug)]
+pub struct BloomGrep {
+    /// Substring to search for.
+    pub pattern: String,
+    /// Filter bits per map task.
+    pub filter_bits: usize,
+    /// Probes per item.
+    pub n_hashes: u32,
+}
+
+impl BloomGrep {
+    /// A search for `pattern` with a 16 KiB / 4-hash filter.
+    pub fn new(pattern: impl Into<String>) -> Self {
+        BloomGrep {
+            pattern: pattern.into(),
+            filter_bits: 16 * 1024 * 8,
+            n_hashes: 4,
+        }
+    }
+}
+
+impl crate::api::MapReduceApp for BloomGrep {
+    type K = String;
+    /// The encoded filter.
+    type V = String;
+
+    fn name(&self) -> &str {
+        "bloomgrep"
+    }
+
+    fn input_format(&self) -> crate::api::InputFormat {
+        crate::api::InputFormat::Lines
+    }
+
+    fn map(&self, chunk: &[u8], emit: &mut dyn FnMut(String, String)) {
+        let mut filter = BloomFilter::new(self.filter_bits, self.n_hashes);
+        let mut any = false;
+        for line in crate::record::lines(chunk) {
+            let Ok(s) = std::str::from_utf8(line) else {
+                continue;
+            };
+            if s.contains(&self.pattern) {
+                let key = s.split_ascii_whitespace().next().unwrap_or(s);
+                filter.insert(key.as_bytes());
+                any = true;
+            }
+        }
+        if any {
+            emit("filter".to_string(), filter.encode());
+        }
+    }
+
+    fn reduce(&self, _key: &String, values: &[String]) -> String {
+        let mut acc = BloomFilter::new(self.filter_bits, self.n_hashes);
+        for v in values {
+            if let Some(f) = BloomFilter::decode(v) {
+                acc.union(&f);
+            }
+        }
+        acc.encode()
+    }
+
+    fn combine(&self, key: &String, values: &[String]) -> Vec<String> {
+        vec![self.reduce(key, values)]
+    }
+
+    fn encode(&self, key: &Self::K, value: &Self::V, out: &mut String) {
+        out.push_str(key);
+        out.push('\t');
+        out.push_str(value);
+        out.push('\n');
+    }
+
+    fn decode(&self, line: &str) -> Option<(String, String)> {
+        let (k, v) = line.split_once('\t')?;
+        Some((k.to_string(), v.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::MapReduceApp;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = BloomFilter::with_capacity(1000, 0.01);
+        let items: Vec<String> = (0..1000).map(|i| format!("item-{i}")).collect();
+        for it in &items {
+            f.insert(it.as_bytes());
+        }
+        for it in &items {
+            assert!(f.contains(it.as_bytes()), "false negative on {it}");
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_near_target() {
+        let mut f = BloomFilter::with_capacity(5000, 0.01);
+        for i in 0..5000 {
+            f.insert(format!("in-{i}").as_bytes());
+        }
+        let fps = (0..20_000)
+            .filter(|i| f.contains(format!("out-{i}").as_bytes()))
+            .count();
+        let rate = fps as f64 / 20_000.0;
+        assert!(rate < 0.03, "fp rate {rate} too high");
+        assert!(f.fp_estimate() < 0.03);
+    }
+
+    #[test]
+    fn union_is_bitwise_or() {
+        let mut a = BloomFilter::new(1024, 3);
+        let mut b = BloomFilter::new(1024, 3);
+        a.insert(b"x");
+        b.insert(b"y");
+        a.union(&b);
+        assert!(a.contains(b"x"));
+        assert!(a.contains(b"y"));
+        assert_eq!(a.n_items(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "geometry mismatch")]
+    fn union_rejects_mismatched_geometry() {
+        let mut a = BloomFilter::new(1024, 3);
+        let b = BloomFilter::new(2048, 3);
+        a.union(&b);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut f = BloomFilter::new(512, 5);
+        f.insert(b"alpha");
+        f.insert(b"beta");
+        let g = BloomFilter::decode(&f.encode()).unwrap();
+        assert_eq!(g.bits, f.bits);
+        assert_eq!(g.n_hashes, 5);
+        assert!(g.contains(b"alpha"));
+        assert!(BloomFilter::decode("garbage").is_none());
+        assert!(BloomFilter::decode("3:zz").is_none());
+    }
+
+    #[test]
+    fn bloomgrep_end_to_end_matches_grep_semantics() {
+        let app = BloomGrep::new("ERROR");
+        let data = b"req1 ok\nreq2 ERROR disk\nreq3 ok\nreq4 ERROR net\nreq5 ok\n";
+        let job = crate::api::JobSpec::new("bg", 2, 1);
+        let out = crate::local::run_local_parallel(&app, data, &job, 2);
+        let filter = BloomFilter::decode(&out["filter"]).unwrap();
+        // Matching keys are members; non-matching keys (almost surely) not.
+        assert!(filter.contains(b"req2"));
+        assert!(filter.contains(b"req4"));
+        assert!(!filter.contains(b"req1"));
+        assert!(!filter.contains(b"req3"));
+        // The §V payoff: the reduce output is a fixed-size filter, far
+        // smaller than a full result set would scale to.
+        assert_eq!(filter.size_bytes(), app.filter_bits / 8);
+    }
+
+    #[test]
+    fn empty_chunk_emits_nothing() {
+        let app = BloomGrep::new("x");
+        let mut n = 0;
+        app.map(b"a b\nc d\n", &mut |_, _| n += 1);
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn size_shrinks_vs_result_transfer() {
+        // 10k matching lines of ~40 bytes each would be ~400 KB of
+        // reduce output; the filter stays at its fixed size.
+        let app = BloomGrep::new("hit");
+        let mut data = String::new();
+        for i in 0..10_000 {
+            data.push_str(&format!("key{i} hit payload-{i}\n"));
+        }
+        let job = crate::api::JobSpec::new("bg", 4, 1);
+        let out = crate::local::run_local_parallel(&app, data.as_bytes(), &job, 2);
+        let encoded = &out["filter"];
+        // Hex-encoded 16 KiB filter ≈ 33 KB, vs ~400 KB of raw matches.
+        assert!(
+            encoded.len() < data.len() / 5,
+            "filter ({}) must be far smaller than the data ({})",
+            encoded.len(),
+            data.len()
+        );
+    }
+}

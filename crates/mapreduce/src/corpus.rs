@@ -1,0 +1,167 @@
+//! Synthetic text corpus generation.
+//!
+//! The paper's experiments use a 1 GB text file for word count. We
+//! cannot ship such a file, so we generate one deterministically: a
+//! Zipf-distributed stream over a synthetic vocabulary (natural-language
+//! word frequencies are famously Zipfian, which is what makes word count
+//! outputs small relative to inputs).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the synthetic corpus.
+#[derive(Clone, Debug)]
+pub struct CorpusSpec {
+    /// Vocabulary size (distinct words).
+    pub vocabulary: usize,
+    /// Zipf exponent (1.0 ≈ natural text).
+    pub exponent: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CorpusSpec {
+    fn default() -> Self {
+        CorpusSpec {
+            vocabulary: 50_000,
+            exponent: 1.0,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// A deterministic word stream with Zipfian frequencies.
+pub struct CorpusGen {
+    words: Vec<String>,
+    cumulative: Vec<f64>,
+    rng: SmallRng,
+}
+
+impl CorpusGen {
+    /// Builds the generator (materializes the vocabulary and CDF).
+    pub fn new(spec: &CorpusSpec) -> Self {
+        assert!(spec.vocabulary > 0);
+        let words = (0..spec.vocabulary).map(synth_word).collect();
+        let mut cumulative = Vec::with_capacity(spec.vocabulary);
+        let mut acc = 0.0;
+        for rank in 1..=spec.vocabulary {
+            acc += 1.0 / (rank as f64).powf(spec.exponent);
+            cumulative.push(acc);
+        }
+        let total = acc;
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        CorpusGen {
+            words,
+            cumulative,
+            rng: SmallRng::seed_from_u64(spec.seed),
+        }
+    }
+
+    /// Draws the next word.
+    pub fn next_word(&mut self) -> &str {
+        let u: f64 = self.rng.random();
+        let idx = self
+            .cumulative
+            .partition_point(|&c| c < u)
+            .min(self.words.len() - 1);
+        &self.words[idx]
+    }
+
+    /// Generates approximately `bytes` of space-separated text (stops at
+    /// the first word boundary past the target).
+    pub fn generate(&mut self, bytes: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(bytes + 16);
+        while out.len() < bytes {
+            let w = {
+                let s = self.next_word();
+                // Borrow dance: copy the bytes before touching `out`.
+                s.as_bytes().to_vec()
+            };
+            out.extend_from_slice(&w);
+            // Newlines every ~12 words keep lines bounded.
+            if out.len() % 97 < 8 {
+                out.push(b'\n');
+            } else {
+                out.push(b' ');
+            }
+        }
+        out
+    }
+}
+
+/// Deterministic pronounceable pseudo-word for vocabulary rank `i`.
+fn synth_word(i: usize) -> String {
+    const ONSETS: [&str; 16] = [
+        "b", "d", "f", "g", "k", "l", "m", "n", "p", "r", "s", "t", "v", "z", "ch", "st",
+    ];
+    const NUCLEI: [&str; 8] = ["a", "e", "i", "o", "u", "ai", "ou", "ea"];
+    let mut s = String::new();
+    let mut x = i + 1;
+    while x > 0 {
+        s.push_str(ONSETS[x % ONSETS.len()]);
+        s.push_str(NUCLEI[(x / ONSETS.len()) % NUCLEI.len()]);
+        x /= ONSETS.len() * NUCLEI.len();
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn vocabulary_words_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000 {
+            assert!(seen.insert(synth_word(i)), "duplicate word at rank {i}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = CorpusSpec::default();
+        let a = CorpusGen::new(&spec).generate(10_000);
+        let b = CorpusGen::new(&spec).generate(10_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn generated_size_close_to_target() {
+        let mut g = CorpusGen::new(&CorpusSpec::default());
+        let data = g.generate(100_000);
+        assert!(data.len() >= 100_000);
+        assert!(data.len() < 100_100, "overshoot bounded by one word");
+    }
+
+    #[test]
+    fn distribution_is_zipf_like() {
+        let mut g = CorpusGen::new(&CorpusSpec {
+            vocabulary: 1000,
+            exponent: 1.0,
+            seed: 7,
+        });
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for _ in 0..200_000 {
+            *counts.entry(g.next_word().to_string()).or_insert(0) += 1;
+        }
+        let mut freqs: Vec<usize> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        // Rank-1 word should appear roughly 2× rank-2 and 10× rank-10.
+        let r1 = freqs[0] as f64;
+        let r2 = freqs[1] as f64;
+        let r10 = freqs[9] as f64;
+        assert!((r1 / r2 - 2.0).abs() < 0.5, "r1/r2 = {}", r1 / r2);
+        assert!((r1 / r10 - 10.0).abs() < 3.0, "r1/r10 = {}", r1 / r10);
+    }
+
+    #[test]
+    fn corpus_tokens_roundtrip_with_record_reader() {
+        let mut g = CorpusGen::new(&CorpusSpec::default());
+        let data = g.generate(50_000);
+        let n_tokens = crate::record::tokens(&data).count();
+        assert!(n_tokens > 5_000, "got {n_tokens} tokens");
+    }
+}

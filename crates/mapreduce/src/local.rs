@@ -1,0 +1,270 @@
+//! Local executors.
+//!
+//! * [`run_sequential`] — the correctness oracle: single-threaded,
+//!   deterministic, no partitioning.
+//! * [`run_map_task`] / [`run_reduce_task`] — the task-level building
+//!   blocks every distributed runtime (simulated BOINC-MR, real TCP
+//!   cluster) composes.
+//! * [`run_local_parallel`] — a threaded executor (crossbeam scoped
+//!   threads) that runs the full partitioned pipeline in-process.
+
+use crate::api::{JobSpec, MapReduceApp};
+use crate::partition::HashPartitioner;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Splits `data` into `n` chunks at the record boundary the app needs.
+pub fn split_input<A: MapReduceApp>(
+    app: &A,
+    data: &[u8],
+    n: usize,
+) -> Vec<std::ops::Range<usize>> {
+    match app.input_format() {
+        crate::api::InputFormat::Tokens => crate::record::split_text(data, n),
+        crate::api::InputFormat::Lines => crate::record::split_lines(data, n),
+    }
+}
+
+/// Runs the whole job single-threaded without partitioning; the output
+/// is the ground truth other executors are checked against.
+pub fn run_sequential<A: MapReduceApp>(app: &A, chunks: &[&[u8]]) -> BTreeMap<A::K, A::V> {
+    let mut grouped: BTreeMap<A::K, Vec<A::V>> = BTreeMap::new();
+    for chunk in chunks {
+        app.map(chunk, &mut |k, v| grouped.entry(k).or_default().push(v));
+    }
+    grouped
+        .into_iter()
+        .map(|(k, vs)| {
+            let out = app.reduce(&k, &vs);
+            (k, out)
+        })
+        .collect()
+}
+
+/// Output of one map task: intermediate pairs bucketed by reduce
+/// partition, with the combiner already applied per key.
+pub struct MapOutput<A: MapReduceApp> {
+    /// `partitions[p]` holds the pairs reducer `p` will consume, sorted
+    /// by key for determinism.
+    pub partitions: Vec<Vec<(A::K, A::V)>>,
+}
+
+impl<A: MapReduceApp> MapOutput<A> {
+    /// Size in bytes of partition `p` under the app's text encoding —
+    /// what the simulator charges the network for.
+    pub fn partition_bytes(&self, app: &A, p: usize) -> u64 {
+        let mut s = String::new();
+        for (k, v) in &self.partitions[p] {
+            app.encode(k, v, &mut s);
+        }
+        s.len() as u64
+    }
+
+    /// Renders partition `p` in the app's line format (what actually
+    /// crosses the wire in the real runtime).
+    pub fn encode_partition(&self, app: &A, p: usize) -> String {
+        let mut s = String::new();
+        for (k, v) in &self.partitions[p] {
+            app.encode(k, v, &mut s);
+        }
+        s
+    }
+}
+
+/// Executes one map task over `chunk`, partitioning by `part`.
+pub fn run_map_task<A: MapReduceApp>(
+    app: &A,
+    chunk: &[u8],
+    part: &HashPartitioner,
+    key_bytes: impl Fn(&A::K) -> Vec<u8>,
+) -> MapOutput<A> {
+    // Group within the task so the combiner sees all local values.
+    let mut grouped: BTreeMap<A::K, Vec<A::V>> = BTreeMap::new();
+    app.map(chunk, &mut |k, v| grouped.entry(k).or_default().push(v));
+    let mut partitions: Vec<Vec<(A::K, A::V)>> = (0..part.n_reduces()).map(|_| Vec::new()).collect();
+    for (k, vs) in grouped {
+        let p = part.partition_bytes(&key_bytes(&k));
+        for v in app.combine(&k, &vs) {
+            partitions[p].push((k.clone(), v));
+        }
+    }
+    MapOutput { partitions }
+}
+
+/// Parses an encoded partition back into pairs (the receiving side of
+/// an inter-client transfer).
+pub fn decode_partition<A: MapReduceApp>(app: &A, text: &str) -> Vec<(A::K, A::V)> {
+    text.lines().filter_map(|l| app.decode(l)).collect()
+}
+
+/// Executes one reduce task over its partition slice from every map.
+pub fn run_reduce_task<A: MapReduceApp>(
+    app: &A,
+    inputs: Vec<Vec<(A::K, A::V)>>,
+) -> BTreeMap<A::K, A::V> {
+    let mut grouped: BTreeMap<A::K, Vec<A::V>> = BTreeMap::new();
+    for part in inputs {
+        for (k, v) in part {
+            grouped.entry(k).or_default().push(v);
+        }
+    }
+    grouped
+        .into_iter()
+        .map(|(k, vs)| {
+            let out = app.reduce(&k, &vs);
+            (k, out)
+        })
+        .collect()
+}
+
+/// Full partitioned pipeline on `n_threads` local threads. String keys
+/// only (the canonical wire form) — all bundled apps use string keys.
+pub fn run_local_parallel<A>(
+    app: &A,
+    data: &[u8],
+    job: &JobSpec,
+    n_threads: usize,
+) -> BTreeMap<A::K, A::V>
+where
+    A: MapReduceApp<K = String>,
+{
+    let part = HashPartitioner::new(job.n_reduces);
+    let ranges = split_input(app, data, job.n_maps);
+    let n_threads = n_threads.max(1);
+
+    // ----- map phase -----
+    let next_map = AtomicUsize::new(0);
+    let mut map_outputs: Vec<Option<MapOutput<A>>> = (0..job.n_maps).map(|_| None).collect();
+    {
+        let slots: Vec<parking_lot::Mutex<&mut Option<MapOutput<A>>>> =
+            map_outputs.iter_mut().map(parking_lot::Mutex::new).collect();
+        crossbeam::scope(|s| {
+            for _ in 0..n_threads {
+                s.spawn(|_| loop {
+                    let m = next_map.fetch_add(1, Ordering::Relaxed);
+                    if m >= job.n_maps {
+                        break;
+                    }
+                    let out = run_map_task(app, &data[ranges[m].clone()], &part, |k| {
+                        k.as_bytes().to_vec()
+                    });
+                    **slots[m].lock() = Some(out);
+                });
+            }
+        })
+        .expect("map worker panicked");
+    }
+    let map_outputs: Vec<MapOutput<A>> =
+        map_outputs.into_iter().map(|o| o.expect("map slot unfilled")).collect();
+
+    // ----- shuffle + reduce phase -----
+    let next_red = AtomicUsize::new(0);
+    let mut red_outputs: Vec<Option<BTreeMap<A::K, A::V>>> =
+        (0..job.n_reduces).map(|_| None).collect();
+    {
+        type RedSlot<'a, A> =
+            parking_lot::Mutex<&'a mut Option<BTreeMap<<A as MapReduceApp>::K, <A as MapReduceApp>::V>>>;
+        let slots: Vec<RedSlot<'_, A>> =
+            red_outputs.iter_mut().map(parking_lot::Mutex::new).collect();
+        crossbeam::scope(|s| {
+            for _ in 0..n_threads {
+                s.spawn(|_| loop {
+                    let p = next_red.fetch_add(1, Ordering::Relaxed);
+                    if p >= job.n_reduces {
+                        break;
+                    }
+                    let inputs: Vec<Vec<(A::K, A::V)>> = map_outputs
+                        .iter()
+                        .map(|mo| mo.partitions[p].clone())
+                        .collect();
+                    **slots[p].lock() = Some(run_reduce_task(app, inputs));
+                });
+            }
+        })
+        .expect("reduce worker panicked");
+    }
+
+    // ----- merge ("the final output … can be merged into a single
+    // file, if necessary") -----
+    let mut merged = BTreeMap::new();
+    for out in red_outputs.into_iter().flatten() {
+        merged.extend(out);
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::wordcount::WordCount;
+
+    const TEXT: &[u8] = b"the quick brown fox jumps over the lazy dog the end";
+
+    #[test]
+    fn sequential_counts_are_right() {
+        let out = run_sequential(&WordCount, &[TEXT]);
+        assert_eq!(out["the"], 3);
+        assert_eq!(out["fox"], 1);
+        assert_eq!(out.len(), 9);
+    }
+
+    #[test]
+    fn map_task_partitions_cover_all_pairs() {
+        let part = HashPartitioner::new(3);
+        let mo = run_map_task(&WordCount, TEXT, &part, |k| k.as_bytes().to_vec());
+        let total: usize = mo.partitions.iter().map(Vec::len).sum();
+        // Combiner collapses the three "the"s into one pair.
+        assert_eq!(total, 9);
+        // All copies of a key are in exactly one partition.
+        for p in &mo.partitions {
+            for (k, _) in p {
+                assert_eq!(
+                    part.partition_str(k),
+                    mo.partitions.iter().position(|q| std::ptr::eq(q, p)).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn task_pipeline_equals_oracle() {
+        let part = HashPartitioner::new(4);
+        let ranges = crate::record::split_text(TEXT, 3);
+        let maps: Vec<MapOutput<WordCount>> = ranges
+            .iter()
+            .map(|r| run_map_task(&WordCount, &TEXT[r.clone()], &part, |k| k.as_bytes().to_vec()))
+            .collect();
+        let mut combined = BTreeMap::new();
+        for p in 0..4 {
+            let inputs: Vec<_> = maps.iter().map(|m| m.partitions[p].clone()).collect();
+            combined.extend(run_reduce_task(&WordCount, inputs));
+        }
+        assert_eq!(combined, run_sequential(&WordCount, &[TEXT]));
+    }
+
+    #[test]
+    fn parallel_equals_oracle() {
+        let data = TEXT.repeat(200);
+        let job = JobSpec::new("wc", 8, 3);
+        let par = run_local_parallel(&WordCount, &data, &job, 4);
+        let seq = run_sequential(&WordCount, &[&data[..]]);
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn encode_decode_partition_roundtrip() {
+        let part = HashPartitioner::new(2);
+        let mo = run_map_task(&WordCount, TEXT, &part, |k| k.as_bytes().to_vec());
+        let text = mo.encode_partition(&WordCount, 0);
+        let decoded = decode_partition(&WordCount, &text);
+        assert_eq!(decoded, mo.partitions[0]);
+        assert_eq!(mo.partition_bytes(&WordCount, 0), text.len() as u64);
+    }
+
+    #[test]
+    fn single_thread_single_partition() {
+        let job = JobSpec::new("wc", 1, 1);
+        let out = run_local_parallel(&WordCount, TEXT, &job, 1);
+        assert_eq!(out, run_sequential(&WordCount, &[TEXT]));
+    }
+}

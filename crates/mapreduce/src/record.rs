@@ -1,0 +1,161 @@
+//! Input splitting.
+//!
+//! §IV.A: "We set a fixed size of 1GB for the initial input file to be
+//! split into chunks (number of chunks is the same as the number of
+//! maps)." A text file must be split on token boundaries or words would
+//! be cut in half at chunk edges; this module splits on whitespace near
+//! the equal-size offsets, exactly once per byte.
+
+/// Splits `data` into `n` chunks of near-equal size, moving each cut
+/// forward to the next whitespace byte so no token straddles two chunks.
+/// Returns exactly `n` ranges covering `data` (trailing chunks may be
+/// empty for tiny inputs).
+pub fn split_text(data: &[u8], n: usize) -> Vec<std::ops::Range<usize>> {
+    assert!(n > 0, "need at least one chunk");
+    let len = data.len();
+    let mut cuts = Vec::with_capacity(n + 1);
+    cuts.push(0usize);
+    for i in 1..n {
+        let target = len * i / n;
+        let mut cut = target.max(*cuts.last().unwrap());
+        // Advance to just past the next whitespace (or EOF).
+        while cut < len && !data[cut].is_ascii_whitespace() {
+            cut += 1;
+        }
+        while cut < len && data[cut].is_ascii_whitespace() {
+            cut += 1;
+        }
+        cuts.push(cut.min(len));
+    }
+    cuts.push(len);
+    cuts.windows(2).map(|w| w[0]..w[1]).collect()
+}
+
+/// Splits `data` into `n` chunks cutting only after `\n`, so no *line*
+/// straddles two chunks (needed by line-oriented apps: grep, logs).
+pub fn split_lines(data: &[u8], n: usize) -> Vec<std::ops::Range<usize>> {
+    assert!(n > 0, "need at least one chunk");
+    let len = data.len();
+    let mut cuts = Vec::with_capacity(n + 1);
+    cuts.push(0usize);
+    for i in 1..n {
+        let target = len * i / n;
+        let mut cut = target.max(*cuts.last().unwrap());
+        while cut < len && data[cut] != b'\n' {
+            cut += 1;
+        }
+        if cut < len {
+            cut += 1; // include the newline in the left chunk
+        }
+        cuts.push(cut.min(len));
+    }
+    cuts.push(len);
+    cuts.windows(2).map(|w| w[0]..w[1]).collect()
+}
+
+/// Iterates whitespace-separated tokens of a chunk.
+pub fn tokens(chunk: &[u8]) -> impl Iterator<Item = &[u8]> {
+    chunk
+        .split(|b| b.is_ascii_whitespace())
+        .filter(|t| !t.is_empty())
+}
+
+/// Iterates newline-separated non-empty lines of a chunk.
+pub fn lines(chunk: &[u8]) -> impl Iterator<Item = &[u8]> {
+    chunk.split(|&b| b == b'\n').filter(|l| !l.is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_covers_everything_without_overlap() {
+        let data = b"the quick brown fox jumps over the lazy dog ".repeat(100);
+        let ranges = split_text(&data, 7);
+        assert_eq!(ranges.len(), 7);
+        assert_eq!(ranges[0].start, 0);
+        assert_eq!(ranges.last().unwrap().end, data.len());
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "chunks must tile the input");
+        }
+    }
+
+    #[test]
+    fn no_token_straddles_chunks() {
+        let data = b"alpha beta gamma delta epsilon zeta eta theta ".repeat(50);
+        let ranges = split_text(&data, 5);
+        let whole: Vec<&[u8]> = tokens(&data).collect();
+        let mut pieces = Vec::new();
+        for r in &ranges {
+            pieces.extend(tokens(&data[r.clone()]));
+        }
+        assert_eq!(whole, pieces, "token streams must be identical");
+    }
+
+    #[test]
+    fn single_chunk_is_whole_input() {
+        let data = b"hello world";
+        let ranges = split_text(data, 1);
+        assert_eq!(ranges, vec![0..data.len()]);
+    }
+
+    #[test]
+    fn more_chunks_than_tokens() {
+        let data = b"a b";
+        let ranges = split_text(data, 10);
+        assert_eq!(ranges.len(), 10);
+        assert_eq!(ranges.last().unwrap().end, data.len());
+        let collected: Vec<&[u8]> = ranges
+            .iter()
+            .flat_map(|r| tokens(&data[r.clone()]))
+            .collect();
+        assert_eq!(collected, vec![b"a" as &[u8], b"b"]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let ranges = split_text(b"", 3);
+        assert_eq!(ranges.len(), 3);
+        assert!(ranges.iter().all(|r| r.is_empty()));
+    }
+
+    #[test]
+    fn split_lines_never_cuts_a_line() {
+        let data = b"alpha one\nbeta two\ngamma three\ndelta four\nepsilon five\n".repeat(20);
+        let ranges = split_lines(&data, 4);
+        assert_eq!(ranges.len(), 4);
+        assert_eq!(ranges.last().unwrap().end, data.len());
+        let whole: Vec<&[u8]> = lines(&data).collect();
+        let mut pieces = Vec::new();
+        for r in &ranges {
+            pieces.extend(lines(&data[r.clone()]));
+        }
+        assert_eq!(whole, pieces);
+        for r in &ranges {
+            if r.end < data.len() && !r.is_empty() {
+                assert_eq!(data[r.end - 1], b'\n', "chunk must end on a newline");
+            }
+        }
+    }
+
+    #[test]
+    fn split_lines_without_trailing_newline() {
+        let data = b"a 1\nb 2\nc 3";
+        let ranges = split_lines(data, 2);
+        let pieces: Vec<&[u8]> = ranges.iter().flat_map(|r| lines(&data[r.clone()])).collect();
+        assert_eq!(pieces, vec![b"a 1" as &[u8], b"b 2", b"c 3"]);
+    }
+
+    #[test]
+    fn tokens_skip_blank_runs() {
+        let toks: Vec<&[u8]> = tokens(b"  a\t\tb \n c  ").collect();
+        assert_eq!(toks, vec![b"a" as &[u8], b"b", b"c"]);
+    }
+
+    #[test]
+    fn lines_skip_empty() {
+        let ls: Vec<&[u8]> = lines(b"one\n\ntwo\nthree\n").collect();
+        assert_eq!(ls, vec![b"one" as &[u8], b"two", b"three"]);
+    }
+}

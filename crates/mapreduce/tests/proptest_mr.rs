@@ -1,0 +1,147 @@
+//! Property tests: the distributed pipeline must equal the sequential
+//! oracle for arbitrary inputs and job geometries, and the supporting
+//! primitives must hold their invariants.
+
+use proptest::prelude::*;
+use vmr_mapreduce::apps::{DistGrep, UrlVisits, WordCount};
+use vmr_mapreduce::{
+    run_local_parallel, run_map_task, run_reduce_task, run_sequential, HashPartitioner, JobSpec,
+    Sha256,
+};
+
+/// Arbitrary whitespace-y text.
+fn text_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec("[a-d]{1,6}", 0..300).prop_map(|words| words.join(" "))
+}
+
+proptest! {
+    /// Word count through the partitioned task pipeline equals the
+    /// oracle for any text and any geometry.
+    #[test]
+    fn wordcount_pipeline_equals_oracle(
+        text in text_strategy(),
+        n_maps in 1usize..8,
+        n_reduces in 1usize..6,
+        threads in 1usize..5,
+    ) {
+        let data = text.as_bytes().to_vec();
+        let job = JobSpec::new("wc", n_maps, n_reduces);
+        let par = run_local_parallel(&WordCount, &data, &job, threads);
+        let seq = run_sequential(&WordCount, &[&data[..]]);
+        prop_assert_eq!(par, seq);
+    }
+
+    /// Total count conservation: the sum of all word counts equals the
+    /// number of tokens, under any geometry.
+    #[test]
+    fn wordcount_conserves_tokens(
+        text in text_strategy(),
+        n_maps in 1usize..6,
+        n_reduces in 1usize..6,
+    ) {
+        let data = text.as_bytes().to_vec();
+        let job = JobSpec::new("wc", n_maps, n_reduces);
+        let out = run_local_parallel(&WordCount, &data, &job, 2);
+        let total: u64 = out.values().sum();
+        let tokens = vmr_mapreduce::record::tokens(&data).count() as u64;
+        prop_assert_eq!(total, tokens);
+    }
+
+    /// Every intermediate pair lands in exactly the partition its key
+    /// hashes to — the §III.C invariant that lets each reducer fetch
+    /// only its own slice from every mapper.
+    #[test]
+    fn partitioning_is_total_and_consistent(
+        text in text_strategy(),
+        n_reduces in 1usize..8,
+    ) {
+        let part = HashPartitioner::new(n_reduces);
+        let mo = run_map_task(&WordCount, text.as_bytes(), &part, |k| k.as_bytes().to_vec());
+        prop_assert_eq!(mo.partitions.len(), n_reduces);
+        for (p, pairs) in mo.partitions.iter().enumerate() {
+            for (k, _) in pairs {
+                prop_assert_eq!(part.partition_str(k), p);
+            }
+        }
+    }
+
+    /// Grep: reduce output counts equal raw match counts.
+    #[test]
+    fn grep_counts_match(
+        lines in proptest::collection::vec("[a-c x]{0,12}", 0..60),
+        pattern in "[a-c]",
+    ) {
+        let data = lines.join("\n").into_bytes();
+        let app = DistGrep::new(pattern.clone());
+        let part = HashPartitioner::new(3);
+        let mo = run_map_task(&app, &data, &part, |k| k.as_bytes().to_vec());
+        let inputs: Vec<_> = (0..3).map(|p| mo.partitions[p].clone()).collect();
+        let reduced = run_reduce_task(&app, inputs);
+        let expected: u64 = lines
+            .iter()
+            .filter(|l| !l.is_empty() && l.contains(&pattern))
+            .count() as u64;
+        let got: u64 = reduced.values().sum();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// UrlVisits conserves total bytes through the full pipeline.
+    #[test]
+    fn urlvisits_conserves_bytes(
+        entries in proptest::collection::vec(("[a-f]{1,5}", 1u64..10_000), 0..80),
+        n_maps in 1usize..5,
+        n_reduces in 1usize..5,
+    ) {
+        let data: String = entries
+            .iter()
+            .map(|(u, b)| format!("/{u} {b}\n"))
+            .collect();
+        let job = JobSpec::new("uv", n_maps, n_reduces);
+        let out = run_local_parallel(&UrlVisits, data.as_bytes(), &job, 2);
+        let expected: u64 = entries.iter().map(|(_, b)| b).sum();
+        let got: u64 = out.values().sum();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// SHA-256 streaming at any split equals one-shot.
+    #[test]
+    fn sha256_split_invariance(
+        data in proptest::collection::vec(any::<u8>(), 0..400),
+        split_frac in 0.0f64..1.0,
+    ) {
+        let split = ((data.len() as f64) * split_frac) as usize;
+        let mut a = Sha256::new();
+        a.update(&data);
+        let mut b = Sha256::new();
+        b.update(&data[..split]);
+        b.update(&data[split..]);
+        prop_assert_eq!(a.finalize(), b.finalize());
+    }
+
+    /// split_text tiles any input exactly.
+    #[test]
+    fn split_tiles_input(
+        data in proptest::collection::vec(any::<u8>(), 0..2_000),
+        n in 1usize..12,
+    ) {
+        let ranges = vmr_mapreduce::record::split_text(&data, n);
+        prop_assert_eq!(ranges.len(), n);
+        prop_assert_eq!(ranges[0].start, 0);
+        prop_assert_eq!(ranges.last().unwrap().end, data.len());
+        for w in ranges.windows(2) {
+            prop_assert_eq!(w[0].end, w[1].start);
+        }
+    }
+
+    /// Wire codec: encode → decode is the identity on map outputs.
+    #[test]
+    fn codec_roundtrip(text in text_strategy()) {
+        let part = HashPartitioner::new(2);
+        let mo = run_map_task(&WordCount, text.as_bytes(), &part, |k| k.as_bytes().to_vec());
+        for p in 0..2 {
+            let enc = mo.encode_partition(&WordCount, p);
+            let dec = vmr_mapreduce::decode_partition(&WordCount, &enc);
+            prop_assert_eq!(&dec, &mo.partitions[p]);
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! Max–min fair bandwidth allocation with two priority classes.
+//!
+//! Classic progressive filling: repeatedly find the most-constrained link
+//! (least fair share per unfrozen flow), freeze its flows at that share,
+//! subtract, repeat. Every active flow ends up with the largest rate it
+//! can get without reducing any poorer flow's rate — which is what a set
+//! of long-lived TCP flows over a shared access link approximates.
+//!
+//! The two-class variant models **TCP-Nice** (§III.C/D of the paper):
+//! background flows are allocated only the capacity left over after all
+//! foreground flows have been served, so volunteer-to-volunteer bulk
+//! transfers do not hurt interactive traffic.
+
+use crate::topology::{LinkRef, Topology};
+use std::collections::HashMap;
+
+/// Scheduling class of a flow.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Priority {
+    /// Normal traffic; shares links max–min fairly with its own class.
+    #[default]
+    Foreground,
+    /// TCP-Nice style scavenger traffic; uses leftover capacity only.
+    Background,
+}
+
+/// A flow the allocator should assign a rate to.
+#[derive(Clone, Debug)]
+pub struct FlowDemand<K> {
+    /// Caller's key for this flow.
+    pub key: K,
+    /// Directed link endpoints the flow traverses.
+    pub links: Vec<LinkRef>,
+    /// Scheduling class.
+    pub priority: Priority,
+    /// Optional application-level rate cap, bytes/second.
+    pub rate_cap: Option<f64>,
+}
+
+/// Computes max–min fair rates for `flows` over `topo`.
+///
+/// Returns one rate per input flow, in input order, bytes/second.
+/// Foreground flows are allocated first; background flows divide the
+/// remaining headroom max–min fairly among themselves.
+pub fn allocate<K: Clone>(topo: &Topology, flows: &[FlowDemand<K>]) -> Vec<f64> {
+    let mut rates = vec![0.0; flows.len()];
+    let mut remaining: HashMap<LinkRef, f64> = HashMap::new();
+    for f in flows {
+        for &l in &f.links {
+            remaining.entry(l).or_insert_with(|| topo.capacity(l));
+        }
+    }
+    let fg: Vec<usize> = indices_of(flows, Priority::Foreground);
+    let bg: Vec<usize> = indices_of(flows, Priority::Background);
+    fill_class(flows, &fg, &mut remaining, &mut rates);
+    fill_class(flows, &bg, &mut remaining, &mut rates);
+    rates
+}
+
+fn indices_of<K>(flows: &[FlowDemand<K>], p: Priority) -> Vec<usize> {
+    flows
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.priority == p)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Progressive filling for one priority class over the capacities left
+/// in `remaining`. Mutates `remaining` so a later class sees leftovers.
+fn fill_class<K>(
+    flows: &[FlowDemand<K>],
+    class: &[usize],
+    remaining: &mut HashMap<LinkRef, f64>,
+    rates: &mut [f64],
+) {
+    let mut unfrozen: Vec<usize> = class
+        .iter()
+        .copied()
+        .filter(|&i| !flows[i].links.is_empty())
+        .collect();
+    // Flows traversing no links (loopback) are only bounded by their cap.
+    for &i in class {
+        if flows[i].links.is_empty() {
+            rates[i] = flows[i].rate_cap.unwrap_or(f64::INFINITY);
+        }
+    }
+
+    while !unfrozen.is_empty() {
+        // Count unfrozen flows per link and find the bottleneck share.
+        let mut counts: HashMap<LinkRef, u32> = HashMap::new();
+        for &i in &unfrozen {
+            for &l in &flows[i].links {
+                *counts.entry(l).or_insert(0) += 1;
+            }
+        }
+        let mut bottleneck_share = f64::INFINITY;
+        for (&l, &n) in &counts {
+            let cap = remaining.get(&l).copied().unwrap_or(0.0).max(0.0);
+            let share = cap / n as f64;
+            if share < bottleneck_share {
+                bottleneck_share = share;
+            }
+        }
+        // Rate-capped flows below the bottleneck share freeze at their cap.
+        let capped: Vec<usize> = unfrozen
+            .iter()
+            .copied()
+            .filter(|&i| flows[i].rate_cap.is_some_and(|c| c < bottleneck_share))
+            .collect();
+        let (freeze_set, share): (Vec<usize>, Option<f64>) = if !capped.is_empty() {
+            (capped, None)
+        } else {
+            // Freeze every flow on a bottleneck link.
+            let set: Vec<usize> = unfrozen
+                .iter()
+                .copied()
+                .filter(|&i| {
+                    flows[i].links.iter().any(|l| {
+                        let cap = remaining.get(l).copied().unwrap_or(0.0).max(0.0);
+                        let n = counts[l] as f64;
+                        (cap / n - bottleneck_share).abs() <= 1e-9 * bottleneck_share.max(1.0)
+                    })
+                })
+                .collect();
+            (set, Some(bottleneck_share))
+        };
+        debug_assert!(!freeze_set.is_empty(), "progressive filling stalled");
+        for &i in &freeze_set {
+            let r = match share {
+                Some(s) => s.min(flows[i].rate_cap.unwrap_or(f64::INFINITY)),
+                None => flows[i].rate_cap.expect("capped freeze without cap"),
+            };
+            rates[i] = r;
+            for &l in &flows[i].links {
+                if let Some(c) = remaining.get_mut(&l) {
+                    *c = (*c - r).max(0.0);
+                }
+            }
+        }
+        unfrozen.retain(|i| !freeze_set.contains(i));
+        if share == Some(0.0) {
+            // No capacity left for this class: everyone remaining gets 0.
+            for &i in &unfrozen {
+                rates[i] = 0.0;
+            }
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{Direction, HostId, HostLink};
+
+    fn topo(n: usize, mbit: f64) -> Topology {
+        let mut t = Topology::new();
+        for _ in 0..n {
+            t.add_host(HostLink::symmetric_mbit(mbit, 0.001));
+        }
+        t
+    }
+
+    fn demand(src: u32, dst: u32, prio: Priority) -> FlowDemand<u32> {
+        FlowDemand {
+            key: src * 1000 + dst,
+            links: vec![
+                LinkRef { host: HostId(src), dir: Direction::Up },
+                LinkRef { host: HostId(dst), dir: Direction::Down },
+            ],
+            priority: prio,
+            rate_cap: None,
+        }
+    }
+
+    const MBIT100: f64 = 100.0 * 1e6 / 8.0;
+
+    #[test]
+    fn single_flow_gets_full_link() {
+        let t = topo(2, 100.0);
+        let rates = allocate(&t, &[demand(0, 1, Priority::Foreground)]);
+        assert!((rates[0] - MBIT100).abs() < 1.0);
+    }
+
+    #[test]
+    fn shared_uplink_splits_fairly() {
+        // Two flows out of host 0 to different destinations: both are
+        // bottlenecked on h0's uplink → 50/50.
+        let t = topo(3, 100.0);
+        let rates = allocate(
+            &t,
+            &[demand(0, 1, Priority::Foreground), demand(0, 2, Priority::Foreground)],
+        );
+        assert!((rates[0] - MBIT100 / 2.0).abs() < 1.0);
+        assert!((rates[1] - MBIT100 / 2.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn max_min_not_just_equal_split() {
+        // h0 uplink carries flows to h1 and h2; h1's downlink also carries
+        // a flow from h3. All links 100 Mbit.
+        //   f0: 0→1, f1: 0→2, f2: 3→1.
+        // h1.down has two flows → share 50; h0.up has two flows → share 50.
+        // Everyone converges at 50 here. Now shrink h3's uplink to 20 Mbit:
+        // f2 freezes at 20; f0 gets min(h0.up share, h1.down leftover 80) =
+        // 50 from h0.up; f1 gets 50.
+        let mut t = topo(3, 100.0);
+        let h3 = t.add_host(HostLink::symmetric_mbit(20.0, 0.001));
+        assert_eq!(h3, HostId(3));
+        let rates = allocate(
+            &t,
+            &[
+                demand(0, 1, Priority::Foreground),
+                demand(0, 2, Priority::Foreground),
+                demand(3, 1, Priority::Foreground),
+            ],
+        );
+        let mbit = |x: f64| x * 8.0 / 1e6;
+        assert!((mbit(rates[2]) - 20.0).abs() < 0.01, "f2={}", mbit(rates[2]));
+        assert!((mbit(rates[0]) - 50.0).abs() < 0.01, "f0={}", mbit(rates[0]));
+        assert!((mbit(rates[1]) - 50.0).abs() < 0.01, "f1={}", mbit(rates[1]));
+    }
+
+    #[test]
+    fn background_yields_to_foreground() {
+        let t = topo(2, 100.0);
+        let rates = allocate(
+            &t,
+            &[demand(0, 1, Priority::Foreground), demand(0, 1, Priority::Background)],
+        );
+        assert!((rates[0] - MBIT100).abs() < 1.0, "fg gets the whole link");
+        assert!(rates[1] < 1.0, "bg starved while fg active, got {}", rates[1]);
+    }
+
+    #[test]
+    fn background_uses_leftover() {
+        let t = topo(3, 100.0);
+        // fg: 0→1 capped at 40 Mbit; bg: 0→2 should get the remaining 60.
+        let mut fg = demand(0, 1, Priority::Foreground);
+        fg.rate_cap = Some(40.0 * 1e6 / 8.0);
+        let bg = demand(0, 2, Priority::Background);
+        let rates = allocate(&t, &[fg, bg]);
+        assert!((rates[0] * 8.0 / 1e6 - 40.0).abs() < 0.01);
+        assert!((rates[1] * 8.0 / 1e6 - 60.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn rate_cap_respected() {
+        let t = topo(2, 100.0);
+        let mut f = demand(0, 1, Priority::Foreground);
+        f.rate_cap = Some(1000.0);
+        let rates = allocate(&t, &[f]);
+        assert_eq!(rates[0], 1000.0);
+    }
+
+    #[test]
+    fn relay_path_constrained_by_middle_hop() {
+        // 0 → relay(2) → 1 where the relay has a 10 Mbit link.
+        let mut t = topo(2, 100.0);
+        let relay = t.add_host(HostLink::symmetric_mbit(10.0, 0.001));
+        let f = FlowDemand {
+            key: 0u32,
+            links: vec![
+                LinkRef { host: HostId(0), dir: Direction::Up },
+                LinkRef { host: relay, dir: Direction::Down },
+                LinkRef { host: relay, dir: Direction::Up },
+                LinkRef { host: HostId(1), dir: Direction::Down },
+            ],
+            priority: Priority::Foreground,
+            rate_cap: None,
+        };
+        let rates = allocate(&t, &[f]);
+        assert!((rates[0] * 8.0 / 1e6 - 10.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn loopback_flow_unbounded_unless_capped() {
+        let t = topo(1, 100.0);
+        let f: FlowDemand<u32> = FlowDemand {
+            key: 0,
+            links: vec![],
+            priority: Priority::Foreground,
+            rate_cap: Some(5.0),
+        };
+        assert_eq!(allocate(&t, &[f])[0], 5.0);
+        let f2: FlowDemand<u32> = FlowDemand {
+            key: 0,
+            links: vec![],
+            priority: Priority::Foreground,
+            rate_cap: None,
+        };
+        assert!(allocate(&t, &[f2])[0].is_infinite());
+    }
+
+    #[test]
+    fn many_flows_conservation() {
+        // 8 clients all downloading from host 0: h0.up is the bottleneck;
+        // the sum of rates must equal its capacity.
+        let t = topo(9, 100.0);
+        let flows: Vec<_> = (1..9).map(|d| demand(0, d, Priority::Foreground)).collect();
+        let rates = allocate(&t, &flows);
+        let sum: f64 = rates.iter().sum();
+        assert!((sum - MBIT100).abs() < 1.0, "sum {sum}");
+        for r in &rates {
+            assert!((r - MBIT100 / 8.0).abs() < 1.0);
+        }
+    }
+}

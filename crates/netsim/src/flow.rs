@@ -1,0 +1,437 @@
+//! Event-driven flow manager.
+//!
+//! `Network` tracks the set of in-flight transfers, advances their
+//! progress under the current max–min fair rate allocation, and predicts
+//! the next completion instant. The owning world keeps exactly one
+//! "network wake-up" event scheduled at [`Network::next_event_time`]; on
+//! every mutation (flow added / finished) it re-arms that event.
+//!
+//! A flow's life: `[created] --setup latency--> [transferring] --> [done]`.
+
+use crate::bandwidth::{allocate, FlowDemand, Priority};
+use crate::topology::{Direction, HostId, LinkRef, Topology};
+use std::collections::HashMap;
+use vmr_desim::{SimDuration, SimTime, Tally};
+
+/// Identifies a transfer within a [`Network`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FlowId(pub u64);
+
+/// Parameters of a new transfer.
+#[derive(Clone, Debug)]
+pub struct FlowSpec {
+    /// Sending host.
+    pub src: HostId,
+    /// Receiving host.
+    pub dst: HostId,
+    /// Relay hops the data traverses between src and dst (usually empty;
+    /// one hop for TURN-style relaying through the server or a peer).
+    pub via: Vec<HostId>,
+    /// Payload size in bytes.
+    pub bytes: u64,
+    /// Extra setup delay before data flows (connection establishment,
+    /// NAT traversal, HTTP request round-trip…), seconds.
+    pub setup_s: f64,
+    /// Scheduling class (TCP-Nice background or normal foreground).
+    pub priority: Priority,
+    /// Optional application rate cap, bytes/second.
+    pub rate_cap: Option<f64>,
+}
+
+impl FlowSpec {
+    /// A plain foreground transfer with no relay and no extra setup.
+    pub fn simple(src: HostId, dst: HostId, bytes: u64) -> Self {
+        FlowSpec {
+            src,
+            dst,
+            via: Vec::new(),
+            bytes,
+            setup_s: 0.0,
+            priority: Priority::Foreground,
+            rate_cap: None,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct ActiveFlow {
+    spec: FlowSpec,
+    links: Vec<LinkRef>,
+    bytes_left: f64,
+    starts_at: SimTime,
+    created_at: SimTime,
+    rate: f64,
+}
+
+/// A finished transfer, reported by [`Network::advance`].
+#[derive(Clone, Debug)]
+pub struct Completion {
+    /// Which flow finished.
+    pub id: FlowId,
+    /// When it finished.
+    pub at: SimTime,
+    /// Original spec (src/dst/bytes…).
+    pub spec: FlowSpec,
+    /// Total transfer latency including setup.
+    pub duration: SimDuration,
+}
+
+/// The shared-network state of one simulation.
+pub struct Network {
+    topo: Topology,
+    flows: HashMap<FlowId, ActiveFlow>,
+    next_id: u64,
+    last_advance: SimTime,
+    /// Completed-transfer duration statistics, by priority class.
+    pub fg_durations: Tally,
+    /// Completed-transfer duration statistics for background flows.
+    pub bg_durations: Tally,
+    bytes_delivered: f64,
+}
+
+impl Network {
+    /// Wraps a topology.
+    pub fn new(topo: Topology) -> Self {
+        Network {
+            topo,
+            flows: HashMap::new(),
+            next_id: 0,
+            last_advance: SimTime::ZERO,
+            fg_durations: Tally::new(),
+            bg_durations: Tally::new(),
+            bytes_delivered: 0.0,
+        }
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Number of in-flight flows.
+    pub fn active_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Total payload bytes delivered so far.
+    pub fn bytes_delivered(&self) -> f64 {
+        self.bytes_delivered
+    }
+
+    /// Current rate of a flow, bytes/second (0 during setup).
+    pub fn flow_rate(&self, id: FlowId) -> Option<f64> {
+        self.flows.get(&id).map(|f| f.rate)
+    }
+
+    /// Starts a transfer at `now`. Returns its id; completions are later
+    /// reported by [`Network::advance`].
+    pub fn start_flow(&mut self, now: SimTime, spec: FlowSpec) -> FlowId {
+        self.settle(now);
+        let id = FlowId(self.next_id);
+        self.next_id += 1;
+        let mut links = Vec::with_capacity(2 + 2 * spec.via.len());
+        if spec.src != spec.dst || !spec.via.is_empty() {
+            links.push(LinkRef { host: spec.src, dir: Direction::Up });
+            for &hop in &spec.via {
+                links.push(LinkRef { host: hop, dir: Direction::Down });
+                links.push(LinkRef { host: hop, dir: Direction::Up });
+            }
+            links.push(LinkRef { host: spec.dst, dir: Direction::Down });
+        }
+        let setup = SimDuration::from_secs_f64(
+            spec.setup_s + self.topo.latency(spec.src, spec.dst),
+        );
+        let flow = ActiveFlow {
+            links,
+            bytes_left: spec.bytes as f64,
+            starts_at: now + setup,
+            created_at: now,
+            rate: 0.0,
+            spec,
+        };
+        self.flows.insert(id, flow);
+        self.reallocate(now);
+        id
+    }
+
+    /// Aborts a flow (e.g. peer failure injection). Returns `true` if it
+    /// was still active.
+    pub fn abort_flow(&mut self, now: SimTime, id: FlowId) -> bool {
+        self.settle(now);
+        let existed = self.flows.remove(&id).is_some();
+        if existed {
+            self.reallocate(now);
+        }
+        existed
+    }
+
+    /// Advances the network to `now` and returns every flow that has
+    /// completed by then (possibly several).
+    pub fn advance(&mut self, now: SimTime) -> Vec<Completion> {
+        let mut done = Vec::new();
+        // Completing one flow frees capacity and speeds up the others, so
+        // settle repeatedly until no flow completes before `now`.
+        loop {
+            let next = self.earliest_completion();
+            match next {
+                Some((t, id)) if t <= now => {
+                    self.settle(t);
+                    let f = self.flows.remove(&id).expect("completing unknown flow");
+                    debug_assert!(f.bytes_left <= 1e-6);
+                    let duration = t.saturating_since(f.created_at);
+                    match f.spec.priority {
+                        Priority::Foreground => self.fg_durations.record_duration(duration),
+                        Priority::Background => self.bg_durations.record_duration(duration),
+                    }
+                    self.bytes_delivered += f.spec.bytes as f64;
+                    self.reallocate(t);
+                    done.push(Completion { id, at: t, spec: f.spec, duration });
+                }
+                _ => break,
+            }
+        }
+        self.settle(now);
+        done
+    }
+
+    /// The next instant at which the network's state changes by itself
+    /// (a flow finishing its setup phase or completing). The world should
+    /// keep a wake-up event scheduled at this time.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        let completion = self.earliest_completion().map(|(t, _)| t);
+        let setup_end = self
+            .flows
+            .values()
+            .filter(|f| f.starts_at > self.last_advance)
+            .map(|f| f.starts_at)
+            .min();
+        match (completion, setup_end) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Projected completion instant of a specific flow under current
+    /// rates (changes whenever other flows arrive or depart).
+    pub fn projected_completion(&self, id: FlowId) -> Option<SimTime> {
+        let f = self.flows.get(&id)?;
+        Some(Self::flow_completion_time(f, self.last_advance))
+    }
+
+    fn earliest_completion(&self) -> Option<(SimTime, FlowId)> {
+        self.flows
+            .iter()
+            .map(|(&id, f)| (Self::flow_completion_time(f, self.last_advance), id))
+            .min_by_key(|&(t, id)| (t, id))
+    }
+
+    fn flow_completion_time(f: &ActiveFlow, now: SimTime) -> SimTime {
+        let start = f.starts_at.max(now);
+        if f.bytes_left <= 1e-9 {
+            return start;
+        }
+        if f.rate <= 1e-12 {
+            return SimTime::MAX;
+        }
+        // Round *up* to the next microsecond so that by the completion
+        // instant the flow has provably moved all its bytes (a nearest-
+        // rounding here could fire half a microsecond early and leave a
+        // handful of bytes unsent).
+        let us = (f.bytes_left / f.rate * 1e6).ceil();
+        let us = if us >= u64::MAX as f64 { u64::MAX } else { us as u64 };
+        start + SimDuration::from_micros(us)
+    }
+
+    /// Integrates progress from `last_advance` to `t` under the current
+    /// rates. Does not complete flows — `advance` does that.
+    fn settle(&mut self, t: SimTime) {
+        if t <= self.last_advance {
+            return;
+        }
+        for f in self.flows.values_mut() {
+            let active_from = f.starts_at.max(self.last_advance);
+            if t > active_from && f.rate > 0.0 {
+                let dt = t.saturating_since(active_from).as_secs_f64();
+                f.bytes_left = (f.bytes_left - f.rate * dt).max(0.0);
+            }
+        }
+        self.last_advance = t;
+        // Flows may have just left setup: their rates were 0; recompute.
+        self.reallocate(t);
+    }
+
+    /// Recomputes max–min fair rates for all flows past their setup phase.
+    fn reallocate(&mut self, now: SimTime) {
+        let mut keys: Vec<FlowId> = self.flows.keys().copied().collect();
+        keys.sort_unstable(); // deterministic allocation order
+        let demands: Vec<FlowDemand<FlowId>> = keys
+            .iter()
+            .filter(|id| {
+                let f = &self.flows[id];
+                f.starts_at <= now && f.bytes_left > 0.0
+            })
+            .map(|&id| {
+                let f = &self.flows[&id];
+                FlowDemand {
+                    key: id,
+                    links: f.links.clone(),
+                    priority: f.spec.priority,
+                    rate_cap: f.spec.rate_cap,
+                }
+            })
+            .collect();
+        let rates = allocate(&self.topo, &demands);
+        for f in self.flows.values_mut() {
+            f.rate = 0.0;
+        }
+        for (d, r) in demands.iter().zip(rates) {
+            self.flows.get_mut(&d.key).expect("demand for missing flow").rate = r;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::HostLink;
+
+    fn net(n: usize) -> Network {
+        let mut t = Topology::new();
+        for _ in 0..n {
+            t.add_host(HostLink::symmetric_mbit(100.0, 0.0));
+        }
+        Network::new(t)
+    }
+
+    fn drive_to_completion(net: &mut Network) -> Vec<Completion> {
+        let mut out = Vec::new();
+        while let Some(t) = net.next_event_time() {
+            assert!(t < SimTime::MAX, "stalled flow");
+            out.extend(net.advance(t));
+        }
+        out
+    }
+
+    #[test]
+    fn single_transfer_takes_size_over_rate() {
+        let mut n = net(2);
+        // 12.5 MB over 12.5 MB/s = 1 s.
+        n.start_flow(SimTime::ZERO, FlowSpec::simple(HostId(0), HostId(1), 12_500_000));
+        let done = drive_to_completion(&mut n);
+        assert_eq!(done.len(), 1);
+        assert!((done[0].at.as_secs_f64() - 1.0).abs() < 1e-3, "{:?}", done[0].at);
+    }
+
+    #[test]
+    fn two_transfers_share_then_speed_up() {
+        let mut n = net(3);
+        // Both flows leave host 0 (shared uplink). Equal sizes: both
+        // finish at 2 s (each gets half rate for the whole time).
+        n.start_flow(SimTime::ZERO, FlowSpec::simple(HostId(0), HostId(1), 12_500_000));
+        n.start_flow(SimTime::ZERO, FlowSpec::simple(HostId(0), HostId(2), 12_500_000));
+        let done = drive_to_completion(&mut n);
+        assert_eq!(done.len(), 2);
+        for c in &done {
+            assert!((c.at.as_secs_f64() - 2.0).abs() < 1e-3, "{:?}", c.at);
+        }
+    }
+
+    #[test]
+    fn short_flow_departure_speeds_up_long_flow() {
+        let mut n = net(3);
+        // Long: 25 MB; short: 6.25 MB, both on h0 uplink.
+        // Phase 1: both at 6.25 MB/s until short finishes at t=1 (6.25MB).
+        // Long then has 25-6.25=18.75 MB left at 12.5 MB/s → +1.5 s → t=2.5.
+        n.start_flow(SimTime::ZERO, FlowSpec::simple(HostId(0), HostId(1), 25_000_000));
+        n.start_flow(SimTime::ZERO, FlowSpec::simple(HostId(0), HostId(2), 6_250_000));
+        let done = drive_to_completion(&mut n);
+        assert_eq!(done.len(), 2);
+        assert!((done[0].at.as_secs_f64() - 1.0).abs() < 1e-3);
+        assert!((done[1].at.as_secs_f64() - 2.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn setup_latency_delays_start() {
+        let mut n = net(2);
+        let mut spec = FlowSpec::simple(HostId(0), HostId(1), 12_500_000);
+        spec.setup_s = 3.0;
+        n.start_flow(SimTime::ZERO, spec);
+        let done = drive_to_completion(&mut n);
+        assert!((done[0].at.as_secs_f64() - 4.0).abs() < 1e-3, "{:?}", done[0].at);
+    }
+
+    #[test]
+    fn abort_flow_frees_capacity() {
+        let mut n = net(3);
+        let a = n.start_flow(SimTime::ZERO, FlowSpec::simple(HostId(0), HostId(1), 12_500_000));
+        n.start_flow(SimTime::ZERO, FlowSpec::simple(HostId(0), HostId(2), 12_500_000));
+        // Abort A at t=0.5: B has transferred 3.125MB, then full rate.
+        let t_half = SimTime::from_millis(500);
+        assert!(n.abort_flow(t_half, a));
+        assert!(!n.abort_flow(t_half, a));
+        let done = drive_to_completion(&mut n);
+        assert_eq!(done.len(), 1);
+        // B: 3.125 MB by 0.5s, 9.375 MB remaining at 12.5 MB/s = 0.75 s → 1.25 s.
+        assert!((done[0].at.as_secs_f64() - 1.25).abs() < 1e-3, "{:?}", done[0].at);
+    }
+
+    #[test]
+    fn relay_flow_consumes_relay_bandwidth() {
+        let mut t = Topology::new();
+        let a = t.add_host(HostLink::symmetric_mbit(100.0, 0.0));
+        let b = t.add_host(HostLink::symmetric_mbit(100.0, 0.0));
+        let relay = t.add_host(HostLink::symmetric_mbit(10.0, 0.0));
+        let mut n = Network::new(t);
+        let mut spec = FlowSpec::simple(a, b, 1_250_000); // 1.25 MB
+        spec.via = vec![relay];
+        n.start_flow(SimTime::ZERO, spec);
+        let done = drive_to_completion(&mut n);
+        // 1.25 MB at 1.25 MB/s (10 Mbit relay) = 1 s.
+        assert!((done[0].at.as_secs_f64() - 1.0).abs() < 1e-3, "{:?}", done[0].at);
+    }
+
+    #[test]
+    fn background_flow_waits_for_foreground() {
+        let mut n = net(3);
+        let mut bg = FlowSpec::simple(HostId(0), HostId(2), 12_500_000);
+        bg.priority = Priority::Background;
+        n.start_flow(SimTime::ZERO, bg);
+        n.start_flow(SimTime::ZERO, FlowSpec::simple(HostId(0), HostId(1), 12_500_000));
+        let done = drive_to_completion(&mut n);
+        assert_eq!(done.len(), 2);
+        // fg takes the link for 1 s; bg then runs 1 s more.
+        assert!((done[0].at.as_secs_f64() - 1.0).abs() < 1e-3);
+        assert!((done[1].at.as_secs_f64() - 2.0).abs() < 1e-3);
+        assert_eq!(n.fg_durations.count(), 1);
+        assert_eq!(n.bg_durations.count(), 1);
+    }
+
+    #[test]
+    fn bytes_delivered_accumulates() {
+        let mut n = net(2);
+        n.start_flow(SimTime::ZERO, FlowSpec::simple(HostId(0), HostId(1), 1000));
+        drive_to_completion(&mut n);
+        assert_eq!(n.bytes_delivered(), 1000.0);
+    }
+
+    #[test]
+    fn zero_byte_flow_completes_after_setup() {
+        let mut n = net(2);
+        let mut spec = FlowSpec::simple(HostId(0), HostId(1), 0);
+        spec.setup_s = 0.25;
+        n.start_flow(SimTime::ZERO, spec);
+        let done = drive_to_completion(&mut n);
+        assert_eq!(done.len(), 1);
+        assert!((done[0].at.as_secs_f64() - 0.25).abs() < 1e-3);
+    }
+
+    #[test]
+    fn advance_reports_multiple_completions() {
+        let mut n = net(3);
+        n.start_flow(SimTime::ZERO, FlowSpec::simple(HostId(0), HostId(1), 1_250_000));
+        n.start_flow(SimTime::ZERO, FlowSpec::simple(HostId(2), HostId(1), 1_250_000));
+        // Jump far past both completions in one advance call.
+        let done = n.advance(SimTime::from_secs(100));
+        assert_eq!(done.len(), 2);
+    }
+}

@@ -1,0 +1,28 @@
+//! # vmr-netsim — network substrate for the BOINC-MR reproduction
+//!
+//! Replaces the paper's physical Emulab testbed (§IV.A: ~40 machines on
+//! 100 Mbit links) with a deterministic model:
+//!
+//! * [`topology`] — hosts with up/down access links; unconstrained core
+//!   (the non-blocking switch).
+//! * [`bandwidth`] — max–min fair rate allocation (progressive filling)
+//!   with a two-priority TCP-Nice mode where background flows only use
+//!   leftover capacity.
+//! * [`flow`] — event-driven transfer manager: start flows, advance
+//!   virtual time, collect completions; integrates with `vmr-desim`.
+//! * [`nat`] / [`traversal`] — NAT endpoint classes and the tiered
+//!   direct → reversal → hole-punch → relay escalation of §III.D.
+
+#![warn(missing_docs)]
+
+pub mod bandwidth;
+pub mod flow;
+pub mod nat;
+pub mod topology;
+pub mod traversal;
+
+pub use bandwidth::{allocate, FlowDemand, Priority};
+pub use flow::{Completion, FlowId, FlowSpec, Network};
+pub use nat::{NatMix, NatType};
+pub use topology::{Direction, HostId, HostLink, LinkRef, Topology};
+pub use traversal::{connect, ConnectOutcome, Path, TraversalPolicy, TraversalStats};

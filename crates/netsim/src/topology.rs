@@ -1,0 +1,175 @@
+//! Hosts and access links.
+//!
+//! The Emulab testbed the paper used is a set of machines on 100 Mbit
+//! NICs behind non-blocking switches, so the model is *access-link
+//! limited*: each host has an uplink and a downlink capacity, and the
+//! switch core is unconstrained. A flow from A to B is limited by A's
+//! uplink and B's downlink (and by any relay hop's links).
+
+use std::fmt;
+
+/// Identifies a host in the topology.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HostId(pub u32);
+
+impl fmt::Debug for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h{}", self.0)
+    }
+}
+
+impl fmt::Display for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h{}", self.0)
+    }
+}
+
+/// One direction of a host's access link.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Direction {
+    /// Traffic leaving the host.
+    Up,
+    /// Traffic entering the host.
+    Down,
+}
+
+/// A directed link endpoint — the unit of capacity in the allocator.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct LinkRef {
+    /// The host the link belongs to.
+    pub host: HostId,
+    /// Which direction of the host's access link.
+    pub dir: Direction,
+}
+
+/// Static description of one host's connectivity.
+#[derive(Clone, Debug)]
+pub struct HostLink {
+    /// Uplink capacity in bytes/second.
+    pub up_bytes_per_sec: f64,
+    /// Downlink capacity in bytes/second.
+    pub down_bytes_per_sec: f64,
+    /// One-way propagation latency to the switch core, seconds.
+    pub latency_s: f64,
+}
+
+impl HostLink {
+    /// Symmetric link of `mbit` megabits per second with `latency_s`
+    /// one-way latency (the paper's testbed: 100 Mbit, LAN latency).
+    pub fn symmetric_mbit(mbit: f64, latency_s: f64) -> Self {
+        let bps = mbit * 1e6 / 8.0;
+        HostLink {
+            up_bytes_per_sec: bps,
+            down_bytes_per_sec: bps,
+            latency_s,
+        }
+    }
+
+    /// Asymmetric consumer-style link (e.g. ADSL volunteers).
+    pub fn asymmetric_mbit(down_mbit: f64, up_mbit: f64, latency_s: f64) -> Self {
+        HostLink {
+            up_bytes_per_sec: up_mbit * 1e6 / 8.0,
+            down_bytes_per_sec: down_mbit * 1e6 / 8.0,
+            latency_s,
+        }
+    }
+
+    /// Capacity of the given direction, bytes/second.
+    pub fn capacity(&self, dir: Direction) -> f64 {
+        match dir {
+            Direction::Up => self.up_bytes_per_sec,
+            Direction::Down => self.down_bytes_per_sec,
+        }
+    }
+}
+
+/// The set of hosts and their access links.
+#[derive(Clone, Debug, Default)]
+pub struct Topology {
+    hosts: Vec<HostLink>,
+}
+
+impl Topology {
+    /// An empty topology.
+    pub fn new() -> Self {
+        Topology { hosts: Vec::new() }
+    }
+
+    /// Adds a host, returning its id.
+    pub fn add_host(&mut self, link: HostLink) -> HostId {
+        let id = HostId(self.hosts.len() as u32);
+        self.hosts.push(link);
+        id
+    }
+
+    /// Number of hosts.
+    pub fn len(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// True when no hosts exist.
+    pub fn is_empty(&self) -> bool {
+        self.hosts.is_empty()
+    }
+
+    /// The link description of `host`.
+    ///
+    /// # Panics
+    /// If `host` is not in this topology.
+    pub fn link(&self, host: HostId) -> &HostLink {
+        &self.hosts[host.0 as usize]
+    }
+
+    /// Capacity of a directed link endpoint, bytes/second.
+    pub fn capacity(&self, l: LinkRef) -> f64 {
+        self.link(l.host).capacity(l.dir)
+    }
+
+    /// One-way latency between two hosts through the core, seconds.
+    pub fn latency(&self, a: HostId, b: HostId) -> f64 {
+        if a == b {
+            0.0
+        } else {
+            self.link(a).latency_s + self.link(b).latency_s
+        }
+    }
+
+    /// All host ids.
+    pub fn host_ids(&self) -> impl Iterator<Item = HostId> + '_ {
+        (0..self.hosts.len() as u32).map(HostId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_link_capacity() {
+        let l = HostLink::symmetric_mbit(100.0, 0.001);
+        assert!((l.up_bytes_per_sec - 12_500_000.0).abs() < 1e-6);
+        assert_eq!(l.up_bytes_per_sec, l.down_bytes_per_sec);
+        assert_eq!(l.capacity(Direction::Up), l.up_bytes_per_sec);
+    }
+
+    #[test]
+    fn asymmetric_link() {
+        let l = HostLink::asymmetric_mbit(16.0, 1.0, 0.02);
+        assert!(l.down_bytes_per_sec > l.up_bytes_per_sec);
+    }
+
+    #[test]
+    fn topology_add_and_query() {
+        let mut t = Topology::new();
+        assert!(t.is_empty());
+        let a = t.add_host(HostLink::symmetric_mbit(100.0, 0.001));
+        let b = t.add_host(HostLink::symmetric_mbit(10.0, 0.005));
+        assert_eq!(t.len(), 2);
+        assert_eq!(a, HostId(0));
+        assert_eq!(b, HostId(1));
+        assert!((t.latency(a, b) - 0.006).abs() < 1e-12);
+        assert_eq!(t.latency(a, a), 0.0);
+        let ids: Vec<_> = t.host_ids().collect();
+        assert_eq!(ids, vec![a, b]);
+    }
+}

@@ -1,0 +1,203 @@
+//! Reducer-side download logic.
+//!
+//! Implements the paper's retry-then-fall-back rule: "After n failed
+//! attempts, the user resorts to downloading the file from the server.
+//! This … guarantees that a job's execution will not be stopped due to
+//! transfer failures." (§III.C)
+
+use crate::proto::{encode_request, read_response, write_all, Request, Response};
+use bytes::{Bytes, BytesMut};
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Why a single fetch attempt failed.
+#[derive(Debug)]
+pub enum FetchError {
+    /// TCP/framing/integrity error.
+    Io(io::Error),
+    /// Peer answered NotFound (not serving / timed out / gated).
+    NotFound,
+    /// Peer answered Busy (connection threshold).
+    Busy,
+}
+
+impl std::fmt::Display for FetchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FetchError::Io(e) => write!(f, "io: {e}"),
+            FetchError::NotFound => f.write_str("not found"),
+            FetchError::Busy => f.write_str("peer busy"),
+        }
+    }
+}
+
+impl std::error::Error for FetchError {}
+
+impl From<io::Error> for FetchError {
+    fn from(e: io::Error) -> Self {
+        FetchError::Io(e)
+    }
+}
+
+/// One GET against one peer.
+pub fn fetch_once(addr: SocketAddr, name: &str) -> Result<Bytes, FetchError> {
+    let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+    fetch_on_stream(stream, name)
+}
+
+fn fetch_on_stream(mut stream: TcpStream, name: &str) -> Result<Bytes, FetchError> {
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_nodelay(true)?;
+    let mut buf = BytesMut::new();
+    encode_request(&Request::Get(name.to_string()), &mut buf);
+    write_all(&mut stream, &buf)?;
+    match read_response(&mut stream)? {
+        Response::Data(d) => Ok(d),
+        Response::NotFound => Err(FetchError::NotFound),
+        Response::Busy => Err(FetchError::Busy),
+        Response::Pong => Err(FetchError::Io(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "unexpected PONG",
+        ))),
+    }
+}
+
+/// Fetch policy knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct FetchPolicy {
+    /// Failed attempts per file before falling back to the server.
+    pub peer_retry_limit: u32,
+    /// Pause between retries.
+    pub retry_delay: Duration,
+}
+
+impl Default for FetchPolicy {
+    fn default() -> Self {
+        FetchPolicy {
+            peer_retry_limit: 3,
+            retry_delay: Duration::from_millis(30),
+        }
+    }
+}
+
+/// Where a file was eventually obtained.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FetchSource {
+    /// Directly from a serving peer (BOINC-MR's fast path).
+    Peer(usize),
+    /// From the fall-back (project data server).
+    Fallback,
+}
+
+/// Walks `peers` round-robin with retries, then the fall-back address.
+/// Returns the bytes and where they came from.
+pub fn fetch_with_fallback(
+    name: &str,
+    peers: &[SocketAddr],
+    fallback: Option<SocketAddr>,
+    policy: &FetchPolicy,
+) -> Result<(Bytes, FetchSource), FetchError> {
+    let mut last_err: Option<FetchError> = None;
+    if !peers.is_empty() {
+        for attempt in 0..policy.peer_retry_limit {
+            let idx = attempt as usize % peers.len();
+            match fetch_once(peers[idx], name) {
+                Ok(b) => return Ok((b, FetchSource::Peer(idx))),
+                Err(e) => {
+                    last_err = Some(e);
+                    std::thread::sleep(policy.retry_delay);
+                }
+            }
+        }
+    }
+    if let Some(addr) = fallback {
+        match fetch_once(addr, name) {
+            Ok(b) => return Ok((b, FetchSource::Fallback)),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(last_err.unwrap_or(FetchError::NotFound))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::PeerServer;
+    use crate::store::OutputStore;
+    use std::sync::Arc;
+
+    fn dead_addr() -> SocketAddr {
+        // Bind-then-drop: nothing listens here afterwards.
+        let l = std::net::TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        l.local_addr().unwrap()
+    }
+
+    fn server_with(name: &str, data: &[u8]) -> PeerServer {
+        let store = Arc::new(OutputStore::new());
+        store.put(name, Bytes::copy_from_slice(data));
+        PeerServer::start(store, 8).unwrap()
+    }
+
+    #[test]
+    fn falls_back_to_server_after_peer_failures() {
+        let fallback = server_with("f", b"from-server");
+        let peers = vec![dead_addr()];
+        let (data, src) = fetch_with_fallback(
+            "f",
+            &peers,
+            Some(fallback.addr()),
+            &FetchPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(&data[..], b"from-server");
+        assert_eq!(src, FetchSource::Fallback);
+        fallback.shutdown();
+    }
+
+    #[test]
+    fn prefers_peer_when_alive() {
+        let peer = server_with("f", b"from-peer");
+        let fallback = server_with("f", b"from-server");
+        let (data, src) = fetch_with_fallback(
+            "f",
+            &[peer.addr()],
+            Some(fallback.addr()),
+            &FetchPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(&data[..], b"from-peer");
+        assert_eq!(src, FetchSource::Peer(0));
+        peer.shutdown();
+        fallback.shutdown();
+    }
+
+    #[test]
+    fn second_peer_used_when_first_dead() {
+        let peer2 = server_with("f", b"replica");
+        let (data, src) = fetch_with_fallback(
+            "f",
+            &[dead_addr(), peer2.addr()],
+            None,
+            &FetchPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(&data[..], b"replica");
+        assert_eq!(src, FetchSource::Peer(1));
+        peer2.shutdown();
+    }
+
+    #[test]
+    fn total_failure_reports_error() {
+        let err = fetch_with_fallback(
+            "f",
+            &[dead_addr()],
+            None,
+            &FetchPolicy {
+                peer_retry_limit: 2,
+                retry_delay: Duration::from_millis(1),
+            },
+        );
+        assert!(err.is_err());
+    }
+}

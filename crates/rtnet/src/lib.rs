@@ -1,0 +1,31 @@
+//! # vmr-rtnet — the real pull-model TCP runtime
+//!
+//! The simulator (vmr-netsim/vmr-vcore) reproduces the paper's *timing*;
+//! this crate proves the *protocol* works over genuine sockets:
+//!
+//! * [`proto`] — length-prefixed request/response frames with SHA-256
+//!   integrity trailers (§III.C's TCP transfers + hash reporting).
+//! * [`store`] — per-volunteer output store with serving windows,
+//!   timeout reset, and job-completion cleanup.
+//! * [`server`] — the volunteer's serving endpoint: accept gating and
+//!   the max-inter-client-connection threshold.
+//! * [`fetch`] — reducer-side downloads: retry over holders, then fall
+//!   back to the project server.
+//! * [`cluster`] — `run_cluster`: a complete word-count (or any
+//!   [`vmr_mapreduce::MapReduceApp`]) job over loopback TCP with
+//!   pull-model scheduling, replication + quorum, byzantine workers,
+//!   and mapper-failure fall-back.
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod fetch;
+pub mod proto;
+pub mod server;
+pub mod store;
+
+pub use cluster::{run_cluster, ClusterConfig, ClusterReport, ClusterStats};
+pub use fetch::{fetch_once, fetch_with_fallback, FetchError, FetchPolicy, FetchSource};
+pub use proto::{Request, Response};
+pub use server::{PeerServer, ServerStats};
+pub use store::OutputStore;

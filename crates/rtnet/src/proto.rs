@@ -1,0 +1,245 @@
+//! Wire protocol for inter-client transfers.
+//!
+//! The paper used raw TCP sockets "due to its simplicity and ease of
+//! testing" (§III.C). We keep that spirit with a minimal length-prefixed
+//! binary protocol:
+//!
+//! ```text
+//! request  := u32 frame_len | u8 tag | payload
+//!   GET    (tag 1): u16 name_len | name bytes
+//!   PING   (tag 2): —
+//! response := u32 frame_len | u8 tag | payload
+//!   DATA   (tag 1): u64 body_len | body | 32-byte SHA-256 of body
+//!   NOTFOUND (2), BUSY (3), PONG (4): —
+//! ```
+//!
+//! The SHA-256 trailer is the integrity check the paper proposes when it
+//! suggests reporting output hashes instead of whole files.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io::{self, Read, Write};
+use vmr_mapreduce::sha256;
+
+/// Maximum accepted frame (sanity bound against corrupt peers).
+pub const MAX_FRAME: usize = 256 << 20;
+
+/// A request from a downloader to a serving peer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Fetch a named file (a map-output partition).
+    Get(String),
+    /// Liveness probe.
+    Ping,
+}
+
+/// A serving peer's reply.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// File contents plus integrity digest.
+    Data(Bytes),
+    /// The peer does not (or no longer) serves this file.
+    NotFound,
+    /// The peer is at its inter-client connection threshold.
+    Busy,
+    /// Liveness answer.
+    Pong,
+}
+
+/// Encodes a request frame.
+pub fn encode_request(req: &Request, out: &mut BytesMut) {
+    match req {
+        Request::Get(name) => {
+            let payload_len = 1 + 2 + name.len();
+            out.put_u32(payload_len as u32);
+            out.put_u8(1);
+            out.put_u16(name.len() as u16);
+            out.put_slice(name.as_bytes());
+        }
+        Request::Ping => {
+            out.put_u32(1);
+            out.put_u8(2);
+        }
+    }
+}
+
+/// Encodes a response frame (computing the digest for `Data`).
+pub fn encode_response(resp: &Response, out: &mut BytesMut) {
+    match resp {
+        Response::Data(body) => {
+            let digest = sha256(body);
+            let payload_len = 1 + 8 + body.len() + 32;
+            out.put_u32(payload_len as u32);
+            out.put_u8(1);
+            out.put_u64(body.len() as u64);
+            out.put_slice(body);
+            out.put_slice(&digest);
+        }
+        Response::NotFound => {
+            out.put_u32(1);
+            out.put_u8(2);
+        }
+        Response::Busy => {
+            out.put_u32(1);
+            out.put_u8(3);
+        }
+        Response::Pong => {
+            out.put_u32(1);
+            out.put_u8(4);
+        }
+    }
+}
+
+fn read_exact_frame(stream: &mut impl Read) -> io::Result<BytesMut> {
+    let mut len_buf = [0u8; 4];
+    stream.read_exact(&mut len_buf)?;
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len == 0 || len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad frame length {len}"),
+        ));
+    }
+    let mut buf = vec![0u8; len];
+    stream.read_exact(&mut buf)?;
+    Ok(BytesMut::from(&buf[..]))
+}
+
+/// Reads one request frame from a stream.
+pub fn read_request(stream: &mut impl Read) -> io::Result<Request> {
+    let mut frame = read_exact_frame(stream)?;
+    let tag = frame.get_u8();
+    match tag {
+        1 => {
+            if frame.remaining() < 2 {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, "truncated GET"));
+            }
+            let name_len = frame.get_u16() as usize;
+            if frame.remaining() < name_len {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, "truncated name"));
+            }
+            let name = String::from_utf8(frame.split_to(name_len).to_vec())
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            Ok(Request::Get(name))
+        }
+        2 => Ok(Request::Ping),
+        t => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unknown request tag {t}"),
+        )),
+    }
+}
+
+/// Reads one response frame, verifying the SHA-256 trailer on `Data`.
+pub fn read_response(stream: &mut impl Read) -> io::Result<Response> {
+    let mut frame = read_exact_frame(stream)?;
+    let tag = frame.get_u8();
+    match tag {
+        1 => {
+            if frame.remaining() < 8 {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, "truncated DATA"));
+            }
+            let body_len = frame.get_u64() as usize;
+            if frame.remaining() != body_len + 32 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "DATA length mismatch",
+                ));
+            }
+            let body = frame.split_to(body_len).freeze();
+            let digest: [u8; 32] = frame[..32].try_into().expect("32-byte trailer");
+            if sha256(&body) != digest {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "SHA-256 integrity check failed",
+                ));
+            }
+            Ok(Response::Data(body))
+        }
+        2 => Ok(Response::NotFound),
+        3 => Ok(Response::Busy),
+        4 => Ok(Response::Pong),
+        t => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unknown response tag {t}"),
+        )),
+    }
+}
+
+/// Writes a whole frame buffer to a stream.
+pub fn write_all(stream: &mut impl Write, buf: &BytesMut) -> io::Result<()> {
+    stream.write_all(buf)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn roundtrip_request(req: Request) -> Request {
+        let mut buf = BytesMut::new();
+        encode_request(&req, &mut buf);
+        read_request(&mut Cursor::new(buf.to_vec())).unwrap()
+    }
+
+    fn roundtrip_response(resp: Response) -> Response {
+        let mut buf = BytesMut::new();
+        encode_response(&resp, &mut buf);
+        read_response(&mut Cursor::new(buf.to_vec())).unwrap()
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        assert_eq!(
+            roundtrip_request(Request::Get("mr0_m3_p1".into())),
+            Request::Get("mr0_m3_p1".into())
+        );
+        assert_eq!(roundtrip_request(Request::Ping), Request::Ping);
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        let body = Bytes::from(vec![7u8; 10_000]);
+        assert_eq!(roundtrip_response(Response::Data(body.clone())), Response::Data(body));
+        assert_eq!(roundtrip_response(Response::NotFound), Response::NotFound);
+        assert_eq!(roundtrip_response(Response::Busy), Response::Busy);
+        assert_eq!(roundtrip_response(Response::Pong), Response::Pong);
+    }
+
+    #[test]
+    fn corrupted_body_fails_integrity() {
+        let mut buf = BytesMut::new();
+        encode_response(&Response::Data(Bytes::from_static(b"hello world")), &mut buf);
+        // Flip a body byte (frame: 4 len + 1 tag + 8 body_len + body…).
+        let mut raw = buf.to_vec();
+        raw[13] ^= 0xff;
+        let err = read_response(&mut Cursor::new(raw)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&(u32::MAX).to_be_bytes());
+        raw.push(1);
+        let err = read_request(&mut Cursor::new(raw)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn empty_data_roundtrips() {
+        assert_eq!(
+            roundtrip_response(Response::Data(Bytes::new())),
+            Response::Data(Bytes::new())
+        );
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&1u32.to_be_bytes());
+        raw.push(99);
+        assert!(read_request(&mut Cursor::new(raw.clone())).is_err());
+        assert!(read_response(&mut Cursor::new(raw)).is_err());
+    }
+}

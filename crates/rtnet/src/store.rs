@@ -1,0 +1,146 @@
+//! The per-volunteer output store.
+//!
+//! Holds map-output partitions between the map and reduce phases, with
+//! the serving semantics of §III.C: files become available when a map
+//! task finishes, stop being served on timeout or job completion, and
+//! a timeout reset makes them available again.
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+struct Entry {
+    data: Bytes,
+    serve_until: Option<Instant>,
+}
+
+/// Thread-safe named-file store with serving windows.
+#[derive(Default)]
+pub struct OutputStore {
+    files: RwLock<HashMap<String, Entry>>,
+}
+
+impl OutputStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        OutputStore::default()
+    }
+
+    /// Inserts (or replaces) a file served indefinitely.
+    pub fn put(&self, name: impl Into<String>, data: Bytes) {
+        self.files.write().insert(
+            name.into(),
+            Entry {
+                data,
+                serve_until: None,
+            },
+        );
+    }
+
+    /// Inserts a file served only for `window` from now ("the timeout
+    /// value must be chosen according to the expected execution time").
+    pub fn put_with_timeout(&self, name: impl Into<String>, data: Bytes, window: Duration) {
+        self.files.write().insert(
+            name.into(),
+            Entry {
+                data,
+                serve_until: Some(Instant::now() + window),
+            },
+        );
+    }
+
+    /// Fetches a file if present *and* inside its serving window.
+    pub fn get(&self, name: &str) -> Option<Bytes> {
+        let files = self.files.read();
+        let e = files.get(name)?;
+        if let Some(t) = e.serve_until {
+            if Instant::now() > t {
+                return None;
+            }
+        }
+        Some(e.data.clone())
+    }
+
+    /// Resets a file's serving window ("the map outputs' timeout is
+    /// reset (even if it has already been reached in the meantime)").
+    /// Returns false if the file was never stored.
+    pub fn reset_timeout(&self, name: &str, window: Option<Duration>) -> bool {
+        let mut files = self.files.write();
+        match files.get_mut(name) {
+            Some(e) => {
+                e.serve_until = window.map(|w| Instant::now() + w);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes a file (job finished).
+    pub fn remove(&self, name: &str) -> bool {
+        self.files.write().remove(name).is_some()
+    }
+
+    /// Removes everything.
+    pub fn clear(&self) {
+        self.files.write().clear();
+    }
+
+    /// Number of stored files (including timed-out ones).
+    pub fn len(&self) -> usize {
+        self.files.read().len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.files.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_remove() {
+        let s = OutputStore::new();
+        assert!(s.is_empty());
+        s.put("a", Bytes::from_static(b"hello"));
+        assert_eq!(s.get("a").unwrap(), Bytes::from_static(b"hello"));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove("a"));
+        assert!(!s.remove("a"));
+        assert!(s.get("a").is_none());
+    }
+
+    #[test]
+    fn timeout_expires_serving() {
+        let s = OutputStore::new();
+        s.put_with_timeout("f", Bytes::from_static(b"x"), Duration::from_millis(20));
+        assert!(s.get("f").is_some());
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(s.get("f").is_none(), "window passed");
+        // The file is still *stored*, just not served.
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn reset_timeout_revives_file() {
+        let s = OutputStore::new();
+        s.put_with_timeout("f", Bytes::from_static(b"x"), Duration::from_millis(10));
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(s.get("f").is_none());
+        assert!(s.reset_timeout("f", Some(Duration::from_secs(10))));
+        assert!(s.get("f").is_some(), "reset makes it servable again");
+        assert!(!s.reset_timeout("ghost", None));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let s = OutputStore::new();
+        s.put("a", Bytes::new());
+        s.put("b", Bytes::new());
+        s.clear();
+        assert!(s.is_empty());
+    }
+}

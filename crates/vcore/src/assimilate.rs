@@ -1,0 +1,114 @@
+//! The assimilator: hands validated canonical results to the project.
+//!
+//! In BOINC, the assimilator daemon is the project-defined sink that
+//! consumes each work unit's canonical result (writes it to the science
+//! database, archives files…). Here it is an ordered registry of
+//! canonical outputs per application, which BOINC-MR's merge step reads
+//! ("The final output from each reducer is uploaded back to the server,
+//! and can be merged into a single file, if necessary").
+
+use crate::types::{ClientId, OutputFingerprint, WuId};
+use std::collections::HashMap;
+use vmr_desim::SimTime;
+
+/// One assimilated (validated, canonical) work-unit outcome.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Assimilated {
+    /// The work unit.
+    pub wu: WuId,
+    /// Work unit name (e.g. `mr0_red_2`).
+    pub wu_name: String,
+    /// Application name (e.g. `mr0_red`).
+    pub app: String,
+    /// Canonical output fingerprint.
+    pub canonical: OutputFingerprint,
+    /// Clients holding the canonical output.
+    pub holders: Vec<ClientId>,
+    /// When it validated.
+    pub at: SimTime,
+}
+
+/// Ordered sink of canonical results.
+#[derive(Debug, Default)]
+pub struct Assimilator {
+    records: Vec<Assimilated>,
+    by_app: HashMap<String, Vec<usize>>,
+}
+
+impl Assimilator {
+    /// An empty assimilator.
+    pub fn new() -> Self {
+        Assimilator::default()
+    }
+
+    /// Consumes one validated work unit.
+    pub fn assimilate(&mut self, rec: Assimilated) {
+        self.by_app
+            .entry(rec.app.clone())
+            .or_default()
+            .push(self.records.len());
+        self.records.push(rec);
+    }
+
+    /// All assimilated records, in validation order.
+    pub fn all(&self) -> &[Assimilated] {
+        &self.records
+    }
+
+    /// Records of one application, in validation order (the per-job
+    /// merge input).
+    pub fn of_app(&self, app: &str) -> Vec<&Assimilated> {
+        self.by_app
+            .get(app)
+            .map(|idxs| idxs.iter().map(|&i| &self.records[i]).collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of assimilated work units.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing was assimilated yet.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(wu: u32, app: &str, t: u64) -> Assimilated {
+        Assimilated {
+            wu: WuId(wu),
+            wu_name: format!("{app}_{wu}"),
+            app: app.to_string(),
+            canonical: OutputFingerprint(wu as u64 * 7),
+            holders: vec![ClientId(0), ClientId(1)],
+            at: SimTime::from_secs(t),
+        }
+    }
+
+    #[test]
+    fn preserves_validation_order() {
+        let mut a = Assimilator::new();
+        a.assimilate(rec(2, "map", 5));
+        a.assimilate(rec(0, "map", 7));
+        a.assimilate(rec(1, "red", 9));
+        assert_eq!(a.len(), 3);
+        let maps = a.of_app("map");
+        assert_eq!(maps.len(), 2);
+        assert_eq!(maps[0].wu, WuId(2));
+        assert_eq!(maps[1].wu, WuId(0));
+        assert_eq!(a.of_app("red").len(), 1);
+        assert!(a.of_app("ghost").is_empty());
+    }
+
+    #[test]
+    fn empty_state() {
+        let a = Assimilator::new();
+        assert!(a.is_empty());
+        assert!(a.all().is_empty());
+    }
+}

@@ -1,0 +1,190 @@
+//! Credit accounting and host reputation.
+//!
+//! BOINC's volunteer incentive is *credit*, granted only for results
+//! that participate in a validated quorum — the same mechanism §III.B
+//! leans on for byzantine tolerance: a corrupted output never matches
+//! the canonical fingerprint, so the cheater earns nothing, while the
+//! agreeing replicas split the granted credit.
+//!
+//! The error-rate ledger mirrors BOINC's adaptive host punishment: a
+//! host whose results keep failing validation sees its reliability
+//! score decay, which real projects use to steer replication.
+
+use crate::types::ClientId;
+use std::collections::HashMap;
+
+/// Credit and reliability ledger for the volunteer population.
+#[derive(Debug, Default)]
+pub struct CreditLedger {
+    accounts: HashMap<ClientId, HostAccount>,
+}
+
+/// One volunteer's record.
+#[derive(Debug, Clone, Default)]
+pub struct HostAccount {
+    /// Total granted credit (cobblestones).
+    pub granted: f64,
+    /// Results that validated (were part of a quorum).
+    pub valid_results: u64,
+    /// Successful-looking results that *failed* validation (dissenting
+    /// fingerprints — byzantine or faulty hardware).
+    pub invalid_results: u64,
+    /// Client-side errors and deadline misses.
+    pub errors: u64,
+}
+
+impl HostAccount {
+    /// BOINC-style error rate estimate, biased optimistic for new hosts
+    /// (starts at 0.1, decays with validated work, grows with failures).
+    pub fn error_rate(&self) -> f64 {
+        let total = (self.valid_results + self.invalid_results + self.errors) as f64;
+        let bad = (self.invalid_results + self.errors) as f64;
+        (bad + 0.1) / (total + 1.0)
+    }
+
+    /// Reliability = 1 − error rate.
+    pub fn reliability(&self) -> f64 {
+        1.0 - self.error_rate()
+    }
+}
+
+/// Credit claimed for a task of `flops` floating-point operations, in
+/// BOINC cobblestones (100 cobblestones ≈ 864 000 GFLOP-seconds of the
+/// reference machine; we keep the historical formula's shape).
+pub fn claimed_credit(flops: f64) -> f64 {
+    flops / 1e9 * (100.0 / 864.0)
+}
+
+impl CreditLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        CreditLedger::default()
+    }
+
+    /// The account of `c` (created on first touch).
+    pub fn account(&self, c: ClientId) -> HostAccount {
+        self.accounts.get(&c).cloned().unwrap_or_default()
+    }
+
+    fn entry(&mut self, c: ClientId) -> &mut HostAccount {
+        self.accounts.entry(c).or_default()
+    }
+
+    /// A work unit validated: the agreeing replicas each receive the
+    /// granted credit (BOINC grants the *same* amount to every member
+    /// of the quorum — typically the median/min of the claims; with
+    /// identical task sizes the claim itself).
+    pub fn on_wu_validated(&mut self, agreeing: &[ClientId], dissenting: &[ClientId], flops: f64) {
+        let grant = claimed_credit(flops);
+        for &c in agreeing {
+            let a = self.entry(c);
+            a.granted += grant;
+            a.valid_results += 1;
+        }
+        for &c in dissenting {
+            let a = self.entry(c);
+            a.invalid_results += 1;
+        }
+    }
+
+    /// A result errored client-side or missed its deadline.
+    pub fn on_error(&mut self, c: ClientId) {
+        self.entry(c).errors += 1;
+    }
+
+    /// Total credit granted across all hosts.
+    pub fn total_granted(&self) -> f64 {
+        self.accounts.values().map(|a| a.granted).sum()
+    }
+
+    /// Hosts ordered by granted credit, descending (the leaderboard
+    /// every BOINC project publishes).
+    pub fn leaderboard(&self) -> Vec<(ClientId, f64)> {
+        let mut v: Vec<(ClientId, f64)> = self
+            .accounts
+            .iter()
+            .map(|(&c, a)| (c, a.granted))
+            .collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Hosts whose error rate exceeds `threshold` (candidates for
+    /// increased replication / quarantine).
+    pub fn unreliable_hosts(&self, threshold: f64) -> Vec<ClientId> {
+        let mut v: Vec<ClientId> = self
+            .accounts
+            .iter()
+            .filter(|(_, a)| a.error_rate() > threshold)
+            .map(|(&c, _)| c)
+            .collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quorum_members_split_nothing_they_each_get_full_grant() {
+        let mut l = CreditLedger::new();
+        l.on_wu_validated(&[ClientId(0), ClientId(1)], &[], 864e9);
+        let a0 = l.account(ClientId(0));
+        let a1 = l.account(ClientId(1));
+        assert!((a0.granted - 100.0).abs() < 1e-9, "{}", a0.granted);
+        assert_eq!(a0.granted, a1.granted);
+        assert_eq!(a0.valid_results, 1);
+        assert!((l.total_granted() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dissenters_earn_nothing_and_lose_reliability() {
+        let mut l = CreditLedger::new();
+        for _ in 0..10 {
+            l.on_wu_validated(&[ClientId(0)], &[ClientId(7)], 1e9);
+        }
+        let honest = l.account(ClientId(0));
+        let cheat = l.account(ClientId(7));
+        assert_eq!(cheat.granted, 0.0);
+        assert_eq!(cheat.invalid_results, 10);
+        assert!(cheat.error_rate() > 0.9);
+        assert!(honest.error_rate() < 0.05);
+        assert_eq!(l.unreliable_hosts(0.5), vec![ClientId(7)]);
+    }
+
+    #[test]
+    fn new_hosts_start_mildly_distrusted() {
+        let a = HostAccount::default();
+        assert!((a.error_rate() - 0.1).abs() < 1e-9);
+        assert!((a.reliability() - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn errors_count_against_reliability() {
+        let mut l = CreditLedger::new();
+        l.on_error(ClientId(3));
+        l.on_error(ClientId(3));
+        assert_eq!(l.account(ClientId(3)).errors, 2);
+        assert!(l.account(ClientId(3)).error_rate() > 0.5);
+    }
+
+    #[test]
+    fn leaderboard_sorted_desc() {
+        let mut l = CreditLedger::new();
+        l.on_wu_validated(&[ClientId(2)], &[], 5e9);
+        l.on_wu_validated(&[ClientId(1)], &[], 9e9);
+        l.on_wu_validated(&[ClientId(0)], &[], 1e9);
+        let board = l.leaderboard();
+        assert_eq!(board[0].0, ClientId(1));
+        assert_eq!(board[2].0, ClientId(0));
+        assert!(board[0].1 > board[1].1);
+    }
+
+    #[test]
+    fn claimed_credit_is_linear_in_flops() {
+        assert!((claimed_credit(2.0 * 864e9) - 200.0).abs() < 1e-9);
+        assert_eq!(claimed_credit(0.0), 0.0);
+    }
+}

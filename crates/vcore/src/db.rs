@@ -1,0 +1,310 @@
+//! In-memory project database.
+//!
+//! Mirrors the tables a BOINC server keeps in MySQL: `workunit` and
+//! `result`, with the secondary indexes the daemons need (unsent results
+//! per app, results per WU, live results per client).
+
+use crate::types::{ClientId, FileRef, OutputFingerprint, ResultId, WuId};
+use crate::workunit::{ResultOutcome, ResultRec, ResultState, WorkUnit, WorkUnitSpec, WuState};
+use std::collections::{BTreeSet, HashMap};
+use vmr_desim::SimTime;
+
+/// The project database.
+#[derive(Default)]
+pub struct Db {
+    wus: Vec<WorkUnit>,
+    results: Vec<ResultRec>,
+    /// Unsent results, ordered by id — the feeder scans this.
+    unsent: BTreeSet<ResultId>,
+    /// Results per WU.
+    by_wu: HashMap<WuId, Vec<ResultId>>,
+    /// Live (unsent/in-progress) result count per client.
+    live_by_client: HashMap<ClientId, u32>,
+}
+
+impl Db {
+    /// An empty database.
+    pub fn new() -> Self {
+        Db::default()
+    }
+
+    // ----- work units -----------------------------------------------------
+
+    /// Inserts a work unit and creates its initial `target_nresults`
+    /// result instances. Returns the new WU id.
+    pub fn insert_workunit(&mut self, spec: WorkUnitSpec, now: SimTime) -> WuId {
+        let id = WuId(self.wus.len() as u32);
+        let target = spec.target_nresults;
+        self.wus.push(WorkUnit {
+            id,
+            spec,
+            state: WuState::Active,
+            canonical: None,
+            results_created: 0,
+            created_at: now,
+            finished_at: None,
+        });
+        for _ in 0..target {
+            self.create_result(id);
+        }
+        id
+    }
+
+    /// Creates one more result instance for `wu` (transitioner retry
+    /// path). Respects no cap — callers check `max_total_results`.
+    pub fn create_result(&mut self, wu: WuId) -> ResultId {
+        let id = ResultId(self.results.len() as u32);
+        self.results.push(ResultRec {
+            id,
+            wu,
+            state: ResultState::Unsent,
+            client: None,
+            sent_at: None,
+            report_deadline: None,
+            reported_at: None,
+            outcome: None,
+            fingerprint: None,
+        });
+        self.unsent.insert(id);
+        self.by_wu.entry(wu).or_default().push(id);
+        self.wus[wu.0 as usize].results_created += 1;
+        id
+    }
+
+    /// The work unit row.
+    pub fn wu(&self, id: WuId) -> &WorkUnit {
+        &self.wus[id.0 as usize]
+    }
+
+    /// Mutable work unit row.
+    pub fn wu_mut(&mut self, id: WuId) -> &mut WorkUnit {
+        &mut self.wus[id.0 as usize]
+    }
+
+    /// All work unit ids.
+    pub fn wu_ids(&self) -> impl Iterator<Item = WuId> + '_ {
+        (0..self.wus.len() as u32).map(WuId)
+    }
+
+    /// Number of work units.
+    pub fn n_wus(&self) -> usize {
+        self.wus.len()
+    }
+
+    /// Number of results ever created.
+    pub fn n_results(&self) -> usize {
+        self.results.len()
+    }
+
+    // ----- results --------------------------------------------------------
+
+    /// The result row.
+    pub fn result(&self, id: ResultId) -> &ResultRec {
+        &self.results[id.0 as usize]
+    }
+
+    /// Result ids belonging to `wu`.
+    pub fn results_of(&self, wu: WuId) -> &[ResultId] {
+        self.by_wu.get(&wu).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Unsent results, in id order.
+    pub fn unsent_results(&self) -> impl Iterator<Item = ResultId> + '_ {
+        self.unsent.iter().copied()
+    }
+
+    /// Number of unsent results.
+    pub fn n_unsent(&self) -> usize {
+        self.unsent.len()
+    }
+
+    /// Live results currently assigned to `client`.
+    pub fn live_count(&self, client: ClientId) -> u32 {
+        self.live_by_client.get(&client).copied().unwrap_or(0)
+    }
+
+    /// Does `client` already hold (or has it ever held) a result of
+    /// `wu`? BOINC's "one result per user per WU" scheduling rule.
+    pub fn client_has_wu(&self, client: ClientId, wu: WuId) -> bool {
+        self.results_of(wu)
+            .iter()
+            .any(|&rid| self.results[rid.0 as usize].client == Some(client))
+    }
+
+    /// Marks `rid` as sent to `client` with the given report deadline.
+    ///
+    /// # Panics
+    /// If the result is not unsent.
+    pub fn mark_sent(
+        &mut self,
+        rid: ResultId,
+        client: ClientId,
+        now: SimTime,
+        deadline: SimTime,
+    ) {
+        let r = &mut self.results[rid.0 as usize];
+        assert_eq!(r.state, ResultState::Unsent, "sending a non-unsent result");
+        r.state = ResultState::InProgress;
+        r.client = Some(client);
+        r.sent_at = Some(now);
+        r.report_deadline = Some(deadline);
+        self.unsent.remove(&rid);
+        *self.live_by_client.entry(client).or_insert(0) += 1;
+    }
+
+    /// Records a client report for `rid`. Ignores reports for results
+    /// already over (late replies after a deadline timeout).
+    /// Returns `true` if the report was applied.
+    pub fn mark_reported(
+        &mut self,
+        rid: ResultId,
+        outcome: ResultOutcome,
+        fingerprint: Option<OutputFingerprint>,
+        now: SimTime,
+    ) -> bool {
+        let r = &mut self.results[rid.0 as usize];
+        if r.state != ResultState::InProgress {
+            return false;
+        }
+        r.state = ResultState::Over;
+        r.outcome = Some(outcome);
+        r.fingerprint = fingerprint;
+        r.reported_at = Some(now);
+        if let Some(c) = r.client {
+            if let Some(n) = self.live_by_client.get_mut(&c) {
+                *n = n.saturating_sub(1);
+            }
+        }
+        true
+    }
+
+    /// Expires an in-progress result whose deadline passed (NoReply).
+    /// Returns `true` if it was still in progress.
+    pub fn mark_timed_out(&mut self, rid: ResultId, now: SimTime) -> bool {
+        self.mark_reported(rid, ResultOutcome::NoReply, None, now)
+    }
+
+    /// Cancels an unsent result (its WU validated without needing it).
+    pub fn cancel_unsent(&mut self, rid: ResultId) -> bool {
+        let r = &mut self.results[rid.0 as usize];
+        if r.state != ResultState::Unsent {
+            return false;
+        }
+        r.state = ResultState::Over;
+        r.outcome = Some(ResultOutcome::WuDone);
+        self.unsent.remove(&rid);
+        true
+    }
+
+    /// Input files of a result's work unit.
+    pub fn inputs_of(&self, rid: ResultId) -> &[FileRef] {
+        let wu = self.results[rid.0 as usize].wu;
+        &self.wus[wu.0 as usize].spec.inputs
+    }
+
+    /// True when every WU is validated or failed.
+    pub fn all_wus_terminal(&self) -> bool {
+        self.wus
+            .iter()
+            .all(|w| matches!(w.state, WuState::Validated | WuState::Failed))
+    }
+
+    /// Count of WUs in a given state.
+    pub fn count_state(&self, state: WuState) -> usize {
+        self.wus.iter().filter(|w| w.state == state).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workunit::WorkUnitSpec;
+
+    fn spec(name: &str) -> WorkUnitSpec {
+        WorkUnitSpec::basic(name, "app", 1e9)
+    }
+
+    #[test]
+    fn insert_creates_replicas() {
+        let mut db = Db::new();
+        let wu = db.insert_workunit(spec("a"), SimTime::ZERO);
+        assert_eq!(db.results_of(wu).len(), 2);
+        assert_eq!(db.n_unsent(), 2);
+        assert_eq!(db.wu(wu).results_created, 2);
+    }
+
+    #[test]
+    fn send_and_report_lifecycle() {
+        let mut db = Db::new();
+        let wu = db.insert_workunit(spec("a"), SimTime::ZERO);
+        let rid = db.results_of(wu)[0];
+        let c = ClientId(1);
+        db.mark_sent(rid, c, SimTime::ZERO, SimTime::from_secs(100));
+        assert_eq!(db.live_count(c), 1);
+        assert!(db.client_has_wu(c, wu));
+        assert_eq!(db.n_unsent(), 1);
+        assert!(db.mark_reported(
+            rid,
+            ResultOutcome::Success,
+            Some(OutputFingerprint(7)),
+            SimTime::from_secs(50),
+        ));
+        assert_eq!(db.live_count(c), 0);
+        assert!(db.result(rid).is_success());
+        // Double report ignored.
+        assert!(!db.mark_reported(rid, ResultOutcome::Error, None, SimTime::from_secs(60)));
+    }
+
+    #[test]
+    fn one_result_per_client_per_wu_rule_data() {
+        let mut db = Db::new();
+        let wu = db.insert_workunit(spec("a"), SimTime::ZERO);
+        let rids = db.results_of(wu).to_vec();
+        db.mark_sent(rids[0], ClientId(1), SimTime::ZERO, SimTime::from_secs(100));
+        assert!(db.client_has_wu(ClientId(1), wu));
+        assert!(!db.client_has_wu(ClientId(2), wu));
+    }
+
+    #[test]
+    fn timeout_marks_noreply() {
+        let mut db = Db::new();
+        let wu = db.insert_workunit(spec("a"), SimTime::ZERO);
+        let rid = db.results_of(wu)[0];
+        db.mark_sent(rid, ClientId(1), SimTime::ZERO, SimTime::from_secs(10));
+        assert!(db.mark_timed_out(rid, SimTime::from_secs(10)));
+        assert_eq!(db.result(rid).outcome, Some(ResultOutcome::NoReply));
+        assert!(!db.mark_timed_out(rid, SimTime::from_secs(11)));
+    }
+
+    #[test]
+    fn cancel_unsent_only_touches_unsent() {
+        let mut db = Db::new();
+        let wu = db.insert_workunit(spec("a"), SimTime::ZERO);
+        let rids = db.results_of(wu).to_vec();
+        db.mark_sent(rids[0], ClientId(1), SimTime::ZERO, SimTime::from_secs(10));
+        assert!(!db.cancel_unsent(rids[0]));
+        assert!(db.cancel_unsent(rids[1]));
+        assert_eq!(db.n_unsent(), 0);
+        assert_eq!(db.result(rids[1]).outcome, Some(ResultOutcome::WuDone));
+    }
+
+    #[test]
+    fn extra_result_creation() {
+        let mut db = Db::new();
+        let wu = db.insert_workunit(spec("a"), SimTime::ZERO);
+        let extra = db.create_result(wu);
+        assert_eq!(db.results_of(wu).len(), 3);
+        assert_eq!(db.wu(wu).results_created, 3);
+        assert!(db.unsent_results().any(|r| r == extra));
+    }
+
+    #[test]
+    fn terminal_tracking() {
+        let mut db = Db::new();
+        let wu = db.insert_workunit(spec("a"), SimTime::ZERO);
+        assert!(!db.all_wus_terminal());
+        db.wu_mut(wu).state = WuState::Validated;
+        assert!(db.all_wus_terminal());
+        assert_eq!(db.count_state(WuState::Validated), 1);
+    }
+}

@@ -1,0 +1,105 @@
+//! Fault injection (§III.B's threat model).
+//!
+//! "Map output data … require validation before being used as input by
+//! reduce tasks, since we have to consider byzantine behavior: malicious
+//! users or errors during the computation."
+//!
+//! The plan marks a subset of clients byzantine (they report corrupted
+//! fingerprints with some probability), injects transient inter-client
+//! transfer failures, and can make clients vanish mid-task (churn).
+
+use crate::types::ClientId;
+use vmr_desim::{RngStream, SimDuration};
+
+/// Fault-injection plan for one experiment.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Clients that corrupt their outputs.
+    pub byzantine: Vec<ClientId>,
+    /// Probability a byzantine client corrupts any given task's output.
+    pub corruption_prob: f64,
+    /// Probability any single inter-client transfer attempt fails
+    /// (connection reset, peer asleep…).
+    pub peer_transfer_failure_prob: f64,
+    /// Per-task probability that a (non-byzantine) execution errors out
+    /// and the client reports a client error.
+    pub task_error_prob: f64,
+    /// Clients that disappear: `(client, when)` — after `when` they stop
+    /// responding entirely (no reports, no serving).
+    pub dropouts: Vec<(ClientId, SimDuration)>,
+}
+
+impl FaultPlan {
+    /// A fault-free plan (the paper's §IV experiments: "we did not
+    /// consider node failure in our tests").
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Is `c` in the byzantine set?
+    pub fn is_byzantine(&self, c: ClientId) -> bool {
+        self.byzantine.contains(&c)
+    }
+
+    /// Should this particular task's output be corrupted?
+    pub fn corrupt_now(&self, c: ClientId, rng: &mut RngStream) -> bool {
+        self.is_byzantine(c) && rng.chance(self.corruption_prob)
+    }
+
+    /// Should this particular task error out client-side?
+    pub fn task_errors_now(&self, rng: &mut RngStream) -> bool {
+        rng.chance(self.task_error_prob)
+    }
+
+    /// Should this peer-transfer attempt fail?
+    pub fn peer_attempt_fails(&self, rng: &mut RngStream) -> bool {
+        rng.chance(self.peer_transfer_failure_prob)
+    }
+
+    /// When does `c` drop out, if ever?
+    pub fn dropout_time(&self, c: ClientId) -> Option<SimDuration> {
+        self.dropouts
+            .iter()
+            .find(|(cc, _)| *cc == c)
+            .map(|(_, t)| *t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmr_desim::RngStream;
+
+    #[test]
+    fn none_is_inert() {
+        let f = FaultPlan::none();
+        let mut rng = RngStream::new(1);
+        assert!(!f.is_byzantine(ClientId(0)));
+        assert!(!f.corrupt_now(ClientId(0), &mut rng));
+        assert!(!f.task_errors_now(&mut rng));
+        assert!(!f.peer_attempt_fails(&mut rng));
+        assert_eq!(f.dropout_time(ClientId(0)), None);
+    }
+
+    #[test]
+    fn byzantine_corruption_respects_probability() {
+        let f = FaultPlan {
+            byzantine: vec![ClientId(3)],
+            corruption_prob: 1.0,
+            ..FaultPlan::default()
+        };
+        let mut rng = RngStream::new(1);
+        assert!(f.corrupt_now(ClientId(3), &mut rng));
+        assert!(!f.corrupt_now(ClientId(4), &mut rng));
+    }
+
+    #[test]
+    fn dropout_lookup() {
+        let f = FaultPlan {
+            dropouts: vec![(ClientId(2), SimDuration::from_secs(30))],
+            ..FaultPlan::default()
+        };
+        assert_eq!(f.dropout_time(ClientId(2)), Some(SimDuration::from_secs(30)));
+        assert_eq!(f.dropout_time(ClientId(1)), None);
+    }
+}

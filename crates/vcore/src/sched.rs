@@ -1,0 +1,162 @@
+//! Scheduler matchmaking: which results does a work request get?
+//!
+//! BOINC's scheduler picks from the feeder's cache, honouring:
+//! * one result per work unit per host (replicas must land on distinct
+//!   machines or quorum validation would be meaningless);
+//! * the client's requested amount (here: task slots);
+//! * a per-RPC grant ceiling.
+//!
+//! The decision function is pure so it can be unit-tested exhaustively;
+//! the engine applies its choices to the database.
+
+use crate::db::Db;
+use crate::types::{ClientId, ResultId};
+
+/// A client's work request, as seen by the scheduler.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkRequest {
+    /// Requesting client.
+    pub client: ClientId,
+    /// Task slots the client wants filled.
+    pub slots_wanted: u32,
+}
+
+/// Chooses up to `min(slots_wanted, max_per_rpc)` results for `req`
+/// from the feeder's candidate list, skipping work units the client
+/// already holds a replica of. Candidates are consumed in order
+/// (feeder order == creation order, BOINC's FIFO default).
+pub fn pick_results(
+    db: &Db,
+    candidates: &[ResultId],
+    req: WorkRequest,
+    max_per_rpc: u32,
+) -> Vec<ResultId> {
+    let want = req.slots_wanted.min(max_per_rpc) as usize;
+    let mut picked: Vec<ResultId> = Vec::with_capacity(want);
+    for &rid in candidates {
+        if picked.len() >= want {
+            break;
+        }
+        let wu = db.result(rid).wu;
+        if db.client_has_wu(req.client, wu) {
+            continue;
+        }
+        // Also skip if we already picked another result of the same WU
+        // in this very grant.
+        if picked.iter().any(|&p| db.result(p).wu == wu) {
+            continue;
+        }
+        picked.push(rid);
+    }
+    picked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workunit::WorkUnitSpec;
+    use vmr_desim::SimTime;
+
+    fn db_with(n_wus: usize) -> Db {
+        let mut db = Db::new();
+        for i in 0..n_wus {
+            db.insert_workunit(WorkUnitSpec::basic(format!("wu{i}"), "app", 1e9), SimTime::ZERO);
+        }
+        db
+    }
+
+    fn unsent(db: &Db) -> Vec<ResultId> {
+        db.unsent_results().collect()
+    }
+
+    #[test]
+    fn grants_up_to_slots_wanted() {
+        let db = db_with(5);
+        let picked = pick_results(
+            &db,
+            &unsent(&db),
+            WorkRequest { client: ClientId(0), slots_wanted: 3 },
+            10,
+        );
+        assert_eq!(picked.len(), 3);
+    }
+
+    #[test]
+    fn grant_capped_by_max_per_rpc() {
+        let db = db_with(5);
+        let picked = pick_results(
+            &db,
+            &unsent(&db),
+            WorkRequest { client: ClientId(0), slots_wanted: 10 },
+            2,
+        );
+        assert_eq!(picked.len(), 2);
+    }
+
+    #[test]
+    fn never_two_replicas_of_same_wu_in_one_grant() {
+        let db = db_with(1); // one WU, two replicas unsent
+        let picked = pick_results(
+            &db,
+            &unsent(&db),
+            WorkRequest { client: ClientId(0), slots_wanted: 5 },
+            10,
+        );
+        assert_eq!(picked.len(), 1, "must not hand both replicas to one host");
+    }
+
+    #[test]
+    fn skips_wus_already_held() {
+        let mut db = db_with(2);
+        // Client 0 already holds a replica of wu0.
+        let wu0_results = db.results_of(crate::types::WuId(0)).to_vec();
+        db.mark_sent(wu0_results[0], ClientId(0), SimTime::ZERO, SimTime::from_secs(1000));
+        let picked = pick_results(
+            &db,
+            &unsent(&db),
+            WorkRequest { client: ClientId(0), slots_wanted: 5 },
+            10,
+        );
+        // Only wu1's replica is eligible.
+        assert_eq!(picked.len(), 1);
+        assert_eq!(db.result(picked[0]).wu, crate::types::WuId(1));
+    }
+
+    #[test]
+    fn other_client_still_gets_the_wu() {
+        let mut db = db_with(1);
+        let rids = db.results_of(crate::types::WuId(0)).to_vec();
+        db.mark_sent(rids[0], ClientId(0), SimTime::ZERO, SimTime::from_secs(1000));
+        let picked = pick_results(
+            &db,
+            &unsent(&db),
+            WorkRequest { client: ClientId(1), slots_wanted: 1 },
+            10,
+        );
+        assert_eq!(picked.len(), 1);
+    }
+
+    #[test]
+    fn zero_slots_gets_nothing() {
+        let db = db_with(3);
+        let picked = pick_results(
+            &db,
+            &unsent(&db),
+            WorkRequest { client: ClientId(0), slots_wanted: 0 },
+            10,
+        );
+        assert!(picked.is_empty());
+    }
+
+    #[test]
+    fn empty_feeder_gets_nothing() {
+        let db = db_with(0);
+        let picked = pick_results(
+            &db,
+            &[],
+            WorkRequest { client: ClientId(0), slots_wanted: 4 },
+            10,
+        );
+        assert!(picked.is_empty());
+    }
+}

@@ -1,0 +1,126 @@
+//! Quorum validation (§III.B).
+//!
+//! "Each map work unit is sent to N different users … and in order to be
+//! validated there must be a quorum of identical outputs – 2 out of the
+//! 3 users must return the same value, for example. This was also
+//! applied to reduce work units."
+//!
+//! The validator groups successful results by output fingerprint and
+//! declares the largest group canonical once it reaches `min_quorum`.
+
+use crate::types::OutputFingerprint;
+
+/// Verdict of one validation pass over a WU's reported results.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// A quorum of identical outputs exists.
+    Valid {
+        /// The agreed fingerprint.
+        canonical: OutputFingerprint,
+        /// Indexes (into the input slice) of the agreeing results.
+        agreeing: Vec<usize>,
+        /// Indexes of successful results that disagree (byzantine or
+        /// faulty — they receive no credit and flag their hosts).
+        dissenting: Vec<usize>,
+    },
+    /// Not enough agreement yet; more results are needed.
+    Inconclusive,
+}
+
+/// Runs quorum validation over the fingerprints of the successful
+/// results of one work unit.
+///
+/// Deterministic tie-break: among equal-sized groups reaching quorum the
+/// smallest fingerprint wins (cannot happen with honest majorities, but
+/// keeps the simulation reproducible under heavy fault injection).
+pub fn check_quorum(fingerprints: &[OutputFingerprint], min_quorum: u32) -> Verdict {
+    if min_quorum == 0 || (fingerprints.len() as u32) < min_quorum {
+        return Verdict::Inconclusive;
+    }
+    // Group indexes by fingerprint.
+    let mut groups: Vec<(OutputFingerprint, Vec<usize>)> = Vec::new();
+    for (i, &fp) in fingerprints.iter().enumerate() {
+        match groups.iter_mut().find(|(g, _)| *g == fp) {
+            Some((_, v)) => v.push(i),
+            None => groups.push((fp, vec![i])),
+        }
+    }
+    groups.sort_by_key(|(fp, v)| (std::cmp::Reverse(v.len()), fp.0));
+    let (canonical, agreeing) = groups[0].clone();
+    if (agreeing.len() as u32) < min_quorum {
+        return Verdict::Inconclusive;
+    }
+    let dissenting = (0..fingerprints.len()).filter(|i| !agreeing.contains(i)).collect();
+    Verdict::Valid {
+        canonical,
+        agreeing,
+        dissenting,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(x: u64) -> OutputFingerprint {
+        OutputFingerprint(x)
+    }
+
+    #[test]
+    fn two_of_two_agree() {
+        let v = check_quorum(&[fp(5), fp(5)], 2);
+        match v {
+            Verdict::Valid { canonical, agreeing, dissenting } => {
+                assert_eq!(canonical, fp(5));
+                assert_eq!(agreeing, vec![0, 1]);
+                assert!(dissenting.is_empty());
+            }
+            _ => panic!("expected valid"),
+        }
+    }
+
+    #[test]
+    fn two_of_two_disagree() {
+        assert_eq!(check_quorum(&[fp(1), fp(2)], 2), Verdict::Inconclusive);
+    }
+
+    #[test]
+    fn two_of_three_with_byzantine_minority() {
+        let v = check_quorum(&[fp(9), fp(1), fp(9)], 2);
+        match v {
+            Verdict::Valid { canonical, agreeing, dissenting } => {
+                assert_eq!(canonical, fp(9));
+                assert_eq!(agreeing, vec![0, 2]);
+                assert_eq!(dissenting, vec![1]);
+            }
+            _ => panic!("expected valid"),
+        }
+    }
+
+    #[test]
+    fn insufficient_results() {
+        assert_eq!(check_quorum(&[fp(1)], 2), Verdict::Inconclusive);
+        assert_eq!(check_quorum(&[], 1), Verdict::Inconclusive);
+    }
+
+    #[test]
+    fn quorum_of_one_accepts_anything() {
+        let v = check_quorum(&[fp(3)], 1);
+        assert!(matches!(v, Verdict::Valid { canonical, .. } if canonical == fp(3)));
+    }
+
+    #[test]
+    fn tie_breaks_deterministically() {
+        // Two groups of size 2 with quorum 2: smaller fingerprint wins.
+        let v = check_quorum(&[fp(8), fp(3), fp(8), fp(3)], 2);
+        match v {
+            Verdict::Valid { canonical, .. } => assert_eq!(canonical, fp(3)),
+            _ => panic!("expected valid"),
+        }
+    }
+
+    #[test]
+    fn zero_quorum_is_inconclusive() {
+        assert_eq!(check_quorum(&[fp(1)], 0), Verdict::Inconclusive);
+    }
+}

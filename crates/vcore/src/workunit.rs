@@ -1,0 +1,188 @@
+//! Work units and results: the BOINC replication state machine.
+//!
+//! A *work unit* (WU) is the logical task; the server issues
+//! `target_nresults` *results* (replica instances) of it to distinct
+//! clients and declares the WU valid once `min_quorum` returned outputs
+//! agree (§III.B: "each map work unit is sent to N different users …
+//! there must be a quorum of identical outputs").
+
+use crate::types::{ClientId, FileRef, OutputFingerprint, WuId};
+use vmr_desim::{SimDuration, SimTime};
+
+/// Immutable description of a work unit, as inserted by the project.
+#[derive(Clone, Debug)]
+pub struct WorkUnitSpec {
+    /// Unique name, e.g. `mr0_map_3`.
+    pub name: String,
+    /// Application name; the scheduler can filter by it.
+    pub app: String,
+    /// Input files the client must download before executing.
+    pub inputs: Vec<FileRef>,
+    /// Computation size in FLOPs (scaled by host speed into seconds).
+    pub flops: f64,
+    /// Number of replica results to create (paper: 2).
+    pub target_nresults: u32,
+    /// Matching outputs required to validate (paper: 2 — "both results
+    /// identical").
+    pub min_quorum: u32,
+    /// Hard ceiling on total results ever created for this WU before it
+    /// is declared failed (BOINC's `max_total_results`).
+    pub max_total_results: u32,
+    /// Report deadline for each result (`delay_bound`).
+    pub delay_bound: SimDuration,
+    /// Size of the output file the task produces.
+    pub output_bytes: u64,
+    /// Whether output files are uploaded to the server (plain BOINC),
+    /// or only their fingerprint is reported (BOINC-MR map outputs).
+    pub upload_outputs: bool,
+    /// Opaque project payload (vmr-core stores the MR task index here).
+    pub payload: u64,
+}
+
+impl WorkUnitSpec {
+    /// A minimal spec with the paper's replication parameters.
+    pub fn basic(name: impl Into<String>, app: impl Into<String>, flops: f64) -> Self {
+        WorkUnitSpec {
+            name: name.into(),
+            app: app.into(),
+            inputs: Vec::new(),
+            flops,
+            target_nresults: 2,
+            min_quorum: 2,
+            max_total_results: 8,
+            delay_bound: SimDuration::from_secs(6 * 3600),
+            output_bytes: 0,
+            upload_outputs: true,
+            payload: 0,
+        }
+    }
+}
+
+/// Lifecycle of a work unit on the server.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WuState {
+    /// Results outstanding; no quorum yet.
+    Active,
+    /// A quorum of identical outputs was found.
+    Validated,
+    /// `max_total_results` exhausted without a quorum.
+    Failed,
+}
+
+/// A work unit row in the project database.
+#[derive(Clone, Debug)]
+pub struct WorkUnit {
+    /// Database id.
+    pub id: WuId,
+    /// Immutable spec.
+    pub spec: WorkUnitSpec,
+    /// Current lifecycle state.
+    pub state: WuState,
+    /// Fingerprint agreed on by the quorum, once validated.
+    pub canonical: Option<OutputFingerprint>,
+    /// Total results created so far (for `max_total_results`).
+    pub results_created: u32,
+    /// When the WU was inserted.
+    pub created_at: SimTime,
+    /// When the WU validated/failed.
+    pub finished_at: Option<SimTime>,
+}
+
+/// Server-side state of one result (replica).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ResultState {
+    /// Waiting in the feeder/DB to be handed to a client.
+    Unsent,
+    /// Assigned to a client; the server awaits its report.
+    InProgress,
+    /// Reported (or timed out); see [`ResultOutcome`].
+    Over,
+}
+
+/// Terminal outcome of a result.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ResultOutcome {
+    /// Output reported; fingerprint recorded.
+    Success,
+    /// Client error during download/execute/upload.
+    Error,
+    /// Report deadline passed with no reply.
+    NoReply,
+    /// Superseded: its WU validated without it (it may still report
+    /// later; the report is accepted but changes nothing).
+    WuDone,
+}
+
+/// A result row in the project database.
+#[derive(Clone, Debug)]
+pub struct ResultRec {
+    /// Database id.
+    pub id: crate::types::ResultId,
+    /// Owning work unit.
+    pub wu: WuId,
+    /// Server-side state.
+    pub state: ResultState,
+    /// Assigned client, once sent.
+    pub client: Option<ClientId>,
+    /// When it was handed to the client.
+    pub sent_at: Option<SimTime>,
+    /// Deadline by which the client must report.
+    pub report_deadline: Option<SimTime>,
+    /// When the report arrived.
+    pub reported_at: Option<SimTime>,
+    /// Terminal outcome.
+    pub outcome: Option<ResultOutcome>,
+    /// Fingerprint the client reported.
+    pub fingerprint: Option<OutputFingerprint>,
+}
+
+impl ResultRec {
+    /// True if this result can still produce a report.
+    pub fn is_live(&self) -> bool {
+        matches!(self.state, ResultState::Unsent | ResultState::InProgress)
+    }
+
+    /// True if it reported successfully and awaits/underwent validation.
+    pub fn is_success(&self) -> bool {
+        self.outcome == Some(ResultOutcome::Success)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_spec_defaults_match_paper() {
+        let s = WorkUnitSpec::basic("wu", "wc_map", 1e9);
+        assert_eq!(s.target_nresults, 2);
+        assert_eq!(s.min_quorum, 2);
+        assert!(s.upload_outputs);
+        assert!(s.max_total_results >= s.target_nresults);
+    }
+
+    #[test]
+    fn result_liveness() {
+        let r = ResultRec {
+            id: crate::types::ResultId(0),
+            wu: WuId(0),
+            state: ResultState::Unsent,
+            client: None,
+            sent_at: None,
+            report_deadline: None,
+            reported_at: None,
+            outcome: None,
+            fingerprint: None,
+        };
+        assert!(r.is_live());
+        assert!(!r.is_success());
+        let done = ResultRec {
+            state: ResultState::Over,
+            outcome: Some(ResultOutcome::Success),
+            fingerprint: Some(OutputFingerprint(1)),
+            ..r
+        };
+        assert!(!done.is_live());
+        assert!(done.is_success());
+    }
+}

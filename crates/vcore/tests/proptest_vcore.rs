@@ -1,0 +1,201 @@
+//! Property tests for the middleware's replication/validation state
+//! machine and the backoff policy.
+
+use proptest::prelude::*;
+use vmr_desim::{RngStream, SimDuration, SimTime};
+use vmr_vcore::transition::{transition_wu, Transition};
+use vmr_vcore::{
+    check_quorum, Backoff, ClientId, Db, OutputFingerprint, ResultOutcome, Verdict,
+    WorkUnitSpec, WuState,
+};
+
+proptest! {
+    /// The quorum verdict is permutation-invariant in the *canonical
+    /// choice* and always internally consistent: agreeing results all
+    /// share the canonical fingerprint, dissenting ones never do, and
+    /// together they partition the input.
+    #[test]
+    fn quorum_verdict_consistent(
+        fps in proptest::collection::vec(0u64..6, 0..12),
+        quorum in 1u32..5,
+    ) {
+        let fps: Vec<OutputFingerprint> = fps.into_iter().map(OutputFingerprint).collect();
+        match check_quorum(&fps, quorum) {
+            Verdict::Valid { canonical, agreeing, dissenting } => {
+                prop_assert!(agreeing.len() as u32 >= quorum);
+                for &i in &agreeing {
+                    prop_assert_eq!(fps[i], canonical);
+                }
+                for &i in &dissenting {
+                    prop_assert_ne!(fps[i], canonical);
+                }
+                let mut all: Vec<usize> = agreeing.iter().chain(&dissenting).copied().collect();
+                all.sort_unstable();
+                prop_assert_eq!(all, (0..fps.len()).collect::<Vec<_>>());
+                // No strictly larger agreeing group exists.
+                for fp in &fps {
+                    let n = fps.iter().filter(|g| *g == fp).count();
+                    prop_assert!(n <= agreeing.len());
+                }
+            }
+            Verdict::Inconclusive => {
+                // No fingerprint reaches the quorum.
+                for fp in &fps {
+                    let n = fps.iter().filter(|g| *g == fp).count() as u32;
+                    prop_assert!(n < quorum || quorum == 0);
+                }
+            }
+        }
+    }
+
+    /// Driving a work unit with an arbitrary report schedule never
+    /// breaks the invariants: results_created ≤ max_total_results; a
+    /// validated WU has a canonical fingerprint matching ≥ quorum
+    /// successes; a failed WU exhausted its budget.
+    #[test]
+    fn transitioner_invariants(
+        // Each event: (client_pick, outcome: 0=honest,1=corrupt,2=error,3=timeout)
+        events in proptest::collection::vec((0u32..12, 0u8..4), 1..30),
+        quorum in 1u32..4,
+        extra_replicas in 0u32..3,
+    ) {
+        let mut db = Db::new();
+        let mut spec = WorkUnitSpec::basic("w", "app", 1e9);
+        spec.min_quorum = quorum;
+        spec.target_nresults = quorum + extra_replicas;
+        spec.max_total_results = (quorum + extra_replicas) * 3;
+        let wu = db.insert_workunit(spec, SimTime::ZERO);
+
+        let honest = OutputFingerprint(7777);
+        let mut t = 1u64;
+        #[allow(clippy::explicit_counter_loop)]
+        for (client_pick, outcome) in events {
+            if db.wu(wu).state != WuState::Active {
+                break;
+            }
+            // Send an unsent result to a client that doesn't have one.
+            let unsent: Vec<_> = db.unsent_results().collect();
+            let Some(&rid) = unsent.first() else { break };
+            // Find an eligible client deterministically from the pick.
+            let mut client = None;
+            for off in 0..12u32 {
+                let c = ClientId((client_pick + off) % 12);
+                if !db.client_has_wu(c, wu) {
+                    client = Some(c);
+                    break;
+                }
+            }
+            let Some(c) = client else { break };
+            let now = SimTime::from_secs(t);
+            t += 1;
+            db.mark_sent(rid, c, now, now + SimDuration::from_secs(100));
+            match outcome {
+                0 => { db.mark_reported(rid, ResultOutcome::Success, Some(honest), now); }
+                1 => { db.mark_reported(rid, ResultOutcome::Success,
+                        Some(OutputFingerprint(1000 + c.0 as u64)), now); }
+                2 => { db.mark_reported(rid, ResultOutcome::Error, None, now); }
+                _ => { db.mark_timed_out(rid, now); }
+            }
+            let _ = transition_wu(&mut db, wu, now);
+
+            // Invariants after every step.
+            let w = db.wu(wu);
+            prop_assert!(w.results_created <= w.spec.max_total_results);
+            match w.state {
+                WuState::Validated => {
+                    let canonical = w.canonical.expect("validated without canonical");
+                    let matching = db.results_of(wu).iter().filter(|&&r| {
+                        db.result(r).is_success()
+                            && db.result(r).fingerprint == Some(canonical)
+                    }).count() as u32;
+                    prop_assert!(matching >= quorum);
+                }
+                WuState::Failed => {
+                    prop_assert_eq!(w.results_created, w.spec.max_total_results);
+                }
+                WuState::Active => {}
+            }
+        }
+        // Terminal transitions are sticky.
+        let state = db.wu(wu).state;
+        let after = transition_wu(&mut db, wu, SimTime::from_secs(10_000));
+        if state != WuState::Active {
+            prop_assert_eq!(after, Transition::None);
+            prop_assert_eq!(db.wu(wu).state, state);
+        }
+    }
+
+    /// Backoff delays are always within [min(1s, …), max] and reset on
+    /// work, for any interleaving of empty replies and grants.
+    #[test]
+    fn backoff_bounds_hold(
+        ops in proptest::collection::vec(any::<bool>(), 1..60),
+        min_s in 1u64..120,
+        max_s in 120u64..2000,
+        seed in any::<u64>(),
+    ) {
+        let mut b = Backoff::with_bounds(
+            SimDuration::from_secs(min_s),
+            SimDuration::from_secs(max_s),
+        );
+        let mut rng = RngStream::new(seed);
+        for op in ops {
+            if op {
+                let d = b.on_empty_reply(&mut rng);
+                prop_assert!(d <= SimDuration::from_secs(max_s));
+                prop_assert!(d >= SimDuration::from_secs(1));
+                // Jitter floor: at least half the nominal.
+                let nominal = b.nominal_delay();
+                prop_assert!(d.as_secs_f64() >= 0.5 * nominal.as_secs_f64() - 1e-6);
+            } else {
+                b.on_work_received();
+                prop_assert!(b.is_reset());
+                prop_assert_eq!(b.nominal_delay(), SimDuration::from_secs(min_s).max(SimDuration::from_secs(1)));
+            }
+        }
+    }
+
+    /// Scheduler matchmaking never hands two replicas of a WU to the
+    /// same client, for arbitrary request orders.
+    #[test]
+    fn one_replica_per_host_always(
+        n_wus in 1usize..8,
+        requests in proptest::collection::vec((0u32..6, 1u32..4), 1..40),
+    ) {
+        let mut db = Db::new();
+        for i in 0..n_wus {
+            let mut spec = WorkUnitSpec::basic(format!("w{i}"), "app", 1e9);
+            spec.target_nresults = 3;
+            spec.min_quorum = 2;
+            db.insert_workunit(spec, SimTime::ZERO);
+        }
+        let mut t = 1u64;
+        for (client, slots) in requests {
+            let cands: Vec<_> = db.unsent_results().collect();
+            let picked = vmr_vcore::sched::pick_results(
+                &db,
+                &cands,
+                vmr_vcore::sched::WorkRequest { client: ClientId(client), slots_wanted: slots },
+                8,
+            );
+            for rid in picked {
+                let now = SimTime::from_secs(t);
+                t += 1;
+                db.mark_sent(rid, ClientId(client), now, now + SimDuration::from_secs(1000));
+            }
+        }
+        // Check the global invariant.
+        for i in 0..n_wus {
+            let wu = vmr_vcore::WuId(i as u32);
+            let mut holders: Vec<ClientId> = db
+                .results_of(wu)
+                .iter()
+                .filter_map(|&r| db.result(r).client)
+                .collect();
+            let before = holders.len();
+            holders.sort();
+            holders.dedup();
+            prop_assert_eq!(before, holders.len(), "duplicate holder on wu{}", i);
+        }
+    }
+}
