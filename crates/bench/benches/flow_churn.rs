@@ -1,0 +1,53 @@
+//! Criterion benchmark `netsim/flow-churn`: the incremental flow engine
+//! against the scan-everything reference on the shuffle-churn workload
+//! (many short overlapping flows with relays, caps and background
+//! traffic — see `vmr_bench::churn`).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use vmr_bench::churn::{churn_script, churn_topology, run_churn, ChurnSpec};
+use vmr_netsim::{NaiveNetwork, Network};
+
+fn bench_flow_churn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("netsim/flow-churn");
+    g.sample_size(10);
+
+    // The paper's testbed scale: 40 hosts, ~400 concurrent flows.
+    let small = ChurnSpec {
+        hosts: 40,
+        fetches_per_host: 10,
+        waves: 1,
+        seed: 0x51AB,
+    };
+    let small_script = churn_script(&small);
+    g.throughput(Throughput::Elements(small_script.len() as u64));
+    g.bench_function("40-hosts-400-flows/incremental", |b| {
+        b.iter(|| black_box(run_churn::<Network>(churn_topology(&small), &small_script)))
+    });
+    g.bench_function("40-hosts-400-flows/reference", |b| {
+        b.iter(|| {
+            black_box(run_churn::<NaiveNetwork>(
+                churn_topology(&small),
+                &small_script,
+            ))
+        })
+    });
+
+    // Volunteer-cloud scale; incremental engine only (the reference is
+    // quadratic in the flow population and would run for minutes).
+    let large = ChurnSpec {
+        hosts: 1000,
+        fetches_per_host: 3,
+        waves: 1,
+        seed: 0x51AB,
+    };
+    let large_script = churn_script(&large);
+    g.throughput(Throughput::Elements(large_script.len() as u64));
+    g.bench_function("1000-hosts/incremental", |b| {
+        b.iter(|| black_box(run_churn::<Network>(churn_topology(&large), &large_script)))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_flow_churn);
+criterion_main!(benches);

@@ -54,10 +54,20 @@ fn bench_allocator(c: &mut Criterion) {
             .map(|i| FlowDemand {
                 key: i,
                 links: vec![
-                    LinkRef { host: HostId((i % 32) as u32), dir: Direction::Up },
-                    LinkRef { host: HostId(((i * 7 + 1) % 32) as u32), dir: Direction::Down },
+                    LinkRef {
+                        host: HostId((i % 32) as u32),
+                        dir: Direction::Up,
+                    },
+                    LinkRef {
+                        host: HostId(((i * 7 + 1) % 32) as u32),
+                        dir: Direction::Down,
+                    },
                 ],
-                priority: if i % 4 == 0 { Priority::Background } else { Priority::Foreground },
+                priority: if i % 4 == 0 {
+                    Priority::Background
+                } else {
+                    Priority::Foreground
+                },
                 rate_cap: None,
             })
             .collect();

@@ -21,9 +21,27 @@ fn main() {
     );
     let cases: Vec<(&str, Option<Availability>)> = vec![
         ("dedicated (Emulab)", None),
-        ("on 50 min / off 10 min", Some(Availability { on_mean_s: 3000.0, off_mean_s: 600.0 })),
-        ("on 20 min / off 20 min", Some(Availability { on_mean_s: 1200.0, off_mean_s: 1200.0 })),
-        ("on 10 min / off 30 min", Some(Availability { on_mean_s: 600.0, off_mean_s: 1800.0 })),
+        (
+            "on 50 min / off 10 min",
+            Some(Availability {
+                on_mean_s: 3000.0,
+                off_mean_s: 600.0,
+            }),
+        ),
+        (
+            "on 20 min / off 20 min",
+            Some(Availability {
+                on_mean_s: 1200.0,
+                off_mean_s: 1200.0,
+            }),
+        ),
+        (
+            "on 10 min / off 30 min",
+            Some(Availability {
+                on_mean_s: 600.0,
+                off_mean_s: 1800.0,
+            }),
+        ),
     ];
     for (name, avail) in cases {
         let mut cfg = ExperimentConfig::table1(15, 15, 3, MrMode::InterClient);

@@ -73,7 +73,11 @@ fn main() {
     rows.sort_by_key(|(_, _, rep)| *rep);
     for (actor, done, rep) in &rows {
         let delay = rep.saturating_since(*done).as_secs_f64();
-        let flag = if delay > 60.0 { "  ← backoff straggler" } else { "" };
+        let flag = if delay > 60.0 {
+            "  ← backoff straggler"
+        } else {
+            ""
+        };
         println!(
             "{actor:<9} {:>11.1}s {:>11.1}s {:>11.1}{flag}",
             done.as_secs_f64(),

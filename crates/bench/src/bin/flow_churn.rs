@@ -1,0 +1,118 @@
+//! Flow-churn scaling benchmark for the incremental netsim engine.
+//!
+//! Drives the shuffle-churn workload (see `vmr_bench::churn`) through
+//! the incremental `Network` and the scan-everything `NaiveNetwork`
+//! reference at the paper's testbed scale (40 hosts, ~400 concurrent
+//! flows) and at volunteer-cloud scale (2000 hosts, thousands of
+//! concurrent flows; incremental engine only — the reference is
+//! quadratic and would dominate the run time).
+//!
+//! Emits one machine-readable line, `BENCH_netsim.json`, with events/sec
+//! and wall-clock per configuration plus the measured speedup.
+//!
+//! Usage: `cargo run -p vmr-bench --release --bin flow_churn`
+
+use std::time::Instant;
+use vmr_bench::churn::{churn_script, churn_topology, run_churn, ChurnOutcome, ChurnSpec};
+use vmr_netsim::{NaiveNetwork, Network};
+
+struct Measured {
+    outcome: ChurnOutcome,
+    wall_s: f64,
+}
+
+fn measure<E: vmr_bench::churn::FlowEngine>(spec: &ChurnSpec) -> Measured {
+    let topo = churn_topology(spec);
+    let script = churn_script(spec);
+    let t0 = Instant::now();
+    let outcome = run_churn::<E>(topo, &script);
+    Measured {
+        outcome,
+        wall_s: t0.elapsed().as_secs_f64(),
+    }
+}
+
+fn events_per_sec(m: &Measured) -> f64 {
+    m.outcome.events as f64 / m.wall_s.max(1e-9)
+}
+
+fn main() {
+    // The paper's Emulab testbed scale: ~40 machines, one shuffle wave of
+    // 10 fetches per host → 400 concurrent flows.
+    let small = ChurnSpec {
+        hosts: 40,
+        fetches_per_host: 10,
+        waves: 2,
+        seed: 0x51AB,
+    };
+    // Volunteer-cloud scale: three orders of magnitude more hosts than
+    // the prototype was evaluated on.
+    let large = ChurnSpec {
+        hosts: 2000,
+        fetches_per_host: 3,
+        waves: 2,
+        seed: 0x51AB,
+    };
+
+    eprintln!("40-host shuffle, incremental engine…");
+    let small_inc = measure::<Network>(&small);
+    eprintln!("40-host shuffle, reference engine…");
+    let small_ref = measure::<NaiveNetwork>(&small);
+    assert_eq!(
+        small_inc.outcome.makespan, small_ref.outcome.makespan,
+        "engines diverge"
+    );
+    assert_eq!(
+        small_inc.outcome.bytes.to_bits(),
+        small_ref.outcome.bytes.to_bits(),
+        "engines diverge on delivered bytes"
+    );
+    eprintln!("2000-host shuffle, incremental engine…");
+    let large_inc = measure::<Network>(&large);
+
+    let speedup = small_ref.wall_s / small_inc.wall_s.max(1e-9);
+    for (name, m) in [
+        ("40-host incremental", &small_inc),
+        ("40-host reference", &small_ref),
+        ("2000-host incremental", &large_inc),
+    ] {
+        eprintln!(
+            "{:<22} flows {:>6}  peak {:>5}  events {:>7}  wall {:>8.3} s  {:>10.0} events/s",
+            name,
+            m.outcome.started,
+            m.outcome.peak_concurrent,
+            m.outcome.events,
+            m.wall_s,
+            events_per_sec(m),
+        );
+    }
+    eprintln!(
+        "speedup over reference at 40 hosts / {} peak flows: {:.1}x",
+        small_inc.outcome.peak_concurrent, speedup
+    );
+
+    println!(
+        "BENCH_netsim.json {{\"small_hosts\": {}, \"small_flows\": {}, \"small_peak_concurrent\": {}, \
+         \"small_events\": {}, \"small_wall_s\": {:.4}, \"small_events_per_s\": {:.0}, \
+         \"small_ref_wall_s\": {:.4}, \"small_ref_events_per_s\": {:.0}, \"speedup_vs_reference\": {:.2}, \
+         \"large_hosts\": {}, \"large_flows\": {}, \"large_peak_concurrent\": {}, \
+         \"large_events\": {}, \"large_wall_s\": {:.4}, \"large_events_per_s\": {:.0}, \
+         \"large_makespan_s\": {:.1}}}",
+        small.hosts,
+        small_inc.outcome.started,
+        small_inc.outcome.peak_concurrent,
+        small_inc.outcome.events,
+        small_inc.wall_s,
+        events_per_sec(&small_inc),
+        small_ref.wall_s,
+        events_per_sec(&small_ref),
+        speedup,
+        large.hosts,
+        large_inc.outcome.started,
+        large_inc.outcome.peak_concurrent,
+        large_inc.outcome.events,
+        large_inc.wall_s,
+        events_per_sec(&large_inc),
+        large_inc.outcome.makespan.as_secs_f64(),
+    );
+}

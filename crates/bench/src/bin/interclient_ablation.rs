@@ -52,7 +52,10 @@ fn main() {
         use vmr_vcore::{Engine, HostProfile, ProjectConfig};
         let mut eng = Engine::testbed(cfg2.seed, ProjectConfig::default());
         for _ in 0..20 {
-            eng.add_client(HostProfile::pc3001(), HostLink::symmetric_mbit(100.0, 0.000_5));
+            eng.add_client(
+                HostProfile::pc3001(),
+                HostLink::symmetric_mbit(100.0, 0.000_5),
+            );
         }
         let mut jc = MrJobConfig::paper_wordcount(20, 5, MrMode::InterClient);
         jc.sizing = sizing;

@@ -28,15 +28,24 @@ fn main() {
         ("baseline (paper's behaviour)", MitigationPlan::default()),
         (
             "immediate report",
-            MitigationPlan { immediate_report: true, ..Default::default() },
+            MitigationPlan {
+                immediate_report: true,
+                ..Default::default()
+            },
         ),
         (
             "intermediate downloads",
-            MitigationPlan { intermediate_downloads: true, ..Default::default() },
+            MitigationPlan {
+                intermediate_downloads: true,
+                ..Default::default()
+            },
         ),
         (
             "both",
-            MitigationPlan { immediate_report: true, intermediate_downloads: true },
+            MitigationPlan {
+                immediate_report: true,
+                intermediate_downloads: true,
+            },
         ),
     ];
     const SEEDS: [u64; 3] = [5, 6, 7];

@@ -43,7 +43,9 @@ fn run(bulk_priority: Priority) -> (f64, f64) {
                 continue;
             }
         }
-        let Some(t) = net.next_event_time() else { break };
+        let Some(t) = net.next_event_time() else {
+            break;
+        };
         for c in net.advance(t) {
             if c.id == bulk_id {
                 bulk_done = Some(c.at.as_secs_f64());

@@ -13,7 +13,10 @@ use vmr_vcore::{ClientId, FaultPlan};
 fn main() {
     let sizing = calibrated_sizing();
     println!("# A4 — replication/quorum sweep (12 nodes, 8 maps, 2 reduces, 256 MB)");
-    println!("{:>11} | {:>9} | {:>8} | {:>10} | {:>7}", "replication", "byzantine", "done", "total s", "grants");
+    println!(
+        "{:>11} | {:>9} | {:>8} | {:>10} | {:>7}",
+        "replication", "byzantine", "done", "total s", "grants"
+    );
     for replication in [1u32, 2, 3] {
         for n_byz in [0usize, 2] {
             let mut cfg = ExperimentConfig::table1(12, 8, 2, MrMode::InterClient);
@@ -28,11 +31,7 @@ fn main() {
                 ..FaultPlan::default()
             };
             let out = run_experiment(&cfg);
-            let total = out
-                .reports
-                .first()
-                .map(|r| r.total_s)
-                .unwrap_or(f64::NAN);
+            let total = out.reports.first().map(|r| r.total_s).unwrap_or(f64::NAN);
             println!(
                 "{:>11} | {:>9} | {:>8} | {:>10.0} | {:>7}",
                 replication, n_byz, out.all_done, total, out.stats.grants

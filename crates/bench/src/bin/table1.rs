@@ -12,9 +12,7 @@ use vmr_core::{format_row, run_experiment};
 fn main() {
     let mixed = std::env::args().any(|a| a == "--mixed");
     let sizing = calibrated_sizing();
-    println!(
-        "# Table I — word count makespan (1 GB input, replication 2, quorum 2, 100 Mbit)"
-    );
+    println!("# Table I — word count makespan (1 GB input, replication 2, quorum 2, 100 Mbit)");
     if mixed {
         println!("# node fleet: half pc3001, half quad-core pcr200 (--mixed)");
     }

@@ -1,5 +1,8 @@
 //! Shared definitions for the benchmark harness: the paper's Table I
-//! row list with its published values, and sizing calibration helpers.
+//! row list with its published values, sizing calibration helpers, and
+//! the flow-churn workload for the netsim engine benchmarks.
+
+pub mod churn;
 
 use vmr_core::{ExperimentConfig, MrMode, SizingModel};
 use vmr_mapreduce::apps::WordCount;
@@ -44,15 +47,87 @@ pub fn table1_rows() -> Vec<Table1Row> {
         paper_total,
     };
     vec![
-        r(10, 10, 2, ServerRelay, (484.0, None), (337.0, None), (1121.0, None)),
-        r(10, 20, 2, ServerRelay, (376.0, None), (349.0, None), (1133.0, None)),
-        r(15, 15, 3, ServerRelay, (747.0, Some(396.0)), (604.0, Some(312.0)), (1529.0, Some(1011.0))),
-        r(15, 30, 3, ServerRelay, (983.0, Some(364.0)), (322.0, None), (1378.0, Some(758.0))),
-        r(20, 20, 5, ServerRelay, (383.0, None), (455.0, Some(341.0)), (1111.0, Some(997.0))),
-        r(20, 40, 5, ServerRelay, (649.0, Some(360.0)), (700.0, Some(391.0)), (1681.0, Some(1083.0))),
-        r(30, 30, 7, ServerRelay, (716.0, Some(373.0)), (345.0, None), (1373.0, Some(1030.0))),
-        r(30, 40, 5, ServerRelay, (368.0, None), (399.0, None), (1174.0, None)),
-        r(20, 20, 5, InterClient, (612.0, None), (318.0, None), (1216.0, None)),
+        r(
+            10,
+            10,
+            2,
+            ServerRelay,
+            (484.0, None),
+            (337.0, None),
+            (1121.0, None),
+        ),
+        r(
+            10,
+            20,
+            2,
+            ServerRelay,
+            (376.0, None),
+            (349.0, None),
+            (1133.0, None),
+        ),
+        r(
+            15,
+            15,
+            3,
+            ServerRelay,
+            (747.0, Some(396.0)),
+            (604.0, Some(312.0)),
+            (1529.0, Some(1011.0)),
+        ),
+        r(
+            15,
+            30,
+            3,
+            ServerRelay,
+            (983.0, Some(364.0)),
+            (322.0, None),
+            (1378.0, Some(758.0)),
+        ),
+        r(
+            20,
+            20,
+            5,
+            ServerRelay,
+            (383.0, None),
+            (455.0, Some(341.0)),
+            (1111.0, Some(997.0)),
+        ),
+        r(
+            20,
+            40,
+            5,
+            ServerRelay,
+            (649.0, Some(360.0)),
+            (700.0, Some(391.0)),
+            (1681.0, Some(1083.0)),
+        ),
+        r(
+            30,
+            30,
+            7,
+            ServerRelay,
+            (716.0, Some(373.0)),
+            (345.0, None),
+            (1373.0, Some(1030.0)),
+        ),
+        r(
+            30,
+            40,
+            5,
+            ServerRelay,
+            (368.0, None),
+            (399.0, None),
+            (1174.0, None),
+        ),
+        r(
+            20,
+            20,
+            5,
+            InterClient,
+            (612.0, None),
+            (318.0, None),
+            (1216.0, None),
+        ),
     ]
 }
 

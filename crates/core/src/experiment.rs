@@ -28,7 +28,10 @@ pub struct NodeMix {
 impl NodeMix {
     /// All nodes of the slower type.
     pub fn uniform(n: usize) -> Self {
-        NodeMix { pc3001: n, pcr200: 0 }
+        NodeMix {
+            pc3001: n,
+            pcr200: 0,
+        }
     }
 
     /// Total node count.
@@ -272,9 +275,7 @@ fn build_report(eng: &Engine, job: &crate::jobtracker::JobState) -> PhaseReport 
     let reduce_no_slowest_s = keep(reduce_s, reduce_ns);
     let total_no_slowest_s = match (map_no_slowest_s, reduce_no_slowest_s) {
         (None, None) => None,
-        (m, r) => Some(
-            total_s - (map_s - m.unwrap_or(map_s)) - (reduce_s - r.unwrap_or(reduce_s)),
-        ),
+        (m, r) => Some(total_s - (map_s - m.unwrap_or(map_s)) - (reduce_s - r.unwrap_or(reduce_s))),
     };
     PhaseReport {
         map_s,
@@ -287,12 +288,7 @@ fn build_report(eng: &Engine, job: &crate::jobtracker::JobState) -> PhaseReport 
 }
 
 /// Formats a Table I row: `value [derived]` cells.
-pub fn format_row(
-    nodes: usize,
-    n_maps: usize,
-    n_reduces: usize,
-    r: &PhaseReport,
-) -> String {
+pub fn format_row(nodes: usize, n_maps: usize, n_reduces: usize, r: &PhaseReport) -> String {
     let cell = |v: f64, ns: Option<f64>| match ns {
         Some(d) => format!("{:>5.0} [{:>4.0}]", v, d),
         None => format!("{:>5.0}       ", v),

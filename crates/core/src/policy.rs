@@ -17,9 +17,7 @@
 use crate::config::{MrJobConfig, MrMode};
 use crate::jobtracker::{JobState, JobTracker, Phase, TaskKind};
 use vmr_desim::SimDuration;
-use vmr_vcore::{
-    ClientId, Engine, FileRef, FileSource, Policy, ResultId, WorkUnitSpec, WuId,
-};
+use vmr_vcore::{ClientId, Engine, FileRef, FileSource, Policy, ResultId, WorkUnitSpec, WuId};
 
 /// The BOINC-MR server policy.
 #[derive(Debug, Default)]
@@ -97,9 +95,7 @@ impl MrPolicy {
                 // §IV.C "intermediate data downloads": everything except
                 // the last-validated map was prefetched during the map
                 // phase; only the tail remains to fetch.
-                if cfg.mitigation.intermediate_downloads
-                    && job.last_validated_map != Some(m)
-                {
+                if cfg.mitigation.intermediate_downloads && job.last_validated_map != Some(m) {
                     bytes = 0;
                 }
                 let source = match cfg.mode {
@@ -273,7 +269,8 @@ impl Policy for MrPolicy {
     fn on_wu_failed(&mut self, eng: &mut Engine, wu: WuId) {
         if let Some((ji, _)) = self.tracker.lookup(wu) {
             self.tracker.jobs[ji].phase = Phase::Failed;
-            eng.timeline.point("server", "phase", "job-failed", eng.now());
+            eng.timeline
+                .point("server", "phase", "job-failed", eng.now());
         }
     }
 }
@@ -288,7 +285,10 @@ mod tests {
     fn engine(n: usize) -> Engine {
         let mut eng = Engine::testbed(1, ProjectConfig::default());
         for _ in 0..n {
-            eng.add_client(HostProfile::pc3001(), HostLink::symmetric_mbit(100.0, 0.000_5));
+            eng.add_client(
+                HostProfile::pc3001(),
+                HostLink::symmetric_mbit(100.0, 0.000_5),
+            );
         }
         eng
     }
@@ -316,7 +316,9 @@ mod tests {
         let mut eng = engine(5);
         let mut pol = MrPolicy::new();
         let ji = pol.submit_job(&mut eng, tiny_job(MrMode::InterClient));
-        eng.run_until(&mut pol, SimTime::from_secs(50_000), |e| e.db.all_wus_terminal());
+        eng.run_until(&mut pol, SimTime::from_secs(50_000), |e| {
+            e.db.all_wus_terminal()
+        });
         let job = &pol.tracker.jobs[ji];
         assert_eq!(job.phase, Phase::Done, "job should finish");
         assert!(job.map_time().unwrap() > 0.0);
@@ -335,7 +337,9 @@ mod tests {
         let mut eng = engine(5);
         let mut pol = MrPolicy::new();
         let ji = pol.submit_job(&mut eng, tiny_job(MrMode::ServerRelay));
-        eng.run_until(&mut pol, SimTime::from_secs(50_000), |e| e.db.all_wus_terminal());
+        eng.run_until(&mut pol, SimTime::from_secs(50_000), |e| {
+            e.db.all_wus_terminal()
+        });
         assert_eq!(pol.tracker.jobs[ji].phase, Phase::Done);
         // Server-relay reduces download from the data server only.
         assert_eq!(eng.stats.traversal.successes(), 0);
@@ -374,7 +378,9 @@ mod tests {
             let mut cfg = tiny_job(mode);
             cfg.map_outputs_to_server = false; // pure BOINC-MR data path
             pol.submit_job(&mut eng, cfg);
-            eng.run_until(&mut pol, SimTime::from_secs(50_000), |e| e.db.all_wus_terminal());
+            eng.run_until(&mut pol, SimTime::from_secs(50_000), |e| {
+                e.db.all_wus_terminal()
+            });
             assert!(pol.all_done());
             eng.stats.bytes_via_server
         };
@@ -407,7 +413,9 @@ mod tests {
         let mut pol = MrPolicy::new();
         pol.submit_job(&mut eng, tiny_job(MrMode::InterClient));
         pol.submit_job(&mut eng, tiny_job(MrMode::ServerRelay));
-        eng.run_until(&mut pol, SimTime::from_secs(100_000), |e| e.db.all_wus_terminal());
+        eng.run_until(&mut pol, SimTime::from_secs(100_000), |e| {
+            e.db.all_wus_terminal()
+        });
         assert!(pol.all_done());
         assert_eq!(pol.tracker.jobs[0].phase, Phase::Done);
         assert_eq!(pol.tracker.jobs[1].phase, Phase::Done);

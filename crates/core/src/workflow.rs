@@ -148,7 +148,10 @@ mod tests {
     fn engine(n: usize) -> Engine {
         let mut eng = Engine::testbed(3, ProjectConfig::default());
         for _ in 0..n {
-            eng.add_client(HostProfile::pc3001(), HostLink::symmetric_mbit(100.0, 0.000_5));
+            eng.add_client(
+                HostProfile::pc3001(),
+                HostLink::symmetric_mbit(100.0, 0.000_5),
+            );
         }
         eng
     }
@@ -156,7 +159,10 @@ mod tests {
     fn stage(n_maps: usize, n_reduces: usize, input: u64) -> Stage {
         let mut cfg = MrJobConfig::paper_wordcount(n_maps, n_reduces, MrMode::InterClient);
         cfg.input_bytes = input;
-        Stage { cfg, input_scale: 1.0 }
+        Stage {
+            cfg,
+            input_scale: 1.0,
+        }
     }
 
     #[test]
@@ -168,7 +174,9 @@ mod tests {
         ]);
         wf.start(&mut eng);
         assert_eq!(wf.stages_submitted(), 1);
-        eng.run_until(&mut wf, SimTime::from_secs(100_000), |e| e.db.all_wus_terminal());
+        eng.run_until(&mut wf, SimTime::from_secs(100_000), |e| {
+            e.db.all_wus_terminal()
+        });
         assert!(wf.finished());
         assert!(wf.succeeded());
         assert_eq!(wf.stages_submitted(), 2);
@@ -183,20 +191,21 @@ mod tests {
     #[test]
     fn three_stage_chain() {
         let mut eng = engine(6);
-        let mut wf = Workflow::new(vec![
-            stage(3, 2, 4 << 20),
-            stage(2, 2, 0),
-            stage(2, 1, 0),
-        ]);
+        let mut wf = Workflow::new(vec![stage(3, 2, 4 << 20), stage(2, 2, 0), stage(2, 1, 0)]);
         wf.start(&mut eng);
-        eng.run_until(&mut wf, SimTime::from_secs(200_000), |e| e.db.all_wus_terminal());
-        assert!(wf.succeeded(), "phases: {:?}", wf
-            .policy()
-            .tracker
-            .jobs
-            .iter()
-            .map(|j| j.phase)
-            .collect::<Vec<_>>());
+        eng.run_until(&mut wf, SimTime::from_secs(200_000), |e| {
+            e.db.all_wus_terminal()
+        });
+        assert!(
+            wf.succeeded(),
+            "phases: {:?}",
+            wf.policy()
+                .tracker
+                .jobs
+                .iter()
+                .map(|j| j.phase)
+                .collect::<Vec<_>>()
+        );
         assert_eq!(wf.stages_submitted(), 3);
     }
 

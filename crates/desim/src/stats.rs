@@ -103,9 +103,7 @@ impl Tally {
         let n = self.n + other.n;
         let delta = other.mean - self.mean;
         let mean = self.mean + delta * other.n as f64 / n as f64;
-        let m2 = self.m2
-            + other.m2
-            + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
         self.n = n;
         self.mean = mean;
         self.m2 = m2;
@@ -318,7 +316,7 @@ mod tests {
         let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
         tw.set(SimTime::from_secs(10), 2.0); // 0 for 10s
         tw.set(SimTime::from_secs(20), 4.0); // 2 for 10s
-        // up to t=30: 4 for 10s → area = 0*10 + 2*10 + 4*10 = 60 over 30s
+                                             // up to t=30: 4 for 10s → area = 0*10 + 2*10 + 4*10 = 60 over 30s
         assert!((tw.mean_until(SimTime::from_secs(30)) - 2.0).abs() < 1e-12);
         assert_eq!(tw.current(), 4.0);
         assert_eq!(tw.max_value(), 4.0);

@@ -148,8 +148,18 @@ impl Timeline {
 
     /// Latest span/point time (simulation-activity horizon).
     pub fn end_time(&self) -> SimTime {
-        let s = self.spans.iter().map(|s| s.end).max().unwrap_or(SimTime::ZERO);
-        let p = self.points.iter().map(|p| p.at).max().unwrap_or(SimTime::ZERO);
+        let s = self
+            .spans
+            .iter()
+            .map(|s| s.end)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        let p = self
+            .points
+            .iter()
+            .map(|p| p.at)
+            .max()
+            .unwrap_or(SimTime::ZERO);
         s.max(p)
     }
 
@@ -174,11 +184,7 @@ impl Timeline {
                     *cell = ch;
                 }
             }
-            let _ = writeln!(
-                out,
-                "{actor:<name_w$} |{}|",
-                String::from_utf8_lossy(&row)
-            );
+            let _ = writeln!(out, "{actor:<name_w$} |{}|", String::from_utf8_lossy(&row));
         }
         let _ = writeln!(
             out,

@@ -70,9 +70,10 @@ mod tests {
     fn finds_matching_lines_only() {
         let g = DistGrep::new("err");
         let mut out = Vec::new();
-        g.map(b"ok line\nerr one\nfine\nanother err here\n", &mut |k, v| {
-            out.push((k, v))
-        });
+        g.map(
+            b"ok line\nerr one\nfine\nanother err here\n",
+            &mut |k, v| out.push((k, v)),
+        );
         assert_eq!(out.len(), 2);
         assert!(out.iter().all(|(k, _)| k.contains("err")));
     }

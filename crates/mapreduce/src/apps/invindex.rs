@@ -86,10 +86,7 @@ mod tests {
     #[test]
     fn reduce_sorts_and_dedups() {
         let ix = InvertedIndex;
-        let postings = ix.reduce(
-            &"red".into(),
-            &["d2".into(), "d1".into(), "d2".into()],
-        );
+        let postings = ix.reduce(&"red".into(), &["d2".into(), "d1".into(), "d2".into()]);
         assert_eq!(postings, "d1,d2");
     }
 
@@ -105,7 +102,10 @@ mod tests {
         let ix = InvertedIndex;
         let mut s = String::new();
         ix.encode(&"term".into(), &"d1,d2".into(), &mut s);
-        assert_eq!(ix.decode(s.trim_end()), Some(("term".into(), "d1,d2".into())));
+        assert_eq!(
+            ix.decode(s.trim_end()),
+            Some(("term".into(), "d1,d2".into()))
+        );
     }
 
     #[test]

@@ -5,13 +5,13 @@
 //! visit aggregation) used by the extra examples and benches.
 
 pub mod grep;
-pub mod montecarlo;
 pub mod invindex;
+pub mod montecarlo;
 pub mod urlvisits;
 pub mod wordcount;
 
 pub use grep::DistGrep;
-pub use montecarlo::{pi_estimate, pi_input, MonteCarloPi};
 pub use invindex::InvertedIndex;
+pub use montecarlo::{pi_estimate, pi_input, MonteCarloPi};
 pub use urlvisits::{synth_log, UrlVisits};
 pub use wordcount::WordCount;

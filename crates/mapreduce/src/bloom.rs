@@ -53,7 +53,8 @@ impl BloomFilter {
         pre.reverse();
         let h2 = fnv1a(&pre) | 1; // odd → full period mod power of two
         let n_bits = self.n_bits as u64;
-        (0..self.n_hashes as u64).map(move |i| (h1.wrapping_add(i.wrapping_mul(h2)) % n_bits) as usize)
+        (0..self.n_hashes as u64)
+            .map(move |i| (h1.wrapping_add(i.wrapping_mul(h2)) % n_bits) as usize)
     }
 
     /// Inserts an item.

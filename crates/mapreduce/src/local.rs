@@ -14,11 +14,7 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Splits `data` into `n` chunks at the record boundary the app needs.
-pub fn split_input<A: MapReduceApp>(
-    app: &A,
-    data: &[u8],
-    n: usize,
-) -> Vec<std::ops::Range<usize>> {
+pub fn split_input<A: MapReduceApp>(app: &A, data: &[u8], n: usize) -> Vec<std::ops::Range<usize>> {
     match app.input_format() {
         crate::api::InputFormat::Tokens => crate::record::split_text(data, n),
         crate::api::InputFormat::Lines => crate::record::split_lines(data, n),
@@ -81,7 +77,8 @@ pub fn run_map_task<A: MapReduceApp>(
     // Group within the task so the combiner sees all local values.
     let mut grouped: BTreeMap<A::K, Vec<A::V>> = BTreeMap::new();
     app.map(chunk, &mut |k, v| grouped.entry(k).or_default().push(v));
-    let mut partitions: Vec<Vec<(A::K, A::V)>> = (0..part.n_reduces()).map(|_| Vec::new()).collect();
+    let mut partitions: Vec<Vec<(A::K, A::V)>> =
+        (0..part.n_reduces()).map(|_| Vec::new()).collect();
     for (k, vs) in grouped {
         let p = part.partition_bytes(&key_bytes(&k));
         for v in app.combine(&k, &vs) {
@@ -136,8 +133,10 @@ where
     let next_map = AtomicUsize::new(0);
     let mut map_outputs: Vec<Option<MapOutput<A>>> = (0..job.n_maps).map(|_| None).collect();
     {
-        let slots: Vec<parking_lot::Mutex<&mut Option<MapOutput<A>>>> =
-            map_outputs.iter_mut().map(parking_lot::Mutex::new).collect();
+        let slots: Vec<parking_lot::Mutex<&mut Option<MapOutput<A>>>> = map_outputs
+            .iter_mut()
+            .map(parking_lot::Mutex::new)
+            .collect();
         crossbeam::scope(|s| {
             for _ in 0..n_threads {
                 s.spawn(|_| loop {
@@ -154,18 +153,23 @@ where
         })
         .expect("map worker panicked");
     }
-    let map_outputs: Vec<MapOutput<A>> =
-        map_outputs.into_iter().map(|o| o.expect("map slot unfilled")).collect();
+    let map_outputs: Vec<MapOutput<A>> = map_outputs
+        .into_iter()
+        .map(|o| o.expect("map slot unfilled"))
+        .collect();
 
     // ----- shuffle + reduce phase -----
     let next_red = AtomicUsize::new(0);
     let mut red_outputs: Vec<Option<BTreeMap<A::K, A::V>>> =
         (0..job.n_reduces).map(|_| None).collect();
     {
-        type RedSlot<'a, A> =
-            parking_lot::Mutex<&'a mut Option<BTreeMap<<A as MapReduceApp>::K, <A as MapReduceApp>::V>>>;
-        let slots: Vec<RedSlot<'_, A>> =
-            red_outputs.iter_mut().map(parking_lot::Mutex::new).collect();
+        type RedSlot<'a, A> = parking_lot::Mutex<
+            &'a mut Option<BTreeMap<<A as MapReduceApp>::K, <A as MapReduceApp>::V>>,
+        >;
+        let slots: Vec<RedSlot<'_, A>> = red_outputs
+            .iter_mut()
+            .map(parking_lot::Mutex::new)
+            .collect();
         crossbeam::scope(|s| {
             for _ in 0..n_threads {
                 s.spawn(|_| loop {
@@ -220,7 +224,10 @@ mod tests {
             for (k, _) in p {
                 assert_eq!(
                     part.partition_str(k),
-                    mo.partitions.iter().position(|q| std::ptr::eq(q, p)).unwrap()
+                    mo.partitions
+                        .iter()
+                        .position(|q| std::ptr::eq(q, p))
+                        .unwrap()
                 );
             }
         }
@@ -232,7 +239,11 @@ mod tests {
         let ranges = crate::record::split_text(TEXT, 3);
         let maps: Vec<MapOutput<WordCount>> = ranges
             .iter()
-            .map(|r| run_map_task(&WordCount, &TEXT[r.clone()], &part, |k| k.as_bytes().to_vec()))
+            .map(|r| {
+                run_map_task(&WordCount, &TEXT[r.clone()], &part, |k| {
+                    k.as_bytes().to_vec()
+                })
+            })
             .collect();
         let mut combined = BTreeMap::new();
         for p in 0..4 {

@@ -143,7 +143,10 @@ mod tests {
     fn split_lines_without_trailing_newline() {
         let data = b"a 1\nb 2\nc 3";
         let ranges = split_lines(data, 2);
-        let pieces: Vec<&[u8]> = ranges.iter().flat_map(|r| lines(&data[r.clone()])).collect();
+        let pieces: Vec<&[u8]> = ranges
+            .iter()
+            .flat_map(|r| lines(&data[r.clone()]))
+            .collect();
         assert_eq!(pieces, vec![b"a 1" as &[u8], b"b 2", b"c 3"]);
     }
 

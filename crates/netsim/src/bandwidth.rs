@@ -10,9 +10,25 @@
 //! background flows are allocated only the capacity left over after all
 //! foreground flows have been served, so volunteer-to-volunteer bulk
 //! transfers do not hurt interactive traffic.
+//!
+//! Two implementations compute *bit-identical* rates:
+//!
+//! * [`Allocator`] — the production path. Per-link state lives in flat
+//!   arrays indexed by [`Topology::link_index`], initialized lazily via
+//!   an epoch stamp (per-call cost depends on the links *touched by the
+//!   demand set*, not on the topology size). Bottleneck discovery uses a
+//!   lazily-invalidated min-heap: progressive filling only ever *raises*
+//!   a link's per-flow share, so a stale heap entry is a lower bound and
+//!   the first entry whose stored share matches its current share is the
+//!   true minimum. Each round costs O(f·d·log L) in the flows frozen
+//!   that round instead of O(F·d + L) over all remaining flows.
+//! * [`allocate_reference`] — the original O(rounds · F·d) hash-map
+//!   formulation, kept as the executable specification. Property tests
+//!   assert the two agree; benches measure the gap.
 
 use crate::topology::{LinkRef, Topology};
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 /// Scheduling class of a flow.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -37,12 +53,316 @@ pub struct FlowDemand<K> {
     pub rate_cap: Option<f64>,
 }
 
+/// A demand whose path is given as dense link indices (see
+/// [`Topology::link_index`]). The borrow-only input of
+/// [`Allocator::allocate_into`], used by the flow engine so a
+/// reallocation does not clone any path.
+#[derive(Clone, Copy, Debug)]
+pub struct RouteDemand<'a> {
+    /// Dense indices of the links the flow traverses.
+    pub links: &'a [u32],
+    /// Scheduling class.
+    pub priority: Priority,
+    /// Optional application-level rate cap, bytes/second.
+    pub rate_cap: Option<f64>,
+}
+
 /// Computes max–min fair rates for `flows` over `topo`.
 ///
 /// Returns one rate per input flow, in input order, bytes/second.
 /// Foreground flows are allocated first; background flows divide the
 /// remaining headroom max–min fairly among themselves.
+///
+/// Convenience wrapper over [`Allocator`]; callers that reallocate
+/// frequently should hold an `Allocator` to reuse its scratch state.
 pub fn allocate<K: Clone>(topo: &Topology, flows: &[FlowDemand<K>]) -> Vec<f64> {
+    let links: Vec<Vec<u32>> = flows
+        .iter()
+        .map(|f| f.links.iter().map(|&l| topo.link_index(l) as u32).collect())
+        .collect();
+    let demands: Vec<RouteDemand<'_>> = flows
+        .iter()
+        .zip(&links)
+        .map(|(f, l)| RouteDemand {
+            links: l,
+            priority: f.priority,
+            rate_cap: f.rate_cap,
+        })
+        .collect();
+    let mut alloc = Allocator::new();
+    let mut rates = Vec::new();
+    alloc.allocate_into(topo, &demands, &mut rates);
+    rates
+}
+
+/// `f64` ordered by `total_cmp` so shares and caps can key a heap.
+/// The allocator never produces NaN (subtractions are clamped at zero),
+/// so the total order coincides with the numeric one.
+#[derive(Clone, Copy, PartialEq, Debug)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Reusable progressive-filling state over dense link indices.
+///
+/// All buffers are retained between calls; a call allocates nothing
+/// once the buffers have grown to the topology/demand size. Per-link
+/// state is initialized lazily with an epoch stamp, so a call touching
+/// `k` links of a 100 000-link topology costs O(k), not O(100 000).
+#[derive(Debug, Default)]
+pub struct Allocator {
+    epoch: u64,
+    /// Epoch stamp per link; `remaining` is valid iff the stamp matches.
+    link_epoch: Vec<u64>,
+    /// Capacity still unassigned on each touched link.
+    remaining: Vec<f64>,
+    /// Unfrozen flows of the current class on each touched link.
+    count: Vec<u32>,
+    /// Flow indices of the current class using each touched link.
+    flows_on_link: Vec<Vec<u32>>,
+    /// Links referenced by the current demand set.
+    touched: Vec<u32>,
+    /// Per-flow frozen mask (replaces the O(n²) retain/contains scan).
+    frozen: Vec<bool>,
+    /// Lazy min-heap of (share lower bound, link). Valid because shares
+    /// only grow as flows freeze: a stale entry under-estimates.
+    link_heap: BinaryHeap<Reverse<(OrdF64, u32)>>,
+    /// Min-heap of (rate cap, flow) for the current class.
+    capped_heap: BinaryHeap<Reverse<(OrdF64, u32)>>,
+    /// Flow indices frozen in the current round, ascending.
+    freeze_buf: Vec<u32>,
+    /// Links at the bottleneck share in the current round.
+    bottleneck_links: Vec<u32>,
+    /// Scratch class index lists.
+    fg: Vec<u32>,
+    bg: Vec<u32>,
+}
+
+impl Allocator {
+    /// A fresh allocator with empty scratch buffers.
+    pub fn new() -> Self {
+        Allocator::default()
+    }
+
+    /// Computes max–min fair rates for `demands` over `topo` into
+    /// `rates` (cleared and resized to `demands.len()`), bytes/second.
+    ///
+    /// Produces bit-identical results to [`allocate_reference`]: same
+    /// bottleneck shares, same freeze order (ascending demand index
+    /// within a round), same floating-point operation sequence.
+    pub fn allocate_into(
+        &mut self,
+        topo: &Topology,
+        demands: &[RouteDemand<'_>],
+        rates: &mut Vec<f64>,
+    ) {
+        rates.clear();
+        rates.resize(demands.len(), 0.0);
+        let num_links = topo.num_links();
+        if self.link_epoch.len() < num_links {
+            self.link_epoch.resize(num_links, 0);
+            self.remaining.resize(num_links, 0.0);
+            self.count.resize(num_links, 0);
+            self.flows_on_link.resize_with(num_links, Vec::new);
+        }
+        if self.frozen.len() < demands.len() {
+            self.frozen.resize(demands.len(), false);
+        }
+        self.frozen[..demands.len()].fill(false);
+
+        // Lazily initialize `remaining` for every link the demand set
+        // touches (matches the reference's or_insert(capacity) pass).
+        self.epoch += 1;
+        self.touched.clear();
+        for d in demands {
+            for &l in d.links {
+                let li = l as usize;
+                if self.link_epoch[li] != self.epoch {
+                    self.link_epoch[li] = self.epoch;
+                    self.remaining[li] = topo.capacity_at(li);
+                    self.touched.push(l);
+                }
+            }
+        }
+
+        let mut fg = std::mem::take(&mut self.fg);
+        let mut bg = std::mem::take(&mut self.bg);
+        fg.clear();
+        bg.clear();
+        for (i, d) in demands.iter().enumerate() {
+            match d.priority {
+                Priority::Foreground => fg.push(i as u32),
+                Priority::Background => bg.push(i as u32),
+            }
+        }
+        self.fill_class(demands, &fg, rates);
+        self.fill_class(demands, &bg, rates);
+        self.fg = fg;
+        self.bg = bg;
+    }
+
+    /// Progressive filling for one priority class over the capacities
+    /// left in `remaining`; a later class sees the leftovers.
+    fn fill_class(&mut self, demands: &[RouteDemand<'_>], class: &[u32], rates: &mut [f64]) {
+        for &l in &self.touched {
+            let li = l as usize;
+            self.count[li] = 0;
+            self.flows_on_link[li].clear();
+        }
+        self.link_heap.clear();
+        self.capped_heap.clear();
+
+        let mut unfrozen = 0usize;
+        for &i in class {
+            let d = &demands[i as usize];
+            if d.links.is_empty() {
+                // Loopback flows are only bounded by their cap.
+                rates[i as usize] = d.rate_cap.unwrap_or(f64::INFINITY);
+                continue;
+            }
+            unfrozen += 1;
+            for &l in d.links {
+                self.count[l as usize] += 1;
+                self.flows_on_link[l as usize].push(i);
+            }
+            if let Some(c) = d.rate_cap {
+                self.capped_heap.push(Reverse((OrdF64(c), i)));
+            }
+        }
+        for &l in &self.touched {
+            let li = l as usize;
+            if self.count[li] > 0 {
+                let share = self.remaining[li].max(0.0) / self.count[li] as f64;
+                self.link_heap.push(Reverse((OrdF64(share), l)));
+            }
+        }
+
+        while unfrozen > 0 {
+            // Lazy bottleneck discovery: pop stale entries (share lower
+            // bounds) until the top matches its link's current share —
+            // shares never shrink, so that entry is the global minimum.
+            let bottleneck_share = loop {
+                let &Reverse((s, l)) = self
+                    .link_heap
+                    .peek()
+                    .expect("progressive filling: unfrozen flows but no links");
+                let li = l as usize;
+                if self.count[li] == 0 {
+                    self.link_heap.pop();
+                    continue;
+                }
+                let cur = self.remaining[li].max(0.0) / self.count[li] as f64;
+                if cur == s.0 {
+                    break cur;
+                }
+                self.link_heap.pop();
+                self.link_heap.push(Reverse((OrdF64(cur), l)));
+            };
+
+            // Rate-capped flows below the bottleneck share freeze at
+            // their cap (strict `<`, as in the reference).
+            self.freeze_buf.clear();
+            while let Some(&Reverse((c, i))) = self.capped_heap.peek() {
+                if self.frozen[i as usize] {
+                    self.capped_heap.pop();
+                    continue;
+                }
+                if c.0 < bottleneck_share {
+                    self.capped_heap.pop();
+                    self.freeze_buf.push(i);
+                } else {
+                    break;
+                }
+            }
+            if !self.freeze_buf.is_empty() {
+                self.freeze_buf.sort_unstable();
+                unfrozen -= self.freeze_buf.len();
+                for k in 0..self.freeze_buf.len() {
+                    let i = self.freeze_buf[k] as usize;
+                    let r = demands[i].rate_cap.expect("capped freeze without cap");
+                    rates[i] = r;
+                    self.frozen[i] = true;
+                    for &l in demands[i].links {
+                        let li = l as usize;
+                        self.remaining[li] = (self.remaining[li] - r).max(0.0);
+                        self.count[li] -= 1;
+                    }
+                }
+                continue;
+            }
+
+            // Freeze every flow on a link whose share is within the
+            // reference's tolerance window of the bottleneck share.
+            let tol = 1e-9 * bottleneck_share.max(1.0);
+            self.bottleneck_links.clear();
+            while let Some(&Reverse((s, l))) = self.link_heap.peek() {
+                if s.0 - bottleneck_share > tol {
+                    break;
+                }
+                self.link_heap.pop();
+                let li = l as usize;
+                if self.count[li] == 0 {
+                    continue;
+                }
+                let cur = self.remaining[li].max(0.0) / self.count[li] as f64;
+                if cur != s.0 {
+                    self.link_heap.push(Reverse((OrdF64(cur), l)));
+                    continue;
+                }
+                self.bottleneck_links.push(l);
+            }
+            self.freeze_buf.clear();
+            for &l in &self.bottleneck_links {
+                for &i in &self.flows_on_link[l as usize] {
+                    if !self.frozen[i as usize] {
+                        self.freeze_buf.push(i);
+                    }
+                }
+            }
+            self.freeze_buf.sort_unstable();
+            self.freeze_buf.dedup();
+            debug_assert!(!self.freeze_buf.is_empty(), "progressive filling stalled");
+            unfrozen -= self.freeze_buf.len();
+            for k in 0..self.freeze_buf.len() {
+                let i = self.freeze_buf[k] as usize;
+                let r = bottleneck_share.min(demands[i].rate_cap.unwrap_or(f64::INFINITY));
+                rates[i] = r;
+                self.frozen[i] = true;
+                for &l in demands[i].links {
+                    let li = l as usize;
+                    self.remaining[li] = (self.remaining[li] - r).max(0.0);
+                    self.count[li] -= 1;
+                }
+            }
+            if bottleneck_share == 0.0 {
+                // No capacity left for this class: everyone remaining
+                // keeps the 0 they were initialized with.
+                break;
+            }
+        }
+    }
+}
+
+/// The original hash-map progressive filling, kept verbatim as the
+/// executable specification of [`allocate`] / [`Allocator`].
+///
+/// O(rounds · flows · path length) per call — fine for the paper's
+/// 40-host testbed, quadratic pain at thousands of concurrent flows.
+/// Property tests assert [`Allocator`] matches it bit-for-bit; the
+/// `flow_churn` bench measures the speedup.
+pub fn allocate_reference<K: Clone>(topo: &Topology, flows: &[FlowDemand<K>]) -> Vec<f64> {
     let mut rates = vec![0.0; flows.len()];
     let mut remaining: HashMap<LinkRef, f64> = HashMap::new();
     for f in flows {
@@ -52,8 +372,8 @@ pub fn allocate<K: Clone>(topo: &Topology, flows: &[FlowDemand<K>]) -> Vec<f64> 
     }
     let fg: Vec<usize> = indices_of(flows, Priority::Foreground);
     let bg: Vec<usize> = indices_of(flows, Priority::Background);
-    fill_class(flows, &fg, &mut remaining, &mut rates);
-    fill_class(flows, &bg, &mut remaining, &mut rates);
+    fill_class_reference(flows, &fg, &mut remaining, &mut rates);
+    fill_class_reference(flows, &bg, &mut remaining, &mut rates);
     rates
 }
 
@@ -68,7 +388,7 @@ fn indices_of<K>(flows: &[FlowDemand<K>], p: Priority) -> Vec<usize> {
 
 /// Progressive filling for one priority class over the capacities left
 /// in `remaining`. Mutates `remaining` so a later class sees leftovers.
-fn fill_class<K>(
+fn fill_class_reference<K>(
     flows: &[FlowDemand<K>],
     class: &[usize],
     remaining: &mut HashMap<LinkRef, f64>,
@@ -166,8 +486,14 @@ mod tests {
         FlowDemand {
             key: src * 1000 + dst,
             links: vec![
-                LinkRef { host: HostId(src), dir: Direction::Up },
-                LinkRef { host: HostId(dst), dir: Direction::Down },
+                LinkRef {
+                    host: HostId(src),
+                    dir: Direction::Up,
+                },
+                LinkRef {
+                    host: HostId(dst),
+                    dir: Direction::Down,
+                },
             ],
             priority: prio,
             rate_cap: None,
@@ -190,7 +516,10 @@ mod tests {
         let t = topo(3, 100.0);
         let rates = allocate(
             &t,
-            &[demand(0, 1, Priority::Foreground), demand(0, 2, Priority::Foreground)],
+            &[
+                demand(0, 1, Priority::Foreground),
+                demand(0, 2, Priority::Foreground),
+            ],
         );
         assert!((rates[0] - MBIT100 / 2.0).abs() < 1.0);
         assert!((rates[1] - MBIT100 / 2.0).abs() < 1.0);
@@ -217,9 +546,21 @@ mod tests {
             ],
         );
         let mbit = |x: f64| x * 8.0 / 1e6;
-        assert!((mbit(rates[2]) - 20.0).abs() < 0.01, "f2={}", mbit(rates[2]));
-        assert!((mbit(rates[0]) - 50.0).abs() < 0.01, "f0={}", mbit(rates[0]));
-        assert!((mbit(rates[1]) - 50.0).abs() < 0.01, "f1={}", mbit(rates[1]));
+        assert!(
+            (mbit(rates[2]) - 20.0).abs() < 0.01,
+            "f2={}",
+            mbit(rates[2])
+        );
+        assert!(
+            (mbit(rates[0]) - 50.0).abs() < 0.01,
+            "f0={}",
+            mbit(rates[0])
+        );
+        assert!(
+            (mbit(rates[1]) - 50.0).abs() < 0.01,
+            "f1={}",
+            mbit(rates[1])
+        );
     }
 
     #[test]
@@ -227,10 +568,17 @@ mod tests {
         let t = topo(2, 100.0);
         let rates = allocate(
             &t,
-            &[demand(0, 1, Priority::Foreground), demand(0, 1, Priority::Background)],
+            &[
+                demand(0, 1, Priority::Foreground),
+                demand(0, 1, Priority::Background),
+            ],
         );
         assert!((rates[0] - MBIT100).abs() < 1.0, "fg gets the whole link");
-        assert!(rates[1] < 1.0, "bg starved while fg active, got {}", rates[1]);
+        assert!(
+            rates[1] < 1.0,
+            "bg starved while fg active, got {}",
+            rates[1]
+        );
     }
 
     #[test]
@@ -262,10 +610,22 @@ mod tests {
         let f = FlowDemand {
             key: 0u32,
             links: vec![
-                LinkRef { host: HostId(0), dir: Direction::Up },
-                LinkRef { host: relay, dir: Direction::Down },
-                LinkRef { host: relay, dir: Direction::Up },
-                LinkRef { host: HostId(1), dir: Direction::Down },
+                LinkRef {
+                    host: HostId(0),
+                    dir: Direction::Up,
+                },
+                LinkRef {
+                    host: relay,
+                    dir: Direction::Down,
+                },
+                LinkRef {
+                    host: relay,
+                    dir: Direction::Up,
+                },
+                LinkRef {
+                    host: HostId(1),
+                    dir: Direction::Down,
+                },
             ],
             priority: Priority::Foreground,
             rate_cap: None,
@@ -305,5 +665,100 @@ mod tests {
         for r in &rates {
             assert!((r - MBIT100 / 8.0).abs() < 1.0);
         }
+    }
+
+    #[test]
+    fn matches_reference_on_mixed_workload() {
+        // Asymmetric links, caps, relays, both classes — the fast path
+        // must reproduce the reference bit-for-bit.
+        let mut t = Topology::new();
+        for i in 0..12 {
+            if i % 3 == 0 {
+                t.add_host(HostLink::asymmetric_mbit(16.0, 1.0, 0.02));
+            } else {
+                t.add_host(HostLink::symmetric_mbit(100.0, 0.001));
+            }
+        }
+        let mut flows = Vec::new();
+        for i in 0..40u32 {
+            let src = i % 12;
+            let dst = (i * 7 + 3) % 12;
+            if src == dst {
+                continue;
+            }
+            let mut d = demand(
+                src,
+                dst,
+                if i % 3 == 0 {
+                    Priority::Background
+                } else {
+                    Priority::Foreground
+                },
+            );
+            if i % 5 == 0 {
+                d.rate_cap = Some(1e5 + i as f64 * 1e4);
+            }
+            if i % 7 == 0 {
+                let relay = (i * 5 + 1) % 12;
+                if relay != src && relay != dst {
+                    d.links.insert(
+                        1,
+                        LinkRef {
+                            host: HostId(relay),
+                            dir: Direction::Up,
+                        },
+                    );
+                    d.links.insert(
+                        1,
+                        LinkRef {
+                            host: HostId(relay),
+                            dir: Direction::Down,
+                        },
+                    );
+                }
+            }
+            flows.push(d);
+        }
+        let fast = allocate(&t, &flows);
+        let slow = allocate_reference(&t, &flows);
+        assert_eq!(fast.len(), slow.len());
+        for (i, (a, b)) in fast.iter().zip(&slow).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "flow {i}: fast {a} != reference {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn allocator_reuse_is_stateless_across_calls() {
+        // Same demand set through one Allocator twice (epoch reuse) must
+        // give the same rates as a fresh call.
+        let t = topo(4, 100.0);
+        let flows = vec![
+            demand(0, 1, Priority::Foreground),
+            demand(0, 2, Priority::Foreground),
+        ];
+        let links: Vec<Vec<u32>> = flows
+            .iter()
+            .map(|f| f.links.iter().map(|&l| t.link_index(l) as u32).collect())
+            .collect();
+        let demands: Vec<RouteDemand<'_>> = flows
+            .iter()
+            .zip(&links)
+            .map(|(f, l)| RouteDemand {
+                links: l,
+                priority: f.priority,
+                rate_cap: f.rate_cap,
+            })
+            .collect();
+        let mut alloc = Allocator::new();
+        let mut r1 = Vec::new();
+        let mut r2 = Vec::new();
+        alloc.allocate_into(&t, &demands, &mut r1);
+        alloc.allocate_into(&t, &demands, &mut r2);
+        assert_eq!(r1, r2);
+        assert_eq!(r1, allocate(&t, &flows));
     }
 }

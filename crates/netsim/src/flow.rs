@@ -7,10 +7,40 @@
 //! every mutation (flow added / finished) it re-arms that event.
 //!
 //! A flow's life: `[created] --setup latency--> [transferring] --> [done]`.
+//!
+//! # Incremental design
+//!
+//! The engine is built so that per-event cost scales with the flows
+//! *affected*, not with the total in-flight population:
+//!
+//! * **Anchor-based progress.** Each flow stores the bytes it had left
+//!   at its `anchor` instant (the last time its rate changed); bytes at
+//!   any later time follow from `bytes_at_anchor - rate · Δt`. Settling
+//!   to a new instant is O(1) — no per-flow integration pass.
+//! * **Lazy completion index.** A min-heap holds projected completion
+//!   instants, tagged with a per-flow generation. A reallocation that
+//!   changes a flow's rate bumps its generation and pushes a fresh
+//!   entry; stale entries are discarded when they surface. While a
+//!   flow's rate is unchanged its projection is invariant, so nothing
+//!   is recomputed. `next_event_time` is an O(1) peek.
+//! * **Setup boundary heap.** Pending setup completions live in their
+//!   own min-heap; [`Network::advance`] only reallocates when a
+//!   boundary was actually crossed, instead of on every settle.
+//! * **Batched completions.** All flows finishing at the same instant
+//!   are retired under a single reallocation.
+//! * **Zero-clone reallocation.** Demands are handed to the
+//!   [`Allocator`] as borrowed dense-index paths in ascending `FlowId`
+//!   order (a `BTreeMap` walk — no key sort, no path clones).
+//!
+//! Call instants must be non-decreasing across `start_flow` /
+//! `abort_flow` / `advance` (event-driven callers do this naturally);
+//! the engine then reproduces the completion stream of the scan-
+//! everything reference implementation, [`crate::NaiveNetwork`].
 
-use crate::bandwidth::{allocate, FlowDemand, Priority};
+use crate::bandwidth::{Allocator, Priority, RouteDemand};
 use crate::topology::{Direction, HostId, LinkRef, Topology};
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
 use vmr_desim::{SimDuration, SimTime, Tally};
 
 /// Identifies a transfer within a [`Network`].
@@ -56,11 +86,56 @@ impl FlowSpec {
 #[derive(Clone, Debug)]
 struct ActiveFlow {
     spec: FlowSpec,
-    links: Vec<LinkRef>,
-    bytes_left: f64,
+    /// Dense link indices of the path (see [`Topology::link_index`]).
+    links: Vec<u32>,
+    /// Bytes still to transfer as of `anchor`.
+    bytes_at_anchor: f64,
+    /// Instant `bytes_at_anchor` refers to; reset whenever `rate` changes.
+    anchor: SimTime,
     starts_at: SimTime,
     created_at: SimTime,
     rate: f64,
+    /// Bumped on every rate change; completion-heap entries carrying an
+    /// older generation are stale.
+    generation: u64,
+}
+
+impl ActiveFlow {
+    /// Bytes left at `t ≥ anchor` under the current rate.
+    fn bytes_left_at(&self, t: SimTime) -> f64 {
+        let active_from = self.starts_at.max(self.anchor);
+        if t > active_from && self.rate > 0.0 {
+            let dt = t.saturating_since(active_from).as_secs_f64();
+            (self.bytes_at_anchor - self.rate * dt).max(0.0)
+        } else {
+            self.bytes_at_anchor
+        }
+    }
+
+    /// Projected completion instant, evaluated at the anchor (the same
+    /// formula the reference engine applies at every settle; because the
+    /// microsecond count is rounded *up*, the projection is reached with
+    /// zero bytes left, so it stays valid while the rate is unchanged).
+    fn completion_at_anchor(&self) -> SimTime {
+        let start = self.starts_at.max(self.anchor);
+        if self.bytes_at_anchor <= 1e-9 {
+            return start;
+        }
+        if self.rate <= 1e-12 {
+            return SimTime::MAX;
+        }
+        // Round *up* to the next microsecond so that by the completion
+        // instant the flow has provably moved all its bytes (a nearest-
+        // rounding here could fire half a microsecond early and leave a
+        // handful of bytes unsent).
+        let us = (self.bytes_at_anchor / self.rate * 1e6).ceil();
+        let us = if us >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            us as u64
+        };
+        start + SimDuration::from_micros(us)
+    }
 }
 
 /// A finished transfer, reported by [`Network::advance`].
@@ -79,7 +154,8 @@ pub struct Completion {
 /// The shared-network state of one simulation.
 pub struct Network {
     topo: Topology,
-    flows: HashMap<FlowId, ActiveFlow>,
+    /// In-flight flows, ascending id — the deterministic demand order.
+    flows: BTreeMap<FlowId, ActiveFlow>,
     next_id: u64,
     last_advance: SimTime,
     /// Completed-transfer duration statistics, by priority class.
@@ -87,6 +163,20 @@ pub struct Network {
     /// Completed-transfer duration statistics for background flows.
     pub bg_durations: Tally,
     bytes_delivered: f64,
+    /// Min-heap of (projected completion, flow, generation); entries
+    /// with a stale generation are discarded lazily. The top entry is
+    /// kept valid (see `prune_completion_heap`) so peeks need `&self`.
+    completion_heap: BinaryHeap<Reverse<(SimTime, FlowId, u64)>>,
+    /// Min-heap of pending setup boundaries (starts_at, flow).
+    setup_heap: BinaryHeap<Reverse<(SimTime, FlowId)>>,
+    /// Reusable progressive-filling state.
+    alloc: Allocator,
+    /// Scratch: demand ids of the current reallocation, ascending.
+    scratch_ids: Vec<FlowId>,
+    /// Scratch: rates matching `scratch_ids`.
+    scratch_rates: Vec<f64>,
+    /// Scratch: flows completing at one instant.
+    batch_ids: Vec<FlowId>,
 }
 
 impl Network {
@@ -94,12 +184,18 @@ impl Network {
     pub fn new(topo: Topology) -> Self {
         Network {
             topo,
-            flows: HashMap::new(),
+            flows: BTreeMap::new(),
             next_id: 0,
             last_advance: SimTime::ZERO,
             fg_durations: Tally::new(),
             bg_durations: Tally::new(),
             bytes_delivered: 0.0,
+            completion_heap: BinaryHeap::new(),
+            setup_heap: BinaryHeap::new(),
+            alloc: Allocator::new(),
+            scratch_ids: Vec::new(),
+            scratch_rates: Vec::new(),
+            batch_ids: Vec::new(),
         }
     }
 
@@ -131,26 +227,39 @@ impl Network {
         self.next_id += 1;
         let mut links = Vec::with_capacity(2 + 2 * spec.via.len());
         if spec.src != spec.dst || !spec.via.is_empty() {
-            links.push(LinkRef { host: spec.src, dir: Direction::Up });
+            let idx = |host, dir| self.topo.link_index(LinkRef { host, dir }) as u32;
+            links.push(idx(spec.src, Direction::Up));
             for &hop in &spec.via {
-                links.push(LinkRef { host: hop, dir: Direction::Down });
-                links.push(LinkRef { host: hop, dir: Direction::Up });
+                links.push(idx(hop, Direction::Down));
+                links.push(idx(hop, Direction::Up));
             }
-            links.push(LinkRef { host: spec.dst, dir: Direction::Down });
+            links.push(idx(spec.dst, Direction::Down));
         }
-        let setup = SimDuration::from_secs_f64(
-            spec.setup_s + self.topo.latency(spec.src, spec.dst),
-        );
+        let setup =
+            SimDuration::from_secs_f64(spec.setup_s + self.topo.latency(spec.src, spec.dst));
+        let starts_at = now + setup;
         let flow = ActiveFlow {
             links,
-            bytes_left: spec.bytes as f64,
-            starts_at: now + setup,
+            bytes_at_anchor: spec.bytes as f64,
+            anchor: self.last_advance,
+            starts_at,
             created_at: now,
             rate: 0.0,
+            generation: 0,
             spec,
         };
+        if flow.bytes_at_anchor <= 1e-9 {
+            // Zero-byte flows never enter the demand set; their (only)
+            // completion entry is due as soon as setup ends.
+            self.completion_heap
+                .push(Reverse((starts_at.max(self.last_advance), id, 0)));
+        }
+        if starts_at > now && starts_at > self.last_advance {
+            self.setup_heap.push(Reverse((starts_at, id)));
+        }
         self.flows.insert(id, flow);
         self.reallocate(now);
+        self.prune_heaps();
         id
     }
 
@@ -162,6 +271,7 @@ impl Network {
         if existed {
             self.reallocate(now);
         }
+        self.prune_heaps();
         existed
     }
 
@@ -169,28 +279,75 @@ impl Network {
     /// completed by then (possibly several).
     pub fn advance(&mut self, now: SimTime) -> Vec<Completion> {
         let mut done = Vec::new();
-        // Completing one flow frees capacity and speeds up the others, so
-        // settle repeatedly until no flow completes before `now`.
+        // Completing flows frees capacity and speeds up the others, so
+        // walk the completion index until no flow completes before `now`.
         loop {
-            let next = self.earliest_completion();
-            match next {
-                Some((t, id)) if t <= now => {
-                    self.settle(t);
-                    let f = self.flows.remove(&id).expect("completing unknown flow");
-                    debug_assert!(f.bytes_left <= 1e-6);
-                    let duration = t.saturating_since(f.created_at);
-                    match f.spec.priority {
-                        Priority::Foreground => self.fg_durations.record_duration(duration),
-                        Priority::Background => self.bg_durations.record_duration(duration),
-                    }
-                    self.bytes_delivered += f.spec.bytes as f64;
-                    self.reallocate(t);
-                    done.push(Completion { id, at: t, spec: f.spec, duration });
-                }
-                _ => break,
+            self.prune_completion_heap();
+            let Some(&Reverse((t_raw, _, _))) = self.completion_heap.peek() else {
+                break;
+            };
+            let t = t_raw.max(self.last_advance);
+            if t > now {
+                break;
             }
+            // Setup boundaries crossed by `t` may reallocate and move
+            // projections, so settle first and re-examine the index.
+            self.settle(t);
+            self.prune_completion_heap();
+            let Some(&Reverse((t2_raw, _, _))) = self.completion_heap.peek() else {
+                continue;
+            };
+            if t2_raw.max(self.last_advance) > t {
+                continue;
+            }
+            // Retire every flow due at exactly `t` in ascending id order
+            // (the reference engine's tie order) under one reallocation;
+            // no simulated time passes between them, so the intermediate
+            // reallocations the reference performs are unobservable.
+            self.batch_ids.clear();
+            while let Some(&Reverse((tc_raw, id, generation))) = self.completion_heap.peek() {
+                let valid = self
+                    .flows
+                    .get(&id)
+                    .is_some_and(|f| f.generation == generation);
+                if !valid {
+                    self.completion_heap.pop();
+                    continue;
+                }
+                if tc_raw.max(self.last_advance) > t {
+                    break;
+                }
+                self.completion_heap.pop();
+                self.batch_ids.push(id);
+            }
+            if self.batch_ids.is_empty() {
+                continue;
+            }
+            self.batch_ids.sort_unstable();
+            for k in 0..self.batch_ids.len() {
+                let id = self.batch_ids[k];
+                let f = self.flows.remove(&id).expect("completing unknown flow");
+                // Infinite-rate flows (loopback: no constraining links)
+                // complete at their start instant with dt = 0, so their
+                // bytes are never integrated away.
+                debug_assert!(f.rate == f64::INFINITY || f.bytes_left_at(t) <= 1e-6);
+                let duration = t.saturating_since(f.created_at);
+                match f.spec.priority {
+                    Priority::Foreground => self.fg_durations.record_duration(duration),
+                    Priority::Background => self.bg_durations.record_duration(duration),
+                }
+                self.bytes_delivered += f.spec.bytes as f64;
+                done.push(Completion {
+                    id,
+                    at: t,
+                    spec: f.spec,
+                    duration,
+                });
+            }
+            self.reallocate(t);
         }
         self.settle(now);
+        self.prune_heaps();
         done
     }
 
@@ -198,94 +355,154 @@ impl Network {
     /// (a flow finishing its setup phase or completing). The world should
     /// keep a wake-up event scheduled at this time.
     pub fn next_event_time(&self) -> Option<SimTime> {
-        let completion = self.earliest_completion().map(|(t, _)| t);
-        let setup_end = self
-            .flows
-            .values()
-            .filter(|f| f.starts_at > self.last_advance)
-            .map(|f| f.starts_at)
-            .min();
-        match (completion, setup_end) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
+        if self.flows.is_empty() {
+            return None;
         }
+        let completion = self
+            .completion_heap
+            .peek()
+            .map(|&Reverse((t, _, _))| t.max(self.last_advance));
+        let setup_end = self.setup_heap.peek().map(|&Reverse((t, _))| t);
+        Some(match (completion, setup_end) {
+            (Some(a), Some(b)) => a.min(b),
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            // Flows exist but none can make progress (e.g. background
+            // flows starved by foreground traffic): no self-event.
+            (None, None) => SimTime::MAX,
+        })
     }
 
     /// Projected completion instant of a specific flow under current
     /// rates (changes whenever other flows arrive or depart).
     pub fn projected_completion(&self, id: FlowId) -> Option<SimTime> {
         let f = self.flows.get(&id)?;
-        Some(Self::flow_completion_time(f, self.last_advance))
-    }
-
-    fn earliest_completion(&self) -> Option<(SimTime, FlowId)> {
-        self.flows
-            .iter()
-            .map(|(&id, f)| (Self::flow_completion_time(f, self.last_advance), id))
-            .min_by_key(|&(t, id)| (t, id))
-    }
-
-    fn flow_completion_time(f: &ActiveFlow, now: SimTime) -> SimTime {
-        let start = f.starts_at.max(now);
-        if f.bytes_left <= 1e-9 {
-            return start;
+        let start = f.starts_at.max(self.last_advance);
+        let bytes = f.bytes_left_at(self.last_advance);
+        if bytes <= 1e-9 {
+            return Some(start);
         }
         if f.rate <= 1e-12 {
-            return SimTime::MAX;
+            return Some(SimTime::MAX);
         }
-        // Round *up* to the next microsecond so that by the completion
-        // instant the flow has provably moved all its bytes (a nearest-
-        // rounding here could fire half a microsecond early and leave a
-        // handful of bytes unsent).
-        let us = (f.bytes_left / f.rate * 1e6).ceil();
-        let us = if us >= u64::MAX as f64 { u64::MAX } else { us as u64 };
-        start + SimDuration::from_micros(us)
+        let us = (bytes / f.rate * 1e6).ceil();
+        let us = if us >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            us as u64
+        };
+        Some(start + SimDuration::from_micros(us))
     }
 
-    /// Integrates progress from `last_advance` to `t` under the current
-    /// rates. Does not complete flows — `advance` does that.
+    /// Moves the clock to `t` and reallocates iff a setup boundary was
+    /// crossed in `(last_advance, t]`. Byte progress needs no per-flow
+    /// work: each flow's anchor carries it (rates are constant between
+    /// reallocation instants, which are always settle points).
     fn settle(&mut self, t: SimTime) {
         if t <= self.last_advance {
             return;
         }
-        for f in self.flows.values_mut() {
-            let active_from = f.starts_at.max(self.last_advance);
-            if t > active_from && f.rate > 0.0 {
-                let dt = t.saturating_since(active_from).as_secs_f64();
-                f.bytes_left = (f.bytes_left - f.rate * dt).max(0.0);
+        self.last_advance = t;
+        let mut crossed = false;
+        while let Some(&Reverse((s, id))) = self.setup_heap.peek() {
+            if s > t {
+                break;
+            }
+            self.setup_heap.pop();
+            if self.flows.contains_key(&id) {
+                crossed = true;
             }
         }
-        self.last_advance = t;
-        // Flows may have just left setup: their rates were 0; recompute.
-        self.reallocate(t);
+        if crossed {
+            self.reallocate(t);
+        }
     }
 
-    /// Recomputes max–min fair rates for all flows past their setup phase.
+    /// Recomputes max–min fair rates for all flows past their setup
+    /// phase. Flows whose rate actually changed are re-anchored at
+    /// `last_advance` and get a fresh completion-heap entry.
     fn reallocate(&mut self, now: SimTime) {
-        let mut keys: Vec<FlowId> = self.flows.keys().copied().collect();
-        keys.sort_unstable(); // deterministic allocation order
-        let demands: Vec<FlowDemand<FlowId>> = keys
-            .iter()
-            .filter(|id| {
-                let f = &self.flows[id];
-                f.starts_at <= now && f.bytes_left > 0.0
-            })
-            .map(|&id| {
-                let f = &self.flows[&id];
-                FlowDemand {
-                    key: id,
-                    links: f.links.clone(),
-                    priority: f.spec.priority,
-                    rate_cap: f.spec.rate_cap,
-                }
-            })
-            .collect();
-        let rates = allocate(&self.topo, &demands);
-        for f in self.flows.values_mut() {
-            f.rate = 0.0;
+        let anchor = self.last_advance;
+        let mut ids = std::mem::take(&mut self.scratch_ids);
+        let mut rates = std::mem::take(&mut self.scratch_rates);
+        ids.clear();
+        for (&id, f) in self.flows.iter() {
+            if f.starts_at <= now && f.bytes_left_at(anchor) > 0.0 {
+                ids.push(id);
+            }
         }
-        for (d, r) in demands.iter().zip(rates) {
-            self.flows.get_mut(&d.key).expect("demand for missing flow").rate = r;
+        {
+            let flows = &self.flows;
+            let demands: Vec<RouteDemand<'_>> = ids
+                .iter()
+                .map(|id| {
+                    let f = &flows[id];
+                    RouteDemand {
+                        links: &f.links,
+                        priority: f.spec.priority,
+                        rate_cap: f.spec.rate_cap,
+                    }
+                })
+                .collect();
+            self.alloc.allocate_into(&self.topo, &demands, &mut rates);
+        }
+        // Apply: walk flows and the (ascending) demand list in tandem.
+        let mut k = 0usize;
+        for (&id, f) in self.flows.iter_mut() {
+            if k < ids.len() && ids[k] == id {
+                let r = rates[k];
+                k += 1;
+                if r != f.rate {
+                    f.bytes_at_anchor = f.bytes_left_at(anchor);
+                    f.anchor = anchor;
+                    f.rate = r;
+                    f.generation += 1;
+                    let due = f.completion_at_anchor();
+                    if due < SimTime::MAX {
+                        self.completion_heap.push(Reverse((due, id, f.generation)));
+                    }
+                }
+            } else if f.rate != 0.0 {
+                // Left the demand set (bytes exhausted but not yet
+                // harvested by `advance`): release its capacity claim.
+                // Its generation is kept, so the completion entry that
+                // led here stays valid for the eventual harvest.
+                f.bytes_at_anchor = f.bytes_left_at(anchor);
+                f.anchor = anchor;
+                f.rate = 0.0;
+            }
+        }
+        self.scratch_ids = ids;
+        self.scratch_rates = rates;
+    }
+
+    /// Discards dead/stale entries from the top of both heaps so that
+    /// `&self` peeks (`next_event_time`) see valid tops. Called at the
+    /// end of every public mutator.
+    fn prune_heaps(&mut self) {
+        self.prune_completion_heap();
+        self.prune_setup_heap();
+    }
+
+    fn prune_completion_heap(&mut self) {
+        while let Some(&Reverse((_, id, generation))) = self.completion_heap.peek() {
+            let valid = self
+                .flows
+                .get(&id)
+                .is_some_and(|f| f.generation == generation);
+            if valid {
+                break;
+            }
+            self.completion_heap.pop();
+        }
+    }
+
+    fn prune_setup_heap(&mut self) {
+        while let Some(&Reverse((_, id))) = self.setup_heap.peek() {
+            if self.flows.contains_key(&id) {
+                break;
+            }
+            self.setup_heap.pop();
         }
     }
 }
@@ -316,10 +533,17 @@ mod tests {
     fn single_transfer_takes_size_over_rate() {
         let mut n = net(2);
         // 12.5 MB over 12.5 MB/s = 1 s.
-        n.start_flow(SimTime::ZERO, FlowSpec::simple(HostId(0), HostId(1), 12_500_000));
+        n.start_flow(
+            SimTime::ZERO,
+            FlowSpec::simple(HostId(0), HostId(1), 12_500_000),
+        );
         let done = drive_to_completion(&mut n);
         assert_eq!(done.len(), 1);
-        assert!((done[0].at.as_secs_f64() - 1.0).abs() < 1e-3, "{:?}", done[0].at);
+        assert!(
+            (done[0].at.as_secs_f64() - 1.0).abs() < 1e-3,
+            "{:?}",
+            done[0].at
+        );
     }
 
     #[test]
@@ -327,8 +551,14 @@ mod tests {
         let mut n = net(3);
         // Both flows leave host 0 (shared uplink). Equal sizes: both
         // finish at 2 s (each gets half rate for the whole time).
-        n.start_flow(SimTime::ZERO, FlowSpec::simple(HostId(0), HostId(1), 12_500_000));
-        n.start_flow(SimTime::ZERO, FlowSpec::simple(HostId(0), HostId(2), 12_500_000));
+        n.start_flow(
+            SimTime::ZERO,
+            FlowSpec::simple(HostId(0), HostId(1), 12_500_000),
+        );
+        n.start_flow(
+            SimTime::ZERO,
+            FlowSpec::simple(HostId(0), HostId(2), 12_500_000),
+        );
         let done = drive_to_completion(&mut n);
         assert_eq!(done.len(), 2);
         for c in &done {
@@ -342,8 +572,14 @@ mod tests {
         // Long: 25 MB; short: 6.25 MB, both on h0 uplink.
         // Phase 1: both at 6.25 MB/s until short finishes at t=1 (6.25MB).
         // Long then has 25-6.25=18.75 MB left at 12.5 MB/s → +1.5 s → t=2.5.
-        n.start_flow(SimTime::ZERO, FlowSpec::simple(HostId(0), HostId(1), 25_000_000));
-        n.start_flow(SimTime::ZERO, FlowSpec::simple(HostId(0), HostId(2), 6_250_000));
+        n.start_flow(
+            SimTime::ZERO,
+            FlowSpec::simple(HostId(0), HostId(1), 25_000_000),
+        );
+        n.start_flow(
+            SimTime::ZERO,
+            FlowSpec::simple(HostId(0), HostId(2), 6_250_000),
+        );
         let done = drive_to_completion(&mut n);
         assert_eq!(done.len(), 2);
         assert!((done[0].at.as_secs_f64() - 1.0).abs() < 1e-3);
@@ -357,14 +593,24 @@ mod tests {
         spec.setup_s = 3.0;
         n.start_flow(SimTime::ZERO, spec);
         let done = drive_to_completion(&mut n);
-        assert!((done[0].at.as_secs_f64() - 4.0).abs() < 1e-3, "{:?}", done[0].at);
+        assert!(
+            (done[0].at.as_secs_f64() - 4.0).abs() < 1e-3,
+            "{:?}",
+            done[0].at
+        );
     }
 
     #[test]
     fn abort_flow_frees_capacity() {
         let mut n = net(3);
-        let a = n.start_flow(SimTime::ZERO, FlowSpec::simple(HostId(0), HostId(1), 12_500_000));
-        n.start_flow(SimTime::ZERO, FlowSpec::simple(HostId(0), HostId(2), 12_500_000));
+        let a = n.start_flow(
+            SimTime::ZERO,
+            FlowSpec::simple(HostId(0), HostId(1), 12_500_000),
+        );
+        n.start_flow(
+            SimTime::ZERO,
+            FlowSpec::simple(HostId(0), HostId(2), 12_500_000),
+        );
         // Abort A at t=0.5: B has transferred 3.125MB, then full rate.
         let t_half = SimTime::from_millis(500);
         assert!(n.abort_flow(t_half, a));
@@ -372,7 +618,11 @@ mod tests {
         let done = drive_to_completion(&mut n);
         assert_eq!(done.len(), 1);
         // B: 3.125 MB by 0.5s, 9.375 MB remaining at 12.5 MB/s = 0.75 s → 1.25 s.
-        assert!((done[0].at.as_secs_f64() - 1.25).abs() < 1e-3, "{:?}", done[0].at);
+        assert!(
+            (done[0].at.as_secs_f64() - 1.25).abs() < 1e-3,
+            "{:?}",
+            done[0].at
+        );
     }
 
     #[test]
@@ -387,7 +637,11 @@ mod tests {
         n.start_flow(SimTime::ZERO, spec);
         let done = drive_to_completion(&mut n);
         // 1.25 MB at 1.25 MB/s (10 Mbit relay) = 1 s.
-        assert!((done[0].at.as_secs_f64() - 1.0).abs() < 1e-3, "{:?}", done[0].at);
+        assert!(
+            (done[0].at.as_secs_f64() - 1.0).abs() < 1e-3,
+            "{:?}",
+            done[0].at
+        );
     }
 
     #[test]
@@ -396,7 +650,10 @@ mod tests {
         let mut bg = FlowSpec::simple(HostId(0), HostId(2), 12_500_000);
         bg.priority = Priority::Background;
         n.start_flow(SimTime::ZERO, bg);
-        n.start_flow(SimTime::ZERO, FlowSpec::simple(HostId(0), HostId(1), 12_500_000));
+        n.start_flow(
+            SimTime::ZERO,
+            FlowSpec::simple(HostId(0), HostId(1), 12_500_000),
+        );
         let done = drive_to_completion(&mut n);
         assert_eq!(done.len(), 2);
         // fg takes the link for 1 s; bg then runs 1 s more.
@@ -428,10 +685,75 @@ mod tests {
     #[test]
     fn advance_reports_multiple_completions() {
         let mut n = net(3);
-        n.start_flow(SimTime::ZERO, FlowSpec::simple(HostId(0), HostId(1), 1_250_000));
-        n.start_flow(SimTime::ZERO, FlowSpec::simple(HostId(2), HostId(1), 1_250_000));
+        n.start_flow(
+            SimTime::ZERO,
+            FlowSpec::simple(HostId(0), HostId(1), 1_250_000),
+        );
+        n.start_flow(
+            SimTime::ZERO,
+            FlowSpec::simple(HostId(2), HostId(1), 1_250_000),
+        );
         // Jump far past both completions in one advance call.
         let done = n.advance(SimTime::from_secs(100));
         assert_eq!(done.len(), 2);
+    }
+
+    #[test]
+    fn same_instant_completions_batch_in_id_order() {
+        let mut n = net(5);
+        // Two identical flows on disjoint links: both complete at
+        // exactly the same instant and must batch in id order.
+        for i in 0..2 {
+            n.start_flow(
+                SimTime::ZERO,
+                FlowSpec::simple(HostId(i), HostId(i + 2), 12_500_000),
+            );
+        }
+        let done = n.advance(SimTime::from_secs(10));
+        assert_eq!(done.len(), 2);
+        assert!(done.windows(2).all(|w| w[0].id < w[1].id));
+        assert_eq!(done[0].at, done[1].at);
+    }
+
+    #[test]
+    fn idle_advance_does_not_disturb_projections() {
+        let mut n = net(2);
+        let id = n.start_flow(
+            SimTime::ZERO,
+            FlowSpec::simple(HostId(0), HostId(1), 12_500_000),
+        );
+        let before = n.projected_completion(id).unwrap();
+        // Settles with no setup boundary crossed: no reallocation, and
+        // the projected completion (and next event) must not move.
+        for ms in [1u64, 5, 9, 400] {
+            n.advance(SimTime::from_millis(ms));
+            assert_eq!(n.next_event_time(), Some(before));
+        }
+        assert_eq!(n.projected_completion(id), Some(before));
+        let done = n.advance(before);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].at, before);
+    }
+
+    #[test]
+    fn flow_rate_drops_to_zero_when_bytes_exhausted_unharvested() {
+        let mut n = net(3);
+        let a = n.start_flow(
+            SimTime::ZERO,
+            FlowSpec::simple(HostId(0), HostId(1), 12_500),
+        );
+        // Start another flow long after `a`'s bytes are done but before
+        // any advance() harvested it: `a` must not hold capacity.
+        let b = n.start_flow(
+            SimTime::from_secs(5),
+            FlowSpec::simple(HostId(0), HostId(2), 1),
+        );
+        assert_eq!(n.flow_rate(a), Some(0.0));
+        assert_eq!(n.flow_rate(b), Some(12_500_000.0));
+        let done = n.advance(SimTime::from_secs(6));
+        assert_eq!(done.len(), 2);
+        // `a` is harvested at the settle point where it was overtaken.
+        assert_eq!(done[0].id, a);
+        assert!(done[0].at >= SimTime::from_secs(5));
     }
 }

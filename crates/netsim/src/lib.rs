@@ -10,6 +10,10 @@
 //!   leftover capacity.
 //! * [`flow`] — event-driven transfer manager: start flows, advance
 //!   virtual time, collect completions; integrates with `vmr-desim`.
+//!   Built on incremental data structures (anchor-based progress, lazy
+//!   completion/setup heaps) so per-event cost is independent of the
+//!   in-flight flow population; [`naive`] keeps the original
+//!   scan-everything engine as an executable specification.
 //! * [`nat`] / [`traversal`] — NAT endpoint classes and the tiered
 //!   direct → reversal → hole-punch → relay escalation of §III.D.
 
@@ -17,12 +21,14 @@
 
 pub mod bandwidth;
 pub mod flow;
+pub mod naive;
 pub mod nat;
 pub mod topology;
 pub mod traversal;
 
-pub use bandwidth::{allocate, FlowDemand, Priority};
+pub use bandwidth::{allocate, allocate_reference, Allocator, FlowDemand, Priority, RouteDemand};
 pub use flow::{Completion, FlowId, FlowSpec, Network};
+pub use naive::NaiveNetwork;
 pub use nat::{NatMix, NatType};
 pub use topology::{Direction, HostId, HostLink, LinkRef, Topology};
 pub use traversal::{connect, ConnectOutcome, Path, TraversalPolicy, TraversalStats};

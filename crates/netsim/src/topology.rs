@@ -33,6 +33,17 @@ pub enum Direction {
     Down,
 }
 
+impl Direction {
+    /// Position of this direction within a host's pair of dense link
+    /// slots (see [`Topology::link_index`]).
+    pub fn index(self) -> usize {
+        match self {
+            Direction::Up => 0,
+            Direction::Down => 1,
+        }
+    }
+}
+
 /// A directed link endpoint — the unit of capacity in the allocator.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct LinkRef {
@@ -84,20 +95,32 @@ impl HostLink {
 }
 
 /// The set of hosts and their access links.
+///
+/// Every directed link endpoint also has a *dense index* in
+/// `0..num_links()` (host `h` owns slots `2h` / `2h+1` for up / down),
+/// so per-link state can live in flat arrays instead of hash maps —
+/// the bandwidth allocator and flow engine depend on this.
 #[derive(Clone, Debug, Default)]
 pub struct Topology {
     hosts: Vec<HostLink>,
+    /// Capacity per dense link index, kept in sync with `hosts`.
+    caps: Vec<f64>,
 }
 
 impl Topology {
     /// An empty topology.
     pub fn new() -> Self {
-        Topology { hosts: Vec::new() }
+        Topology {
+            hosts: Vec::new(),
+            caps: Vec::new(),
+        }
     }
 
     /// Adds a host, returning its id.
     pub fn add_host(&mut self, link: HostLink) -> HostId {
         let id = HostId(self.hosts.len() as u32);
+        self.caps.push(link.up_bytes_per_sec);
+        self.caps.push(link.down_bytes_per_sec);
         self.hosts.push(link);
         id
     }
@@ -123,6 +146,24 @@ impl Topology {
     /// Capacity of a directed link endpoint, bytes/second.
     pub fn capacity(&self, l: LinkRef) -> f64 {
         self.link(l.host).capacity(l.dir)
+    }
+
+    /// Number of dense link slots (two per host).
+    pub fn num_links(&self) -> usize {
+        self.caps.len()
+    }
+
+    /// Dense index of a directed link endpoint, in `0..num_links()`.
+    pub fn link_index(&self, l: LinkRef) -> usize {
+        l.host.0 as usize * 2 + l.dir.index()
+    }
+
+    /// Capacity of the dense link slot `idx`, bytes/second.
+    ///
+    /// # Panics
+    /// If `idx >= num_links()`.
+    pub fn capacity_at(&self, idx: usize) -> f64 {
+        self.caps[idx]
     }
 
     /// One-way latency between two hosts through the core, seconds.
@@ -171,5 +212,36 @@ mod tests {
         assert_eq!(t.latency(a, a), 0.0);
         let ids: Vec<_> = t.host_ids().collect();
         assert_eq!(ids, vec![a, b]);
+    }
+
+    #[test]
+    fn dense_link_index_roundtrip() {
+        let mut t = Topology::new();
+        let a = t.add_host(HostLink::asymmetric_mbit(16.0, 1.0, 0.02));
+        let b = t.add_host(HostLink::symmetric_mbit(100.0, 0.001));
+        assert_eq!(t.num_links(), 4);
+        for host in [a, b] {
+            for dir in [Direction::Up, Direction::Down] {
+                let l = LinkRef { host, dir };
+                let idx = t.link_index(l);
+                assert!(idx < t.num_links());
+                assert_eq!(t.capacity_at(idx), t.capacity(l));
+            }
+        }
+        // Up/Down of the same host occupy adjacent slots.
+        assert_eq!(
+            t.link_index(LinkRef {
+                host: b,
+                dir: Direction::Up
+            }),
+            2
+        );
+        assert_eq!(
+            t.link_index(LinkRef {
+                host: b,
+                dir: Direction::Down
+            }),
+            3
+        );
     }
 }

@@ -249,8 +249,13 @@ mod tests {
 
     #[test]
     fn open_server_connects_directly() {
-        let o = connect(NatType::Symmetric, NatType::Open, &TraversalPolicy::default(), &mut rng())
-            .unwrap();
+        let o = connect(
+            NatType::Symmetric,
+            NatType::Open,
+            &TraversalPolicy::default(),
+            &mut rng(),
+        )
+        .unwrap();
         assert_eq!(o.path, Path::Direct);
         assert_eq!(o.tiers_tried, 1);
         assert!(o.setup_s < 1.0);
@@ -296,7 +301,12 @@ mod tests {
             allow_relay: false,
             ..TraversalPolicy::default()
         };
-        let o = connect(NatType::BlockedInbound, NatType::BlockedInbound, &p, &mut rng());
+        let o = connect(
+            NatType::BlockedInbound,
+            NatType::BlockedInbound,
+            &p,
+            &mut rng(),
+        );
         assert_eq!(o, None);
     }
 
@@ -311,8 +321,13 @@ mod tests {
     fn failed_tiers_add_latency() {
         let p = TraversalPolicy::default();
         let direct = connect(NatType::Open, NatType::Open, &p, &mut rng()).unwrap();
-        let relayed = connect(NatType::BlockedInbound, NatType::BlockedInbound, &p, &mut rng())
-            .unwrap();
+        let relayed = connect(
+            NatType::BlockedInbound,
+            NatType::BlockedInbound,
+            &p,
+            &mut rng(),
+        )
+        .unwrap();
         assert_eq!(relayed.path, Path::Relay);
         assert!(relayed.setup_s > direct.setup_s + 2.0 * p.failed_tier_cost_s);
         assert_eq!(relayed.tiers_tried, 4);
@@ -321,8 +336,16 @@ mod tests {
     #[test]
     fn stats_aggregate() {
         let mut s = TraversalStats::default();
-        s.record(Some(ConnectOutcome { path: Path::Direct, setup_s: 0.2, tiers_tried: 1 }));
-        s.record(Some(ConnectOutcome { path: Path::Relay, setup_s: 1.0, tiers_tried: 4 }));
+        s.record(Some(ConnectOutcome {
+            path: Path::Direct,
+            setup_s: 0.2,
+            tiers_tried: 1,
+        }));
+        s.record(Some(ConnectOutcome {
+            path: Path::Relay,
+            setup_s: 1.0,
+            tiers_tried: 4,
+        }));
         s.record(None);
         assert_eq!(s.successes(), 2);
         assert!((s.success_rate() - 2.0 / 3.0).abs() < 1e-12);

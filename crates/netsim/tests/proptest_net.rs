@@ -1,11 +1,11 @@
 //! Property tests for the bandwidth allocator and flow manager.
 
 use proptest::prelude::*;
+use vmr_desim::SimTime;
 use vmr_netsim::{
     allocate, Direction, FlowDemand, FlowSpec, HostId, HostLink, LinkRef, Network, Priority,
     Topology,
 };
-use vmr_desim::SimTime;
 
 fn random_topology(n_hosts: usize, caps: &[f64]) -> Topology {
     let mut t = Topology::new();

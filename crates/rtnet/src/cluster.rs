@@ -24,8 +24,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 use vmr_mapreduce::{
-    decode_partition, run_map_task, run_reduce_task, sha256, split_input, HashPartitioner,
-    JobSpec, MapReduceApp,
+    decode_partition, run_map_task, run_reduce_task, sha256, split_input, HashPartitioner, JobSpec,
+    MapReduceApp,
 };
 
 /// Cluster parameters.
@@ -93,17 +93,37 @@ pub struct ClusterReport<A: MapReduceApp> {
 }
 
 enum Assignment {
-    Map { m: usize, range: std::ops::Range<usize> },
-    Reduce { r: usize, holders: Vec<Vec<SocketAddr>> },
+    Map {
+        m: usize,
+        range: std::ops::Range<usize>,
+    },
+    Reduce {
+        r: usize,
+        holders: Vec<Vec<SocketAddr>>,
+    },
     Wait,
     Done,
 }
 
 enum ToCoord<A: MapReduceApp> {
-    Register { worker: usize, addr: SocketAddr },
-    Request { worker: usize },
-    MapDone { worker: usize, m: usize, hashes: Vec<[u8; 32]> },
-    ReduceDone { worker: usize, r: usize, hash: [u8; 32], out: BTreeMap<A::K, A::V> },
+    Register {
+        worker: usize,
+        addr: SocketAddr,
+    },
+    Request {
+        worker: usize,
+    },
+    MapDone {
+        worker: usize,
+        m: usize,
+        hashes: Vec<[u8; 32]>,
+    },
+    ReduceDone {
+        worker: usize,
+        r: usize,
+        hash: [u8; 32],
+        out: BTreeMap<A::K, A::V>,
+    },
 }
 
 struct TaskTable {
@@ -145,8 +165,7 @@ impl TaskTable {
     /// Replicas still required to possibly reach quorum.
     fn needed(&self, t: usize) -> usize {
         let q = self.replication as usize;
-        let best_group = self
-            .reported[t]
+        let best_group = self.reported[t]
             .iter()
             .map(|(_, h)| self.reported[t].iter().filter(|(_, g)| g == h).count())
             .max()
@@ -184,7 +203,10 @@ pub fn run_cluster<A>(app: Arc<A>, data: Arc<Vec<u8>>, cfg: &ClusterConfig) -> C
 where
     A: MapReduceApp<K = String> + 'static,
 {
-    assert!(cfg.n_workers as u32 >= cfg.replication, "not enough workers");
+    assert!(
+        cfg.n_workers as u32 >= cfg.replication,
+        "not enough workers"
+    );
     if !cfg.kill_after_map.is_empty() {
         assert!(cfg.map_outputs_to_server, "fall-back needs server copies");
     }
@@ -256,7 +278,10 @@ fn coordinator<A: MapReduceApp<K = String>>(
             ToCoord::Request { worker } => {
                 let assignment = if !maps.all_valid() {
                     match maps.pick(worker) {
-                        Some(m) => Assignment::Map { m, range: ranges[m].clone() },
+                        Some(m) => Assignment::Map {
+                            m,
+                            range: ranges[m].clone(),
+                        },
                         None => Assignment::Wait,
                     }
                 } else {
@@ -303,7 +328,12 @@ fn coordinator<A: MapReduceApp<K = String>>(
                     stats.quorum_retries.fetch_add(1, Ordering::Relaxed);
                 }
             }
-            ToCoord::ReduceDone { worker, r, hash, out } => {
+            ToCoord::ReduceDone {
+                worker,
+                r,
+                hash,
+                out,
+            } => {
                 stats.reduce_execs.fetch_add(1, Ordering::Relaxed);
                 let newly = reduces.report(r, worker, hash);
                 if newly.is_some() && reduce_outputs[r].is_none() {
@@ -347,12 +377,19 @@ fn worker_main<A: MapReduceApp<K = String>>(ctx: WorkerCtx<A>) {
     let server = PeerServer::start(store.clone(), ctx.max_serving).expect("peer server");
     // "Communication always starts from the client": the volunteer
     // announces its serving endpoint in its first message.
-    let _ = ctx.to_coord.send(ToCoord::Register { worker: ctx.id, addr: server.addr() });
+    let _ = ctx.to_coord.send(ToCoord::Register {
+        worker: ctx.id,
+        addr: server.addr(),
+    });
     let part = HashPartitioner::new(ctx.job.n_reduces);
     // Pull loop with a small client-side backoff on Wait.
     let mut wait = Duration::from_millis(1);
     loop {
-        if ctx.to_coord.send(ToCoord::Request { worker: ctx.id }).is_err() {
+        if ctx
+            .to_coord
+            .send(ToCoord::Request { worker: ctx.id })
+            .is_err()
+        {
             break;
         }
         match ctx.reply.recv() {
@@ -379,7 +416,11 @@ fn worker_main<A: MapReduceApp<K = String>>(ctx: WorkerCtx<A>) {
                         }
                     }
                 }
-                let _ = ctx.to_coord.send(ToCoord::MapDone { worker: ctx.id, m, hashes });
+                let _ = ctx.to_coord.send(ToCoord::MapDone {
+                    worker: ctx.id,
+                    m,
+                    hashes,
+                });
             }
             Ok(Assignment::Reduce { r, holders }) => {
                 wait = Duration::from_millis(1);
@@ -416,9 +457,12 @@ fn worker_main<A: MapReduceApp<K = String>>(ctx: WorkerCtx<A>) {
                     ctx.app.encode(k, v, &mut enc);
                 }
                 let hash = sha256(enc.as_bytes());
-                let _ = ctx
-                    .to_coord
-                    .send(ToCoord::ReduceDone { worker: ctx.id, r, hash, out });
+                let _ = ctx.to_coord.send(ToCoord::ReduceDone {
+                    worker: ctx.id,
+                    r,
+                    hash,
+                    out,
+                });
             }
             Ok(Assignment::Wait) => {
                 std::thread::sleep(wait);
@@ -482,7 +526,10 @@ mod tests {
         cfg.byzantine = vec![0];
         let report = run_cluster(Arc::new(WordCount), data.clone(), &cfg);
         let oracle = run_sequential(&WordCount, &[&data[..]]);
-        assert_eq!(report.output, oracle, "byzantine worker must not corrupt output");
+        assert_eq!(
+            report.output, oracle,
+            "byzantine worker must not corrupt output"
+        );
     }
 
     #[test]

@@ -143,13 +143,9 @@ mod tests {
     fn falls_back_to_server_after_peer_failures() {
         let fallback = server_with("f", b"from-server");
         let peers = vec![dead_addr()];
-        let (data, src) = fetch_with_fallback(
-            "f",
-            &peers,
-            Some(fallback.addr()),
-            &FetchPolicy::default(),
-        )
-        .unwrap();
+        let (data, src) =
+            fetch_with_fallback("f", &peers, Some(fallback.addr()), &FetchPolicy::default())
+                .unwrap();
         assert_eq!(&data[..], b"from-server");
         assert_eq!(src, FetchSource::Fallback);
         fallback.shutdown();

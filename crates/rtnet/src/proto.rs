@@ -200,7 +200,10 @@ mod tests {
     #[test]
     fn response_roundtrips() {
         let body = Bytes::from(vec![7u8; 10_000]);
-        assert_eq!(roundtrip_response(Response::Data(body.clone())), Response::Data(body));
+        assert_eq!(
+            roundtrip_response(Response::Data(body.clone())),
+            Response::Data(body)
+        );
         assert_eq!(roundtrip_response(Response::NotFound), Response::NotFound);
         assert_eq!(roundtrip_response(Response::Busy), Response::Busy);
         assert_eq!(roundtrip_response(Response::Pong), Response::Pong);
@@ -209,7 +212,10 @@ mod tests {
     #[test]
     fn corrupted_body_fails_integrity() {
         let mut buf = BytesMut::new();
-        encode_response(&Response::Data(Bytes::from_static(b"hello world")), &mut buf);
+        encode_response(
+            &Response::Data(Bytes::from_static(b"hello world")),
+            &mut buf,
+        );
         // Flip a body byte (frame: 4 len + 1 tag + 8 body_len + body…).
         let mut raw = buf.to_vec();
         raw[13] ^= 0xff;

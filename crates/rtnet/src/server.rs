@@ -278,7 +278,10 @@ mod tests {
         store.put_with_timeout("f", Bytes::from_static(b"x"), Duration::from_millis(10));
         let srv = PeerServer::start(store.clone(), 4).unwrap();
         std::thread::sleep(Duration::from_millis(30));
-        assert!(matches!(fetch_once(srv.addr(), "f"), Err(FetchError::NotFound)));
+        assert!(matches!(
+            fetch_once(srv.addr(), "f"),
+            Err(FetchError::NotFound)
+        ));
         // Reset revives it — the reschedule path of §III.C.
         store.reset_timeout("f", Some(Duration::from_secs(5)));
         assert!(fetch_once(srv.addr(), "f").is_ok());

@@ -65,10 +65,8 @@ proptest! {
 /// each case spins up real threads and sockets).
 #[test]
 fn cluster_equals_oracle_random_geometries() {
-    let mut runner = proptest::test_runner::TestRunner::new(proptest::test_runner::Config {
-        cases: 8,
-        ..Default::default()
-    });
+    let mut runner =
+        proptest::test_runner::TestRunner::new(proptest::test_runner::Config { cases: 8 });
     runner
         .run(
             &(
@@ -79,8 +77,7 @@ fn cluster_equals_oracle_random_geometries() {
             ),
             |(words, n_maps, n_reduces, n_workers)| {
                 let data = Arc::new(words.join(" ").into_bytes());
-                let mut cfg =
-                    ClusterConfig::new(n_workers, JobSpec::new("wc", n_maps, n_reduces));
+                let mut cfg = ClusterConfig::new(n_workers, JobSpec::new("wc", n_maps, n_reduces));
                 cfg.replication = if n_workers >= 2 { 2 } else { 1 };
                 let report = run_cluster(Arc::new(WordCount), data.clone(), &cfg);
                 let oracle = run_sequential(&WordCount, &[&data[..]]);

@@ -124,7 +124,10 @@ mod tests {
             let d = b.on_empty_reply(&mut rng);
             let nominal = b.nominal_delay().as_secs_f64();
             let got = d.as_secs_f64();
-            assert!(got <= nominal + 1e-6, "jitter above nominal: {got} > {nominal}");
+            assert!(
+                got <= nominal + 1e-6,
+                "jitter above nominal: {got} > {nominal}"
+            );
             assert!(got >= 0.5 * nominal - 1e-6, "jitter below floor: {got}");
         }
     }

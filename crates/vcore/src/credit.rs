@@ -100,11 +100,8 @@ impl CreditLedger {
     /// Hosts ordered by granted credit, descending (the leaderboard
     /// every BOINC project publishes).
     pub fn leaderboard(&self) -> Vec<(ClientId, f64)> {
-        let mut v: Vec<(ClientId, f64)> = self
-            .accounts
-            .iter()
-            .map(|(&c, a)| (c, a.granted))
-            .collect();
+        let mut v: Vec<(ClientId, f64)> =
+            self.accounts.iter().map(|(&c, a)| (c, a.granted)).collect();
         v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
         v
     }

@@ -135,13 +135,7 @@ impl Db {
     ///
     /// # Panics
     /// If the result is not unsent.
-    pub fn mark_sent(
-        &mut self,
-        rid: ResultId,
-        client: ClientId,
-        now: SimTime,
-        deadline: SimTime,
-    ) {
+    pub fn mark_sent(&mut self, rid: ResultId, client: ClientId, now: SimTime, deadline: SimTime) {
         let r = &mut self.results[rid.0 as usize];
         assert_eq!(r.state, ResultState::Unsent, "sending a non-unsent result");
         r.state = ResultState::InProgress;

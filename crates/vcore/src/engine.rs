@@ -496,14 +496,16 @@ impl Engine {
                 t.exec_started = Some(now);
             }
         }
-        self.timeline.point(self.client_name(cid), "resume", "", now);
+        self.timeline
+            .point(self.client_name(cid), "resume", "", now);
         let on = {
             let av = self.clients[cid.0 as usize].profile.availability.unwrap();
             let c = &mut self.clients[cid.0 as usize];
             SimDuration::from_secs_f64(c.rng.exponential(av.on_mean_s).max(1.0))
         };
         self.sim.schedule_in(on, Ev::Suspend(cid));
-        self.clients[cid.0 as usize].next_rpc_at = now.max(self.clients[cid.0 as usize].next_rpc_at);
+        self.clients[cid.0 as usize].next_rpc_at =
+            now.max(self.clients[cid.0 as usize].next_rpc_at);
         self.maybe_contact_server(cid);
         self.try_start_tasks(cid);
     }
@@ -533,7 +535,10 @@ impl Engine {
     fn after_report_transition<P: Policy>(&mut self, policy: &mut P, wu: WuId) {
         let now = self.sim.now();
         match transition_wu(&mut self.db, wu, now) {
-            Transition::Validated { canonical, agreeing } => {
+            Transition::Validated {
+                canonical,
+                agreeing,
+            } => {
                 let clients: Vec<ClientId> = agreeing
                     .iter()
                     .filter_map(|&rid| self.db.result(rid).client)
@@ -565,7 +570,8 @@ impl Engine {
                 policy.on_wu_validated(self, wu, &clients);
             }
             Transition::Failed => {
-                self.timeline.point("server", "wu-failed", wu.to_string(), now);
+                self.timeline
+                    .point("server", "wu-failed", wu.to_string(), now);
                 policy.on_wu_failed(self, wu);
             }
             Transition::Retried { new_results } => {
@@ -671,7 +677,10 @@ impl Engine {
             let picked = pick_results(
                 &self.db,
                 &candidates,
-                WorkRequest { client: cid, slots_wanted },
+                WorkRequest {
+                    client: cid,
+                    slots_wanted,
+                },
                 self.cfg.max_results_per_rpc,
             );
             got_work = !picked.is_empty();
@@ -728,8 +737,8 @@ impl Engine {
         if c.dropped {
             return;
         }
-        let wants = !c.ready_to_report.is_empty()
-            || (c.tasks.len() as u32) < self.cfg.client_buffer_slots;
+        let wants =
+            !c.ready_to_report.is_empty() || (c.tasks.len() as u32) < self.cfg.client_buffer_slots;
         if wants {
             self.schedule_rpc_wake(cid);
         }
@@ -792,7 +801,12 @@ impl Engine {
                 let fid = self.net.start_flow(now, spec);
                 self.flows.insert(
                     fid,
-                    FlowPurpose::InputDownload { client: cid, rid, input_idx: idx, from_peer: None },
+                    FlowPurpose::InputDownload {
+                        client: cid,
+                        rid,
+                        input_idx: idx,
+                        from_peer: None,
+                    },
                 );
             }
             FileSource::Peers(peers) => {
@@ -830,7 +844,12 @@ impl Engine {
             let fid = self.net.start_flow(now, spec);
             self.flows.insert(
                 fid,
-                FlowPurpose::InputDownload { client: cid, rid, input_idx: idx, from_peer: None },
+                FlowPurpose::InputDownload {
+                    client: cid,
+                    rid,
+                    input_idx: idx,
+                    from_peer: None,
+                },
             );
             return;
         }
@@ -848,7 +867,12 @@ impl Engine {
             let fid = self.net.start_flow(now, FlowSpec::simple(host, host, 0));
             self.flows.insert(
                 fid,
-                FlowPurpose::InputDownload { client: cid, rid, input_idx: idx, from_peer: Some(cid) },
+                FlowPurpose::InputDownload {
+                    client: cid,
+                    rid,
+                    input_idx: idx,
+                    from_peer: Some(cid),
+                },
             );
             self.clients[cid.0 as usize].serving_now += 1;
             return;
@@ -936,7 +960,12 @@ impl Engine {
         self.clients[peer.0 as usize].serving_now += 1;
         self.flows.insert(
             fid,
-            FlowPurpose::InputDownload { client: cid, rid, input_idx: idx, from_peer: Some(peer) },
+            FlowPurpose::InputDownload {
+                client: cid,
+                rid,
+                input_idx: idx,
+                from_peer: Some(peer),
+            },
         );
     }
 
@@ -971,7 +1000,12 @@ impl Engine {
                 continue;
             };
             match purpose {
-                FlowPurpose::InputDownload { client, rid, input_idx: _, from_peer } => {
+                FlowPurpose::InputDownload {
+                    client,
+                    rid,
+                    input_idx: _,
+                    from_peer,
+                } => {
                     if let Some(peer) = from_peer {
                         let p = &mut self.clients[peer.0 as usize];
                         p.serving_now = p.serving_now.saturating_sub(1);
@@ -1052,7 +1086,9 @@ impl Engine {
             let jitter = {
                 let j = self.cfg.compute_jitter;
                 if j > 0.0 {
-                    self.clients[cid.0 as usize].rng.uniform_f64(1.0 - j, 1.0 + j)
+                    self.clients[cid.0 as usize]
+                        .rng
+                        .uniform_f64(1.0 - j, 1.0 + j)
                 } else {
                     1.0
                 }
@@ -1098,7 +1134,10 @@ impl Engine {
             if self.fault.task_errors_now(&mut c.rng) {
                 (true, None)
             } else if self.fault.corrupt_now(cid, &mut c.rng) {
-                (false, Some(OutputFingerprint(honest.0 ^ c.rng.next_u64() | 1)))
+                (
+                    false,
+                    Some(OutputFingerprint(honest.0 ^ c.rng.next_u64() | 1)),
+                )
             } else {
                 (false, Some(honest))
             }
@@ -1181,17 +1220,21 @@ impl Engine {
             .flows
             .iter()
             .filter(|(_, p)| match p {
-                FlowPurpose::InputDownload { client, from_peer, .. } => {
-                    *client == cid || *from_peer == Some(cid)
-                }
+                FlowPurpose::InputDownload {
+                    client, from_peer, ..
+                } => *client == cid || *from_peer == Some(cid),
                 FlowPurpose::OutputUpload { client, .. } => *client == cid,
             })
             .map(|(&f, _)| f)
             .collect();
         let now = self.sim.now();
         for fid in involved {
-            if let Some(FlowPurpose::InputDownload { from_peer: Some(peer), client, rid, input_idx }) =
-                self.flows.remove(&fid)
+            if let Some(FlowPurpose::InputDownload {
+                from_peer: Some(peer),
+                client,
+                rid,
+                input_idx,
+            }) = self.flows.remove(&fid)
             {
                 self.net.abort_flow(now, fid);
                 let p = &mut self.clients[peer.0 as usize];
@@ -1238,7 +1281,10 @@ mod tests {
     fn small_engine(n_clients: usize) -> Engine {
         let mut eng = Engine::testbed(42, ProjectConfig::default());
         for _ in 0..n_clients {
-            eng.add_client(HostProfile::pc3001(), HostLink::symmetric_mbit(100.0, 0.000_5));
+            eng.add_client(
+                HostProfile::pc3001(),
+                HostLink::symmetric_mbit(100.0, 0.000_5),
+            );
         }
         eng
     }
@@ -1385,7 +1431,10 @@ mod tests {
     fn dropout_before_report_times_out_and_retries() {
         let mut eng = Engine::testbed(42, ProjectConfig::default());
         for _ in 0..3 {
-            eng.add_client(HostProfile::pc3001(), HostLink::symmetric_mbit(100.0, 0.000_5));
+            eng.add_client(
+                HostProfile::pc3001(),
+                HostLink::symmetric_mbit(100.0, 0.000_5),
+            );
         }
         eng.fault = FaultPlan {
             dropouts: vec![(ClientId(0), SimDuration::from_secs(5))],
@@ -1570,7 +1619,10 @@ mod tests {
         let run = |seed| {
             let mut eng = Engine::testbed(seed, ProjectConfig::default());
             for _ in 0..5 {
-                eng.add_client(HostProfile::pc3001(), HostLink::symmetric_mbit(100.0, 0.000_5));
+                eng.add_client(
+                    HostProfile::pc3001(),
+                    HostLink::symmetric_mbit(100.0, 0.000_5),
+                );
             }
             for i in 0..4 {
                 eng.insert_workunit(wu_spec(&format!("w{i}"), 500_000, 100_000));
@@ -1579,7 +1631,12 @@ mod tests {
             eng.run_until(&mut policy, SimTime::from_secs(40_000), |e| {
                 e.db.all_wus_terminal()
             });
-            (eng.now(), eng.stats.rpcs, eng.stats.reports, eng.stats.grants)
+            (
+                eng.now(),
+                eng.stats.rpcs,
+                eng.stats.reports,
+                eng.stats.grants,
+            )
         };
         assert_eq!(run(7), run(7));
         // Different seeds: at least the run completes (values may differ).

@@ -99,7 +99,10 @@ mod tests {
             dropouts: vec![(ClientId(2), SimDuration::from_secs(30))],
             ..FaultPlan::default()
         };
-        assert_eq!(f.dropout_time(ClientId(2)), Some(SimDuration::from_secs(30)));
+        assert_eq!(
+            f.dropout_time(ClientId(2)),
+            Some(SimDuration::from_secs(30))
+        );
         assert_eq!(f.dropout_time(ClientId(1)), None);
     }
 }

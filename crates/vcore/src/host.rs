@@ -47,7 +47,10 @@ impl Availability {
     }
 }
 
-fn default_nat() -> NatType {
+/// Deserialization default for [`HostProfile::nat`] (referenced from the
+/// `#[serde(default)]` attribute; kept callable so the vendored serde
+/// stub, which ignores field attributes, does not orphan it).
+pub fn default_nat() -> NatType {
     NatType::Open
 }
 
@@ -93,7 +96,10 @@ impl HostProfile {
 
     /// Returns a copy with an owner-usage availability pattern.
     pub fn with_availability(mut self, on_mean_s: f64, off_mean_s: f64) -> Self {
-        self.availability = Some(Availability { on_mean_s, off_mean_s });
+        self.availability = Some(Availability {
+            on_mean_s,
+            off_mean_s,
+        });
         self
     }
 }
@@ -122,7 +128,10 @@ mod tests {
 
     #[test]
     fn availability_duty_cycle() {
-        let a = Availability { on_mean_s: 3.0, off_mean_s: 1.0 };
+        let a = Availability {
+            on_mean_s: 3.0,
+            off_mean_s: 1.0,
+        };
         assert!((a.duty_cycle() - 0.75).abs() < 1e-12);
         let h = HostProfile::pc3001().with_availability(600.0, 300.0);
         assert!((h.availability.unwrap().duty_cycle() - 2.0 / 3.0).abs() < 1e-12);

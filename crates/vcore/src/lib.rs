@@ -41,7 +41,9 @@ pub use backoff::Backoff;
 pub use config::ProjectConfig;
 pub use credit::{claimed_credit, CreditLedger, HostAccount};
 pub use db::Db;
-pub use engine::{honest_fingerprint, Engine, EngineStats, Ev, NullPolicy, Policy, RelayChoice, ServedFile};
+pub use engine::{
+    honest_fingerprint, Engine, EngineStats, Ev, NullPolicy, Policy, RelayChoice, ServedFile,
+};
 pub use fault::FaultPlan;
 pub use host::{Availability, HostProfile};
 pub use types::{ClientId, FileRef, FileSource, OutputFingerprint, ResultId, WuId};

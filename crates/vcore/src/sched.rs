@@ -60,7 +60,10 @@ mod tests {
     fn db_with(n_wus: usize) -> Db {
         let mut db = Db::new();
         for i in 0..n_wus {
-            db.insert_workunit(WorkUnitSpec::basic(format!("wu{i}"), "app", 1e9), SimTime::ZERO);
+            db.insert_workunit(
+                WorkUnitSpec::basic(format!("wu{i}"), "app", 1e9),
+                SimTime::ZERO,
+            );
         }
         db
     }
@@ -75,7 +78,10 @@ mod tests {
         let picked = pick_results(
             &db,
             &unsent(&db),
-            WorkRequest { client: ClientId(0), slots_wanted: 3 },
+            WorkRequest {
+                client: ClientId(0),
+                slots_wanted: 3,
+            },
             10,
         );
         assert_eq!(picked.len(), 3);
@@ -87,7 +93,10 @@ mod tests {
         let picked = pick_results(
             &db,
             &unsent(&db),
-            WorkRequest { client: ClientId(0), slots_wanted: 10 },
+            WorkRequest {
+                client: ClientId(0),
+                slots_wanted: 10,
+            },
             2,
         );
         assert_eq!(picked.len(), 2);
@@ -99,7 +108,10 @@ mod tests {
         let picked = pick_results(
             &db,
             &unsent(&db),
-            WorkRequest { client: ClientId(0), slots_wanted: 5 },
+            WorkRequest {
+                client: ClientId(0),
+                slots_wanted: 5,
+            },
             10,
         );
         assert_eq!(picked.len(), 1, "must not hand both replicas to one host");
@@ -110,11 +122,19 @@ mod tests {
         let mut db = db_with(2);
         // Client 0 already holds a replica of wu0.
         let wu0_results = db.results_of(crate::types::WuId(0)).to_vec();
-        db.mark_sent(wu0_results[0], ClientId(0), SimTime::ZERO, SimTime::from_secs(1000));
+        db.mark_sent(
+            wu0_results[0],
+            ClientId(0),
+            SimTime::ZERO,
+            SimTime::from_secs(1000),
+        );
         let picked = pick_results(
             &db,
             &unsent(&db),
-            WorkRequest { client: ClientId(0), slots_wanted: 5 },
+            WorkRequest {
+                client: ClientId(0),
+                slots_wanted: 5,
+            },
             10,
         );
         // Only wu1's replica is eligible.
@@ -126,11 +146,19 @@ mod tests {
     fn other_client_still_gets_the_wu() {
         let mut db = db_with(1);
         let rids = db.results_of(crate::types::WuId(0)).to_vec();
-        db.mark_sent(rids[0], ClientId(0), SimTime::ZERO, SimTime::from_secs(1000));
+        db.mark_sent(
+            rids[0],
+            ClientId(0),
+            SimTime::ZERO,
+            SimTime::from_secs(1000),
+        );
         let picked = pick_results(
             &db,
             &unsent(&db),
-            WorkRequest { client: ClientId(1), slots_wanted: 1 },
+            WorkRequest {
+                client: ClientId(1),
+                slots_wanted: 1,
+            },
             10,
         );
         assert_eq!(picked.len(), 1);
@@ -142,7 +170,10 @@ mod tests {
         let picked = pick_results(
             &db,
             &unsent(&db),
-            WorkRequest { client: ClientId(0), slots_wanted: 0 },
+            WorkRequest {
+                client: ClientId(0),
+                slots_wanted: 0,
+            },
             10,
         );
         assert!(picked.is_empty());
@@ -154,7 +185,10 @@ mod tests {
         let picked = pick_results(
             &db,
             &[],
-            WorkRequest { client: ClientId(0), slots_wanted: 4 },
+            WorkRequest {
+                client: ClientId(0),
+                slots_wanted: 4,
+            },
             10,
         );
         assert!(picked.is_empty());

@@ -52,11 +52,20 @@ pub fn transition_wu(db: &mut Db, wu: WuId, now: SimTime) -> Transition {
         .collect();
     let fingerprints: Vec<OutputFingerprint> = successes
         .iter()
-        .map(|&r| db.result(r).fingerprint.expect("success without fingerprint"))
+        .map(|&r| {
+            db.result(r)
+                .fingerprint
+                .expect("success without fingerprint")
+        })
         .collect();
     let min_quorum = db.wu(wu).spec.min_quorum;
 
-    if let Verdict::Valid { canonical, agreeing, .. } = check_quorum(&fingerprints, min_quorum) {
+    if let Verdict::Valid {
+        canonical,
+        agreeing,
+        ..
+    } = check_quorum(&fingerprints, min_quorum)
+    {
         let agreeing: Vec<ResultId> = agreeing.into_iter().map(|i| successes[i]).collect();
         {
             let w = db.wu_mut(wu);
@@ -70,7 +79,10 @@ pub fn transition_wu(db: &mut Db, wu: WuId, now: SimTime) -> Transition {
                 db.cancel_unsent(rid);
             }
         }
-        return Transition::Validated { canonical, agreeing };
+        return Transition::Validated {
+            canonical,
+            agreeing,
+        };
     }
 
     // No quorum yet. Count results that can still contribute towards a
@@ -117,7 +129,12 @@ mod tests {
     }
 
     fn send_and_report(db: &mut Db, rid: ResultId, client: u32, fp: u64) {
-        db.mark_sent(rid, ClientId(client), SimTime::ZERO, SimTime::from_secs(10_000));
+        db.mark_sent(
+            rid,
+            ClientId(client),
+            SimTime::ZERO,
+            SimTime::from_secs(10_000),
+        );
         db.mark_reported(
             rid,
             ResultOutcome::Success,
@@ -131,10 +148,16 @@ mod tests {
         let (mut db, wu) = setup();
         let rids = db.results_of(wu).to_vec();
         send_and_report(&mut db, rids[0], 0, 42);
-        assert_eq!(transition_wu(&mut db, wu, SimTime::from_secs(1)), Transition::None);
+        assert_eq!(
+            transition_wu(&mut db, wu, SimTime::from_secs(1)),
+            Transition::None
+        );
         send_and_report(&mut db, rids[1], 1, 42);
         match transition_wu(&mut db, wu, SimTime::from_secs(2)) {
-            Transition::Validated { canonical, agreeing } => {
+            Transition::Validated {
+                canonical,
+                agreeing,
+            } => {
                 assert_eq!(canonical, OutputFingerprint(42));
                 assert_eq!(agreeing.len(), 2);
             }
@@ -143,7 +166,10 @@ mod tests {
         assert_eq!(db.wu(wu).state, WuState::Validated);
         assert_eq!(db.wu(wu).finished_at, Some(SimTime::from_secs(2)));
         // Idempotent afterwards.
-        assert_eq!(transition_wu(&mut db, wu, SimTime::from_secs(3)), Transition::None);
+        assert_eq!(
+            transition_wu(&mut db, wu, SimTime::from_secs(3)),
+            Transition::None
+        );
     }
 
     #[test]
@@ -183,10 +209,18 @@ mod tests {
         let wu = db.insert_workunit(spec, SimTime::ZERO);
         let rids = db.results_of(wu).to_vec();
         for (i, rid) in rids.iter().enumerate() {
-            db.mark_sent(*rid, ClientId(i as u32), SimTime::ZERO, SimTime::from_secs(10));
+            db.mark_sent(
+                *rid,
+                ClientId(i as u32),
+                SimTime::ZERO,
+                SimTime::from_secs(10),
+            );
             db.mark_timed_out(*rid, SimTime::from_secs(10));
         }
-        assert_eq!(transition_wu(&mut db, wu, SimTime::from_secs(10)), Transition::Failed);
+        assert_eq!(
+            transition_wu(&mut db, wu, SimTime::from_secs(10)),
+            Transition::Failed
+        );
         assert_eq!(db.wu(wu).state, WuState::Failed);
     }
 
@@ -217,9 +251,17 @@ mod tests {
     fn in_progress_results_block_retry() {
         let (mut db, wu) = setup();
         let rids = db.results_of(wu).to_vec();
-        db.mark_sent(rids[0], ClientId(0), SimTime::ZERO, SimTime::from_secs(1000));
+        db.mark_sent(
+            rids[0],
+            ClientId(0),
+            SimTime::ZERO,
+            SimTime::from_secs(1000),
+        );
         // One in progress + one unsent = potential 2 >= quorum 2.
-        assert_eq!(transition_wu(&mut db, wu, SimTime::from_secs(1)), Transition::None);
+        assert_eq!(
+            transition_wu(&mut db, wu, SimTime::from_secs(1)),
+            Transition::None
+        );
         assert_eq!(db.results_of(wu).len(), 2, "no spurious extra replicas");
     }
 }

@@ -50,7 +50,9 @@ pub fn check_quorum(fingerprints: &[OutputFingerprint], min_quorum: u32) -> Verd
     if (agreeing.len() as u32) < min_quorum {
         return Verdict::Inconclusive;
     }
-    let dissenting = (0..fingerprints.len()).filter(|i| !agreeing.contains(i)).collect();
+    let dissenting = (0..fingerprints.len())
+        .filter(|i| !agreeing.contains(i))
+        .collect();
     Verdict::Valid {
         canonical,
         agreeing,
@@ -70,7 +72,11 @@ mod tests {
     fn two_of_two_agree() {
         let v = check_quorum(&[fp(5), fp(5)], 2);
         match v {
-            Verdict::Valid { canonical, agreeing, dissenting } => {
+            Verdict::Valid {
+                canonical,
+                agreeing,
+                dissenting,
+            } => {
                 assert_eq!(canonical, fp(5));
                 assert_eq!(agreeing, vec![0, 1]);
                 assert!(dissenting.is_empty());
@@ -88,7 +94,11 @@ mod tests {
     fn two_of_three_with_byzantine_minority() {
         let v = check_quorum(&[fp(9), fp(1), fp(9)], 2);
         match v {
-            Verdict::Valid { canonical, agreeing, dissenting } => {
+            Verdict::Valid {
+                canonical,
+                agreeing,
+                dissenting,
+            } => {
                 assert_eq!(canonical, fp(9));
                 assert_eq!(agreeing, vec![0, 2]);
                 assert_eq!(dissenting, vec![1]);

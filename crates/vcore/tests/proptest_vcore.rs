@@ -5,8 +5,8 @@ use proptest::prelude::*;
 use vmr_desim::{RngStream, SimDuration, SimTime};
 use vmr_vcore::transition::{transition_wu, Transition};
 use vmr_vcore::{
-    check_quorum, Backoff, ClientId, Db, OutputFingerprint, ResultOutcome, Verdict,
-    WorkUnitSpec, WuState,
+    check_quorum, Backoff, ClientId, Db, OutputFingerprint, ResultOutcome, Verdict, WorkUnitSpec,
+    WuState,
 };
 
 proptest! {

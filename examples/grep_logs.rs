@@ -41,7 +41,10 @@ fn main() {
     for (url, bytes) in top.iter().take(5) {
         println!("  {url:<12} {bytes:>12} bytes");
     }
-    println!("\n{} URLs aggregated — TCP cluster == oracle", report.output.len());
+    println!(
+        "\n{} URLs aggregated — TCP cluster == oracle",
+        report.output.len()
+    );
 
     // ----- Monte-Carlo π: classic volunteer computing as MapReduce -----
     let input = Arc::new(pi_input(24, 100_000, 1));

@@ -21,8 +21,10 @@ fn main() {
 
     // ----- 1. The testbed fiction: everyone publicly reachable -----
     let lan = run_experiment(&base());
-    println!("all-open volunteers      : total {:>6.0} s, fallbacks {}",
-        lan.reports[0].total_s, lan.stats.server_fallbacks);
+    println!(
+        "all-open volunteers      : total {:>6.0} s, fallbacks {}",
+        lan.reports[0].total_s, lan.stats.server_fallbacks
+    );
 
     // ----- 2. Realistic NAT mix, prototype's direct-only connects -----
     let mut cfg = base();

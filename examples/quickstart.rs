@@ -39,10 +39,22 @@ fn main() {
     assert_eq!(report.output, oracle, "TCP cluster must match the oracle");
     println!(
         "real TCP cluster: OK ({} peer fetches, {} local reads, {} fallbacks, {} map execs)",
-        report.stats.peer_fetches.load(std::sync::atomic::Ordering::Relaxed),
-        report.stats.local_reads.load(std::sync::atomic::Ordering::Relaxed),
-        report.stats.fallback_fetches.load(std::sync::atomic::Ordering::Relaxed),
-        report.stats.map_execs.load(std::sync::atomic::Ordering::Relaxed),
+        report
+            .stats
+            .peer_fetches
+            .load(std::sync::atomic::Ordering::Relaxed),
+        report
+            .stats
+            .local_reads
+            .load(std::sync::atomic::Ordering::Relaxed),
+        report
+            .stats
+            .fallback_fetches
+            .load(std::sync::atomic::Ordering::Relaxed),
+        report
+            .stats
+            .map_execs
+            .load(std::sync::atomic::Ordering::Relaxed),
     );
 
     // ----- 3. simulated volunteer cloud (one Table I style cell) -----

@@ -17,7 +17,10 @@ use vmr_vcore::{Engine, HostProfile, ProjectConfig};
 fn main() {
     let mut eng = Engine::testbed(0xF10, ProjectConfig::default());
     for _ in 0..12 {
-        eng.add_client(HostProfile::pc3001(), HostLink::symmetric_mbit(100.0, 0.000_5));
+        eng.add_client(
+            HostProfile::pc3001(),
+            HostLink::symmetric_mbit(100.0, 0.000_5),
+        );
     }
 
     let mut stage1 = MrJobConfig::paper_wordcount(12, 4, MrMode::InterClient);
@@ -26,8 +29,14 @@ fn main() {
     stage2.input_bytes = 0; // filled from stage 1's output
 
     let mut wf = Workflow::new(vec![
-        Stage { cfg: stage1, input_scale: 1.0 },
-        Stage { cfg: stage2, input_scale: 1.0 },
+        Stage {
+            cfg: stage1,
+            input_scale: 1.0,
+        },
+        Stage {
+            cfg: stage2,
+            input_scale: 1.0,
+        },
     ]);
     wf.start(&mut eng);
     eng.run_until(&mut wf, SimTime::from_secs(200_000), |e| {
@@ -35,7 +44,10 @@ fn main() {
     });
 
     assert!(wf.succeeded(), "workflow must complete");
-    println!("two-stage workflow complete at t = {:.0} s\n", eng.now().as_secs_f64());
+    println!(
+        "two-stage workflow complete at t = {:.0} s\n",
+        eng.now().as_secs_f64()
+    );
     for (i, job) in wf.policy().tracker.jobs.iter().enumerate() {
         println!(
             "stage {}: input {:>9} bytes | map {:>5.0} s | reduce {:>5.0} s | total {:>5.0} s",

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Repo-wide hygiene gate: formatting, lints (warnings are errors), and
+# the full test suite. Run before sending a change.
+#
+# Usage: scripts/check.sh [--no-test]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+NO_TEST=0
+for arg in "$@"; do
+    case "$arg" in
+        --no-test) NO_TEST=1 ;;
+        *) echo "unknown argument: $arg" >&2; exit 2 ;;
+    esac
+done
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (workspace, all targets, -D warnings)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+if [ "$NO_TEST" -eq 0 ]; then
+    echo "==> cargo test (workspace)"
+    cargo test --offline --workspace --quiet
+fi
+
+echo "==> OK"

@@ -79,7 +79,10 @@ fn report_delays_are_recorded_and_bounded_by_cap() {
 fn immediate_report_mitigation_cuts_delay() {
     let base = run_experiment(&small(MrMode::InterClient, 17));
     let mut c = small(MrMode::InterClient, 17);
-    c.mitigation = MitigationPlan { immediate_report: true, ..Default::default() };
+    c.mitigation = MitigationPlan {
+        immediate_report: true,
+        ..Default::default()
+    };
     let fixed = run_experiment(&c);
     assert!(
         fixed.stats.report_delay.mean() < base.stats.report_delay.mean(),
@@ -119,7 +122,10 @@ fn faster_quadcore_mix_not_slower() {
     // tasks at once. Swapping half the fleet for them must not hurt.
     let slow = run_experiment(&small(MrMode::InterClient, 30));
     let mut c = small(MrMode::InterClient, 30);
-    c.nodes = NodeMix { pc3001: 5, pcr200: 5 };
+    c.nodes = NodeMix {
+        pc3001: 5,
+        pcr200: 5,
+    };
     let mixed = run_experiment(&c);
     assert!(slow.all_done && mixed.all_done);
     assert!(
@@ -139,7 +145,10 @@ fn assimilator_collects_every_wu_once() {
     use volunteer_mr::vcore::{Engine, HostProfile, ProjectConfig};
     let mut eng = Engine::testbed(out_cfg.seed, ProjectConfig::default());
     for _ in 0..10 {
-        eng.add_client(HostProfile::pc3001(), HostLink::symmetric_mbit(100.0, 0.000_5));
+        eng.add_client(
+            HostProfile::pc3001(),
+            HostLink::symmetric_mbit(100.0, 0.000_5),
+        );
     }
     let mut jc = MrJobConfig::paper_wordcount(8, 3, MrMode::InterClient);
     jc.input_bytes = 128 << 20;
@@ -177,7 +186,12 @@ fn timeline_contains_full_task_lifecycle() {
     for k in ["download", "exec", "upload"] {
         assert!(kinds.contains(k), "missing span kind {k}");
     }
-    let markers: Vec<&str> = out.timeline.points().iter().map(|p| p.detail.as_str()).collect();
+    let markers: Vec<&str> = out
+        .timeline
+        .points()
+        .iter()
+        .map(|p| p.detail.as_str())
+        .collect();
     for m in ["map-start", "maps-validated", "reduce-start", "job-done"] {
         assert!(markers.contains(&m), "missing phase marker {m}");
     }

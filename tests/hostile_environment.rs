@@ -20,7 +20,10 @@ fn nat_mix_with_tiered_traversal_completes_p2p() {
     c.traversal = TraversalPolicy::default();
     let out = run_experiment(&c);
     assert!(out.all_done);
-    assert_eq!(out.stats.server_fallbacks, 0, "tiered traversal keeps transfers p2p");
+    assert_eq!(
+        out.stats.server_fallbacks, 0,
+        "tiered traversal keeps transfers p2p"
+    );
     assert!(out.stats.traversal.successes() > 0);
 }
 
@@ -113,5 +116,8 @@ fn everything_at_once() {
         dropouts: vec![(ClientId(9), SimDuration::from_secs(400))],
     };
     let out = run_experiment(&c);
-    assert!(out.all_done, "the full hostile scenario must still complete");
+    assert!(
+        out.all_done,
+        "the full hostile scenario must still complete"
+    );
 }

@@ -137,5 +137,8 @@ fn byzantine_rejected_in_both_worlds() {
         ..FaultPlan::default()
     };
     let out = run_experiment(&sim);
-    assert!(out.all_done, "simulated job must survive a byzantine minority");
+    assert!(
+        out.all_done,
+        "simulated job must survive a byzantine minority"
+    );
 }

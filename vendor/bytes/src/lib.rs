@@ -1,0 +1,350 @@
+//! Offline stand-in for the `bytes` crate (API subset).
+//!
+//! [`Bytes`] is a cheaply clonable immutable byte buffer
+//! (`Arc<Vec<u8>>` + range instead of upstream's refcounted slices);
+//! [`BytesMut`] is a growable buffer with a read cursor so the
+//! big-endian `get_*` / `put_*` accessors of [`Buf`] / [`BufMut`] work
+//! as upstream. Only the methods this workspace calls are provided.
+
+#![warn(missing_docs)]
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Immutable, cheaply clonable byte buffer.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Wraps a static byte slice (copied; upstream borrows, but the
+    /// observable behavior is identical).
+    pub fn from_static(s: &'static [u8]) -> Self {
+        Bytes::from(s.to_vec())
+    }
+
+    /// Copies a byte slice into a new buffer.
+    pub fn copy_from_slice(s: &[u8]) -> Self {
+        Bytes::from(s.to_vec())
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_ref().to_vec()
+    }
+
+    /// Splits off and returns the first `at` bytes; `self` keeps the rest.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let head = Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start,
+            end: self.start + at,
+        };
+        self.start += at;
+        head
+    }
+
+    /// Shortens the buffer to at most `len` bytes.
+    pub fn truncate(&mut self, len: usize) {
+        if len < self.len() {
+            self.end = self.start + len;
+        }
+    }
+
+    /// A sub-slice sharing the same backing storage.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        assert!(range.start <= range.end && range.end <= self.len());
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_ref()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            data: Arc::new(v),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Self {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(s: &[u8]) -> Self {
+        Bytes::from(s.to_vec())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_ref().iter().take(32) {
+            write!(f, "{}", std::ascii::escape_default(b))?;
+        }
+        if self.len() > 32 {
+            write!(f, "…({} bytes)", self.len())?;
+        }
+        write!(f, "\"")
+    }
+}
+
+/// Growable byte buffer with a read cursor.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+    /// Read position for the `Buf` accessors.
+    pos: usize,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with `cap` bytes of preallocated space.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+            pos: 0,
+        }
+    }
+
+    /// Unread length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when no unread bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Clears the buffer.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.pos = 0;
+    }
+
+    /// Copies the unread contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.buf[self.pos..].to_vec()
+    }
+
+    /// Splits off and returns the first `at` unread bytes.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let head = BytesMut {
+            buf: self.buf[self.pos..self.pos + at].to_vec(),
+            pos: 0,
+        };
+        self.pos += at;
+        head
+    }
+
+    /// Freezes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.to_vec())
+    }
+
+    /// Appends a byte slice.
+    pub fn extend_from_slice(&mut self, s: &[u8]) {
+        self.buf.extend_from_slice(s);
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(s: &[u8]) -> Self {
+        BytesMut {
+            buf: s.to_vec(),
+            pos: 0,
+        }
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf[self.pos..]
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_ref()
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BytesMut({} bytes)", self.len())
+    }
+}
+
+/// Read-side accessors (big-endian), subset of `bytes::Buf`.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Reads `n` bytes into `out`. Panics if not enough remain.
+    fn copy_to_slice(&mut self, out: &mut [u8]);
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Reads a big-endian `u16`.
+    fn get_u16(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_be_bytes(b)
+    }
+
+    /// Reads a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_be_bytes(b)
+    }
+
+    /// Reads a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_be_bytes(b)
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, out: &mut [u8]) {
+        assert!(out.len() <= self.len(), "buffer underflow");
+        out.copy_from_slice(&self.buf[self.pos..self.pos + out.len()]);
+        self.pos += out.len();
+    }
+}
+
+/// Write-side accessors (big-endian), subset of `bytes::BufMut`.
+pub trait BufMut {
+    /// Appends a byte slice.
+    fn put_slice(&mut self, s: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, s: &[u8]) {
+        self.buf.extend_from_slice(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_then_get_roundtrip() {
+        let mut b = BytesMut::new();
+        b.put_u32(0xDEAD_BEEF);
+        b.put_u8(7);
+        b.put_u16(513);
+        b.put_u64(u64::MAX - 1);
+        b.put_slice(b"xyz");
+        assert_eq!(b.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.get_u16(), 513);
+        assert_eq!(b.get_u64(), u64::MAX - 1);
+        assert_eq!(b.remaining(), 3);
+        assert_eq!(b.split_to(2).to_vec(), b"xy");
+        assert_eq!(b.to_vec(), b"z");
+    }
+
+    #[test]
+    fn bytes_split_and_slice_share_data() {
+        let mut b = Bytes::from(b"hello world".to_vec());
+        let head = b.split_to(5);
+        assert_eq!(&head[..], b"hello");
+        assert_eq!(&b[..], b" world");
+        assert_eq!(&b.slice(1..6)[..], b"world");
+    }
+
+    #[test]
+    fn freeze_keeps_unread_part_only() {
+        let mut b = BytesMut::from(&b"abcdef"[..]);
+        let _ = b.get_u16();
+        assert_eq!(&b.freeze()[..], b"cdef");
+    }
+}

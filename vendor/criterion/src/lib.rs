@@ -1,0 +1,256 @@
+//! Offline stand-in for `criterion` (API subset).
+//!
+//! Provides the group/bench API the workspace's benches use and prints
+//! one line per benchmark: mean wall-clock per iteration and derived
+//! throughput. No statistical analysis, warm-up tuning, or HTML reports
+//! — each benchmark runs a calibration pass, then `sample_size` timed
+//! samples of an adaptively chosen iteration count.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a computed value.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Throughput basis for reporting rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter as the id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to the closure; `iter` times the workload.
+pub struct Bencher {
+    iters_hint: u64,
+    samples: usize,
+    /// Mean seconds per iteration, filled by `iter`.
+    mean_s: f64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records the mean wall-clock cost.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Calibration: find an iteration count that runs ≥ ~5 ms.
+        let mut iters = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_millis(5) || iters >= self.iters_hint {
+                break;
+            }
+            iters = (iters * 4).min(self.iters_hint);
+        }
+        let mut best = f64::INFINITY;
+        let mut total = 0.0;
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let s = t0.elapsed().as_secs_f64() / iters as f64;
+            total += s;
+            best = best.min(s);
+        }
+        self.mean_s = total / self.samples as f64;
+    }
+}
+
+fn human_time(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+fn report(path: &str, mean_s: f64, throughput: Option<Throughput>) {
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if mean_s > 0.0 => {
+            format!("  {:>12.0} elem/s", n as f64 / mean_s)
+        }
+        Some(Throughput::Bytes(n)) if mean_s > 0.0 => {
+            format!("  {:>12.1} MiB/s", n as f64 / mean_s / (1024.0 * 1024.0))
+        }
+        _ => String::new(),
+    };
+    println!("bench {path:<48} {:>12}{rate}", human_time(mean_s));
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples (criterion default is 100; the
+    /// stub default is 10 to keep offline runs quick).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares per-iteration throughput for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut f = f;
+        let mut b = Bencher {
+            iters_hint: 1 << 20,
+            samples: self.sample_size,
+            mean_s: 0.0,
+        };
+        f(&mut b, input);
+        report(
+            &format!("{}/{}", self.name, id.name),
+            b.mean_s,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Benchmarks a plain closure.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut f = f;
+        let mut b = Bencher {
+            iters_hint: 1 << 20,
+            samples: self.sample_size,
+            mean_s: 0.0,
+        };
+        f(&mut b);
+        report(
+            &format!("{}/{}", self.name, name.into()),
+            b.mean_s,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Ends the group (no-op; criterion compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a plain closure outside any group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut f = f;
+        let mut b = Bencher {
+            iters_hint: 1 << 20,
+            samples: 10,
+            mean_s: 0.0,
+        };
+        f(&mut b);
+        report(&name.into(), b.mean_s, None);
+        self
+    }
+}
+
+/// Declares a benchmark harness function running the listed benches.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("stub/demo");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(100));
+        g.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+
+    criterion_group!(demo_group, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        demo_group();
+        let mut c = Criterion::default();
+        c.bench_function("stub/top-level", |b| b.iter(|| black_box(2 * 2)));
+    }
+}

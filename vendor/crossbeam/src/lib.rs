@@ -1,0 +1,154 @@
+//! Offline stand-in for `crossbeam` (API subset).
+//!
+//! * [`scope`] — scoped threads, implemented over `std::thread::scope`.
+//!   Child panics surface as an `Err` from `scope`, matching crossbeam.
+//! * [`channel`] — unbounded MPSC channel over `std::sync::mpsc` with
+//!   crossbeam's `unbounded()` constructor and error types.
+
+#![warn(missing_docs)]
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A scope for spawning borrowing threads (subset of
+/// `crossbeam::thread::Scope`).
+#[derive(Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope itself so
+    /// it can spawn further threads, as in crossbeam.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: inner.spawn(move || f(&Scope { inner })),
+        }
+    }
+}
+
+/// Handle to a scoped thread (joined automatically at scope exit).
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Waits for the thread to finish, returning its result.
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.inner.join()
+    }
+}
+
+/// Runs `f` with a scope in which borrowing threads can be spawned; all
+/// threads are joined before `scope` returns. Returns `Err` if the
+/// closure or any child thread panicked.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+pub mod channel {
+    //! Unbounded channel (subset of `crossbeam::channel`).
+
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// Sending half; clonable.
+    pub struct Sender<T>(std::sync::mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message; errors if all receivers are gone.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.0.send(msg)
+        }
+    }
+
+    /// Receiving half.
+    pub struct Receiver<T>(std::sync::mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocks for the next message; errors when all senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = std::sync::mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let counter = AtomicUsize::new(0);
+        let r = scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            }
+            "done"
+        });
+        assert_eq!(r.unwrap(), "done");
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn child_panic_reported_as_err() {
+        let r = scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn channel_roundtrip_multi_producer() {
+        let (tx, rx) = channel::unbounded::<usize>();
+        let tx2 = tx.clone();
+        std::thread::spawn(move || tx2.send(1).unwrap())
+            .join()
+            .unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        let mut got = vec![rx.recv().unwrap(), rx.recv().unwrap()];
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+        assert!(rx.recv().is_err(), "all senders dropped");
+    }
+}

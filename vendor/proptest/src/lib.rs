@@ -1,0 +1,522 @@
+//! Offline stand-in for `proptest` (API subset, no shrinking).
+//!
+//! Implements exactly what this workspace's property tests use:
+//!
+//! * [`strategy::Strategy`] with numeric ranges, `&str` character-class
+//!   regexes (`"[a-e]{1,5}"` shapes), tuples, [`collection::vec`],
+//!   `prop_map`, and [`prelude::any`];
+//! * the [`proptest!`], [`prop_assert!`], [`prop_assert_eq!`],
+//!   [`prop_assert_ne!`] and [`prop_assume!`] macros;
+//! * [`test_runner::TestRunner`] with a deterministic seed, so failures
+//!   reproduce exactly across runs (print the case's value; there is no
+//!   shrinking — the failing input is reported as generated).
+
+#![warn(missing_docs)]
+
+pub mod strategy {
+    //! Input-generation strategies.
+
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// A source of random test inputs.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut SmallRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut SmallRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut SmallRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut SmallRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(u8, u16, u32, u64, usize);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut SmallRng) -> f64 {
+            rng.random_range(self.clone())
+        }
+    }
+
+    /// `&str` strategies: a character-class regex of the shape
+    /// `[class]{m,n}` (or `{n}`), e.g. `"[a-zA-Z0-9_./-]{0,64}"`.
+    /// Generates strings of uniform length in `[m, n]` with uniformly
+    /// chosen class members. Other regex features are unsupported and
+    /// panic loudly.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut SmallRng) -> String {
+            let (chars, lo, hi) = parse_class_pattern(self)
+                .unwrap_or_else(|| panic!("unsupported regex strategy: {self:?}"));
+            let len = rng.random_range(lo..=hi);
+            (0..len)
+                .map(|_| chars[rng.random_range(0..chars.len())])
+                .collect()
+        }
+    }
+
+    /// Parses `[class]{m,n}` / `[class]{n}` into (members, m, n).
+    fn parse_class_pattern(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+        let rest = pat.strip_prefix('[')?;
+        let close = rest.find(']')?;
+        let class: Vec<char> = rest[..close].chars().collect();
+        let mut members = Vec::new();
+        let mut i = 0;
+        while i < class.len() {
+            // `a-z` range; a trailing or leading `-` is a literal.
+            if i + 2 < class.len() && class[i + 1] == '-' {
+                let (a, b) = (class[i], class[i + 2]);
+                if a > b {
+                    return None;
+                }
+                members.extend((a..=b).filter(|c| c.is_ascii()));
+                i += 3;
+            } else {
+                members.push(class[i]);
+                i += 1;
+            }
+        }
+        if members.is_empty() {
+            return None;
+        }
+        let tail = &rest[close + 1..];
+        let (lo, hi) = if tail.is_empty() {
+            // Bare `[class]` matches exactly one character.
+            (1, 1)
+        } else {
+            let counts = tail.strip_prefix('{')?.strip_suffix('}')?;
+            match counts.split_once(',') {
+                Some((a, b)) => (a.trim().parse().ok()?, b.trim().parse().ok()?),
+                None => {
+                    let n = counts.trim().parse().ok()?;
+                    (n, n)
+                }
+            }
+        };
+        if lo > hi {
+            return None;
+        }
+        Some((members, lo, hi))
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident/$idx:tt),+);)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy!(
+        (A/0);
+        (A/0, B/1);
+        (A/0, B/1, C/2);
+        (A/0, B/1, C/2, D/3);
+        (A/0, B/1, C/2, D/3, E/4);
+        (A/0, B/1, C/2, D/3, E/4, F/5);
+    );
+
+    /// Types with a canonical "any value" strategy (subset of
+    /// `proptest::arbitrary::Arbitrary`).
+    pub trait Arbitrary: Sized {
+        /// Generates an unconstrained value.
+        fn arbitrary(rng: &mut SmallRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut SmallRng) -> $t {
+                    rng.random::<$t>()
+                }
+            }
+        )*};
+    }
+
+    arb_int!(u8, u32, u64, usize, bool);
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut SmallRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Produces arbitrary values of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    /// Generates vectors whose length is uniform in `size` and whose
+    /// elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy {
+            element,
+            lo: size.start,
+            hi_exclusive: size.end,
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.lo..self.hi_exclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Test execution.
+
+    use super::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Runner configuration (subset of proptest's `Config`).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Why a single test case did not pass.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// The input was rejected by `prop_assume!`; not a failure.
+        Reject(String),
+        /// The property failed for this input.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// A failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// An assumption rejection with the given message.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Result of one test case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// A property failure, carrying the failing input's debug rendering.
+    #[derive(Debug)]
+    pub struct TestError {
+        /// What failed.
+        pub message: String,
+        /// `Debug` rendering of the input that failed.
+        pub input: String,
+    }
+
+    impl std::fmt::Display for TestError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}; input: {}", self.message, self.input)
+        }
+    }
+
+    /// Deterministic property-test runner (fixed seed, no shrinking).
+    pub struct TestRunner {
+        config: Config,
+        rng: SmallRng,
+    }
+
+    impl TestRunner {
+        /// Creates a runner with `config` and the deterministic seed.
+        pub fn new(config: Config) -> Self {
+            TestRunner {
+                config,
+                rng: SmallRng::seed_from_u64(0x9E37_79B9_7F4A_7C15),
+            }
+        }
+
+        /// Runs `test` against `config.cases` generated inputs. Rejected
+        /// cases (`prop_assume!`) are retried with fresh inputs, up to
+        /// 10× the case budget.
+        pub fn run<S, F>(&mut self, strategy: &S, test: F) -> Result<(), TestError>
+        where
+            S: Strategy,
+            S::Value: std::fmt::Debug + Clone,
+            F: Fn(S::Value) -> TestCaseResult,
+        {
+            let mut accepted = 0u32;
+            let mut attempts = 0u32;
+            let max_attempts = self.config.cases.saturating_mul(10).max(10);
+            while accepted < self.config.cases && attempts < max_attempts {
+                attempts += 1;
+                let input = strategy.generate(&mut self.rng);
+                let rendered = format!("{input:?}");
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| test(input.clone())))
+                {
+                    Ok(Ok(())) => accepted += 1,
+                    Ok(Err(TestCaseError::Reject(_))) => {}
+                    Ok(Err(TestCaseError::Fail(msg))) => {
+                        return Err(TestError {
+                            message: msg,
+                            input: rendered,
+                        });
+                    }
+                    Err(panic) => {
+                        let msg = panic
+                            .downcast_ref::<String>()
+                            .cloned()
+                            .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+                            .unwrap_or_else(|| "test panicked".to_string());
+                        return Err(TestError {
+                            message: format!("panic: {msg}"),
+                            input: rendered,
+                        });
+                    }
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+pub mod prelude {
+    //! Common imports, mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::{TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests: `proptest! { #[test] fn f(x in strat) {…} }`.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let strategy = ($($strat,)+);
+                let mut runner = $crate::test_runner::TestRunner::new(
+                    $crate::test_runner::Config::default(),
+                );
+                runner
+                    .run(&strategy, |($($arg,)+)| {
+                        $body
+                        Ok(())
+                    })
+                    .unwrap_or_else(|e| panic!("property {} failed: {}", stringify!($name), e));
+            }
+        )*
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a == b,
+            "assertion failed: `{} == {}` (left: {:?}, right: {:?})",
+            stringify!($a), stringify!($b), a, b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, $($fmt)+);
+    }};
+}
+
+/// Fails the current case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a != b,
+            "assertion failed: `{} != {}` (both: {:?})",
+            stringify!($a), stringify!($b), a
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, $($fmt)+);
+    }};
+}
+
+/// Rejects the current case (retried with new input) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::reject(stringify!(
+                $cond
+            )));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn class_pattern_generation() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = "[a-cx]{1,5}".generate(&mut rng);
+            assert!((1..=5).contains(&s.len()));
+            assert!(s.chars().all(|c| matches!(c, 'a'..='c' | 'x')));
+            let t = "[a-zA-Z0-9_./-]{0,64}".generate(&mut rng);
+            assert!(t.len() <= 64);
+            assert!(t
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || "_./-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn runner_reports_failure_input() {
+        let mut runner =
+            crate::test_runner::TestRunner::new(crate::test_runner::Config { cases: 50 });
+        let err = runner
+            .run(&(0u64..1000,), |(x,)| {
+                prop_assert!(x < 900, "x too big: {}", x);
+                Ok(())
+            })
+            .unwrap_err();
+        assert!(err.message.contains("too big"), "{err}");
+    }
+
+    #[test]
+    fn rejection_is_not_failure() {
+        let mut runner =
+            crate::test_runner::TestRunner::new(crate::test_runner::Config { cases: 20 });
+        runner
+            .run(&(0u64..10,), |(x,)| {
+                prop_assume!(x % 2 == 0);
+                prop_assert!(x % 2 == 0);
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    proptest! {
+        /// The macro form itself works end to end.
+        #[test]
+        fn macro_vec_and_tuple(
+            xs in crate::collection::vec(0u32..100, 1..20),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!(!xs.is_empty());
+            prop_assert!(xs.iter().all(|&x| x < 100));
+            let _ = flag;
+        }
+
+        /// prop_map composes.
+        #[test]
+        fn macro_prop_map(s in crate::collection::vec("[a-b]{1,3}", 0..5)
+            .prop_map(|v| v.join(","))) {
+            prop_assert!(s.chars().all(|c| matches!(c, 'a' | 'b' | ',')));
+        }
+    }
+}

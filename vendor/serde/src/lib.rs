@@ -1,0 +1,27 @@
+//! Offline stand-in for `serde`.
+//!
+//! Nothing in this workspace serializes at runtime — the derives mark
+//! config structs as serialization-ready for a future wire format — so
+//! `Serialize`/`Deserialize` are marker traits here and the derive
+//! macros (re-exported from the vendored `serde_derive`) emit empty
+//! impls. Swapping back to real serde is a Cargo.toml change only.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that could be serialized (stub; no methods).
+pub trait Serialize {}
+
+/// Marker for types that could be deserialized (stub; no methods).
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(test)]
+mod tests {
+    // The derive macros are exercised by the workspace crates that use
+    // them; here just assert the traits are object-safe enough to name.
+    #[test]
+    fn traits_nameable() {
+        fn _takes<T: crate::Serialize + for<'de> crate::Deserialize<'de>>() {}
+    }
+}

@@ -1,0 +1,58 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The vendored `serde` stub's `Serialize`/`Deserialize` are marker
+//! traits (nothing in this workspace actually serializes — the derives
+//! exist so config structs are serialization-*ready*), so the derive
+//! only needs to parse the type's name and emit empty impls. Done with
+//! raw `proc_macro` token iteration: no syn/quote available offline.
+//!
+//! `#[serde(...)]` helper attributes are accepted and ignored.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Finds the identifier immediately following the `struct`/`enum`
+/// keyword, skipping attributes and visibility modifiers.
+fn type_name(input: TokenStream) -> String {
+    let mut iter = input.into_iter();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let s = id.to_string();
+            if s == "struct" || s == "enum" {
+                match iter.next() {
+                    Some(TokenTree::Ident(name)) => {
+                        let mut after = iter.peekable();
+                        if let Some(TokenTree::Punct(p)) = after.peek() {
+                            if p.as_char() == '<' {
+                                panic!(
+                                    "vendored serde_derive stub does not support generic types \
+                                     (deriving on `{name}`)"
+                                );
+                            }
+                        }
+                        return name.to_string();
+                    }
+                    other => panic!("expected type name after `{s}`, found {other:?}"),
+                }
+            }
+        }
+    }
+    panic!("serde derive applied to something that is not a struct or enum");
+}
+
+/// Derives the stub `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .unwrap()
+}
+
+/// Derives the stub `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .unwrap()
+}
