@@ -1,0 +1,60 @@
+//! Criterion benchmark `obs/overhead`: the same flow-churn workload
+//! with observability detached versus recording into a live registry
+//! (counters + journal), and recording with profiling scopes armed.
+//!
+//! This is the number quoted in EXPERIMENTS.md: with the default
+//! `record` feature the instrumented hot path must stay within ~2% of
+//! the detached run, and a `--no-default-features` build compiles the
+//! recorder out entirely (0% by construction).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use vmr_bench::churn::{churn_script, churn_topology, run_churn, run_churn_with_obs, ChurnSpec};
+use vmr_netsim::Network;
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs/overhead");
+    g.sample_size(20);
+
+    // Paper testbed scale: enough churn for the instrumented paths
+    // (flow start/complete, realloc waves) to dominate the runtime.
+    let spec = ChurnSpec {
+        hosts: 40,
+        fetches_per_host: 10,
+        waves: 1,
+        seed: 0x0B5E,
+    };
+    let script = churn_script(&spec);
+    g.throughput(Throughput::Elements(script.len() as u64));
+
+    g.bench_function("flow-churn/detached", |b| {
+        b.iter(|| black_box(run_churn::<Network>(churn_topology(&spec), &script)))
+    });
+
+    g.bench_function("flow-churn/recording", |b| {
+        b.iter(|| {
+            let obs = vmr_obs::Obs::new();
+            black_box(run_churn_with_obs::<Network>(
+                churn_topology(&spec),
+                &script,
+                &obs,
+            ))
+        })
+    });
+
+    g.bench_function("flow-churn/recording+profiling", |b| {
+        b.iter(|| {
+            let obs = vmr_obs::Obs::new();
+            obs.set_profiling(true);
+            black_box(run_churn_with_obs::<Network>(
+                churn_topology(&spec),
+                &script,
+                &obs,
+            ))
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

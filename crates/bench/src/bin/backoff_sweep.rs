@@ -6,15 +6,15 @@
 //!
 //! Usage: `cargo run -p vmr-bench --release --bin backoff_sweep`
 
-use vmr_bench::calibrated_sizing;
+use vmr_bench::{calibrated_sizing, report};
 use vmr_core::{run_experiment, ExperimentConfig, MrMode};
 
 fn main() {
     let sizing = calibrated_sizing();
     println!("# A1 — backoff cap sweep (20 nodes, 20 maps, 5 reduces, BOINC mode)");
     println!(
-        "{:>9} | {:>8} | {:>8} | {:>8} | {:>12} | {:>9}",
-        "cap s", "map s", "reduce s", "total s", "mean delay s", "empties"
+        "{:>9} | {:>8} | {:>8} | {:>8} | {:>12} | {:>9} | {:>9}",
+        "cap s", "map s", "reduce s", "total s", "mean delay s", "p95 s", "empties"
     );
     for cap in [60u64, 120, 300, 600, 1200, 2400] {
         // Average over three seeds to smooth jitter.
@@ -22,6 +22,7 @@ fn main() {
         let mut tr = 0.0;
         let mut tt = 0.0;
         let mut delay = 0.0;
+        let mut p95 = 0.0f64;
         let mut empties = 0u64;
         const SEEDS: [u64; 3] = [11, 22, 33];
         for seed in SEEDS {
@@ -35,17 +36,20 @@ fn main() {
             tm += r.map_s;
             tr += r.reduce_s;
             tt += r.total_s;
-            delay += out.stats.report_delay.mean();
+            let d = report::report_delay(&out);
+            delay += d.mean;
+            p95 = p95.max(d.p95);
             empties += out.stats.empty_replies;
         }
         let n = SEEDS.len() as f64;
         println!(
-            "{:>9} | {:>8.0} | {:>8.0} | {:>8.0} | {:>12.1} | {:>9}",
+            "{:>9} | {:>8.0} | {:>8.0} | {:>8.0} | {:>12.1} | {:>9.0} | {:>9}",
             cap,
             tm / n,
             tr / n,
             tt / n,
             delay / n,
+            p95,
             empties / SEEDS.len() as u64
         );
     }

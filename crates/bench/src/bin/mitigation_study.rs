@@ -7,7 +7,7 @@
 //!
 //! Usage: `cargo run -p vmr-bench --release --bin mitigation_study`
 
-use vmr_bench::calibrated_sizing;
+use vmr_bench::{calibrated_sizing, report};
 use vmr_core::{run_experiment, ExperimentConfig, MitigationPlan, MrMode};
 
 fn main() {
@@ -59,7 +59,7 @@ fn main() {
             tm += out.reports[0].map_s;
             tr += out.reports[0].reduce_s;
             tt += out.reports[0].total_s;
-            td += out.stats.report_delay.mean();
+            td += report::report_delay(&out).mean;
         }
         let n = SEEDS.len() as f64;
         println!(
@@ -84,8 +84,11 @@ fn main() {
         let total: f64 = out.reports.iter().map(|r| r.total_s).sum::<f64>() / n;
         let makespan = out.finished_at.as_secs_f64();
         println!(
-            "J={jobs}: mean map {:>6.0} s, mean total {:>6.0} s, fleet makespan {:>7.0} s, mean report delay {:>6.1} s",
-            map, total, makespan, out.stats.report_delay.mean()
+            "J={jobs}: mean map {:>6.0} s, mean total {:>6.0} s, fleet makespan {:>7.0} s, report delay {} s",
+            map,
+            total,
+            makespan,
+            report::delay_cell(&report::report_delay(&out))
         );
     }
     println!(

@@ -1,16 +1,28 @@
 //! Regenerates the paper's **Table I** (word-count makespans).
 //!
-//! Usage: `cargo run -p vmr-bench --release --bin table1`
+//! Usage: `cargo run -p vmr-bench --release --bin table1 \
+//!     [--mixed] [--quick] [--metrics <path>]`
 //!
 //! Prints, for every row, the simulated map/reduce/total times with the
 //! "slowest node discarded" derivation in brackets, next to the paper's
 //! published values.
+//!
+//! `--quick` runs only the first row of each scheduling mode (the
+//! check.sh bench smoke). `--metrics <path>` additionally dumps every
+//! row's obs metrics snapshot to `path` as a JSON array; stdout is
+//! unchanged by it.
 
 use vmr_bench::{calibrated_sizing, row_config, table1_rows};
-use vmr_core::{format_row, run_experiment};
+use vmr_core::{format_row, run_experiment, MrMode};
 
 fn main() {
-    let mixed = std::env::args().any(|a| a == "--mixed");
+    let args: Vec<String> = std::env::args().collect();
+    let mixed = args.iter().any(|a| a == "--mixed");
+    let quick = args.iter().any(|a| a == "--quick");
+    let metrics_path = args
+        .iter()
+        .position(|a| a == "--metrics")
+        .map(|i| args.get(i + 1).expect("--metrics needs a path").clone());
     let sizing = calibrated_sizing();
     println!("# Table I — word count makespan (1 GB input, replication 2, quorum 2, 100 Mbit)");
     if mixed {
@@ -26,8 +38,28 @@ fn main() {
         "Nodes", "Map", "Red", "Map Time", "Reduce Time", "Total Time", "paper (map/red/total)"
     );
     println!("{}", "-".repeat(104));
+    let rows = if quick {
+        // One row per scheduling mode: the smallest ServerRelay
+        // geometry plus the InterClient row.
+        let all = table1_rows();
+        let mut picked = Vec::new();
+        for mode in [MrMode::ServerRelay, MrMode::InterClient] {
+            if let Some(r) = all.iter().find(|r| r.mode == mode) {
+                picked.push(*r);
+            }
+        }
+        println!(
+            "# quick subset (--quick): {} of {} rows",
+            picked.len(),
+            all.len()
+        );
+        picked
+    } else {
+        table1_rows()
+    };
+    let mut row_metrics: Vec<String> = Vec::new();
     let mut prev_mode = None;
-    for row in table1_rows() {
+    for row in rows {
         if prev_mode != Some(row.mode) {
             println!("--- {} ---", row.mode);
             prev_mode = Some(row.mode);
@@ -42,6 +74,16 @@ fn main() {
         }
         let out = run_experiment(&cfg);
         assert!(out.all_done, "row did not complete");
+        if metrics_path.is_some() {
+            row_metrics.push(format!(
+                "{{\"nodes\":{},\"n_maps\":{},\"n_reduces\":{},\"mode\":\"{}\",\"metrics\":{}}}",
+                row.nodes,
+                row.n_maps,
+                row.n_reduces,
+                row.mode,
+                out.obs.to_json()
+            ));
+        }
         let r = &out.reports[0];
         let paper = |p: (f64, Option<f64>)| match p.1 {
             Some(d) => format!("{:.0}[{:.0}]", p.0, d),
@@ -54,5 +96,9 @@ fn main() {
             paper(row.paper_reduce),
             paper(row.paper_total),
         );
+    }
+    if let Some(path) = metrics_path {
+        std::fs::write(&path, format!("[{}]\n", row_metrics.join(",")))
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
     }
 }

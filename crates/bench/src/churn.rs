@@ -15,8 +15,15 @@ use vmr_netsim::{
 /// The engine surface the churn driver needs; implemented by both the
 /// incremental engine and the scan-everything reference engine.
 pub trait FlowEngine {
-    /// Wraps a topology.
-    fn build(topo: Topology) -> Self;
+    /// Wraps a topology (metrics go to a detached sink).
+    fn build(topo: Topology) -> Self
+    where
+        Self: Sized,
+    {
+        Self::build_with_obs(topo, &vmr_obs::Obs::detached())
+    }
+    /// Wraps a topology, recording flow counters into `obs`.
+    fn build_with_obs(topo: Topology, obs: &vmr_obs::Obs) -> Self;
     /// Starts a transfer at `now`.
     fn start_flow(&mut self, now: SimTime, spec: FlowSpec) -> FlowId;
     /// Advances to `now`, returning completions.
@@ -32,8 +39,8 @@ pub trait FlowEngine {
 macro_rules! impl_flow_engine {
     ($t:ty) => {
         impl FlowEngine for $t {
-            fn build(topo: Topology) -> Self {
-                <$t>::new(topo)
+            fn build_with_obs(topo: Topology, obs: &vmr_obs::Obs) -> Self {
+                <$t>::with_obs(topo, obs)
             }
             fn start_flow(&mut self, now: SimTime, spec: FlowSpec) -> FlowId {
                 <$t>::start_flow(self, now, spec)
@@ -152,7 +159,20 @@ pub struct ChurnOutcome {
 /// world loop uses: advance to `next_event_time` or the next scripted
 /// start, whichever is sooner) until every flow has completed.
 pub fn run_churn<E: FlowEngine>(topo: Topology, script: &[(SimTime, FlowSpec)]) -> ChurnOutcome {
-    let mut net = E::build(topo);
+    run_churn_in(E::build(topo), script)
+}
+
+/// [`run_churn`] with the engine's flow counters recorded into `obs`
+/// (the workload of the `obs_overhead` benchmark).
+pub fn run_churn_with_obs<E: FlowEngine>(
+    topo: Topology,
+    script: &[(SimTime, FlowSpec)],
+    obs: &vmr_obs::Obs,
+) -> ChurnOutcome {
+    run_churn_in(E::build_with_obs(topo, obs), script)
+}
+
+fn run_churn_in<E: FlowEngine>(mut net: E, script: &[(SimTime, FlowSpec)]) -> ChurnOutcome {
     let mut out = ChurnOutcome {
         started: 0,
         completed: 0,

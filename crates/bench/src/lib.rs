@@ -3,6 +3,7 @@
 //! the flow-churn workload for the netsim engine benchmarks.
 
 pub mod churn;
+pub mod report;
 
 use vmr_core::{ExperimentConfig, MrMode, SizingModel};
 use vmr_mapreduce::apps::WordCount;

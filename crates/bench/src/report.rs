@@ -1,0 +1,68 @@
+//! Shared reporting helpers for the bench binaries.
+//!
+//! The ablation binaries used to hand-roll their own stat plumbing
+//! (pulling tallies out of `EngineStats`, each formatting its own
+//! delay column). They now read the one obs snapshot an experiment
+//! returns: quantiles come from [`vmr_obs::Snapshot::histogram`], and
+//! full metric dumps from [`vmr_obs::Obs::to_json`].
+
+use std::path::Path;
+use vmr_core::ExperimentOutcome;
+use vmr_obs::HistogramSummary;
+
+/// The scheduler report-delay distribution of one run, in seconds,
+/// from the obs snapshot metric `vcore.report_delay_s`.
+///
+/// With `--no-default-features` (recording compiled out) the summary
+/// is all zeros.
+pub fn report_delay(out: &ExperimentOutcome) -> HistogramSummary {
+    out.obs.snapshot().histogram("vcore.report_delay_s")
+}
+
+/// The `mean (p95)` cell used by the delay columns of the ablation
+/// tables. Quantiles are log₂-bucketed, so p95 prints as a round
+/// power of two.
+pub fn delay_cell(s: &HistogramSummary) -> String {
+    format!("{:.1} (p95 {:.0})", s.mean, s.p95)
+}
+
+/// Write one run's full metrics snapshot to `path` as a single JSON
+/// object keyed by metric name (the `--metrics` flag of the bench
+/// binaries).
+pub fn write_metrics_json(path: &Path, obs: &vmr_obs::Obs) -> std::io::Result<()> {
+    std::fs::write(path, format!("{}\n", obs.to_json()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_cell_shape() {
+        let s = HistogramSummary {
+            count: 4,
+            mean: 12.25,
+            p50: 8.0,
+            p95: 16.0,
+            p99: 16.0,
+            max: 14.0,
+        };
+        assert_eq!(delay_cell(&s), "12.2 (p95 16)");
+    }
+
+    #[test]
+    fn metrics_json_round_trip() {
+        let obs = vmr_obs::Obs::new();
+        obs.counter("t.count").add(3);
+        let dir = std::env::temp_dir().join("vmr_bench_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.json");
+        write_metrics_json(&path, &obs).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.starts_with('{') && body.ends_with("}\n"));
+        if cfg!(feature = "record") {
+            assert!(body.contains("\"t.count\":3"));
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -143,8 +143,11 @@ pub struct ExperimentOutcome {
     pub reports: Vec<PhaseReport>,
     /// Engine counters (RPCs, backoff empties, fallbacks, traversal…).
     pub stats: EngineStats,
-    /// Event timeline (populated when `record_timeline`).
+    /// Event timeline (populated when `record_timeline`), rebuilt from
+    /// the engine's obs journal.
     pub timeline: Timeline,
+    /// Observability bundle: metrics snapshot source and raw journal.
+    pub obs: vmr_obs::Obs,
     /// Simulated end time.
     pub finished_at: SimTime,
     /// Whether every job completed (false = horizon hit / job failed).
@@ -162,7 +165,7 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentOutcome {
     pc.backoff_min_s = pc.backoff_min_s.min(cfg.backoff_max_s);
     let mut eng = Engine::testbed(cfg.seed, pc);
     if !cfg.record_timeline {
-        eng.timeline = Timeline::disabled();
+        eng.obs.journal.set_enabled(false);
     }
     eng.traversal = cfg.traversal.clone();
     eng.fault = cfg.fault.clone();
@@ -217,7 +220,8 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentOutcome {
         all_done: pol.all_done(),
         stats: eng.stats.clone(),
         finished_at: eng.now(),
-        timeline: eng.timeline.clone(),
+        timeline: Timeline::from_journal(&eng.obs.journal),
+        obs: eng.obs.clone(),
     }
 }
 

@@ -132,6 +132,17 @@ impl MrPolicy {
         }
     }
 
+    /// Marks a job phase transition: one timeline point on the server
+    /// lane (Fig. 4) plus a labeled counter in the metrics registry.
+    fn mark_phase(eng: &mut Engine, phase: &str, now: vmr_desim::SimTime) {
+        eng.obs
+            .journal
+            .point("server", "phase", phase, now.as_micros());
+        eng.obs
+            .counter_labeled("core.phase_marks", &[("phase", phase)])
+            .inc();
+    }
+
     /// Stops all mapper serving for a finished job.
     fn stop_serving(&self, eng: &mut Engine, job_idx: usize) {
         let job = &self.tracker.jobs[job_idx];
@@ -159,13 +170,13 @@ impl Policy for MrPolicy {
             TaskKind::Map(_) => {
                 if job.first_map_assign.is_none() {
                     job.first_map_assign = Some(now);
-                    eng.timeline.point("server", "phase", "map-start", now);
+                    Self::mark_phase(eng, "map-start", now);
                 }
             }
             TaskKind::Reduce(_) => {
                 if job.first_reduce_assign.is_none() {
                     job.first_reduce_assign = Some(now);
-                    eng.timeline.point("server", "phase", "reduce-start", now);
+                    Self::mark_phase(eng, "reduce-start", now);
                 }
             }
         }
@@ -249,7 +260,7 @@ impl Policy for MrPolicy {
                 let job = &self.tracker.jobs[ji];
                 if job.maps_validated == job.cfg.job.n_maps {
                     self.tracker.jobs[ji].map_phase_validated_at = Some(now);
-                    eng.timeline.point("server", "phase", "maps-validated", now);
+                    Self::mark_phase(eng, "maps-validated", now);
                     self.create_reduce_wus(eng, ji);
                 }
             }
@@ -259,7 +270,7 @@ impl Policy for MrPolicy {
                 if job.reduces_validated == job.cfg.job.n_reduces {
                     job.phase = Phase::Done;
                     job.done_at = Some(now);
-                    eng.timeline.point("server", "phase", "job-done", now);
+                    Self::mark_phase(eng, "job-done", now);
                     self.stop_serving(eng, ji);
                 }
             }
@@ -269,8 +280,7 @@ impl Policy for MrPolicy {
     fn on_wu_failed(&mut self, eng: &mut Engine, wu: WuId) {
         if let Some((ji, _)) = self.tracker.lookup(wu) {
             self.tracker.jobs[ji].phase = Phase::Failed;
-            eng.timeline
-                .point("server", "phase", "job-failed", eng.now());
+            Self::mark_phase(eng, "job-failed", eng.now());
         }
     }
 }

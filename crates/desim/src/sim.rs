@@ -45,6 +45,12 @@ pub struct Fired<E> {
     pub payload: E,
 }
 
+/// Pre-resolved obs handles the kernel bumps while delivering events.
+struct SimObs {
+    events: vmr_obs::Counter,
+    queue_depth: vmr_obs::Gauge,
+}
+
 /// A single deterministic simulation run.
 pub struct Simulation<E> {
     now: SimTime,
@@ -52,6 +58,7 @@ pub struct Simulation<E> {
     rng: RngStream,
     delivered: u64,
     horizon: SimTime,
+    obs: Option<SimObs>,
 }
 
 impl<E> Simulation<E> {
@@ -63,7 +70,17 @@ impl<E> Simulation<E> {
             rng: RngStream::new(seed),
             delivered: 0,
             horizon: SimTime::MAX,
+            obs: None,
         }
+    }
+
+    /// Attaches an observability bundle: the kernel then maintains the
+    /// `desim.events_delivered` counter and `desim.queue_depth` gauge.
+    pub fn attach_obs(&mut self, obs: &vmr_obs::Obs) {
+        self.obs = Some(SimObs {
+            events: obs.counter("desim.events_delivered"),
+            queue_depth: obs.gauge("desim.queue_depth"),
+        });
     }
 
     /// Current virtual time.
@@ -141,6 +158,10 @@ impl<E> Simulation<E> {
         debug_assert!(at >= self.now, "event queue went backwards");
         self.now = at;
         self.delivered += 1;
+        if let Some(o) = &self.obs {
+            o.events.inc();
+            o.queue_depth.set(self.queue.len() as f64);
+        }
         Some(Fired { at, id, payload })
     }
 

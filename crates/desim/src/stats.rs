@@ -243,6 +243,20 @@ impl Histogram {
         self.tally.max()
     }
 
+    /// The one obs snapshot shape every consumer uses: count, mean and
+    /// p50/p95/p99/max, in this histogram's sample unit. Replaces the
+    /// per-binary quantile plumbing the bench binaries used to carry.
+    pub fn summary(&self) -> vmr_obs::HistogramSummary {
+        vmr_obs::HistogramSummary {
+            count: self.count(),
+            mean: self.tally.mean(),
+            p50: self.quantile(0.50).unwrap_or(0.0),
+            p95: self.quantile(0.95).unwrap_or(0.0),
+            p99: self.quantile(0.99).unwrap_or(0.0),
+            max: self.tally.max().unwrap_or(0.0),
+        }
+    }
+
     /// Bucket counts (for rendering).
     pub fn buckets(&self) -> &[u64] {
         &self.buckets
@@ -357,5 +371,23 @@ mod tests {
     fn histogram_empty_quantile() {
         let h = Histogram::new(10.0, 10);
         assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn histogram_summary_matches_quantiles() {
+        let mut h = Histogram::new(100.0, 100);
+        for i in 0..100 {
+            h.record(i as f64 + 0.5);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50, h.quantile(0.5).unwrap());
+        assert_eq!(s.p95, h.quantile(0.95).unwrap());
+        assert_eq!(s.p99, h.quantile(0.99).unwrap());
+        assert_eq!(s.max, 99.5);
+        assert!((s.mean - 50.0).abs() < 1e-9);
+        let empty = Histogram::new(10.0, 10).summary();
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.p99, 0.0);
     }
 }

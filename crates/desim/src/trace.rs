@@ -75,7 +75,52 @@ impl Timeline {
         self.enabled
     }
 
+    /// Rebuilds a timeline from the span/point events retained in an
+    /// observability journal, preserving recording order. This is how
+    /// the Fig. 4 lanes are produced now: components write spans and
+    /// points through [`vmr_obs::Journal`] and the experiment harness
+    /// reconstructs the `Timeline` for rendering.
+    pub fn from_journal(journal: &vmr_obs::Journal) -> Timeline {
+        let mut tl = Timeline {
+            spans: Vec::new(),
+            points: Vec::new(),
+            enabled: journal.is_enabled(),
+        };
+        for ev in journal.events() {
+            match ev.kind {
+                vmr_obs::EventKind::Span {
+                    actor,
+                    kind,
+                    detail,
+                    end_us,
+                } => tl.spans.push(Span {
+                    actor,
+                    kind,
+                    detail,
+                    start: SimTime::from_micros(ev.t_us),
+                    end: SimTime::from_micros(end_us),
+                }),
+                vmr_obs::EventKind::Point {
+                    actor,
+                    kind,
+                    detail,
+                } => tl.points.push(Point {
+                    actor,
+                    kind,
+                    detail,
+                    at: SimTime::from_micros(ev.t_us),
+                }),
+                _ => {}
+            }
+        }
+        tl
+    }
+
     /// Records a span.
+    #[deprecated(
+        since = "0.1.0",
+        note = "record through vmr_obs::Journal::span and rebuild with Timeline::from_journal"
+    )]
     pub fn span(
         &mut self,
         actor: impl Into<String>,
@@ -97,6 +142,10 @@ impl Timeline {
     }
 
     /// Records a point marker.
+    #[deprecated(
+        since = "0.1.0",
+        note = "record through vmr_obs::Journal::point and rebuild with Timeline::from_journal"
+    )]
     pub fn point(
         &mut self,
         actor: impl Into<String>,
@@ -198,6 +247,7 @@ impl Timeline {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
 
@@ -236,6 +286,25 @@ mod tests {
         assert_eq!(lane_b.len(), 2);
         assert!(lane_b[0].start < lane_b[1].start);
         assert_eq!(tl.actors(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn from_journal_round_trips_spans_and_points() {
+        let journal = vmr_obs::Journal::new();
+        journal.span("n1", "exec", "wu0", t(1).as_micros(), t(5).as_micros());
+        journal.point("", "phase", "reduce-start", t(6).as_micros());
+        journal.record_with(7, || vmr_obs::EventKind::FlowStart { id: 1, bytes: 2 });
+        let tl = Timeline::from_journal(&journal);
+        let mut direct = Timeline::new();
+        direct.span("n1", "exec", "wu0", t(1), t(5));
+        direct.point("", "phase", "reduce-start", t(6));
+        if cfg!(feature = "record") {
+            assert_eq!(tl.spans(), direct.spans());
+            assert_eq!(tl.points(), direct.points());
+            assert_eq!(tl.end_time(), t(6));
+        } else {
+            assert!(tl.spans().is_empty());
+        }
     }
 
     #[test]

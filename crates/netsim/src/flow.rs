@@ -38,10 +38,12 @@
 //! everything reference implementation, [`crate::NaiveNetwork`].
 
 use crate::bandwidth::{Allocator, Priority, RouteDemand};
+use crate::obs::NetObs;
 use crate::topology::{Direction, HostId, LinkRef, Topology};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
 use vmr_desim::{SimDuration, SimTime, Tally};
+use vmr_obs::EventKind;
 
 /// Identifies a transfer within a [`Network`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -177,11 +179,22 @@ pub struct Network {
     scratch_rates: Vec<f64>,
     /// Scratch: flows completing at one instant.
     batch_ids: Vec<FlowId>,
+    /// Pre-resolved observability handles (a detached sink by default).
+    obs: NetObs,
 }
 
 impl Network {
-    /// Wraps a topology.
+    /// Wraps a topology with observability into a detached sink. Use
+    /// [`Network::with_obs`] to record into a shared bundle.
     pub fn new(topo: Topology) -> Self {
+        Network::with_obs(topo, &vmr_obs::Obs::detached())
+    }
+
+    /// Wraps a topology, recording flow counters (`netsim.flows_*`,
+    /// `netsim.bytes_delivered`, `netsim.realloc_waves`), journal
+    /// flow-start/complete events and the `netsim.realloc_wave`
+    /// profiling scope into `obs`.
+    pub fn with_obs(topo: Topology, obs: &vmr_obs::Obs) -> Self {
         Network {
             topo,
             flows: BTreeMap::new(),
@@ -196,6 +209,7 @@ impl Network {
             scratch_ids: Vec::new(),
             scratch_rates: Vec::new(),
             batch_ids: Vec::new(),
+            obs: NetObs::attach(obs),
         }
     }
 
@@ -257,9 +271,17 @@ impl Network {
         if starts_at > now && starts_at > self.last_advance {
             self.setup_heap.push(Reverse((starts_at, id)));
         }
+        let flow_bytes = flow.spec.bytes;
         self.flows.insert(id, flow);
         self.reallocate(now);
         self.prune_heaps();
+        self.obs.started.inc();
+        self.obs
+            .journal
+            .record_with(now.as_micros(), || EventKind::FlowStart {
+                id: id.0,
+                bytes: flow_bytes,
+            });
         id
     }
 
@@ -270,6 +292,7 @@ impl Network {
         let existed = self.flows.remove(&id).is_some();
         if existed {
             self.reallocate(now);
+            self.obs.aborted.inc();
         }
         self.prune_heaps();
         existed
@@ -337,6 +360,15 @@ impl Network {
                     Priority::Background => self.bg_durations.record_duration(duration),
                 }
                 self.bytes_delivered += f.spec.bytes as f64;
+                self.obs.completed.inc();
+                self.obs.bytes.add(f.spec.bytes);
+                self.obs
+                    .journal
+                    .record_with(t.as_micros(), || EventKind::FlowComplete {
+                        id: id.0,
+                        bytes: f.spec.bytes,
+                        dur_us: duration.as_micros(),
+                    });
                 done.push(Completion {
                     id,
                     at: t,
@@ -422,6 +454,8 @@ impl Network {
     /// phase. Flows whose rate actually changed are re-anchored at
     /// `last_advance` and get a fresh completion-heap entry.
     fn reallocate(&mut self, now: SimTime) {
+        self.obs.realloc_waves.inc();
+        let _wave = self.obs.realloc_scope.enter();
         let anchor = self.last_advance;
         let mut ids = std::mem::take(&mut self.scratch_ids);
         let mut rates = std::mem::take(&mut self.scratch_rates);

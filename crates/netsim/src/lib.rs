@@ -23,6 +23,7 @@ pub mod bandwidth;
 pub mod flow;
 pub mod naive;
 pub mod nat;
+mod obs;
 pub mod topology;
 pub mod traversal;
 

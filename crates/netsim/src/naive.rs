@@ -22,9 +22,11 @@
 
 use crate::bandwidth::{allocate_reference, FlowDemand, Priority};
 use crate::flow::{Completion, FlowId, FlowSpec};
+use crate::obs::NetObs;
 use crate::topology::{Direction, LinkRef, Topology};
 use std::collections::HashMap;
 use vmr_desim::{SimDuration, SimTime, Tally};
+use vmr_obs::EventKind;
 
 #[derive(Clone, Debug)]
 struct ActiveFlow {
@@ -88,11 +90,23 @@ pub struct NaiveNetwork {
     /// Completed-transfer duration statistics for background flows.
     pub bg_durations: Tally,
     bytes_delivered: f64,
+    /// Pre-resolved observability handles (a detached sink by default).
+    obs: NetObs,
 }
 
 impl NaiveNetwork {
-    /// Wraps a topology.
+    /// Wraps a topology with observability into a detached sink. Use
+    /// [`NaiveNetwork::with_obs`] to record into a shared bundle.
     pub fn new(topo: Topology) -> Self {
+        NaiveNetwork::with_obs(topo, &vmr_obs::Obs::detached())
+    }
+
+    /// Wraps a topology recording the same `netsim.*` counters and
+    /// journal events as the incremental engine — the differential
+    /// tests compare the two engines' counter streams. (The
+    /// `netsim.realloc_waves` counter is still engine-defined: this
+    /// engine reallocates on every settle by design.)
+    pub fn with_obs(topo: Topology, obs: &vmr_obs::Obs) -> Self {
         NaiveNetwork {
             topo,
             flows: HashMap::new(),
@@ -101,6 +115,7 @@ impl NaiveNetwork {
             fg_durations: Tally::new(),
             bg_durations: Tally::new(),
             bytes_delivered: 0.0,
+            obs: NetObs::attach(obs),
         }
     }
 
@@ -162,8 +177,16 @@ impl NaiveNetwork {
             rate: 0.0,
             spec,
         };
+        let flow_bytes = flow.spec.bytes;
         self.flows.insert(id, flow);
         self.reallocate(now);
+        self.obs.started.inc();
+        self.obs
+            .journal
+            .record_with(now.as_micros(), || EventKind::FlowStart {
+                id: id.0,
+                bytes: flow_bytes,
+            });
         id
     }
 
@@ -174,6 +197,7 @@ impl NaiveNetwork {
         let existed = self.flows.remove(&id).is_some();
         if existed {
             self.reallocate(now);
+            self.obs.aborted.inc();
         }
         existed
     }
@@ -200,6 +224,15 @@ impl NaiveNetwork {
                         Priority::Background => self.bg_durations.record_duration(duration),
                     }
                     self.bytes_delivered += f.spec.bytes as f64;
+                    self.obs.completed.inc();
+                    self.obs.bytes.add(f.spec.bytes);
+                    self.obs
+                        .journal
+                        .record_with(t.as_micros(), || EventKind::FlowComplete {
+                            id: id.0,
+                            bytes: f.spec.bytes,
+                            dur_us: duration.as_micros(),
+                        });
                     self.reallocate(t);
                     done.push(Completion {
                         id,
@@ -280,6 +313,8 @@ impl NaiveNetwork {
     /// Recomputes max–min fair rates for all flows past their setup
     /// phase; re-anchors exactly the flows whose rate changed.
     fn reallocate(&mut self, now: SimTime) {
+        self.obs.realloc_waves.inc();
+        let _wave = self.obs.realloc_scope.enter();
         let anchor = self.last_advance;
         let mut keys: Vec<FlowId> = self.flows.keys().copied().collect();
         keys.sort_unstable(); // deterministic allocation order

@@ -1,0 +1,29 @@
+//! Pre-resolved observability handles shared by both flow engines.
+
+/// Counters, journal and profiling scope one flow engine records into.
+/// Resolved once at engine construction; hot-path updates are atomic
+/// bumps (or nothing at all when `vmr-obs/record` is off).
+pub(crate) struct NetObs {
+    pub started: vmr_obs::Counter,
+    pub completed: vmr_obs::Counter,
+    pub aborted: vmr_obs::Counter,
+    pub bytes: vmr_obs::Counter,
+    pub realloc_waves: vmr_obs::Counter,
+    pub realloc_scope: vmr_obs::Scope,
+    pub journal: vmr_obs::Journal,
+}
+
+impl NetObs {
+    /// Resolve handles from a live bundle.
+    pub fn attach(obs: &vmr_obs::Obs) -> Self {
+        NetObs {
+            started: obs.counter("netsim.flows_started"),
+            completed: obs.counter("netsim.flows_completed"),
+            aborted: obs.counter("netsim.flows_aborted"),
+            bytes: obs.counter("netsim.bytes_delivered"),
+            realloc_waves: obs.counter("netsim.realloc_waves"),
+            realloc_scope: obs.scope("netsim.realloc_wave"),
+            journal: obs.journal.clone(),
+        }
+    }
+}

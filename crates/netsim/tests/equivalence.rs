@@ -89,14 +89,34 @@ fn build_demands(
 /// prio_sel)` then `(cap_sel, dt_us, abort_sel)`.
 type RawFlow = ((u32, u32, u32, u64, u16, u8), (u8, u32, u8));
 
+/// The obs counters both engines must agree on: flows started,
+/// completed, aborted, and payload bytes delivered. (Deliberately not
+/// `netsim.realloc_waves`, which is engine-defined: the reference
+/// engine reallocates on every settle.)
+fn obs_counters(obs: &vmr_obs::Obs) -> [u64; 4] {
+    let snap = obs.snapshot();
+    [
+        snap.counter("netsim.flows_started"),
+        snap.counter("netsim.flows_completed"),
+        snap.counter("netsim.flows_aborted"),
+        snap.counter("netsim.bytes_delivered"),
+    ]
+}
+
 /// Replays a script on either engine; both expose the same API, so the
-/// runner is stamped out per engine type.
+/// runner is stamped out per engine type. Alongside the completion
+/// stream, returns the engine's obs counter vector for differential
+/// comparison.
 macro_rules! script_runner {
     ($name:ident, $engine:ty) => {
-        fn $name(hosts: &[u8], flows: &[RawFlow]) -> (Vec<(u64, u64, u64)>, f64, u64, u64) {
+        fn $name(
+            hosts: &[u8],
+            flows: &[RawFlow],
+        ) -> (Vec<(u64, u64, u64)>, f64, u64, u64, [u64; 4]) {
             let topo = build_topology(hosts);
             let n = topo.len() as u32;
-            let mut net = <$engine>::new(topo);
+            let obs = vmr_obs::Obs::new();
+            let mut net = <$engine>::with_obs(topo, &obs);
             let mut now = SimTime::ZERO;
             let mut out = Vec::new();
             let mut started = Vec::new();
@@ -140,6 +160,7 @@ macro_rules! script_runner {
                 net.bytes_delivered(),
                 net.fg_durations.count(),
                 net.bg_durations.count(),
+                obs_counters(&obs),
             )
         }
     };
@@ -206,10 +227,14 @@ fn pinned_mixed_script_matches_naive() {
         ((5, 5, 3, 4830722, 1271, 3), (3, 1510680, 5)),
         ((4, 5, 9, 1791366, 1471, 1), (5, 161319, 11)),
     ];
-    let (inc, inc_bytes, ..) = run_incremental(&hosts, &flows);
-    let (nai, nai_bytes, ..) = run_naive(&hosts, &flows);
+    let (inc, inc_bytes, _, _, inc_obs) = run_incremental(&hosts, &flows);
+    let (nai, nai_bytes, _, _, nai_obs) = run_naive(&hosts, &flows);
     assert_eq!(stream_divergence(&inc, &nai), None);
     assert_eq!(inc_bytes.to_bits(), nai_bytes.to_bits());
+    assert_eq!(inc_obs, nai_obs, "obs counters diverge");
+    if cfg!(feature = "record") {
+        assert!(inc_obs[0] > 0, "script started no flows");
+    }
 }
 
 proptest! {
@@ -281,13 +306,20 @@ proptest! {
             1usize..25,
         ),
     ) {
-        let (inc, inc_bytes, inc_fg, inc_bg) = run_incremental(&hosts, &flows);
-        let (naive, naive_bytes, naive_fg, naive_bg) = run_naive(&hosts, &flows);
+        let (inc, inc_bytes, inc_fg, inc_bg, inc_obs) = run_incremental(&hosts, &flows);
+        let (naive, naive_bytes, naive_fg, naive_bg, naive_obs) = run_naive(&hosts, &flows);
         let diff = stream_divergence(&inc, &naive);
         prop_assert!(diff.is_none(), "completion streams diverge: {}", diff.unwrap());
         prop_assert_eq!(inc_bytes.to_bits(), naive_bytes.to_bits());
         prop_assert_eq!(inc_fg, naive_fg);
         prop_assert_eq!(inc_bg, naive_bg);
+        // Differential obs check: both engines must have recorded the
+        // same started/completed/aborted/bytes counters.
+        prop_assert_eq!(inc_obs, naive_obs);
+        if cfg!(feature = "record") {
+            prop_assert!(inc_obs[0] >= inc_obs[1] + inc_obs[2]);
+            prop_assert_eq!(inc_obs[1], inc.len() as u64);
+        }
     }
 
     /// Two runs of the incremental engine over the same script are

@@ -1,0 +1,204 @@
+//! The no-op recorder, selected when the `record` feature is off.
+//!
+//! Every handle is a zero-sized struct with empty method bodies, so
+//! downstream instrumentation compiles to nothing: counters vanish,
+//! `record_with` never runs its payload closure, scope guards never
+//! read the clock, and snapshots/journals come back empty.
+
+use crate::types::{Event, EventKind, HistogramSummary, Snapshot};
+use std::fmt::Display;
+
+/// No-op counter.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Counter;
+
+impl Counter {
+    /// No-op.
+    #[inline(always)]
+    pub fn inc(&self) {}
+    /// No-op.
+    #[inline(always)]
+    pub fn add(&self, _n: u64) {}
+    /// Always 0.
+    pub fn get(&self) -> u64 {
+        0
+    }
+}
+
+/// No-op gauge.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Gauge;
+
+impl Gauge {
+    /// No-op.
+    #[inline(always)]
+    pub fn set(&self, _v: f64) {}
+    /// Always 0.
+    pub fn get(&self) -> f64 {
+        0.0
+    }
+}
+
+/// No-op time-weighted gauge.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TimeGauge;
+
+impl TimeGauge {
+    /// No-op.
+    #[inline(always)]
+    pub fn set(&self, _t_us: u64, _v: f64) {}
+    /// Always 0.
+    pub fn current(&self) -> f64 {
+        0.0
+    }
+}
+
+/// No-op histogram.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Histo;
+
+impl Histo {
+    /// No-op.
+    #[inline(always)]
+    pub fn record(&self, _v: f64) {}
+    /// Always 0.
+    pub fn count(&self) -> u64 {
+        0
+    }
+    /// Always the empty summary.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary::default()
+    }
+}
+
+/// No-op registry: hands out zero-sized handles, snapshots are empty.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Registry;
+
+impl Registry {
+    /// Fresh no-op registry.
+    pub fn new() -> Self {
+        Registry
+    }
+    /// Zero-sized handle.
+    pub fn counter(&self, _name: &str) -> Counter {
+        Counter
+    }
+    /// Zero-sized handle.
+    pub fn counter_labeled(&self, _name: &str, _labels: &[(&str, &str)]) -> Counter {
+        Counter
+    }
+    /// Zero-sized handle.
+    pub fn gauge(&self, _name: &str) -> Gauge {
+        Gauge
+    }
+    /// Zero-sized handle.
+    pub fn time_gauge(&self, _name: &str) -> TimeGauge {
+        TimeGauge
+    }
+    /// Zero-sized handle.
+    pub fn histogram(&self, _name: &str) -> Histo {
+        Histo
+    }
+    /// Always empty.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot::default()
+    }
+}
+
+/// No-op journal: never records, always empty.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Journal;
+
+impl Journal {
+    /// Fresh no-op journal.
+    pub fn new() -> Self {
+        Journal
+    }
+    /// Capacity is ignored.
+    pub fn with_capacity(_cap: usize) -> Self {
+        Journal
+    }
+    /// No-op.
+    pub fn set_enabled(&self, _on: bool) {}
+    /// Always false.
+    pub fn is_enabled(&self) -> bool {
+        false
+    }
+    /// Never runs `f`.
+    #[inline(always)]
+    pub fn record_with(&self, _t_us: u64, _f: impl FnOnce() -> EventKind) {}
+    /// No-op.
+    #[inline(always)]
+    pub fn span(
+        &self,
+        _actor: impl Display,
+        _kind: impl Display,
+        _detail: impl Display,
+        _start_us: u64,
+        _end_us: u64,
+    ) {
+    }
+    /// No-op.
+    #[inline(always)]
+    pub fn point(
+        &self,
+        _actor: impl Display,
+        _kind: impl Display,
+        _detail: impl Display,
+        _t_us: u64,
+    ) {
+    }
+    /// Always empty.
+    pub fn events(&self) -> Vec<Event> {
+        Vec::new()
+    }
+    /// Always 0.
+    pub fn len(&self) -> usize {
+        0
+    }
+    /// Always true.
+    pub fn is_empty(&self) -> bool {
+        true
+    }
+    /// Always 0.
+    pub fn dropped(&self) -> u64 {
+        0
+    }
+    /// Always empty.
+    pub fn to_jsonl(&self) -> String {
+        String::new()
+    }
+}
+
+/// No-op profiling switch.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Prof;
+
+impl Prof {
+    /// No-op.
+    pub fn set_enabled(&self, _on: bool) {}
+    /// Always false.
+    pub fn is_enabled(&self) -> bool {
+        false
+    }
+    /// Zero-sized scope.
+    pub fn scope(&self, _registry: &Registry, _name: &str) -> Scope {
+        Scope
+    }
+}
+
+/// No-op profiling scope.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Scope;
+
+impl Scope {
+    /// Inert guard; never reads the clock.
+    #[inline(always)]
+    pub fn enter(&self) -> ScopeGuard<'_> {
+        ScopeGuard(std::marker::PhantomData)
+    }
+}
+
+/// Inert guard produced by [`Scope::enter`].
+pub struct ScopeGuard<'a>(std::marker::PhantomData<&'a ()>);

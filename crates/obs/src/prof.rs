@@ -1,0 +1,73 @@
+//! Wall-clock profiling scopes (record build).
+//!
+//! A [`Scope`] is resolved once per hot path; entering it when
+//! profiling is off costs one relaxed atomic load. When on, the RAII
+//! guard records elapsed wall-clock microseconds into a registry
+//! histogram named `prof.<scope>_us`.
+
+use crate::metrics::{Histo, Registry};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The shared profiling switch.
+#[derive(Clone, Debug, Default)]
+pub struct Prof(Arc<AtomicBool>);
+
+impl Prof {
+    /// Turn all scopes sharing this switch on or off.
+    pub fn set_enabled(&self, on: bool) {
+        self.0.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether scopes currently time themselves.
+    pub fn is_enabled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Build a scope feeding `prof.<name>_us` in `registry`.
+    pub fn scope(&self, registry: &Registry, name: &str) -> Scope {
+        Scope {
+            flag: self.0.clone(),
+            histo: registry.histogram(&format!("prof.{name}_us")),
+        }
+    }
+}
+
+/// A pre-resolved profiling scope for one hot path.
+#[derive(Clone, Debug)]
+pub struct Scope {
+    flag: Arc<AtomicBool>,
+    histo: Histo,
+}
+
+impl Scope {
+    /// Start timing; the returned guard records on drop. When
+    /// profiling is off this is a single atomic load and the guard is
+    /// inert.
+    #[inline]
+    pub fn enter(&self) -> ScopeGuard<'_> {
+        ScopeGuard {
+            start: if self.flag.load(Ordering::Relaxed) {
+                Some(Instant::now())
+            } else {
+                None
+            },
+            histo: &self.histo,
+        }
+    }
+}
+
+/// RAII guard produced by [`Scope::enter`].
+pub struct ScopeGuard<'a> {
+    start: Option<Instant>,
+    histo: &'a Histo,
+}
+
+impl Drop for ScopeGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(t0) = self.start {
+            self.histo.record(t0.elapsed().as_secs_f64() * 1e6);
+        }
+    }
+}

@@ -1,0 +1,390 @@
+//! Plain-data types shared by the real recorder and the no-op build.
+
+use std::fmt::Write as _;
+
+/// Quantile summary of one histogram — the single snapshot shape every
+/// consumer (bench binaries, EXPERIMENTS.md tables, JSON export) uses.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Arithmetic mean of the samples.
+    pub mean: f64,
+    /// Median (upper bucket edge for bucketed histograms).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Largest recorded sample.
+    pub max: f64,
+}
+
+impl HistogramSummary {
+    /// One-line human form: `n=5 mean=2.0 p50=2 p95=4 p99=4 max=4.0`.
+    pub fn brief(&self) -> String {
+        format!(
+            "n={} mean={} p50={} p95={} p99={} max={}",
+            self.count,
+            fmt_f64(self.mean),
+            fmt_f64(self.p50),
+            fmt_f64(self.p95),
+            fmt_f64(self.p99),
+            fmt_f64(self.max)
+        )
+    }
+
+    /// JSON object form.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"count\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{}}}",
+            self.count,
+            fmt_f64(self.mean),
+            fmt_f64(self.p50),
+            fmt_f64(self.p95),
+            fmt_f64(self.p99),
+            fmt_f64(self.max)
+        )
+    }
+}
+
+/// What a journal entry records. Spans/points carry free-form strings
+/// (they feed `desim::Timeline`); the rest are typed middleware events.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EventKind {
+    /// A closed interval on some actor's lane (download/exec/upload…).
+    Span {
+        /// Lane owner, e.g. `node-03` or `server`.
+        actor: String,
+        /// Span class, e.g. `exec`.
+        kind: String,
+        /// Free-form payload, e.g. the result id.
+        detail: String,
+        /// Interval end, microseconds (start is the event's `t_us`).
+        end_us: u64,
+    },
+    /// An instantaneous mark on some actor's lane.
+    Point {
+        /// Lane owner.
+        actor: String,
+        /// Point class, e.g. `report`.
+        kind: String,
+        /// Free-form payload.
+        detail: String,
+    },
+    /// The scheduler answered one client RPC.
+    RpcServed {
+        /// Client host id.
+        client: u32,
+        /// Results granted in the reply.
+        granted: u32,
+        /// True when the client asked for work and got none.
+        empty: bool,
+    },
+    /// A work unit changed lifecycle state (validated / failed / …).
+    WuTransition {
+        /// Work-unit id rendered as text.
+        wu: String,
+        /// Target state, e.g. `validated`.
+        to: String,
+    },
+    /// A network flow was admitted.
+    FlowStart {
+        /// Flow id.
+        id: u64,
+        /// Payload size in bytes.
+        bytes: u64,
+    },
+    /// A network flow drained its last byte.
+    FlowComplete {
+        /// Flow id.
+        id: u64,
+        /// Payload size in bytes.
+        bytes: u64,
+        /// Transfer duration in microseconds.
+        dur_us: u64,
+    },
+    /// A client armed exponential backoff after an empty reply.
+    BackoffArmed {
+        /// Client host id.
+        client: u32,
+        /// Delay until the next RPC, microseconds.
+        delay_us: u64,
+    },
+    /// A peer held the file but its serving window had expired.
+    ServingExpiry {
+        /// Serving client host id.
+        client: u32,
+        /// File name that was no longer served.
+        file: String,
+    },
+    /// A peer fetch gave up and fell back to the project server.
+    PeerFallback {
+        /// Fetching client host id.
+        client: u32,
+        /// File being fetched.
+        file: String,
+    },
+}
+
+/// One journal entry: a timestamp plus a typed payload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// Simulation (or wall) time of the event, microseconds.
+    pub t_us: u64,
+    /// Typed payload.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// One JSON object (a single JSON-lines record).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(96);
+        let _ = write!(s, "{{\"t_us\":{}", self.t_us);
+        match &self.kind {
+            EventKind::Span {
+                actor,
+                kind,
+                detail,
+                end_us,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"type\":\"span\",\"actor\":\"{}\",\"kind\":\"{}\",\"detail\":\"{}\",\"end_us\":{}",
+                    json_escape(actor),
+                    json_escape(kind),
+                    json_escape(detail),
+                    end_us
+                );
+            }
+            EventKind::Point {
+                actor,
+                kind,
+                detail,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"type\":\"point\",\"actor\":\"{}\",\"kind\":\"{}\",\"detail\":\"{}\"",
+                    json_escape(actor),
+                    json_escape(kind),
+                    json_escape(detail)
+                );
+            }
+            EventKind::RpcServed {
+                client,
+                granted,
+                empty,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"type\":\"rpc_served\",\"client\":{client},\"granted\":{granted},\"empty\":{empty}"
+                );
+            }
+            EventKind::WuTransition { wu, to } => {
+                let _ = write!(
+                    s,
+                    ",\"type\":\"wu_transition\",\"wu\":\"{}\",\"to\":\"{}\"",
+                    json_escape(wu),
+                    json_escape(to)
+                );
+            }
+            EventKind::FlowStart { id, bytes } => {
+                let _ = write!(s, ",\"type\":\"flow_start\",\"id\":{id},\"bytes\":{bytes}");
+            }
+            EventKind::FlowComplete { id, bytes, dur_us } => {
+                let _ = write!(
+                    s,
+                    ",\"type\":\"flow_complete\",\"id\":{id},\"bytes\":{bytes},\"dur_us\":{dur_us}"
+                );
+            }
+            EventKind::BackoffArmed { client, delay_us } => {
+                let _ = write!(
+                    s,
+                    ",\"type\":\"backoff_armed\",\"client\":{client},\"delay_us\":{delay_us}"
+                );
+            }
+            EventKind::ServingExpiry { client, file } => {
+                let _ = write!(
+                    s,
+                    ",\"type\":\"serving_expiry\",\"client\":{client},\"file\":\"{}\"",
+                    json_escape(file)
+                );
+            }
+            EventKind::PeerFallback { client, file } => {
+                let _ = write!(
+                    s,
+                    ",\"type\":\"peer_fallback\",\"client\":{client},\"file\":\"{}\"",
+                    json_escape(file)
+                );
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// One metric's value at snapshot time.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic count.
+    Counter(u64),
+    /// Last set value.
+    Gauge(f64),
+    /// Time-weighted gauge: last value, time-weighted mean, peak.
+    TimeGauge {
+        /// Last value set.
+        current: f64,
+        /// Time-weighted mean over the observed interval.
+        mean: f64,
+        /// Largest value ever set.
+        max: f64,
+    },
+    /// Histogram quantile summary.
+    Histogram(HistogramSummary),
+}
+
+impl MetricValue {
+    fn to_json(&self) -> String {
+        match self {
+            MetricValue::Counter(v) => v.to_string(),
+            MetricValue::Gauge(v) => fmt_f64(*v),
+            MetricValue::TimeGauge { current, mean, max } => format!(
+                "{{\"current\":{},\"mean\":{},\"max\":{}}}",
+                fmt_f64(*current),
+                fmt_f64(*mean),
+                fmt_f64(*max)
+            ),
+            MetricValue::Histogram(h) => h.to_json(),
+        }
+    }
+}
+
+/// A point-in-time dump of every registered metric, sorted by name.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// `(full metric key, value)` pairs in key order.
+    pub entries: Vec<(String, MetricValue)>,
+}
+
+impl Snapshot {
+    /// Look up one metric by its full key.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    /// Counter value by key; 0 when absent or not a counter.
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.get(name) {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Histogram quantile summary by key; an empty summary when absent
+    /// or not a histogram. This is the one quantile API consumers use —
+    /// the bench binaries read p50/p95/p99 from here instead of
+    /// carrying their own percentile plumbing.
+    pub fn histogram(&self, name: &str) -> HistogramSummary {
+        match self.get(name) {
+            Some(MetricValue::Histogram(h)) => *h,
+            _ => HistogramSummary::default(),
+        }
+    }
+
+    /// The snapshot as one JSON object keyed by metric name.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(32 + 48 * self.entries.len());
+        s.push('{');
+        for (i, (k, v)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\"{}\":{}", json_escape(k), v.to_json());
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Escape a string for embedding in a JSON string literal.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// JSON-safe float formatting: finite values round-trip, non-finite
+/// become null (JSON has no NaN/Inf).
+pub(crate) fn fmt_f64(x: f64) -> String {
+    if !x.is_finite() {
+        return "null".to_string();
+    }
+    if x == x.trunc() && x.abs() < 1e15 {
+        // Keep integers short ("5" not "5.0") for stable, readable dumps.
+        format!("{}", x as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_json_shapes() {
+        let e = Event {
+            t_us: 5,
+            kind: EventKind::Point {
+                actor: "a\"b".into(),
+                kind: "k".into(),
+                detail: "".into(),
+            },
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"t_us\":5,\"type\":\"point\",\"actor\":\"a\\\"b\",\"kind\":\"k\",\"detail\":\"\"}"
+        );
+        let f = Event {
+            t_us: 9,
+            kind: EventKind::FlowComplete {
+                id: 3,
+                bytes: 10,
+                dur_us: 4,
+            },
+        };
+        assert!(f.to_json().contains("\"type\":\"flow_complete\""));
+    }
+
+    #[test]
+    fn float_formatting_is_json_safe() {
+        assert_eq!(fmt_f64(5.0), "5");
+        assert_eq!(fmt_f64(2.5), "2.5");
+        assert_eq!(fmt_f64(f64::NAN), "null");
+    }
+
+    #[test]
+    fn snapshot_json_and_lookup() {
+        let snap = Snapshot {
+            entries: vec![
+                ("a".into(), MetricValue::Counter(3)),
+                ("b".into(), MetricValue::Gauge(1.5)),
+            ],
+        };
+        assert_eq!(snap.counter("a"), 3);
+        assert_eq!(snap.counter("missing"), 0);
+        assert_eq!(snap.to_json(), "{\"a\":3,\"b\":1.5}");
+    }
+}

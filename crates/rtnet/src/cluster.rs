@@ -13,7 +13,7 @@
 //! outputs ("this requires map outputs to be always returned to the
 //! server").
 
-use crate::fetch::{fetch_with_fallback, FetchPolicy, FetchSource};
+use crate::fetch::{fetch_with_fallback_obs, FetchObs, FetchPolicy, FetchSource};
 use crate::server::PeerServer;
 use crate::store::OutputStore;
 use bytes::Bytes;
@@ -203,6 +203,21 @@ pub fn run_cluster<A>(app: Arc<A>, data: Arc<Vec<u8>>, cfg: &ClusterConfig) -> C
 where
     A: MapReduceApp<K = String> + 'static,
 {
+    run_cluster_with_obs(app, data, cfg, &vmr_obs::Obs::detached())
+}
+
+/// [`run_cluster`] recording transfer counters and serving timings into
+/// a shared observability bundle (the peer servers, the coordinator's
+/// data server and the reducer fetch path all report into it).
+pub fn run_cluster_with_obs<A>(
+    app: Arc<A>,
+    data: Arc<Vec<u8>>,
+    cfg: &ClusterConfig,
+    obs: &vmr_obs::Obs,
+) -> ClusterReport<A>
+where
+    A: MapReduceApp<K = String> + 'static,
+{
     assert!(
         cfg.n_workers as u32 >= cfg.replication,
         "not enough workers"
@@ -212,10 +227,11 @@ where
     }
     let ranges = split_input(app.as_ref(), &data, cfg.job.n_maps);
     let stats = Arc::new(ClusterStats::default());
+    let cobs = ClusterObs::attach(obs);
 
     // The coordinator's fall-back store + server (the "data server").
     let server_store = Arc::new(OutputStore::new());
-    let server = PeerServer::start(server_store.clone(), 64).expect("server start");
+    let server = PeerServer::start_with_obs(server_store.clone(), 64, obs).expect("server start");
     let server_addr = server.addr();
 
     let (to_coord_tx, to_coord_rx): (Sender<ToCoord<A>>, Receiver<ToCoord<A>>) = unbounded();
@@ -237,12 +253,14 @@ where
             server_store: cfg.map_outputs_to_server.then(|| server_store.clone()),
             max_serving: cfg.max_serving_connections,
             stats: stats.clone(),
+            obs: obs.clone(),
+            cobs: cobs.clone(),
         };
         workers.push(std::thread::spawn(move || worker_main(ctx)));
     }
     drop(to_coord_tx);
 
-    let output = coordinator(cfg, &ranges, to_coord_rx, &reply_txs, &stats);
+    let output = coordinator(cfg, &ranges, to_coord_rx, &reply_txs, &stats, &cobs);
 
     for w in workers {
         w.join().expect("worker panicked");
@@ -259,6 +277,7 @@ fn coordinator<A: MapReduceApp<K = String>>(
     rx: Receiver<ToCoord<A>>,
     replies: &[Sender<Assignment>],
     stats: &ClusterStats,
+    cobs: &ClusterObs,
 ) -> BTreeMap<A::K, A::V> {
     let n_maps = cfg.job.n_maps;
     let n_reduces = cfg.job.n_reduces;
@@ -308,6 +327,7 @@ fn coordinator<A: MapReduceApp<K = String>>(
             }
             ToCoord::MapDone { worker, m, hashes } => {
                 stats.map_execs.fetch_add(1, Ordering::Relaxed);
+                cobs.map_execs.inc();
                 // Fingerprint of the whole partition vector.
                 let mut concat = Vec::with_capacity(hashes.len() * 32);
                 for h in &hashes {
@@ -326,6 +346,7 @@ fn coordinator<A: MapReduceApp<K = String>>(
                     }
                 } else if maps.holders[m].is_empty() && maps.needed(m) > 0 {
                     stats.quorum_retries.fetch_add(1, Ordering::Relaxed);
+                    cobs.quorum_retries.inc();
                 }
             }
             ToCoord::ReduceDone {
@@ -335,6 +356,7 @@ fn coordinator<A: MapReduceApp<K = String>>(
                 out,
             } => {
                 stats.reduce_execs.fetch_add(1, Ordering::Relaxed);
+                cobs.reduce_execs.inc();
                 let newly = reduces.report(r, worker, hash);
                 if newly.is_some() && reduce_outputs[r].is_none() {
                     reduce_outputs[r] = Some(out);
@@ -356,6 +378,28 @@ fn coordinator<A: MapReduceApp<K = String>>(
     merged
 }
 
+/// Cluster-level counter mirrors of [`ClusterStats`].
+#[derive(Clone)]
+struct ClusterObs {
+    local_reads: vmr_obs::Counter,
+    map_execs: vmr_obs::Counter,
+    reduce_execs: vmr_obs::Counter,
+    quorum_retries: vmr_obs::Counter,
+    fetch: FetchObs,
+}
+
+impl ClusterObs {
+    fn attach(obs: &vmr_obs::Obs) -> Self {
+        ClusterObs {
+            local_reads: obs.counter("rtnet.local_reads"),
+            map_execs: obs.counter("rtnet.map_execs"),
+            reduce_execs: obs.counter("rtnet.reduce_execs"),
+            quorum_retries: obs.counter("rtnet.quorum_retries"),
+            fetch: FetchObs::attach(obs),
+        }
+    }
+}
+
 struct WorkerCtx<A: MapReduceApp> {
     id: usize,
     app: Arc<A>,
@@ -369,12 +413,15 @@ struct WorkerCtx<A: MapReduceApp> {
     server_store: Option<Arc<OutputStore>>,
     max_serving: usize,
     stats: Arc<ClusterStats>,
+    obs: vmr_obs::Obs,
+    cobs: ClusterObs,
 }
 
 fn worker_main<A: MapReduceApp<K = String>>(ctx: WorkerCtx<A>) {
     // Each volunteer runs its own serving endpoint.
     let store = Arc::new(OutputStore::new());
-    let server = PeerServer::start(store.clone(), ctx.max_serving).expect("peer server");
+    let server =
+        PeerServer::start_with_obs(store.clone(), ctx.max_serving, &ctx.obs).expect("peer server");
     // "Communication always starts from the client": the volunteer
     // announces its serving endpoint in its first message.
     let _ = ctx.to_coord.send(ToCoord::Register {
@@ -432,14 +479,20 @@ fn worker_main<A: MapReduceApp<K = String>>(ctx: WorkerCtx<A>) {
                     if peer_addrs.contains(&my_addr) {
                         if let Some(local) = store.get(&name) {
                             ctx.stats.local_reads.fetch_add(1, Ordering::Relaxed);
+                            ctx.cobs.local_reads.inc();
                             let text = String::from_utf8_lossy(&local);
                             inputs.push(decode_partition(ctx.app.as_ref(), &text));
                             continue;
                         }
                     }
-                    let (bytes, src) =
-                        fetch_with_fallback(&name, peer_addrs, Some(ctx.server_addr), &ctx.fetch)
-                            .unwrap_or_else(|e| panic!("reduce input {name} unfetchable: {e}"));
+                    let (bytes, src) = fetch_with_fallback_obs(
+                        &name,
+                        peer_addrs,
+                        Some(ctx.server_addr),
+                        &ctx.fetch,
+                        &ctx.cobs.fetch,
+                    )
+                    .unwrap_or_else(|e| panic!("reduce input {name} unfetchable: {e}"));
                     match src {
                         FetchSource::Peer(_) => {
                             ctx.stats.peer_fetches.fetch_add(1, Ordering::Relaxed)

@@ -90,6 +90,24 @@ pub enum FetchSource {
     Fallback,
 }
 
+/// Registry handles for the reducer-side download path.
+#[derive(Clone)]
+pub(crate) struct FetchObs {
+    pub retries: vmr_obs::Counter,
+    pub peer_fetches: vmr_obs::Counter,
+    pub fallback_fetches: vmr_obs::Counter,
+}
+
+impl FetchObs {
+    pub fn attach(obs: &vmr_obs::Obs) -> Self {
+        FetchObs {
+            retries: obs.counter("rtnet.fetch_retries"),
+            peer_fetches: obs.counter("rtnet.peer_fetches"),
+            fallback_fetches: obs.counter("rtnet.fallback_fetches"),
+        }
+    }
+}
+
 /// Walks `peers` round-robin with retries, then the fall-back address.
 /// Returns the bytes and where they came from.
 pub fn fetch_with_fallback(
@@ -98,14 +116,36 @@ pub fn fetch_with_fallback(
     fallback: Option<SocketAddr>,
     policy: &FetchPolicy,
 ) -> Result<(Bytes, FetchSource), FetchError> {
+    fetch_with_fallback_obs(
+        name,
+        peers,
+        fallback,
+        policy,
+        &FetchObs::attach(&vmr_obs::Obs::detached()),
+    )
+}
+
+/// [`fetch_with_fallback`] with retry/fallback counters recorded into
+/// pre-resolved registry handles.
+pub(crate) fn fetch_with_fallback_obs(
+    name: &str,
+    peers: &[SocketAddr],
+    fallback: Option<SocketAddr>,
+    policy: &FetchPolicy,
+    fobs: &FetchObs,
+) -> Result<(Bytes, FetchSource), FetchError> {
     let mut last_err: Option<FetchError> = None;
     if !peers.is_empty() {
         for attempt in 0..policy.peer_retry_limit {
             let idx = attempt as usize % peers.len();
             match fetch_once(peers[idx], name) {
-                Ok(b) => return Ok((b, FetchSource::Peer(idx))),
+                Ok(b) => {
+                    fobs.peer_fetches.inc();
+                    return Ok((b, FetchSource::Peer(idx)));
+                }
                 Err(e) => {
                     last_err = Some(e);
+                    fobs.retries.inc();
                     std::thread::sleep(policy.retry_delay);
                 }
             }
@@ -113,7 +153,10 @@ pub fn fetch_with_fallback(
     }
     if let Some(addr) = fallback {
         match fetch_once(addr, name) {
-            Ok(b) => return Ok((b, FetchSource::Fallback)),
+            Ok(b) => {
+                fobs.fallback_fetches.inc();
+                return Ok((b, FetchSource::Fallback));
+            }
             Err(e) => last_err = Some(e),
         }
     }

@@ -24,7 +24,7 @@ pub mod proto;
 pub mod server;
 pub mod store;
 
-pub use cluster::{run_cluster, ClusterConfig, ClusterReport, ClusterStats};
+pub use cluster::{run_cluster, run_cluster_with_obs, ClusterConfig, ClusterReport, ClusterStats};
 pub use fetch::{fetch_once, fetch_with_fallback, FetchError, FetchPolicy, FetchSource};
 pub use proto::{Request, Response};
 pub use server::{PeerServer, ServerStats};

@@ -28,6 +28,29 @@ pub struct ServerStats {
     pub busy_rejections: AtomicU64,
 }
 
+/// Registry handles every serving thread bumps; resolved once at
+/// server start so the per-request cost stays at an atomic add.
+#[derive(Clone)]
+struct ServeObs {
+    served: vmr_obs::Counter,
+    not_found: vmr_obs::Counter,
+    busy: vmr_obs::Counter,
+    gate_rejections: vmr_obs::Counter,
+    serve_scope: vmr_obs::Scope,
+}
+
+impl ServeObs {
+    fn attach(obs: &vmr_obs::Obs) -> Self {
+        ServeObs {
+            served: obs.counter("rtnet.served"),
+            not_found: obs.counter("rtnet.not_found"),
+            busy: obs.counter("rtnet.busy_rejections"),
+            gate_rejections: obs.counter("rtnet.gate_rejections"),
+            serve_scope: obs.scope("rtnet.serve"),
+        }
+    }
+}
+
 /// A serving endpoint for one volunteer's map outputs.
 pub struct PeerServer {
     addr: SocketAddr,
@@ -43,8 +66,20 @@ pub struct PeerServer {
 
 impl PeerServer {
     /// Starts a server on an ephemeral loopback port, serving `store`,
-    /// with at most `max_connections` concurrent transfers.
+    /// with at most `max_connections` concurrent transfers. Metrics go
+    /// to a detached sink; use [`PeerServer::start_with_obs`] to share
+    /// a live registry.
     pub fn start(store: Arc<OutputStore>, max_connections: usize) -> io::Result<PeerServer> {
+        PeerServer::start_with_obs(store, max_connections, &vmr_obs::Obs::detached())
+    }
+
+    /// Like [`PeerServer::start`], recording request counters and
+    /// serving-thread timings into `obs`.
+    pub fn start_with_obs(
+        store: Arc<OutputStore>,
+        max_connections: usize,
+        obs: &vmr_obs::Obs,
+    ) -> io::Result<PeerServer> {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -52,6 +87,7 @@ impl PeerServer {
         let accepting = Arc::new(AtomicBool::new(true));
         let active = Arc::new(AtomicUsize::new(0));
         let stats = Arc::new(ServerStats::default());
+        let sobs = ServeObs::attach(obs);
 
         let t_stop = stop.clone();
         let t_accepting = accepting.clone();
@@ -66,6 +102,7 @@ impl PeerServer {
                 t_accepting,
                 t_active,
                 t_stats,
+                sobs,
                 max_connections,
             );
         });
@@ -129,6 +166,7 @@ fn accept_loop(
     accepting: Arc<AtomicBool>,
     active: Arc<AtomicUsize>,
     stats: Arc<ServerStats>,
+    sobs: ServeObs,
     max_connections: usize,
 ) {
     let mut handlers: Vec<JoinHandle<()>> = Vec::new();
@@ -140,8 +178,17 @@ fn accept_loop(
                 let active = active.clone();
                 let stats = stats.clone();
                 let accepting = accepting.clone();
+                let sobs = sobs.clone();
                 let h = std::thread::spawn(move || {
-                    handle_conn(stream, store, active, stats, accepting, max_connections);
+                    handle_conn(
+                        stream,
+                        store,
+                        active,
+                        stats,
+                        accepting,
+                        sobs,
+                        max_connections,
+                    );
                 });
                 handlers.push(h);
             }
@@ -156,12 +203,14 @@ fn accept_loop(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn handle_conn(
     mut stream: TcpStream,
     store: Arc<OutputStore>,
     active: Arc<AtomicUsize>,
     stats: Arc<ServerStats>,
     accepting: Arc<AtomicBool>,
+    sobs: ServeObs,
     max_connections: usize,
 ) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
@@ -177,19 +226,25 @@ fn handle_conn(
         Request::Get(name) => {
             if !accepting.load(Ordering::SeqCst) {
                 stats.not_found.fetch_add(1, Ordering::Relaxed);
+                sobs.not_found.inc();
+                sobs.gate_rejections.inc();
                 encode_response(&Response::NotFound, &mut buf)
             } else if active.fetch_add(1, Ordering::SeqCst) >= max_connections {
                 active.fetch_sub(1, Ordering::SeqCst);
                 stats.busy_rejections.fetch_add(1, Ordering::Relaxed);
+                sobs.busy.inc();
                 encode_response(&Response::Busy, &mut buf)
             } else {
+                let _serve = sobs.serve_scope.enter();
                 match store.get(&name) {
                     Some(data) => {
                         stats.served.fetch_add(1, Ordering::Relaxed);
+                        sobs.served.inc();
                         encode_response(&Response::Data(data), &mut buf)
                     }
                     None => {
                         stats.not_found.fetch_add(1, Ordering::Relaxed);
+                        sobs.not_found.inc();
                         encode_response(&Response::NotFound, &mut buf)
                     }
                 }

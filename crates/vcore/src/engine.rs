@@ -21,11 +21,12 @@ use crate::transition::{transition_wu, Transition};
 use crate::types::{ClientId, FileSource, OutputFingerprint, ResultId, WuId};
 use crate::workunit::{ResultOutcome, ResultState, WorkUnitSpec};
 use std::collections::{HashMap, VecDeque};
-use vmr_desim::{EventId, RngStream, SimDuration, SimTime, Simulation, Tally, Timeline};
+use vmr_desim::{EventId, RngStream, SimDuration, SimTime, Simulation, Tally};
 use vmr_netsim::{
     connect, FlowId, FlowSpec, HostId, HostLink, Network, Path, Priority, Topology,
     TraversalPolicy, TraversalStats,
 };
+use vmr_obs::EventKind;
 
 /// Events driving the middleware simulation.
 #[derive(Debug)]
@@ -196,8 +197,10 @@ pub struct Engine {
     pub fault: FaultPlan,
     /// NAT traversal policy for inter-client connections.
     pub traversal: TraversalPolicy,
-    /// Timeline trace (Fig. 4 source).
-    pub timeline: Timeline,
+    /// Observability bundle: metrics registry, event journal (the
+    /// Fig. 4 source — rebuild lanes with `Timeline::from_journal`),
+    /// profiling scopes. Shared with the network engine and the sim.
+    pub obs: vmr_obs::Obs,
     /// Aggregate counters.
     pub stats: EngineStats,
     /// Credit / reliability ledger (BOINC's volunteer incentive).
@@ -213,6 +216,45 @@ pub struct Engine {
     feeder: Vec<ResultId>,
     rng: RngStream,
     dropouts_armed: bool,
+    eobs: EngineObs,
+}
+
+/// Pre-resolved metric handles for the scheduler hot paths. These
+/// mirror the cumulative [`EngineStats`] fields into the shared
+/// registry so one snapshot covers every crate; resolving them once at
+/// construction keeps per-event cost to an atomic bump.
+struct EngineObs {
+    rpcs: vmr_obs::Counter,
+    empty_replies: vmr_obs::Counter,
+    grants: vmr_obs::Counter,
+    reports: vmr_obs::Counter,
+    peer_failures: vmr_obs::Counter,
+    server_fallbacks: vmr_obs::Counter,
+    busy_deferrals: vmr_obs::Counter,
+    wu_validated: vmr_obs::Counter,
+    wu_failed: vmr_obs::Counter,
+    report_delay_s: vmr_obs::Histo,
+    feeder_occupancy: vmr_obs::TimeGauge,
+    transitioner_scope: vmr_obs::Scope,
+}
+
+impl EngineObs {
+    fn attach(obs: &vmr_obs::Obs) -> Self {
+        EngineObs {
+            rpcs: obs.counter("vcore.rpcs"),
+            empty_replies: obs.counter("vcore.empty_replies"),
+            grants: obs.counter("vcore.grants"),
+            reports: obs.counter("vcore.reports"),
+            peer_failures: obs.counter("vcore.peer_failures"),
+            server_fallbacks: obs.counter("vcore.server_fallbacks"),
+            busy_deferrals: obs.counter("vcore.busy_deferrals"),
+            wu_validated: obs.counter_labeled("vcore.wu_outcomes", &[("outcome", "validated")]),
+            wu_failed: obs.counter_labeled("vcore.wu_outcomes", &[("outcome", "failed")]),
+            report_delay_s: obs.histogram("vcore.report_delay_s"),
+            feeder_occupancy: obs.time_gauge("vcore.feeder_occupancy"),
+            transitioner_scope: obs.scope("vcore.transitioner_sweep"),
+        }
+    }
 }
 
 impl Engine {
@@ -222,14 +264,17 @@ impl Engine {
         let server_host = topo.add_host(server_link);
         let mut sim = Simulation::new(seed);
         let rng = sim.fork_rng("engine");
+        let obs = vmr_obs::Obs::new();
+        sim.attach_obs(&obs);
+        let eobs = EngineObs::attach(&obs);
         let mut eng = Engine {
             sim,
-            net: Network::new(topo),
+            net: Network::with_obs(topo, &obs),
             db: Db::new(),
             cfg,
             fault: FaultPlan::none(),
             traversal: TraversalPolicy::direct_only(),
-            timeline: Timeline::new(),
+            obs,
             stats: EngineStats::default(),
             credit: crate::credit::CreditLedger::new(),
             assimilator: crate::assimilate::Assimilator::new(),
@@ -241,6 +286,7 @@ impl Engine {
             feeder: Vec::new(),
             rng,
             dropouts_armed: false,
+            eobs,
         };
         eng.sim.schedule_at(SimTime::ZERO, Ev::DaemonTick);
         eng
@@ -295,7 +341,7 @@ impl Engine {
         let id = topo.add_host(link);
         // Safe only before any flow exists (construction phase).
         assert_eq!(self.net.active_flows(), 0, "add clients before running");
-        self.net = Network::new(topo);
+        self.net = Network::with_obs(topo, &self.obs);
         id
     }
 
@@ -470,8 +516,9 @@ impl Engine {
             let c = &mut self.clients[cid.0 as usize];
             SimDuration::from_secs_f64(c.rng.exponential(av.off_mean_s).max(1.0))
         };
-        self.timeline
-            .point(self.client_name(cid), "suspend", "", now);
+        self.obs
+            .journal
+            .point(self.client_name(cid), "suspend", "", now.as_micros());
         self.sim.schedule_in(off, Ev::Resume(cid));
     }
 
@@ -496,8 +543,9 @@ impl Engine {
                 t.exec_started = Some(now);
             }
         }
-        self.timeline
-            .point(self.client_name(cid), "resume", "", now);
+        self.obs
+            .journal
+            .point(self.client_name(cid), "resume", "", now.as_micros());
         let on = {
             let av = self.clients[cid.0 as usize].profile.availability.unwrap();
             let c = &mut self.clients[cid.0 as usize];
@@ -528,13 +576,20 @@ impl Engine {
         self.feeder.clear();
         self.feeder
             .extend(self.db.unsent_results().take(self.cfg.feeder_slots));
+        self.eobs
+            .feeder_occupancy
+            .set(self.sim.now().as_micros(), self.feeder.len() as f64);
         let period = SimDuration::from_secs_f64(self.cfg.server_daemon_period_s.max(0.1));
         self.sim.schedule_in(period, Ev::DaemonTick);
     }
 
     fn after_report_transition<P: Policy>(&mut self, policy: &mut P, wu: WuId) {
         let now = self.sim.now();
-        match transition_wu(&mut self.db, wu, now) {
+        let transition = {
+            let _sweep = self.eobs.transitioner_scope.enter();
+            transition_wu(&mut self.db, wu, now)
+        };
+        match transition {
             Transition::Validated {
                 canonical,
                 agreeing,
@@ -565,13 +620,29 @@ impl Engine {
                     holders: clients.clone(),
                     at: now,
                 });
-                self.timeline
-                    .point("server", "validated", wu.to_string(), now);
+                self.eobs.wu_validated.inc();
+                self.obs
+                    .journal
+                    .record_with(now.as_micros(), || EventKind::WuTransition {
+                        wu: wu.to_string(),
+                        to: "validated".into(),
+                    });
+                self.obs
+                    .journal
+                    .point("server", "validated", wu.to_string(), now.as_micros());
                 policy.on_wu_validated(self, wu, &clients);
             }
             Transition::Failed => {
-                self.timeline
-                    .point("server", "wu-failed", wu.to_string(), now);
+                self.eobs.wu_failed.inc();
+                self.obs
+                    .journal
+                    .record_with(now.as_micros(), || EventKind::WuTransition {
+                        wu: wu.to_string(),
+                        to: "failed".into(),
+                    });
+                self.obs
+                    .journal
+                    .point("server", "wu-failed", wu.to_string(), now.as_micros());
                 policy.on_wu_failed(self, wu);
             }
             Transition::Retried { new_results } => {
@@ -602,6 +673,7 @@ impl Engine {
             }
         }
         self.stats.rpcs += 1;
+        self.eobs.rpcs.inc();
 
         // 1. Deliver reports.
         let reports = std::mem::take(&mut self.clients[cid.0 as usize].ready_to_report);
@@ -614,6 +686,7 @@ impl Engine {
             };
             if self.db.mark_reported(rid, outcome, fp, now) {
                 self.stats.reports += 1;
+                self.eobs.reports.inc();
                 if errored {
                     self.credit.on_error(cid);
                 }
@@ -624,12 +697,16 @@ impl Engine {
                     .get(&rid)
                     .and_then(|t| t.exec_done_at)
                 {
-                    self.stats
-                        .report_delay
-                        .record(now.saturating_since(t).as_secs_f64());
+                    let delay_s = now.saturating_since(t).as_secs_f64();
+                    self.stats.report_delay.record(delay_s);
+                    self.eobs.report_delay_s.record(delay_s);
                 }
-                self.timeline
-                    .point(self.client_name(cid), "report", rid.to_string(), now);
+                self.obs.journal.point(
+                    self.client_name(cid),
+                    "report",
+                    rid.to_string(),
+                    now.as_micros(),
+                );
                 reported_wus.push(self.db.result(rid).wu);
                 policy.on_result_reported(self, rid);
             }
@@ -650,6 +727,7 @@ impl Engine {
             }
         }
         let mut got_work = false;
+        let mut n_granted = 0u32;
         if slots_wanted > 0 {
             let candidates: Vec<ResultId> = if self.cfg.locality_scheduling {
                 // Prefer results whose inputs this client already serves
@@ -684,27 +762,44 @@ impl Engine {
                 self.cfg.max_results_per_rpc,
             );
             got_work = !picked.is_empty();
+            n_granted = picked.len() as u32;
             for rid in picked {
                 self.feeder.retain(|&r| r != rid);
                 let deadline = now + self.db.wu(self.db.result(rid).wu).spec.delay_bound;
                 self.db.mark_sent(rid, cid, now, deadline);
                 self.stats.grants += 1;
+                self.eobs.grants.inc();
                 self.sim.schedule_at(deadline, Ev::DeadlineCheck(rid));
                 self.grant_task(cid, rid);
                 policy.on_task_granted(self, cid, rid);
             }
         }
 
+        let asked_and_empty = slots_wanted > 0 && !got_work;
+        self.obs
+            .journal
+            .record_with(now.as_micros(), || EventKind::RpcServed {
+                client: cid.0,
+                granted: n_granted,
+                empty: asked_and_empty,
+            });
+
         // 3. Backoff bookkeeping.
         if slots_wanted > 0 && !got_work {
             self.stats.empty_replies += 1;
+            self.eobs.empty_replies.inc();
             let delay = {
                 let c = &mut self.clients[cid.0 as usize];
                 let d = c.backoff.on_empty_reply(&mut c.rng);
                 c.next_rpc_at = now + d;
                 d
             };
-            let _ = delay;
+            self.obs
+                .journal
+                .record_with(now.as_micros(), || EventKind::BackoffArmed {
+                    client: cid.0,
+                    delay_us: delay.as_micros(),
+                });
             // A fully idle client re-polls at backoff expiry; a busy one
             // will naturally wake on task completion (and must still
             // respect next_rpc_at).
@@ -832,6 +927,13 @@ impl Engine {
         // file from the server").
         if peers.is_empty() || attempts >= self.cfg.peer_retry_limit {
             self.stats.server_fallbacks += 1;
+            self.eobs.server_fallbacks.inc();
+            self.obs
+                .journal
+                .record_with(now.as_micros(), || EventKind::PeerFallback {
+                    client: cid.0,
+                    file: name.to_string(),
+                });
             let spec = FlowSpec {
                 src: self.server_host,
                 dst: self.clients[cid.0 as usize].host,
@@ -891,22 +993,37 @@ impl Engine {
         };
 
         // Peer alive and still serving the file?
-        let peer_ok = {
+        let (peer_ok, window_expired) = {
             let p = &self.clients[peer.0 as usize];
-            !p.dropped
-                && p.served
-                    .get(name)
-                    .map(|f| f.until.map(|u| now <= u).unwrap_or(true))
-                    .unwrap_or(false)
+            let window = p.served.get(name).map(|f| f.until);
+            let ok = !p.dropped
+                && window
+                    .map(|until| until.map(|u| now <= u).unwrap_or(true))
+                    .unwrap_or(false);
+            let expired = !p.dropped
+                && window
+                    .map(|until| until.map(|u| now > u).unwrap_or(false))
+                    .unwrap_or(false);
+            (ok, expired)
         };
         if !peer_ok {
             self.stats.peer_failures += 1;
+            self.eobs.peer_failures.inc();
+            if window_expired {
+                self.obs
+                    .journal
+                    .record_with(now.as_micros(), || EventKind::ServingExpiry {
+                        client: peer.0,
+                        file: name.to_string(),
+                    });
+            }
             bump_and_retry(self, self.cfg.peer_retry_delay_s);
             return;
         }
         // Serving-connection threshold on the mapper side.
         if self.clients[peer.0 as usize].serving_now >= self.cfg.max_serving_connections {
             self.stats.busy_deferrals += 1;
+            self.eobs.busy_deferrals.inc();
             // Busy is not a failure — retry without consuming budget.
             self.sim.schedule_in(
                 SimDuration::from_secs_f64(self.cfg.serving_busy_retry_s),
@@ -921,6 +1038,7 @@ impl Engine {
         };
         if fails {
             self.stats.peer_failures += 1;
+            self.eobs.peer_failures.inc();
             bump_and_retry(self, self.cfg.peer_retry_delay_s);
             return;
         }
@@ -938,6 +1056,7 @@ impl Engine {
             Some(o) => o,
             None => {
                 self.stats.peer_failures += 1;
+                self.eobs.peer_failures.inc();
                 bump_and_retry(self, self.cfg.peer_retry_delay_s);
                 return;
             }
@@ -1027,8 +1146,13 @@ impl Engine {
                         }
                     }
                     if let Some(assigned_at) = became_ready {
-                        self.timeline
-                            .span(name, "download", rid.to_string(), assigned_at, now);
+                        self.obs.journal.span(
+                            name,
+                            "download",
+                            rid.to_string(),
+                            assigned_at.as_micros(),
+                            now.as_micros(),
+                        );
                         self.clients[client.0 as usize].run_queue.push_back(rid);
                         self.try_start_tasks(client);
                     }
@@ -1044,12 +1168,12 @@ impl Engine {
                         let (fp, err) = (t.fingerprint, t.errored);
                         let start = t.exec_done_at.unwrap_or(now);
                         c.ready_to_report.push((rid, fp, err));
-                        self.timeline.span(
+                        self.obs.journal.span(
                             self.client_name(client),
                             "upload",
                             rid.to_string(),
-                            start,
-                            now,
+                            start.as_micros(),
+                            now.as_micros(),
                         );
                     }
                     self.maybe_contact_server(client);
@@ -1148,8 +1272,13 @@ impl Engine {
             t.exec_done_at = Some(now);
             t.fingerprint = fp;
             t.errored = errored;
-            self.timeline
-                .span(self.client_name(cid), "exec", rid.to_string(), start, now);
+            self.obs.journal.span(
+                self.client_name(cid),
+                "exec",
+                rid.to_string(),
+                start.as_micros(),
+                now.as_micros(),
+            );
         }
         policy.on_task_executed(self, cid, rid);
 
@@ -1213,8 +1342,12 @@ impl Engine {
         if let Some(ev) = c.wake.take() {
             self.sim.cancel(ev);
         }
-        self.timeline
-            .point(self.client_name(cid), "dropout", "", self.sim.now());
+        self.obs.journal.point(
+            self.client_name(cid),
+            "dropout",
+            "",
+            self.sim.now().as_micros(),
+        );
         // In-flight flows to/from this client are aborted.
         let involved: Vec<FlowId> = self
             .flows
@@ -1243,6 +1376,7 @@ impl Engine {
                 // retries against another peer.
                 if client != cid && !self.clients[client.0 as usize].dropped {
                     self.stats.peer_failures += 1;
+                    self.eobs.peer_failures.inc();
                     if let Some(t) = self.clients[client.0 as usize].tasks.get_mut(&rid) {
                         t.attempts[input_idx] += 1;
                     }

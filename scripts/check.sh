@@ -1,16 +1,19 @@
 #!/usr/bin/env bash
-# Repo-wide hygiene gate: formatting, lints (warnings are errors), and
-# the full test suite. Run before sending a change.
+# Repo-wide hygiene gate: formatting, lints (warnings are errors), the
+# full test suite, the observability feature matrix, and a bench smoke
+# that refreshes BENCH_netsim.json. Run before sending a change.
 #
-# Usage: scripts/check.sh [--no-test]
+# Usage: scripts/check.sh [--no-test] [--no-bench]
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 NO_TEST=0
+NO_BENCH=0
 for arg in "$@"; do
     case "$arg" in
         --no-test) NO_TEST=1 ;;
+        --no-bench) NO_BENCH=1 ;;
         *) echo "unknown argument: $arg" >&2; exit 2 ;;
     esac
 done
@@ -21,9 +24,24 @@ cargo fmt --all --check
 echo "==> cargo clippy (workspace, all targets, -D warnings)"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+echo "==> feature matrix: vmr-obs recorder compiled out (--no-default-features)"
+cargo build --offline -p vmr-bench --no-default-features
+
 if [ "$NO_TEST" -eq 0 ]; then
     echo "==> cargo test (workspace)"
     cargo test --offline --workspace --quiet
+fi
+
+if [ "$NO_BENCH" -eq 0 ]; then
+    echo "==> bench smoke: flow_churn (refreshes BENCH_netsim.json)"
+    cargo build --offline --release -p vmr-bench --bin flow_churn --bin table1
+    ./target/release/flow_churn \
+        | sed -n 's/^BENCH_netsim\.json //p' > BENCH_netsim.json
+    [ -s BENCH_netsim.json ] || { echo "flow_churn emitted no BENCH line" >&2; exit 1; }
+
+    echo "==> bench smoke: table1 --quick (with metrics dump)"
+    ./target/release/table1 --quick --metrics /tmp/table1_quick_metrics.json > /dev/null
+    [ -s /tmp/table1_quick_metrics.json ] || { echo "table1 --metrics wrote nothing" >&2; exit 1; }
 fi
 
 echo "==> OK"
