@@ -1,0 +1,175 @@
+//! Durability study: WAL cost and crash-recovery time vs checkpoint
+//! cadence on a Table I workload.
+//!
+//! Usage: `cargo run -p vmr-bench --release --bin recovery_study \
+//!     [--full] [--smoke]`
+//!
+//! Default mode sweeps the snapshot interval over a Table I row
+//! (ServerRelay, first geometry) and reports, per interval: the run's
+//! wall-clock against the in-memory baseline, WAL record rate, log and
+//! snapshot sizes, and the time to materialize all server state from
+//! the final log image (recovery replays from the *last* snapshot, so
+//! a longer cadence means a longer replay tail). `--full` uses the
+//! paper's 1 GB input instead of the quick 256 MB subset.
+//!
+//! `--smoke` is the check.sh gate: crash one run at a fixed record
+//! count, mirror its WAL through a file sink, resume from the mirrored
+//! bytes, and byte-compare the Table I row against an uninterrupted
+//! run — exit 1 on any divergence.
+
+use std::time::Instant;
+use vmr_bench::{calibrated_sizing, row_config, table1_rows};
+use vmr_core::{
+    format_row, resume_experiment, run_experiment, ExperimentConfig, MrMode, RecoveredServerState,
+};
+use vmr_durable::{CrashPlan, DurabilityPlan};
+
+fn study_config(full: bool) -> ExperimentConfig {
+    let row = table1_rows()[0];
+    let mut cfg = row_config(&row, calibrated_sizing());
+    if !full {
+        cfg.input_bytes = 256 << 20;
+    }
+    cfg
+}
+
+fn sweep(full: bool) {
+    let cfg = study_config(full);
+    println!(
+        "# Durability study — Table I row: {} nodes, {} maps, {} reduces, {} MiB input ({})",
+        cfg.nodes.total(),
+        cfg.n_maps,
+        cfg.n_reduces,
+        cfg.input_bytes >> 20,
+        cfg.mode,
+    );
+
+    // Warm-up run (allocator + page-cache), then best-of-N timing so
+    // the overhead column measures journaling, not cold-start noise.
+    let base = run_experiment(&cfg);
+    assert!(base.all_done, "baseline did not complete");
+    let reps = if full { 3 } else { 10 };
+    let time_it = |c: &ExperimentConfig| -> f64 {
+        (0..reps)
+            .map(|_| {
+                let t0 = Instant::now();
+                std::hint::black_box(run_experiment(c));
+                t0.elapsed().as_secs_f64() * 1e3
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let base_ms = time_it(&cfg);
+    println!(
+        "# baseline (durability off): {:.2} ms wall (best of {reps}), {:.0} s simulated",
+        base_ms,
+        base.finished_at.as_secs_f64()
+    );
+    println!(
+        "{:>10} | {:>8} | {:>9} | {:>8} | {:>8} | {:>9} | {:>5} | {:>8} | {:>8}",
+        "snap_iv_s",
+        "wall_ms",
+        "overhead",
+        "records",
+        "rec_p_s",
+        "wal_KiB",
+        "snaps",
+        "replay",
+        "recov_us"
+    );
+    // 0.0 = WAL only, no snapshots: recovery replays the whole log.
+    for interval in [0.0, 10.0, 30.0, 60.0, 120.0, 300.0] {
+        let mut c = cfg.clone();
+        c.durable = DurabilityPlan::new(interval);
+        let out = run_experiment(&c);
+        assert!(out.all_done && !out.crashed);
+        let wall_ms = time_it(&c);
+        let snap = out.obs.snapshot();
+        let records = snap.counter("dur.wal_records");
+        let wal = out.wal.as_ref().unwrap();
+        let snaps = snap.histogram("dur.snapshot_us");
+        let t1 = Instant::now();
+        let rec = RecoveredServerState::from_log(wal).expect("recovery failed");
+        let recov_us = t1.elapsed().as_secs_f64() * 1e6;
+        println!(
+            "{:>10} | {:>8.2} | {:>+7.1}% | {:>8} | {:>8.1} | {:>9.1} | {:>5} | {:>8} | {:>8.0}",
+            if interval > 0.0 {
+                format!("{interval:.0}")
+            } else {
+                "wal-only".to_string()
+            },
+            wall_ms,
+            (wall_ms / base_ms - 1.0) * 100.0,
+            records,
+            records as f64 / out.finished_at.as_secs_f64(),
+            wal.len() as f64 / 1024.0,
+            snaps.count,
+            rec.replayed,
+            recov_us,
+        );
+        // Same simulation either way: durability must not perturb it.
+        assert_eq!(
+            out.reports[0].total_s.to_bits(),
+            base.reports[0].total_s.to_bits(),
+            "journaling changed the simulation"
+        );
+    }
+}
+
+/// Crash → mirror → resume → byte-compare. Returns false on mismatch.
+fn smoke() -> bool {
+    let mut cfg = ExperimentConfig::table1(5, 3, 2, MrMode::InterClient);
+    cfg.input_bytes = 32 << 20;
+    cfg.durable = DurabilityPlan::new(120.0);
+
+    let base = run_experiment(&cfg);
+    assert!(base.all_done, "smoke baseline did not complete");
+    let committed = RecoveredServerState::from_log(base.wal.as_ref().unwrap())
+        .expect("baseline log unreadable")
+        .committed_records;
+
+    // Crash mid-run, mirroring committed bytes to a file sink — resume
+    // from what the "disk" holds, not the in-memory image.
+    let sink = std::env::temp_dir().join(format!("vmr-recovery-smoke-{}.wal", std::process::id()));
+    let mut crashed_cfg = cfg.clone();
+    crashed_cfg.durable = cfg
+        .durable
+        .clone()
+        .with_crash(CrashPlan::after_records(committed / 2))
+        .with_sink(&sink);
+    let dead = run_experiment(&crashed_cfg);
+    assert!(dead.crashed && !dead.all_done, "crash plan never fired");
+    let disk = std::fs::read(&sink).expect("WAL mirror missing");
+    std::fs::remove_file(&sink).ok();
+
+    let resumed = resume_experiment(&crashed_cfg, &disk).expect("resume failed");
+    let want = format_row(5, 3, 2, &base.reports[0]);
+    let got = format_row(5, 3, 2, &resumed.reports[0]);
+    let ok = resumed.all_done
+        && got == want
+        && resumed.finished_at == base.finished_at
+        && resumed.wal == base.wal;
+    if ok {
+        println!(
+            "recovery smoke OK: crashed at record {} of {}, resumed run is byte-identical",
+            committed / 2,
+            committed
+        );
+        println!("  row: {got}");
+    } else {
+        eprintln!("recovery smoke FAILED");
+        eprintln!("  baseline: {want} (finished {:?})", base.finished_at);
+        eprintln!("  resumed:  {got} (finished {:?})", resumed.finished_at);
+    }
+    ok
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--smoke") {
+        if !smoke() {
+            std::process::exit(1);
+        }
+        return;
+    }
+    sweep(args.iter().any(|a| a == "--full"));
+}

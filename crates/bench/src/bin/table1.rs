@@ -1,16 +1,18 @@
 //! Regenerates the paper's **Table I** (word-count makespans).
 //!
 //! Usage: `cargo run -p vmr-bench --release --bin table1 \
-//!     [--mixed] [--quick] [--metrics <path>]`
+//!     [--mixed] [--quick] [--durable] [--metrics <path>]`
 //!
 //! Prints, for every row, the simulated map/reduce/total times with the
 //! "slowest node discarded" derivation in brackets, next to the paper's
 //! published values.
 //!
 //! `--quick` runs only the first row of each scheduling mode (the
-//! check.sh bench smoke). `--metrics <path>` additionally dumps every
-//! row's obs metrics snapshot to `path` as a JSON array; stdout is
-//! unchanged by it.
+//! check.sh bench smoke). `--durable` journals every row's server
+//! state (WAL + 300 s snapshots) and prints a `# wal:` footer — the
+//! numbers themselves must not move. `--metrics <path>` additionally
+//! dumps every row's obs metrics snapshot to `path` as a JSON array;
+//! stdout is unchanged by it.
 
 use vmr_bench::{calibrated_sizing, row_config, table1_rows};
 use vmr_core::{format_row, run_experiment, MrMode};
@@ -19,6 +21,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mixed = args.iter().any(|a| a == "--mixed");
     let quick = args.iter().any(|a| a == "--quick");
+    let durable = args.iter().any(|a| a == "--durable");
     let metrics_path = args
         .iter()
         .position(|a| a == "--metrics")
@@ -65,6 +68,9 @@ fn main() {
             prev_mode = Some(row.mode);
         }
         let mut cfg = row_config(&row, sizing);
+        if durable {
+            cfg.durable = vmr_durable::DurabilityPlan::new(300.0);
+        }
         if mixed {
             // §IV.A used two node types; split the fleet half/half.
             cfg.nodes = vmr_core::NodeMix {
@@ -74,6 +80,15 @@ fn main() {
         }
         let out = run_experiment(&cfg);
         assert!(out.all_done, "row did not complete");
+        if let Some(wal) = &out.wal {
+            let snap = out.obs.snapshot();
+            println!(
+                "# wal: {} records, {} KiB, {} snapshots",
+                snap.counter("dur.wal_records"),
+                wal.len() >> 10,
+                snap.histogram("dur.snapshot_us").count,
+            );
+        }
         if metrics_path.is_some() {
             row_metrics.push(format!(
                 "{{\"nodes\":{},\"n_maps\":{},\"n_reduces\":{},\"mode\":\"{}\",\"metrics\":{}}}",

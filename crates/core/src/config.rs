@@ -4,6 +4,7 @@
 //! reducers").
 
 use serde::{Deserialize, Serialize};
+use vmr_durable::{Dec, Enc, WireError};
 use vmr_mapreduce::{run_map_task, HashPartitioner, JobSpec, MapReduceApp};
 
 /// How reduce tasks obtain their map-output inputs (the two systems
@@ -185,6 +186,74 @@ impl MrJobConfig {
     pub fn chunk_bytes(&self) -> u64 {
         self.input_bytes / self.job.n_maps as u64
     }
+
+    /// Encodes the full config through the WAL wire codec (the opaque
+    /// `cfg` blob of `StateChange::MrJobSubmitted`).
+    pub fn encode(&self, e: &mut Enc) {
+        e.str(&self.job.name);
+        e.u32(self.job.n_maps as u32);
+        e.u32(self.job.n_reduces as u32);
+        e.u64(self.input_bytes);
+        e.u32(self.replication);
+        e.u32(self.quorum);
+        e.u8(match self.mode {
+            MrMode::ServerRelay => 0,
+            MrMode::InterClient => 1,
+        });
+        e.f64(self.sizing.expansion);
+        e.u64(self.sizing.reduce_output_total_bytes);
+        e.f64(self.sizing.map_flops_per_byte);
+        e.f64(self.sizing.reduce_flops_per_byte);
+        e.bool(self.map_outputs_to_server);
+        e.bool(self.mitigation.immediate_report);
+        e.bool(self.mitigation.intermediate_downloads);
+        e.f64(self.delay_bound_s);
+    }
+
+    /// Standalone encoding of [`MrJobConfig::encode`].
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut e = Enc::with_capacity(96);
+        self.encode(&mut e);
+        e.into_vec()
+    }
+
+    /// Decodes a config written by [`MrJobConfig::encode`].
+    pub fn decode(d: &mut Dec<'_>) -> Result<Self, WireError> {
+        let name = d.str()?;
+        let n_maps = d.u32()? as usize;
+        let n_reduces = d.u32()? as usize;
+        Ok(MrJobConfig {
+            job: JobSpec::new(name, n_maps, n_reduces),
+            input_bytes: d.u64()?,
+            replication: d.u32()?,
+            quorum: d.u32()?,
+            mode: match d.u8()? {
+                0 => MrMode::ServerRelay,
+                1 => MrMode::InterClient,
+                t => return Err(WireError::BadTag(t)),
+            },
+            sizing: SizingModel {
+                expansion: d.f64()?,
+                reduce_output_total_bytes: d.u64()?,
+                map_flops_per_byte: d.f64()?,
+                reduce_flops_per_byte: d.f64()?,
+            },
+            map_outputs_to_server: d.bool()?,
+            mitigation: MitigationPlan {
+                immediate_report: d.bool()?,
+                intermediate_downloads: d.bool()?,
+            },
+            delay_bound_s: d.f64()?,
+        })
+    }
+
+    /// Decodes a standalone [`MrJobConfig::to_bytes`] blob.
+    pub fn from_bytes(b: &[u8]) -> Result<Self, WireError> {
+        let mut d = Dec::new(b);
+        let cfg = Self::decode(&mut d)?;
+        d.finish()?;
+        Ok(cfg)
+    }
 }
 
 #[cfg(test)]
@@ -242,5 +311,31 @@ mod tests {
     fn mode_labels_match_table1() {
         assert_eq!(MrMode::ServerRelay.to_string(), "BOINC");
         assert_eq!(MrMode::InterClient.to_string(), "BOINC-MR");
+    }
+
+    #[test]
+    fn job_config_wire_round_trip() {
+        let mut c = MrJobConfig::paper_wordcount(20, 5, MrMode::InterClient);
+        c.input_bytes = 123_456_789;
+        c.map_outputs_to_server = false;
+        c.mitigation.intermediate_downloads = true;
+        c.delay_bound_s = 1234.5;
+        c.sizing.expansion = 1.375;
+        let back = MrJobConfig::from_bytes(&c.to_bytes()).unwrap();
+        assert_eq!(back.job.name, c.job.name);
+        assert_eq!(back.job.n_maps, 20);
+        assert_eq!(back.job.n_reduces, 5);
+        assert_eq!(back.input_bytes, c.input_bytes);
+        assert_eq!(back.mode, c.mode);
+        assert_eq!(
+            back.sizing.expansion.to_bits(),
+            c.sizing.expansion.to_bits()
+        );
+        assert!(!back.map_outputs_to_server);
+        assert!(back.mitigation.intermediate_downloads);
+        assert!(!back.mitigation.immediate_report);
+        assert_eq!(back.delay_bound_s.to_bits(), c.delay_bound_s.to_bits());
+        // Canonical: re-encoding reproduces the same bytes.
+        assert_eq!(back.to_bytes(), c.to_bytes());
     }
 }

@@ -10,6 +10,7 @@
 use crate::config::{MitigationPlan, MrJobConfig, MrMode, SizingModel};
 use crate::policy::MrPolicy;
 use vmr_desim::{SimTime, Timeline};
+use vmr_durable::{DurabilityPlan, Journal};
 use vmr_netsim::{HostLink, NatMix, TraversalPolicy};
 use vmr_vcore::{
     ClientId, Engine, EngineStats, FaultPlan, HostProfile, ProjectConfig, ResultState, WuId,
@@ -88,6 +89,9 @@ pub struct ExperimentConfig {
     pub locality_scheduling: bool,
     /// Record the full timeline (Fig. 4); disable for big sweeps.
     pub record_timeline: bool,
+    /// Server durability: WAL + snapshot cadence + optional crash point
+    /// (disabled by default — the in-memory-only baseline).
+    pub durable: DurabilityPlan,
 }
 
 impl ExperimentConfig {
@@ -115,6 +119,7 @@ impl ExperimentConfig {
             availability: None,
             locality_scheduling: false,
             record_timeline: false,
+            durable: DurabilityPlan::disabled(),
         }
     }
 }
@@ -150,12 +155,29 @@ pub struct ExperimentOutcome {
     pub obs: vmr_obs::Obs,
     /// Simulated end time.
     pub finished_at: SimTime,
-    /// Whether every job completed (false = horizon hit / job failed).
+    /// Whether every job completed (false = horizon hit / job failed /
+    /// server crash).
     pub all_done: bool,
+    /// WAL image at run end — including any uncommitted tail, exactly
+    /// what a crashed server's disk would hold (None when durability
+    /// was off). Feed to [`crate::recover::resume_experiment`].
+    pub wal: Option<Vec<u8>>,
+    /// True when the durability crash plan fired during the run.
+    pub crashed: bool,
 }
 
-/// Runs one experiment to completion.
-pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentOutcome {
+/// Event horizon of every experiment run: makespans are ~20 min; 50 h
+/// catches pathologies.
+pub(crate) fn horizon() -> SimTime {
+    SimTime::from_secs(180_000)
+}
+
+/// Builds the testbed engine and policy with jobs submitted — the
+/// shared front half of [`run_experiment`] and
+/// [`crate::recover::resume_experiment`]. The journal must be attached
+/// before work units are inserted so the genesis records land in the
+/// log.
+pub(crate) fn build_testbed(cfg: &ExperimentConfig, journal: Journal) -> (Engine, MrPolicy) {
     let mut pc = ProjectConfig {
         backoff_max_s: cfg.backoff_max_s,
         report_results_immediately: cfg.mitigation.immediate_report,
@@ -167,6 +189,7 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentOutcome {
     if !cfg.record_timeline {
         eng.obs.journal.set_enabled(false);
     }
+    eng.attach_durable(journal);
     eng.traversal = cfg.traversal.clone();
     eng.fault = cfg.fault.clone();
 
@@ -204,17 +227,25 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentOutcome {
         jc.delay_bound_s = cfg.delay_bound_s;
         pol.submit_job(&mut eng, jc);
     }
+    (eng, pol)
+}
 
-    // Generous horizon: makespans are ~20 min; 50 h catches pathologies.
-    let horizon = SimTime::from_secs(180_000);
-    eng.run_until(&mut pol, horizon, |e| e.db.all_wus_terminal());
-
+/// Builds the outcome from a finished (or crashed) engine — the shared
+/// back half of [`run_experiment`] and
+/// [`crate::recover::resume_experiment`].
+pub(crate) fn finish(eng: Engine, pol: MrPolicy) -> ExperimentOutcome {
     let reports = pol
         .tracker
         .jobs
         .iter()
         .map(|job| build_report(&eng, job))
         .collect();
+    let crashed = eng.durable().crashed();
+    let wal = if eng.durable().enabled() {
+        Some(eng.durable().log_bytes())
+    } else {
+        None
+    };
     ExperimentOutcome {
         reports,
         all_done: pol.all_done(),
@@ -222,7 +253,17 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentOutcome {
         finished_at: eng.now(),
         timeline: Timeline::from_journal(&eng.obs.journal),
         obs: eng.obs.clone(),
+        wal,
+        crashed,
     }
+}
+
+/// Runs one experiment to completion (or to its configured crash).
+pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentOutcome {
+    let journal = Journal::new(&cfg.durable).expect("WAL sink init failed");
+    let (mut eng, mut pol) = build_testbed(cfg, journal);
+    eng.run_until(&mut pol, horizon(), |e| e.db.all_wus_terminal());
+    finish(eng, pol)
 }
 
 /// Latest successful report time over `wus`, optionally excluding one

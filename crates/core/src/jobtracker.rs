@@ -9,6 +9,7 @@
 use crate::config::MrJobConfig;
 use std::collections::HashMap;
 use vmr_desim::SimTime;
+use vmr_durable::{Dec, Enc, StateChange, WireError};
 use vmr_vcore::{ClientId, WuId};
 
 /// Which MapReduce task a work unit implements.
@@ -31,6 +32,29 @@ pub enum Phase {
     Done,
     /// A work unit failed permanently; the job cannot complete.
     Failed,
+}
+
+impl Phase {
+    /// Wire tag (the `phase` byte of `StateChange::MrPhase`).
+    pub fn to_wire(self) -> u8 {
+        match self {
+            Phase::Map => 0,
+            Phase::Reduce => 1,
+            Phase::Done => 2,
+            Phase::Failed => 3,
+        }
+    }
+
+    /// Inverse of [`Phase::to_wire`].
+    pub fn from_wire(t: u8) -> Result<Self, WireError> {
+        match t {
+            0 => Ok(Phase::Map),
+            1 => Ok(Phase::Reduce),
+            2 => Ok(Phase::Done),
+            3 => Ok(Phase::Failed),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
 }
 
 /// Server-side state of one MapReduce job.
@@ -71,6 +95,21 @@ pub struct JobState {
     pub last_reduce_report: Option<SimTime>,
     /// When the final reduce WU validated (job complete).
     pub done_at: Option<SimTime>,
+}
+
+/// Wire tags for `StateChange::MrStamp::which` — the job timestamps
+/// with set-once or take-max merge semantics.
+pub mod stamp {
+    /// `first_map_assign` (set-once).
+    pub const FIRST_MAP_ASSIGN: u8 = 0;
+    /// `last_map_report` (take-max).
+    pub const LAST_MAP_REPORT: u8 = 1;
+    /// `first_reduce_assign` (set-once).
+    pub const FIRST_REDUCE_ASSIGN: u8 = 2;
+    /// `last_reduce_report` (take-max).
+    pub const LAST_REDUCE_REPORT: u8 = 3;
+    /// `map_phase_validated_at` (set-once).
+    pub const MAP_PHASE_VALIDATED: u8 = 4;
 }
 
 impl JobState {
@@ -161,6 +200,153 @@ impl JobTracker {
             .iter()
             .all(|j| matches!(j.phase, Phase::Done | Phase::Failed))
     }
+
+    /// Applies one replayed WAL record; `Ok(false)` when the record
+    /// belongs to another subsystem. Records arrive in emission order,
+    /// so a job always exists before its WUs are indexed and holders
+    /// land before the phase flips.
+    pub fn apply_change(&mut self, c: &StateChange) -> Result<bool, WireError> {
+        let t = |us: u64| SimTime::from_micros(us);
+        match c {
+            StateChange::MrJobSubmitted { job, cfg } => {
+                debug_assert_eq!(*job as usize, self.jobs.len());
+                let cfg = MrJobConfig::from_bytes(cfg)?;
+                self.add_job(JobState::new(cfg));
+            }
+            StateChange::MrWuIndexed {
+                wu,
+                job,
+                reduce,
+                idx,
+            } => {
+                let (ji, idx) = (*job as usize, *idx as usize);
+                let task = if *reduce {
+                    self.jobs[ji].reduce_wus.push(WuId(*wu));
+                    TaskKind::Reduce(idx)
+                } else {
+                    self.jobs[ji].map_wus.push(WuId(*wu));
+                    TaskKind::Map(idx)
+                };
+                self.index_wu(WuId(*wu), ji, task);
+            }
+            StateChange::MrMapValidated {
+                job,
+                m,
+                holders,
+                at_us: _,
+            } => {
+                let j = &mut self.jobs[*job as usize];
+                j.holders[*m as usize] = holders.iter().copied().map(ClientId).collect();
+                j.maps_validated += 1;
+                j.last_validated_map = Some(*m as usize);
+            }
+            StateChange::MrReduceValidated { job } => {
+                self.jobs[*job as usize].reduces_validated += 1;
+            }
+            StateChange::MrPhase { job, phase, at_us } => {
+                let j = &mut self.jobs[*job as usize];
+                j.phase = Phase::from_wire(*phase)?;
+                if j.phase == Phase::Done {
+                    j.done_at = Some(t(*at_us));
+                }
+            }
+            StateChange::MrStamp { job, which, at_us } => {
+                let j = &mut self.jobs[*job as usize];
+                let now = t(*at_us);
+                match *which {
+                    stamp::FIRST_MAP_ASSIGN => {
+                        j.first_map_assign = j.first_map_assign.or(Some(now))
+                    }
+                    stamp::LAST_MAP_REPORT => {
+                        j.last_map_report = Some(j.last_map_report.unwrap_or(now).max(now))
+                    }
+                    stamp::FIRST_REDUCE_ASSIGN => {
+                        j.first_reduce_assign = j.first_reduce_assign.or(Some(now))
+                    }
+                    stamp::LAST_REDUCE_REPORT => {
+                        j.last_reduce_report = Some(j.last_reduce_report.unwrap_or(now).max(now))
+                    }
+                    stamp::MAP_PHASE_VALIDATED => j.map_phase_validated_at = Some(now),
+                    w => return Err(WireError::BadTag(w)),
+                }
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// Canonical snapshot of every job (the WU → task index is derived
+    /// and rebuilt on decode). Equal trackers encode byte-identically:
+    /// vectors keep submission order and timestamps are raw micros.
+    pub fn encode_state(&self) -> Vec<u8> {
+        let mut e = Enc::with_capacity(64 + self.jobs.len() * 256);
+        let ot = |e: &mut Enc, v: Option<SimTime>| e.opt_u64(v.map(|t| t.as_micros()));
+        e.u32(self.jobs.len() as u32);
+        for j in &self.jobs {
+            j.cfg.encode(&mut e);
+            e.vec_u32(&j.map_wus.iter().map(|w| w.0).collect::<Vec<_>>());
+            e.vec_u32(&j.reduce_wus.iter().map(|w| w.0).collect::<Vec<_>>());
+            e.u32(j.holders.len() as u32);
+            for h in &j.holders {
+                e.vec_u32(&h.iter().map(|c| c.0).collect::<Vec<_>>());
+            }
+            e.u8(j.phase.to_wire());
+            e.u32(j.maps_validated as u32);
+            e.u32(j.reduces_validated as u32);
+            e.opt_u32(j.last_validated_map.map(|m| m as u32));
+            ot(&mut e, j.first_map_assign);
+            ot(&mut e, j.last_map_report);
+            ot(&mut e, j.map_phase_validated_at);
+            ot(&mut e, j.first_reduce_assign);
+            ot(&mut e, j.last_reduce_report);
+            ot(&mut e, j.done_at);
+        }
+        e.into_vec()
+    }
+
+    /// Rebuilds a tracker from a [`JobTracker::encode_state`] snapshot
+    /// section.
+    pub fn decode_state(b: &[u8]) -> Result<JobTracker, WireError> {
+        let mut d = Dec::new(b);
+        let n = d.u32()? as usize;
+        let mut t = JobTracker::new();
+        for _ in 0..n {
+            let cfg = MrJobConfig::decode(&mut d)?;
+            let mut j = JobState::new(cfg);
+            j.map_wus = d.vec_u32()?.into_iter().map(WuId).collect();
+            j.reduce_wus = d.vec_u32()?.into_iter().map(WuId).collect();
+            let nh = d.u32()? as usize;
+            let mut holders = Vec::with_capacity(nh.min(1 << 16));
+            for _ in 0..nh {
+                holders.push(d.vec_u32()?.into_iter().map(ClientId).collect());
+            }
+            j.holders = holders;
+            j.phase = Phase::from_wire(d.u8()?)?;
+            j.maps_validated = d.u32()? as usize;
+            j.reduces_validated = d.u32()? as usize;
+            j.last_validated_map = d.opt_u32()?.map(|m| m as usize);
+            let mut ot = || -> Result<Option<SimTime>, WireError> {
+                Ok(d.opt_u64()?.map(SimTime::from_micros))
+            };
+            j.first_map_assign = ot()?;
+            j.last_map_report = ot()?;
+            j.map_phase_validated_at = ot()?;
+            j.first_reduce_assign = ot()?;
+            j.last_reduce_report = ot()?;
+            j.done_at = ot()?;
+            let ji = t.add_job(j);
+            let j = &t.jobs[ji];
+            let (maps, reduces) = (j.map_wus.clone(), j.reduce_wus.clone());
+            for (m, wu) in maps.into_iter().enumerate() {
+                t.index_wu(wu, ji, TaskKind::Map(m));
+            }
+            for (r, wu) in reduces.into_iter().enumerate() {
+                t.index_wu(wu, ji, TaskKind::Reduce(r));
+            }
+        }
+        d.finish()?;
+        Ok(t)
+    }
 }
 
 #[cfg(test)]
@@ -202,5 +388,103 @@ mod tests {
         assert!(!t.all_done());
         t.jobs[ji].phase = Phase::Done;
         assert!(t.all_done());
+    }
+
+    /// A mid-job tracker with every field populated.
+    fn busy_tracker() -> JobTracker {
+        let mut t = JobTracker::new();
+        let ji = t.add_job(job());
+        for m in 0..4 {
+            t.jobs[ji].map_wus.push(WuId(m));
+            t.index_wu(WuId(m), ji, TaskKind::Map(m as usize));
+        }
+        t.jobs[ji].holders[1] = vec![ClientId(3), ClientId(0)];
+        t.jobs[ji].maps_validated = 1;
+        t.jobs[ji].last_validated_map = Some(1);
+        t.jobs[ji].first_map_assign = Some(SimTime::from_secs(5));
+        t.jobs[ji].last_map_report = Some(SimTime::from_secs(40));
+        t
+    }
+
+    #[test]
+    fn tracker_snapshot_round_trip_is_canonical() {
+        let t = busy_tracker();
+        let enc = t.encode_state();
+        let back = JobTracker::decode_state(&enc).unwrap();
+        assert_eq!(back.encode_state(), enc);
+        assert_eq!(back.lookup(WuId(2)), Some((0, TaskKind::Map(2))));
+        assert_eq!(back.jobs[0].holders[1], vec![ClientId(3), ClientId(0)]);
+        assert_eq!(back.jobs[0].maps_validated, 1);
+        assert_eq!(back.jobs[0].first_map_assign, Some(SimTime::from_secs(5)));
+        assert_eq!(back.jobs[0].done_at, None);
+    }
+
+    #[test]
+    fn wal_replay_rebuilds_tracker() {
+        use crate::jobtracker::stamp;
+        use vmr_durable::StateChange;
+        let live = busy_tracker();
+        // The change sequence that produces `busy_tracker` state.
+        let cfg = live.jobs[0].cfg.to_bytes();
+        let changes = vec![
+            StateChange::MrJobSubmitted { job: 0, cfg },
+            StateChange::MrWuIndexed {
+                wu: 0,
+                job: 0,
+                reduce: false,
+                idx: 0,
+            },
+            StateChange::MrWuIndexed {
+                wu: 1,
+                job: 0,
+                reduce: false,
+                idx: 1,
+            },
+            StateChange::MrWuIndexed {
+                wu: 2,
+                job: 0,
+                reduce: false,
+                idx: 2,
+            },
+            StateChange::MrWuIndexed {
+                wu: 3,
+                job: 0,
+                reduce: false,
+                idx: 3,
+            },
+            StateChange::MrStamp {
+                job: 0,
+                which: stamp::FIRST_MAP_ASSIGN,
+                at_us: 5_000_000,
+            },
+            // Set-once: a later first-assign stamp must not move it.
+            StateChange::MrStamp {
+                job: 0,
+                which: stamp::FIRST_MAP_ASSIGN,
+                at_us: 9_000_000,
+            },
+            StateChange::MrMapValidated {
+                job: 0,
+                m: 1,
+                holders: vec![3, 0],
+                at_us: 30_000_000,
+            },
+            // Take-max: an out-of-order earlier report must not win.
+            StateChange::MrStamp {
+                job: 0,
+                which: stamp::LAST_MAP_REPORT,
+                at_us: 40_000_000,
+            },
+            StateChange::MrStamp {
+                job: 0,
+                which: stamp::LAST_MAP_REPORT,
+                at_us: 20_000_000,
+            },
+        ];
+        let mut replayed = JobTracker::new();
+        for c in &changes {
+            assert!(replayed.apply_change(c).unwrap(), "unhandled {c:?}");
+        }
+        assert_eq!(replayed.encode_state(), live.encode_state());
     }
 }

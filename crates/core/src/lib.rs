@@ -13,6 +13,9 @@
 //!   creation carrying mapper addresses, job completion.
 //! * [`experiment`] — the §IV harness: build a testbed, run a job,
 //!   report Table I rows and Fig. 4 timelines.
+//! * [`recover`] — crash-replay recovery: materialize all server state
+//!   from a WAL image and resume an interrupted experiment with
+//!   bit-identical output.
 
 #![warn(missing_docs)]
 
@@ -20,6 +23,7 @@ pub mod config;
 pub mod experiment;
 pub mod jobtracker;
 pub mod policy;
+pub mod recover;
 pub mod workflow;
 
 pub use config::{MitigationPlan, MrJobConfig, MrMode, SizingModel};
@@ -28,4 +32,5 @@ pub use experiment::{
 };
 pub use jobtracker::{JobState, JobTracker, Phase, TaskKind};
 pub use policy::MrPolicy;
+pub use recover::{resume_experiment, RecoveredServerState, RecoveryError};
 pub use workflow::{Stage, Workflow};

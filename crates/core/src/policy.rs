@@ -15,8 +15,9 @@
 //!   more files available for upload").
 
 use crate::config::{MrJobConfig, MrMode};
-use crate::jobtracker::{JobState, JobTracker, Phase, TaskKind};
+use crate::jobtracker::{stamp, JobState, JobTracker, Phase, TaskKind};
 use vmr_desim::SimDuration;
+use vmr_durable::StateChange;
 use vmr_vcore::{ClientId, Engine, FileRef, FileSource, Policy, ResultId, WorkUnitSpec, WuId};
 
 /// The BOINC-MR server policy.
@@ -37,6 +38,10 @@ impl MrPolicy {
     pub fn submit_job(&mut self, eng: &mut Engine, mut cfg: MrJobConfig) -> usize {
         let job_idx = self.tracker.jobs.len();
         cfg.job.name = format!("mr{job_idx}");
+        eng.durable().append(&StateChange::MrJobSubmitted {
+            job: job_idx as u32,
+            cfg: cfg.to_bytes(),
+        });
         let mut state = JobState::new(cfg);
         let cfg = &state.cfg;
         let chunk = cfg.chunk_bytes();
@@ -68,6 +73,12 @@ impl MrPolicy {
         let map_wus = state.map_wus.clone();
         self.tracker.add_job(state);
         for (m, wu) in map_wus.into_iter().enumerate() {
+            eng.durable().append(&StateChange::MrWuIndexed {
+                wu: wu.0,
+                job: job_idx as u32,
+                reduce: false,
+                idx: m as u32,
+            });
             self.tracker.index_wu(wu, job_idx, TaskKind::Map(m));
         }
         job_idx
@@ -124,10 +135,21 @@ impl MrPolicy {
             spec.payload = r as u64;
             new_wus.push(eng.insert_workunit(spec));
         }
+        eng.durable().append(&StateChange::MrPhase {
+            job: job_idx as u32,
+            phase: Phase::Reduce.to_wire(),
+            at_us: eng.now().as_micros(),
+        });
         let job = &mut self.tracker.jobs[job_idx];
         job.reduce_wus = new_wus.clone();
         job.phase = Phase::Reduce;
         for (r, wu) in new_wus.into_iter().enumerate() {
+            eng.durable().append(&StateChange::MrWuIndexed {
+                wu: wu.0,
+                job: job_idx as u32,
+                reduce: true,
+                idx: r as u32,
+            });
             self.tracker.index_wu(wu, job_idx, TaskKind::Reduce(r));
         }
     }
@@ -169,12 +191,22 @@ impl Policy for MrPolicy {
         match task {
             TaskKind::Map(_) => {
                 if job.first_map_assign.is_none() {
+                    eng.durable().append(&StateChange::MrStamp {
+                        job: ji as u32,
+                        which: stamp::FIRST_MAP_ASSIGN,
+                        at_us: now.as_micros(),
+                    });
                     job.first_map_assign = Some(now);
                     Self::mark_phase(eng, "map-start", now);
                 }
             }
             TaskKind::Reduce(_) => {
                 if job.first_reduce_assign.is_none() {
+                    eng.durable().append(&StateChange::MrStamp {
+                        job: ji as u32,
+                        which: stamp::FIRST_REDUCE_ASSIGN,
+                        at_us: now.as_micros(),
+                    });
                     job.first_reduce_assign = Some(now);
                     Self::mark_phase(eng, "reduce-start", now);
                 }
@@ -216,14 +248,21 @@ impl Policy for MrPolicy {
         };
         let now = eng.now();
         let job = &mut self.tracker.jobs[ji];
-        match task {
+        let which = match task {
             TaskKind::Map(_) => {
                 job.last_map_report = Some(job.last_map_report.unwrap_or(now).max(now));
+                stamp::LAST_MAP_REPORT
             }
             TaskKind::Reduce(_) => {
                 job.last_reduce_report = Some(job.last_reduce_report.unwrap_or(now).max(now));
+                stamp::LAST_REDUCE_REPORT
             }
-        }
+        };
+        eng.durable().append(&StateChange::MrStamp {
+            job: ji as u32,
+            which,
+            at_us: now.as_micros(),
+        });
     }
 
     fn on_wu_validated(&mut self, eng: &mut Engine, wu: WuId, agreeing: &[ClientId]) {
@@ -233,6 +272,12 @@ impl Policy for MrPolicy {
         let now = eng.now();
         match task {
             TaskKind::Map(m) => {
+                eng.durable().append(&StateChange::MrMapValidated {
+                    job: ji as u32,
+                    m: m as u32,
+                    holders: agreeing.iter().map(|c| c.0).collect(),
+                    at_us: now.as_micros(),
+                });
                 {
                     let job = &mut self.tracker.jobs[ji];
                     job.holders[m] = agreeing.to_vec();
@@ -259,15 +304,28 @@ impl Policy for MrPolicy {
                 }
                 let job = &self.tracker.jobs[ji];
                 if job.maps_validated == job.cfg.job.n_maps {
+                    eng.durable().append(&StateChange::MrStamp {
+                        job: ji as u32,
+                        which: stamp::MAP_PHASE_VALIDATED,
+                        at_us: now.as_micros(),
+                    });
                     self.tracker.jobs[ji].map_phase_validated_at = Some(now);
                     Self::mark_phase(eng, "maps-validated", now);
                     self.create_reduce_wus(eng, ji);
                 }
             }
             TaskKind::Reduce(_) => {
+                eng.durable()
+                    .append(&StateChange::MrReduceValidated { job: ji as u32 });
                 let job = &mut self.tracker.jobs[ji];
                 job.reduces_validated += 1;
                 if job.reduces_validated == job.cfg.job.n_reduces {
+                    eng.durable().append(&StateChange::MrPhase {
+                        job: ji as u32,
+                        phase: Phase::Done.to_wire(),
+                        at_us: now.as_micros(),
+                    });
+                    let job = &mut self.tracker.jobs[ji];
                     job.phase = Phase::Done;
                     job.done_at = Some(now);
                     Self::mark_phase(eng, "job-done", now);
@@ -279,9 +337,18 @@ impl Policy for MrPolicy {
 
     fn on_wu_failed(&mut self, eng: &mut Engine, wu: WuId) {
         if let Some((ji, _)) = self.tracker.lookup(wu) {
+            eng.durable().append(&StateChange::MrPhase {
+                job: ji as u32,
+                phase: Phase::Failed.to_wire(),
+                at_us: eng.now().as_micros(),
+            });
             self.tracker.jobs[ji].phase = Phase::Failed;
             Self::mark_phase(eng, "job-failed", eng.now());
         }
+    }
+
+    fn durable_sections(&self, out: &mut Vec<(String, Vec<u8>)>) {
+        out.push(("tracker".to_string(), self.tracker.encode_state()));
     }
 }
 

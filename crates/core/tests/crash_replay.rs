@@ -1,0 +1,181 @@
+//! Crash-replay correctness for the durability subsystem.
+//!
+//! 1. **Crash at every frame boundary**: step a journaled BOINC-MR run
+//!    one event at a time, capturing the canonical state sections at
+//!    every commit boundary; then recover every prefix of the final log
+//!    (every frame end = a crash point, plus torn mid-frame cuts) and
+//!    assert the materialized state equals what the live server held at
+//!    that log position.
+//! 2. **Resume bit-identity**: crash a Table I style experiment at a
+//!    record count and at a sim-time, resume each from its WAL image,
+//!    and assert the resumed outcome is bit-identical to an
+//!    uninterrupted run.
+
+use std::collections::HashMap;
+use vmr_core::config::{MrJobConfig, MrMode};
+use vmr_core::experiment::{format_row, run_experiment, ExperimentConfig};
+use vmr_core::recover::{resume_experiment, RecoveredServerState};
+use vmr_core::MrPolicy;
+use vmr_desim::SimTime;
+use vmr_durable::{frame_ends, CrashPlan, DurabilityPlan, Journal};
+use vmr_netsim::HostLink;
+use vmr_vcore::{ClientId, Engine, FaultPlan, HostProfile, Policy, ProjectConfig};
+
+fn live_sections(eng: &Engine, pol: &MrPolicy) -> Vec<(String, Vec<u8>)> {
+    let mut s = eng.state_sections();
+    pol.durable_sections(&mut s);
+    s
+}
+
+#[test]
+fn recovered_state_matches_live_at_every_frame_boundary() {
+    // A journaled testbed with a byzantine volunteer, so the log covers
+    // validation dissent, credit errors and retries — not just the
+    // happy path.
+    let plan = DurabilityPlan::new(60.0);
+    let j = Journal::new(&plan).unwrap();
+    let mut eng = Engine::testbed(7, ProjectConfig::default());
+    eng.obs.journal.set_enabled(false);
+    eng.attach_durable(j.clone());
+    for _ in 0..5 {
+        eng.add_client(
+            HostProfile::pc3001(),
+            HostLink::symmetric_mbit(100.0, 0.000_5),
+        );
+    }
+    eng.fault = FaultPlan {
+        byzantine: vec![ClientId(4)],
+        corruption_prob: 1.0,
+        ..FaultPlan::none()
+    };
+    let mut pol = MrPolicy::new();
+
+    let horizon = SimTime::from_secs(50_000);
+    // Committed log length → canonical sections at that boundary.
+    let mut boundaries: HashMap<usize, Vec<(String, Vec<u8>)>> = HashMap::new();
+    // Cuts inside the very first transaction recover to genesis
+    // (`committed_bytes` = 0, nothing to replay).
+    boundaries.insert(0, live_sections(&eng, &pol));
+
+    let mut cfg = MrJobConfig::paper_wordcount(3, 2, MrMode::InterClient);
+    cfg.input_bytes = 6_000_000;
+    pol.submit_job(&mut eng, cfg);
+    // Zero-step entry commits the construction-time records (job
+    // submission WU inserts) as their own transaction.
+    eng.run_until(&mut pol, horizon, |_| true);
+    boundaries.insert(j.log_len(), live_sections(&eng, &pol));
+    loop {
+        let one_shot = {
+            let mut fired = false;
+            move |_: &Engine| {
+                let stop = fired;
+                fired = true;
+                stop
+            }
+        };
+        if eng.run_until(&mut pol, horizon, one_shot) == 0 {
+            break;
+        }
+        boundaries.insert(j.log_len(), live_sections(&eng, &pol));
+        // Stop at job completion: past it only idle RPC polls and
+        // daemon ticks remain, which would pad the log with thousands
+        // of identical snapshots.
+        if eng.db.all_wus_terminal() {
+            break;
+        }
+    }
+    assert!(eng.db.all_wus_terminal(), "tiny job should finish");
+    assert!(j.records() > 50, "expected a rich log, got {}", j.records());
+
+    let log = j.log_bytes();
+    assert_eq!(
+        j.committed_records(),
+        j.records(),
+        "idle server: all committed"
+    );
+    let ends = frame_ends(&log).unwrap();
+    assert!(ends.len() > 50);
+
+    let mut snapshot_seeded = 0u32;
+    let mut check = |cut: usize| {
+        let rec = RecoveredServerState::from_log(&log[..cut]).unwrap();
+        let want = boundaries
+            .get(&rec.committed_bytes)
+            .unwrap_or_else(|| panic!("no boundary captured at {}", rec.committed_bytes));
+        assert_eq!(&rec.encode_sections(), want, "cut at {cut}");
+        if rec.from_snapshot {
+            snapshot_seeded += 1;
+        }
+    };
+    // Every frame boundary is a crash point…
+    for &cut in &ends {
+        check(cut);
+    }
+    // …and torn mid-frame tails must recover to the preceding commit.
+    for &cut in &ends {
+        if cut > ends[0] {
+            check(cut - 1);
+        }
+    }
+    assert!(
+        snapshot_seeded > 0,
+        "5 s cadence must have produced committed snapshots"
+    );
+
+    // The final image reproduces the live end state exactly.
+    let rec = RecoveredServerState::from_log(&log).unwrap();
+    assert_eq!(rec.encode_sections(), live_sections(&eng, &pol));
+    assert_eq!(rec.committed_records, j.records());
+    assert_eq!(rec.tracker.jobs.len(), 1);
+    assert_eq!(rec.tracker.jobs[0].phase, vmr_core::Phase::Done);
+}
+
+#[test]
+fn resumed_experiment_is_bit_identical_to_uninterrupted() {
+    let mut cfg = ExperimentConfig::table1(5, 3, 2, MrMode::InterClient);
+    cfg.input_bytes = 32 << 20;
+    cfg.durable = DurabilityPlan::new(120.0);
+
+    let base = run_experiment(&cfg);
+    assert!(base.all_done && !base.crashed);
+    let base_log = base.wal.as_ref().unwrap();
+    let full = RecoveredServerState::from_log(base_log).unwrap();
+    assert!(full.committed_records > 0);
+
+    let crashes = [
+        CrashPlan::after_records(full.committed_records / 2),
+        CrashPlan::at_us(base.finished_at.as_micros() / 2),
+    ];
+    for crash in crashes {
+        let mut crashed_cfg = cfg.clone();
+        crashed_cfg.durable = cfg.durable.clone().with_crash(crash);
+        let dead = run_experiment(&crashed_cfg);
+        assert!(dead.crashed, "{crash:?} never fired");
+        assert!(!dead.all_done, "server died mid-job");
+        let wal = dead.wal.as_ref().unwrap();
+
+        let resumed = resume_experiment(&crashed_cfg, wal).unwrap();
+        assert!(resumed.all_done && !resumed.crashed);
+        // Bit-identical Table I output and counters.
+        assert_eq!(
+            format_row(5, 3, 2, &resumed.reports[0]),
+            format_row(5, 3, 2, &base.reports[0]),
+        );
+        assert_eq!(
+            resumed.reports[0].total_s.to_bits(),
+            base.reports[0].total_s.to_bits()
+        );
+        assert_eq!(
+            resumed.reports[0].map_s.to_bits(),
+            base.reports[0].map_s.to_bits()
+        );
+        assert_eq!(
+            resumed.reports[0].reduce_s.to_bits(),
+            base.reports[0].reduce_s.to_bits()
+        );
+        assert_eq!(resumed.stats.rpcs, base.stats.rpcs);
+        assert_eq!(resumed.finished_at, base.finished_at);
+        // The resumed run's own WAL must re-derive the baseline's.
+        assert_eq!(resumed.wal.as_ref().unwrap(), base_log);
+    }
+}

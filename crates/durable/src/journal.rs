@@ -1,0 +1,480 @@
+//! The write-ahead log handle.
+//!
+//! A [`Journal`] is a cheaply clonable handle to one shared log; the
+//! `Engine` owns the master copy and hands clones to the project
+//! database, credit ledger and assimilator so each mutator appends its
+//! own [`StateChange`] at the point of mutation (write-ahead: the
+//! record is framed into the log before the in-memory state changes).
+//!
+//! **Time.** The engine calls [`Journal::advance_to`] once per
+//! dispatched event; every record appended while that event runs
+//! shares its sim-time, so mutators never thread a timestamp just for
+//! the log.
+//!
+//! **Transactions.** The simulation mutates state only while
+//! dispatching one event, so the natural atomicity unit is the event:
+//! the engine calls [`Journal::commit`] after each dispatched event
+//! that appended records, which writes a `FRAME_COMMIT` boundary.
+//! Recovery discards any records after the last commit frame — a
+//! crash mid-event can never expose a half-applied transition.
+//!
+//! **Crash injection.** A [`CrashPlan`] deterministically kills the
+//! log: after the Nth change record, or at the first event boundary
+//! at-or-after a sim-time. Once crashed the journal accepts nothing
+//! further, exactly as if the server process died — the in-memory
+//! engine may keep running, but that state is what a real crash would
+//! have lost. It composes with `vcore::FaultPlan` (client-side faults)
+//! without interaction: one kills volunteers, the other the server.
+//!
+//! A disabled journal (the default) is a `None` and every call is a
+//! single branch — experiments that do not opt in pay nothing.
+
+use crate::frame;
+use crate::record::StateChange;
+use crate::snapshot::Sections;
+use bytes::BytesMut;
+use parking_lot::Mutex;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::Arc;
+use vmr_obs::{Counter, Histo, Obs};
+
+/// Deterministic crash point for the durability layer.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CrashPlan {
+    /// Kill the log immediately after the Nth change record (1-based).
+    pub after_records: Option<u64>,
+    /// Kill the log at the first event boundary at-or-after this
+    /// sim-time (microseconds).
+    pub at_us: Option<u64>,
+}
+
+impl CrashPlan {
+    /// No crash.
+    pub fn none() -> Self {
+        CrashPlan::default()
+    }
+
+    /// Crash after the Nth change record.
+    pub fn after_records(n: u64) -> Self {
+        CrashPlan {
+            after_records: Some(n),
+            at_us: None,
+        }
+    }
+
+    /// Crash at a sim-time (microseconds).
+    pub fn at_us(t: u64) -> Self {
+        CrashPlan {
+            after_records: None,
+            at_us: Some(t),
+        }
+    }
+
+    /// True when no crash is scheduled.
+    pub fn is_none(&self) -> bool {
+        self.after_records.is_none() && self.at_us.is_none()
+    }
+}
+
+/// Configuration for one journaled run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DurabilityPlan {
+    /// Master switch; a disabled plan builds a no-op [`Journal`].
+    pub enabled: bool,
+    /// Full-snapshot cadence in sim-seconds; `<= 0` disables snapshots
+    /// (recovery then replays the whole log).
+    pub snapshot_every_s: f64,
+    /// Deterministic crash point, if any.
+    pub crash: CrashPlan,
+    /// Optional file mirror: committed bytes are appended (and
+    /// flushed) to this path at every commit.
+    pub sink: Option<PathBuf>,
+}
+
+impl DurabilityPlan {
+    /// Durability off (the default).
+    pub fn disabled() -> Self {
+        DurabilityPlan::default()
+    }
+
+    /// Durability on with the given snapshot cadence (sim-seconds).
+    pub fn new(snapshot_every_s: f64) -> Self {
+        DurabilityPlan {
+            enabled: true,
+            snapshot_every_s,
+            crash: CrashPlan::none(),
+            sink: None,
+        }
+    }
+
+    /// Adds a crash point.
+    pub fn with_crash(mut self, crash: CrashPlan) -> Self {
+        self.crash = crash;
+        self
+    }
+
+    /// Adds a file mirror for committed bytes.
+    pub fn with_sink(mut self, path: impl Into<PathBuf>) -> Self {
+        self.sink = Some(path.into());
+        self
+    }
+}
+
+/// Pre-resolved metric handles (no-ops without the `record` feature).
+struct DurObs {
+    wal_records: Counter,
+    wal_bytes: Counter,
+    snapshot_us: Histo,
+}
+
+/// Log position of the last commit frame.
+#[derive(Clone, Copy, Debug, Default)]
+struct Watermark {
+    bytes: usize,
+    frames: u64,
+    records: u64,
+}
+
+struct Inner {
+    log: BytesMut,
+    /// Frames appended (changes + snapshots + commits).
+    frames: u64,
+    /// Change records appended.
+    records: u64,
+    committed: Watermark,
+    /// Change records appended since the last commit frame.
+    pending: bool,
+    /// Sim-time of the event being dispatched, microseconds.
+    now_us: u64,
+    /// Snapshot cadence, microseconds; 0 = never.
+    snapshot_every_us: u64,
+    next_snapshot_us: u64,
+    crash: CrashPlan,
+    crashed: bool,
+    sink: Option<std::fs::File>,
+    sink_pos: usize,
+    obs: Option<DurObs>,
+}
+
+impl Inner {
+    fn append_frame(&mut self, kind: u8, body: &[u8]) -> usize {
+        let n = frame::append_frame(&mut self.log, kind, body);
+        self.frames += 1;
+        if let Some(o) = &self.obs {
+            o.wal_bytes.add(n as u64);
+        }
+        n
+    }
+}
+
+/// Handle to one shared write-ahead log; clones append to the same log.
+#[derive(Clone, Default)]
+pub struct Journal(Option<Arc<Mutex<Inner>>>);
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            None => write!(f, "Journal(disabled)"),
+            Some(inner) => {
+                let g = inner.lock();
+                write!(
+                    f,
+                    "Journal(frames={}, records={}, bytes={}, crashed={})",
+                    g.frames,
+                    g.records,
+                    g.log.len(),
+                    g.crashed
+                )
+            }
+        }
+    }
+}
+
+impl Journal {
+    /// A no-op journal: every call is a single branch.
+    pub fn disabled() -> Self {
+        Journal(None)
+    }
+
+    /// Builds a journal from a plan. A disabled plan yields the no-op
+    /// handle; an enabled one starts a fresh log (and file mirror).
+    pub fn new(plan: &DurabilityPlan) -> std::io::Result<Self> {
+        if !plan.enabled {
+            return Ok(Journal(None));
+        }
+        let mut log = BytesMut::with_capacity(4096);
+        frame::put_magic(&mut log);
+        let every_us = if plan.snapshot_every_s > 0.0 {
+            (plan.snapshot_every_s * 1e6) as u64
+        } else {
+            0
+        };
+        let sink = match &plan.sink {
+            Some(p) => Some(std::fs::File::create(p)?),
+            None => None,
+        };
+        Ok(Journal(Some(Arc::new(Mutex::new(Inner {
+            log,
+            frames: 0,
+            records: 0,
+            committed: Watermark::default(),
+            pending: false,
+            now_us: 0,
+            snapshot_every_us: every_us,
+            next_snapshot_us: every_us,
+            crash: plan.crash,
+            crashed: false,
+            sink,
+            sink_pos: 0,
+            obs: None,
+        })))))
+    }
+
+    /// Resolves the `dur.*` metric handles against `obs`.
+    pub fn attach_obs(&self, obs: &Obs) {
+        if let Some(inner) = &self.0 {
+            inner.lock().obs = Some(DurObs {
+                wal_records: obs.counter("dur.wal_records"),
+                wal_bytes: obs.counter("dur.wal_bytes"),
+                snapshot_us: obs.histogram("dur.snapshot_us"),
+            });
+        }
+    }
+
+    /// True when this handle appends to a live log.
+    pub fn enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Advances the journal's sim-clock to the event being dispatched
+    /// and trips a time-based crash at that boundary.
+    pub fn advance_to(&self, now_us: u64) {
+        let Some(inner) = &self.0 else { return };
+        let mut g = inner.lock();
+        g.now_us = now_us;
+        if !g.crashed && matches!(g.crash.at_us, Some(t) if now_us >= t) {
+            g.crashed = true;
+        }
+    }
+
+    /// Appends one change record at the current event's sim-time.
+    /// No-op when disabled or crashed; flips to crashed per the
+    /// [`CrashPlan`].
+    pub fn append(&self, change: &StateChange) {
+        let Some(inner) = &self.0 else { return };
+        let mut g = inner.lock();
+        if g.crashed {
+            return;
+        }
+        let body = change.to_bytes();
+        g.append_frame(frame::FRAME_CHANGE, &body);
+        g.records += 1;
+        g.pending = true;
+        if let Some(o) = &g.obs {
+            o.wal_records.inc();
+        }
+        if g.crash.after_records == Some(g.records) {
+            g.crashed = true;
+        }
+    }
+
+    /// Writes a commit frame closing the current transaction (the
+    /// event being dispatched). No-op when nothing is pending.
+    pub fn commit(&self) {
+        let Some(inner) = &self.0 else { return };
+        let mut g = inner.lock();
+        if g.crashed || !g.pending {
+            return;
+        }
+        let t = g.now_us;
+        g.append_frame(frame::FRAME_COMMIT, &t.to_be_bytes());
+        g.pending = false;
+        g.committed = Watermark {
+            bytes: g.log.len(),
+            frames: g.frames,
+            records: g.records,
+        };
+        let end = g.committed.bytes;
+        let start = g.sink_pos;
+        if g.sink.is_some() && end > start {
+            let chunk = g.log[start..end].to_vec();
+            let sink = g.sink.as_mut().unwrap();
+            // Mirror failure is non-fatal: the in-memory log stays
+            // authoritative for this run; the mirror is best-effort.
+            if sink.write_all(&chunk).and_then(|_| sink.flush()).is_ok() {
+                g.sink_pos = end;
+            }
+        }
+    }
+
+    /// True when a snapshot is due at the current event's sim-time.
+    pub fn snapshot_due(&self) -> bool {
+        let Some(inner) = &self.0 else { return false };
+        let g = inner.lock();
+        !g.crashed && g.snapshot_every_us > 0 && g.now_us >= g.next_snapshot_us
+    }
+
+    /// Writes a full-state snapshot frame and schedules the next one.
+    /// Returns the encoded snapshot size, or `None` when disabled or
+    /// crashed.
+    pub fn write_snapshot(&self, sections: &Sections) -> Option<usize> {
+        let Some(inner) = &self.0 else { return None };
+        let mut g = inner.lock();
+        if g.crashed {
+            return None;
+        }
+        let t0 = std::time::Instant::now();
+        let body = sections.to_bytes();
+        g.append_frame(frame::FRAME_SNAPSHOT, &body);
+        g.pending = true; // the closing commit covers the snapshot too
+        if g.snapshot_every_us > 0 {
+            while g.next_snapshot_us <= g.now_us {
+                g.next_snapshot_us += g.snapshot_every_us;
+            }
+        }
+        if let Some(o) = &g.obs {
+            o.snapshot_us.record(t0.elapsed().as_micros() as f64);
+        }
+        Some(body.len())
+    }
+
+    /// True once the crash plan has fired.
+    pub fn crashed(&self) -> bool {
+        self.0.as_ref().is_some_and(|i| i.lock().crashed)
+    }
+
+    /// Frames appended so far (changes + snapshots + commits).
+    pub fn frames(&self) -> u64 {
+        self.0.as_ref().map_or(0, |i| i.lock().frames)
+    }
+
+    /// Change records appended so far.
+    pub fn records(&self) -> u64 {
+        self.0.as_ref().map_or(0, |i| i.lock().records)
+    }
+
+    /// Frames up to and including the last commit frame.
+    pub fn committed_frames(&self) -> u64 {
+        self.0.as_ref().map_or(0, |i| i.lock().committed.frames)
+    }
+
+    /// Change records covered by the last commit frame.
+    pub fn committed_records(&self) -> u64 {
+        self.0.as_ref().map_or(0, |i| i.lock().committed.records)
+    }
+
+    /// Total log length in bytes (including any uncommitted tail).
+    pub fn log_len(&self) -> usize {
+        self.0.as_ref().map_or(0, |i| i.lock().log.len())
+    }
+
+    /// A copy of the log image, including any uncommitted tail — what
+    /// a crashed server's disk would hold.
+    pub fn log_bytes(&self) -> Vec<u8> {
+        self.0
+            .as_ref()
+            .map_or_else(Vec::new, |i| i.lock().log.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn change(rid: u32) -> StateChange {
+        StateChange::ResultCreated { rid, wu: 0 }
+    }
+
+    #[test]
+    fn disabled_journal_is_inert() {
+        let j = Journal::disabled();
+        j.advance_to(1);
+        j.append(&change(0));
+        j.commit();
+        assert!(!j.enabled());
+        assert_eq!(j.records(), 0);
+        assert!(j.log_bytes().is_empty());
+        assert!(!j.snapshot_due());
+    }
+
+    #[test]
+    fn append_commit_watermarks() {
+        let j = Journal::new(&DurabilityPlan::new(0.0)).unwrap();
+        j.advance_to(5);
+        j.append(&change(0));
+        j.append(&change(1));
+        assert_eq!(j.records(), 2);
+        assert_eq!(j.committed_records(), 0);
+        j.commit();
+        assert_eq!(j.committed_records(), 2);
+        assert_eq!(j.committed_frames(), 3);
+        // Idle commit writes nothing.
+        let frames = j.frames();
+        j.commit();
+        assert_eq!(j.frames(), frames);
+    }
+
+    #[test]
+    fn crash_after_nth_record_stops_the_log() {
+        let plan = DurabilityPlan::new(0.0).with_crash(CrashPlan::after_records(2));
+        let j = Journal::new(&plan).unwrap();
+        j.append(&change(0));
+        assert!(!j.crashed());
+        j.append(&change(1));
+        assert!(j.crashed());
+        let len = j.log_len();
+        j.append(&change(2));
+        j.commit();
+        assert_eq!(j.log_len(), len);
+        assert_eq!(j.records(), 2);
+        assert_eq!(j.committed_records(), 0); // the tail never committed
+    }
+
+    #[test]
+    fn crash_at_time_trips_on_the_first_late_boundary() {
+        let plan = DurabilityPlan::new(0.0).with_crash(CrashPlan::at_us(100));
+        let j = Journal::new(&plan).unwrap();
+        j.advance_to(99);
+        j.append(&change(0));
+        j.commit();
+        assert!(!j.crashed());
+        j.advance_to(100);
+        assert!(j.crashed());
+        j.append(&change(1));
+        assert_eq!(j.records(), 1);
+    }
+
+    #[test]
+    fn snapshot_cadence_schedules_forward() {
+        let j = Journal::new(&DurabilityPlan::new(10.0)).unwrap();
+        j.advance_to(9_999_999);
+        assert!(!j.snapshot_due());
+        j.advance_to(10_000_000);
+        assert!(j.snapshot_due());
+        assert!(j.write_snapshot(&Sections::new()).is_some());
+        assert!(!j.snapshot_due());
+        j.advance_to(19_999_999);
+        assert!(!j.snapshot_due());
+        j.advance_to(20_000_000);
+        assert!(j.snapshot_due());
+    }
+
+    #[test]
+    fn sink_mirrors_committed_bytes_only() {
+        let dir = std::env::temp_dir().join(format!("vmr-durable-sink-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal.bin");
+        let plan = DurabilityPlan::new(0.0).with_sink(&path);
+        let j = Journal::new(&plan).unwrap();
+        j.advance_to(1);
+        j.append(&change(0));
+        assert_eq!(std::fs::read(&path).unwrap().len(), 0);
+        j.commit();
+        let mirrored = std::fs::read(&path).unwrap();
+        assert_eq!(mirrored.len(), j.log_len());
+        j.append(&change(1)); // uncommitted → not mirrored
+        assert_eq!(std::fs::read(&path).unwrap().len(), mirrored.len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

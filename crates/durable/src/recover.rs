@@ -1,0 +1,250 @@
+//! Recovery: load-latest-snapshot + replay-tail.
+//!
+//! [`recover`] turns a (possibly torn) log image back into the inputs
+//! a server needs to rebuild its state:
+//!
+//! 1. Scan frames, dropping the torn tail ([`crate::frame::scan`]).
+//! 2. Truncate to the last **commit** frame — records past it belong
+//!    to an event that never finished, so they are discarded.
+//! 3. Within that committed prefix, find the last **snapshot** frame
+//!    and decode its [`Sections`].
+//! 4. Collect every change record after the snapshot as the replay
+//!    tail, in order.
+//!
+//! The caller (in `core::recover`) materializes the sections, applies
+//! the tail, and audits the result against a deterministic re-run.
+//! Errors here are *structural* — a foreign file or a CRC-valid frame
+//! that fails to decode (a writer bug, not bit rot) — never a torn
+//! tail, which is normal crash debris.
+
+use crate::frame::{self, FRAME_CHANGE, FRAME_COMMIT, FRAME_SNAPSHOT};
+use crate::record::StateChange;
+use crate::snapshot::Sections;
+use crate::wire::{Dec, WireError};
+
+/// Structural recovery failure.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RecoverError {
+    /// The image does not start with the WAL magic — wrong file or
+    /// incompatible format version.
+    BadMagic,
+    /// A CRC-valid frame failed to decode (writer bug / version skew).
+    BadPayload {
+        /// Index of the offending frame.
+        frame: u64,
+        /// The decode failure.
+        err: WireError,
+    },
+    /// A frame carried an unknown kind byte.
+    UnknownFrameKind {
+        /// Index of the offending frame.
+        frame: u64,
+        /// The unknown kind.
+        kind: u8,
+    },
+}
+
+impl std::fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoverError::BadMagic => write!(f, "not a VMR WAL (bad magic)"),
+            RecoverError::BadPayload { frame, err } => {
+                write!(f, "frame {frame}: payload failed to decode: {err}")
+            }
+            RecoverError::UnknownFrameKind { frame, kind } => {
+                write!(f, "frame {frame}: unknown frame kind {kind:#04x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {}
+
+/// Everything recovery extracts from a log image.
+#[derive(Clone, Debug, Default)]
+pub struct Recovered {
+    /// State sections of the last committed snapshot (empty when the
+    /// log committed no snapshot — replay then starts from genesis).
+    pub sections: Sections,
+    /// True when a committed snapshot was found.
+    pub from_snapshot: bool,
+    /// Change records to replay on top of the snapshot, in log order.
+    pub tail: Vec<StateChange>,
+    /// Frames in the committed prefix (including the final commit).
+    pub committed_frames: u64,
+    /// Change records in the committed prefix.
+    pub committed_records: u64,
+    /// Sim-time of the last commit frame, microseconds.
+    pub committed_at_us: u64,
+    /// Byte length of the committed prefix.
+    pub committed_bytes: usize,
+}
+
+/// Recovers snapshot + replay tail from a log image. See the module
+/// docs for the exact semantics.
+pub fn recover(log: &[u8]) -> Result<Recovered, RecoverError> {
+    let scan = frame::scan(log).map_err(|_| RecoverError::BadMagic)?;
+
+    // Committed prefix: up to and including the last commit frame.
+    let last_commit = match scan.frames.iter().rposition(|f| f.kind == FRAME_COMMIT) {
+        Some(i) => i,
+        None => return Ok(Recovered::default()),
+    };
+    let committed = &scan.frames[..=last_commit];
+
+    let commit_body = {
+        let (a, b) = committed[last_commit].body;
+        &log[a..b]
+    };
+    let committed_at_us = {
+        let mut d = Dec::new(commit_body);
+        d.u64().map_err(|err| RecoverError::BadPayload {
+            frame: last_commit as u64,
+            err,
+        })?
+    };
+
+    // Last committed snapshot, if any.
+    let snap_idx = committed.iter().rposition(|f| f.kind == FRAME_SNAPSHOT);
+    let (sections, from_snapshot) = match snap_idx {
+        Some(i) => {
+            let (a, b) = committed[i].body;
+            let mut d = Dec::new(&log[a..b]);
+            let s = Sections::decode(&mut d)
+                .and_then(|s| d.finish().map(|_| s))
+                .map_err(|err| RecoverError::BadPayload {
+                    frame: i as u64,
+                    err,
+                })?;
+            (s, true)
+        }
+        None => (Sections::default(), false),
+    };
+
+    let mut tail = Vec::new();
+    let mut committed_records = 0u64;
+    for (i, f) in committed.iter().enumerate() {
+        match f.kind {
+            FRAME_CHANGE => {
+                committed_records += 1;
+                if snap_idx.is_none_or(|s| i > s) {
+                    let (a, b) = f.body;
+                    let mut d = Dec::new(&log[a..b]);
+                    let c = StateChange::decode(&mut d)
+                        .and_then(|c| d.finish().map(|_| c))
+                        .map_err(|err| RecoverError::BadPayload {
+                            frame: i as u64,
+                            err,
+                        })?;
+                    tail.push(c);
+                }
+            }
+            FRAME_SNAPSHOT | FRAME_COMMIT => {}
+            kind => {
+                return Err(RecoverError::UnknownFrameKind {
+                    frame: i as u64,
+                    kind,
+                })
+            }
+        }
+    }
+
+    Ok(Recovered {
+        sections,
+        from_snapshot,
+        tail,
+        committed_frames: (last_commit + 1) as u64,
+        committed_records,
+        committed_at_us,
+        committed_bytes: committed[last_commit].end,
+    })
+}
+
+/// End offsets of the magic header and every structurally valid frame
+/// — the legal crash cut points a boundary-exhaustive test iterates.
+pub fn frame_ends(log: &[u8]) -> Result<Vec<usize>, RecoverError> {
+    let scan = frame::scan(log).map_err(|_| RecoverError::BadMagic)?;
+    let mut v = Vec::with_capacity(scan.frames.len() + 1);
+    v.push(frame::MAGIC.len().min(log.len()));
+    v.extend(scan.frames.iter().map(|f| f.end));
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::{DurabilityPlan, Journal};
+
+    fn change(rid: u32) -> StateChange {
+        StateChange::ResultCreated { rid, wu: 0 }
+    }
+
+    fn build_log(snapshot_at: Option<u64>) -> Vec<u8> {
+        let j = Journal::new(&DurabilityPlan::new(0.0)).unwrap();
+        for i in 0..4u32 {
+            j.advance_to(i as u64);
+            j.append(&change(i));
+            j.commit();
+            if snapshot_at == Some(i as u64) {
+                let mut s = Sections::new();
+                s.push("db", vec![i as u8]);
+                j.write_snapshot(&s);
+                j.commit();
+            }
+        }
+        // Uncommitted straggler — must be discarded.
+        j.advance_to(9);
+        j.append(&change(99));
+        j.log_bytes()
+    }
+
+    #[test]
+    fn empty_log_recovers_to_genesis() {
+        let j = Journal::new(&DurabilityPlan::new(0.0)).unwrap();
+        let r = recover(&j.log_bytes()).unwrap();
+        assert!(!r.from_snapshot);
+        assert!(r.tail.is_empty());
+        assert_eq!(r.committed_frames, 0);
+    }
+
+    #[test]
+    fn uncommitted_tail_is_discarded() {
+        let r = recover(&build_log(None)).unwrap();
+        assert!(!r.from_snapshot);
+        assert_eq!(r.tail.len(), 4);
+        assert_eq!(r.committed_records, 4);
+        assert_eq!(r.committed_at_us, 3);
+        assert_eq!(r.tail[3], change(3));
+    }
+
+    #[test]
+    fn snapshot_shortens_the_replay_tail() {
+        let r = recover(&build_log(Some(1))).unwrap();
+        assert!(r.from_snapshot);
+        assert_eq!(r.sections.get("db"), Some(&[1u8][..]));
+        // Records 2 and 3 came after the snapshot.
+        assert_eq!(r.tail, vec![change(2), change(3)]);
+        assert_eq!(r.committed_records, 4);
+    }
+
+    #[test]
+    fn torn_byte_cuts_recover_like_the_containing_boundary() {
+        let log = build_log(Some(2));
+        let ends = frame_ends(&log).unwrap();
+        for cut in 0..=log.len() {
+            let r = recover(&log[..cut]).unwrap();
+            let boundary = ends.iter().rev().find(|&&e| e <= cut).copied().unwrap_or(0);
+            let rb = recover(&log[..boundary]).unwrap();
+            assert_eq!(r.committed_frames, rb.committed_frames, "cut {cut}");
+            assert_eq!(r.tail, rb.tail, "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn foreign_file_is_bad_magic() {
+        assert_eq!(
+            recover(b"GARBAGE!rest").unwrap_err(),
+            RecoverError::BadMagic
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! Full-state snapshots: an ordered list of named, opaque sections.
+//!
+//! Each owning crate encodes its own state (`vcore` the project
+//! database / credit ledger / assimilator, `core` the JobTracker) into
+//! one section; `vmr-durable` only frames them. Section order is
+//! chosen by the writer and preserved, so an encoded snapshot is
+//! canonical: two equal server states produce byte-identical section
+//! dumps, which is what the recovery audit compares.
+
+use crate::wire::{Dec, Enc, WireError};
+
+/// An ordered list of `(name, bytes)` state sections.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Sections {
+    /// The sections, in writer-chosen (and preserved) order.
+    pub entries: Vec<(String, Vec<u8>)>,
+}
+
+impl Sections {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        Sections::default()
+    }
+
+    /// Appends a named section.
+    pub fn push(&mut self, name: &str, bytes: Vec<u8>) {
+        self.entries.push((name.to_string(), bytes));
+    }
+
+    /// The bytes of section `name`, if present.
+    pub fn get(&self, name: &str) -> Option<&[u8]> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, b)| b.as_slice())
+    }
+
+    /// Append the wire form to `e`.
+    pub fn encode(&self, e: &mut Enc) {
+        e.u32(self.entries.len() as u32);
+        for (name, bytes) in &self.entries {
+            e.str(name);
+            e.bytes(bytes);
+        }
+    }
+
+    /// The wire form as a standalone byte vector.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut e =
+            Enc::with_capacity(64 + self.entries.iter().map(|(_, b)| b.len()).sum::<usize>());
+        self.encode(&mut e);
+        e.into_vec()
+    }
+
+    /// Decode from the cursor.
+    pub fn decode(d: &mut Dec<'_>) -> Result<Self, WireError> {
+        let n = d.u32()? as usize;
+        let mut entries = Vec::with_capacity(n.min(64));
+        for _ in 0..n {
+            let name = d.str()?;
+            let bytes = d.bytes()?;
+            entries.push((name, bytes));
+        }
+        Ok(Sections { entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_order_and_bytes() {
+        let mut s = Sections::new();
+        s.push("db", vec![1, 2, 3]);
+        s.push("credit", vec![]);
+        s.push("tracker", vec![9]);
+        let v = s.to_bytes();
+        let mut d = Dec::new(&v);
+        let back = Sections::decode(&mut d).unwrap();
+        d.finish().unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.get("credit"), Some(&[][..]));
+        assert_eq!(back.get("missing"), None);
+    }
+
+    #[test]
+    fn equal_states_encode_identically() {
+        let mut a = Sections::new();
+        a.push("db", vec![5, 6]);
+        let mut b = Sections::new();
+        b.push("db", vec![5, 6]);
+        assert_eq!(a.to_bytes(), b.to_bytes());
+    }
+}

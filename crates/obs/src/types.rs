@@ -125,6 +125,20 @@ pub enum EventKind {
         /// File being fetched.
         file: String,
     },
+    /// The durability layer wrote a full-state snapshot to the WAL.
+    SnapshotTaken {
+        /// Change records in the log when the snapshot was cut.
+        records: u64,
+        /// Encoded snapshot size, bytes.
+        bytes: u64,
+    },
+    /// A server resumed from a WAL image (snapshot + replay tail).
+    Recovered {
+        /// Change records replayed on top of the snapshot.
+        replayed: u64,
+        /// Whether a committed snapshot seeded the recovery.
+        from_snapshot: bool,
+    },
 }
 
 /// One journal entry: a timestamp plus a typed payload.
@@ -215,6 +229,21 @@ impl Event {
                     s,
                     ",\"type\":\"peer_fallback\",\"client\":{client},\"file\":\"{}\"",
                     json_escape(file)
+                );
+            }
+            EventKind::SnapshotTaken { records, bytes } => {
+                let _ = write!(
+                    s,
+                    ",\"type\":\"snapshot_taken\",\"records\":{records},\"bytes\":{bytes}"
+                );
+            }
+            EventKind::Recovered {
+                replayed,
+                from_snapshot,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"type\":\"recovered\",\"replayed\":{replayed},\"from_snapshot\":{from_snapshot}"
                 );
             }
         }

@@ -143,4 +143,51 @@ mod tests {
         s.clear();
         assert!(s.is_empty());
     }
+
+    #[test]
+    fn put_replaces_an_expired_entry() {
+        let s = OutputStore::new();
+        s.put_with_timeout("f", Bytes::from_static(b"old"), Duration::from_millis(10));
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(s.get("f").is_none(), "window passed");
+        // Re-put (a rescheduled map re-finishing on the same host):
+        // the fresh entry serves indefinitely and carries the new data.
+        s.put("f", Bytes::from_static(b"new"));
+        assert_eq!(s.get("f").unwrap(), Bytes::from_static(b"new"));
+        assert_eq!(s.len(), 1, "replace, not duplicate");
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(s.get("f").is_some(), "no window survives the replace");
+    }
+
+    #[test]
+    fn put_with_timeout_restarts_the_window_of_an_expired_entry() {
+        let s = OutputStore::new();
+        s.put_with_timeout("f", Bytes::from_static(b"v1"), Duration::from_millis(10));
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(s.get("f").is_none());
+        s.put_with_timeout("f", Bytes::from_static(b"v2"), Duration::from_secs(10));
+        assert_eq!(s.get("f").unwrap(), Bytes::from_static(b"v2"));
+    }
+
+    #[test]
+    fn reset_timeout_to_none_serves_indefinitely() {
+        let s = OutputStore::new();
+        s.put_with_timeout("f", Bytes::from_static(b"x"), Duration::from_millis(10));
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(s.get("f").is_none());
+        assert!(s.reset_timeout("f", None), "None clears the window");
+        assert!(s.get("f").is_some());
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(s.get("f").is_some(), "still served: no window remains");
+    }
+
+    #[test]
+    fn unexpired_window_keeps_serving_until_the_deadline() {
+        let s = OutputStore::new();
+        s.put_with_timeout("f", Bytes::from_static(b"x"), Duration::from_secs(30));
+        assert!(s.get("f").is_some(), "inside the window");
+        // A reset before expiry shortens or extends without a gap.
+        assert!(s.reset_timeout("f", Some(Duration::from_secs(60))));
+        assert!(s.get("f").is_some());
+    }
 }

@@ -12,11 +12,14 @@
 
 use crate::types::ClientId;
 use std::collections::HashMap;
+use vmr_durable::{Dec, Enc, Journal, StateChange, WireError};
 
 /// Credit and reliability ledger for the volunteer population.
 #[derive(Debug, Default)]
 pub struct CreditLedger {
     accounts: HashMap<ClientId, HostAccount>,
+    /// WAL handle (disabled by default).
+    journal: Journal,
 }
 
 /// One volunteer's record.
@@ -61,6 +64,12 @@ impl CreditLedger {
         CreditLedger::default()
     }
 
+    /// Attaches the engine's WAL handle; subsequent grants and error
+    /// marks append change records.
+    pub fn set_journal(&mut self, journal: Journal) {
+        self.journal = journal;
+    }
+
     /// The account of `c` (created on first touch).
     pub fn account(&self, c: ClientId) -> HostAccount {
         self.accounts.get(&c).cloned().unwrap_or_default()
@@ -75,6 +84,22 @@ impl CreditLedger {
     /// of the quorum — typically the median/min of the claims; with
     /// identical task sizes the claim itself).
     pub fn on_wu_validated(&mut self, agreeing: &[ClientId], dissenting: &[ClientId], flops: f64) {
+        self.journal.append(&StateChange::CreditGranted {
+            agreeing: agreeing.iter().map(|c| c.0).collect(),
+            dissenting: dissenting.iter().map(|c| c.0).collect(),
+            flops_bits: flops.to_bits(),
+        });
+        self.raw_on_wu_validated(agreeing, dissenting, flops);
+    }
+
+    /// A result errored client-side or missed its deadline.
+    pub fn on_error(&mut self, c: ClientId) {
+        self.journal
+            .append(&StateChange::CreditError { client: c.0 });
+        self.entry(c).errors += 1;
+    }
+
+    fn raw_on_wu_validated(&mut self, agreeing: &[ClientId], dissenting: &[ClientId], flops: f64) {
         let grant = claimed_credit(flops);
         for &c in agreeing {
             let a = self.entry(c);
@@ -87,9 +112,68 @@ impl CreditLedger {
         }
     }
 
-    /// A result errored client-side or missed its deadline.
-    pub fn on_error(&mut self, c: ClientId) {
-        self.entry(c).errors += 1;
+    /// Applies one replayed change record; `Ok(false)` when the record
+    /// belongs to another subsystem.
+    pub fn apply_change(&mut self, c: &StateChange) -> Result<bool, WireError> {
+        match c {
+            StateChange::CreditGranted {
+                agreeing,
+                dissenting,
+                flops_bits,
+            } => {
+                let agreeing: Vec<ClientId> = agreeing.iter().copied().map(ClientId).collect();
+                let dissenting: Vec<ClientId> = dissenting.iter().copied().map(ClientId).collect();
+                self.raw_on_wu_validated(&agreeing, &dissenting, f64::from_bits(*flops_bits));
+            }
+            StateChange::CreditError { client } => {
+                self.entry(ClientId(*client)).errors += 1;
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// Canonical snapshot: accounts sorted by client id, credit as raw
+    /// f64 bits, so equal ledgers encode to byte-identical vectors.
+    pub fn encode_state(&self) -> Vec<u8> {
+        let mut ids: Vec<ClientId> = self.accounts.keys().copied().collect();
+        ids.sort_unstable();
+        let mut e = Enc::with_capacity(16 + ids.len() * 40);
+        e.u32(ids.len() as u32);
+        for c in ids {
+            let a = &self.accounts[&c];
+            e.u32(c.0);
+            e.f64(a.granted);
+            e.u64(a.valid_results);
+            e.u64(a.invalid_results);
+            e.u64(a.errors);
+        }
+        e.into_vec()
+    }
+
+    /// Rebuilds a ledger from an [`CreditLedger::encode_state`]
+    /// snapshot section. The journal handle starts disabled.
+    pub fn decode_state(b: &[u8]) -> Result<CreditLedger, WireError> {
+        let mut d = Dec::new(b);
+        let n = d.u32()? as usize;
+        let mut accounts = HashMap::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            let c = ClientId(d.u32()?);
+            accounts.insert(
+                c,
+                HostAccount {
+                    granted: d.f64()?,
+                    valid_results: d.u64()?,
+                    invalid_results: d.u64()?,
+                    errors: d.u64()?,
+                },
+            );
+        }
+        d.finish()?;
+        Ok(CreditLedger {
+            accounts,
+            journal: Journal::disabled(),
+        })
     }
 
     /// Total credit granted across all hosts.
@@ -183,5 +267,44 @@ mod tests {
     fn claimed_credit_is_linear_in_flops() {
         assert!((claimed_credit(2.0 * 864e9) - 200.0).abs() < 1e-9);
         assert_eq!(claimed_credit(0.0), 0.0);
+    }
+
+    #[test]
+    fn wal_replay_reproduces_ledger_bit_for_bit() {
+        use vmr_durable::{recover, DurabilityPlan};
+        let j = Journal::new(&DurabilityPlan::new(0.0)).unwrap();
+        let mut live = CreditLedger::new();
+        live.set_journal(j.clone());
+        // Irrational-ish flops so f64 accumulation order matters.
+        live.on_wu_validated(&[ClientId(0), ClientId(2)], &[ClientId(5)], 1.1e9);
+        live.on_wu_validated(&[ClientId(2)], &[], 0.3e9);
+        live.on_error(ClientId(0));
+        live.on_wu_validated(&[ClientId(0)], &[ClientId(2)], 2.7e9);
+        j.commit();
+        let r = recover(&j.log_bytes()).unwrap();
+        let mut replayed = CreditLedger::new();
+        for c in &r.tail {
+            assert!(replayed.apply_change(c).unwrap(), "unhandled {c:?}");
+        }
+        assert_eq!(replayed.encode_state(), live.encode_state());
+        assert_eq!(
+            replayed.account(ClientId(2)).granted.to_bits(),
+            live.account(ClientId(2)).granted.to_bits()
+        );
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_canonical() {
+        let mut l = CreditLedger::new();
+        l.on_wu_validated(&[ClientId(3), ClientId(1)], &[ClientId(9)], 1.23e9);
+        l.on_error(ClientId(1));
+        let enc = l.encode_state();
+        let back = CreditLedger::decode_state(&enc).unwrap();
+        assert_eq!(back.encode_state(), enc);
+        assert_eq!(back.account(ClientId(1)).errors, 1);
+        assert_eq!(
+            back.account(ClientId(3)).granted.to_bits(),
+            l.account(ClientId(3)).granted.to_bits()
+        );
     }
 }

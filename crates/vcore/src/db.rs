@@ -1,13 +1,24 @@
 //! In-memory project database.
 //!
 //! Mirrors the tables a BOINC server keeps in MySQL: `workunit` and
-//! `result`, with the secondary indexes the daemons need (unsent results
+//! `result`, with the secondary indexes the daemons use (unsent results
 //! per app, results per WU, live results per client).
+//!
+//! **Durability.** Every public mutator is journaled: it appends a
+//! typed [`StateChange`] to the engine-owned WAL *before* applying the
+//! mutation (write-ahead), through a [`Journal`] handle that is a
+//! single branch when durability is off. Replay goes through
+//! [`Db::apply_change`], which routes each record to the same private
+//! `raw_*` appliers the live mutators use — so replayed state cannot
+//! drift from live state. Snapshots serialize only the two row tables
+//! ([`Db::encode_state`]); the secondary indexes are derived data and
+//! are rebuilt on decode.
 
 use crate::types::{ClientId, FileRef, OutputFingerprint, ResultId, WuId};
 use crate::workunit::{ResultOutcome, ResultRec, ResultState, WorkUnit, WorkUnitSpec, WuState};
 use std::collections::{BTreeSet, HashMap};
 use vmr_desim::SimTime;
+use vmr_durable::{Dec, Enc, Journal, StateChange, WireError};
 
 /// The project database.
 #[derive(Default)]
@@ -20,12 +31,20 @@ pub struct Db {
     by_wu: HashMap<WuId, Vec<ResultId>>,
     /// Live (unsent/in-progress) result count per client.
     live_by_client: HashMap<ClientId, u32>,
+    /// WAL handle (disabled by default — a no-op on every append).
+    journal: Journal,
 }
 
 impl Db {
     /// An empty database.
     pub fn new() -> Self {
         Db::default()
+    }
+
+    /// Attaches the engine's WAL handle; subsequent mutations append
+    /// change records.
+    pub fn set_journal(&mut self, journal: Journal) {
+        self.journal = journal;
     }
 
     // ----- work units -----------------------------------------------------
@@ -35,15 +54,12 @@ impl Db {
     pub fn insert_workunit(&mut self, spec: WorkUnitSpec, now: SimTime) -> WuId {
         let id = WuId(self.wus.len() as u32);
         let target = spec.target_nresults;
-        self.wus.push(WorkUnit {
-            id,
-            spec,
-            state: WuState::Active,
-            canonical: None,
-            results_created: 0,
-            created_at: now,
-            finished_at: None,
+        self.journal.append(&StateChange::WuInserted {
+            wu: id.0,
+            at_us: now.as_micros(),
+            spec: spec.to_bytes(),
         });
+        self.raw_insert_workunit(spec, now);
         for _ in 0..target {
             self.create_result(id);
         }
@@ -54,20 +70,11 @@ impl Db {
     /// path). Respects no cap — callers check `max_total_results`.
     pub fn create_result(&mut self, wu: WuId) -> ResultId {
         let id = ResultId(self.results.len() as u32);
-        self.results.push(ResultRec {
-            id,
-            wu,
-            state: ResultState::Unsent,
-            client: None,
-            sent_at: None,
-            report_deadline: None,
-            reported_at: None,
-            outcome: None,
-            fingerprint: None,
+        self.journal.append(&StateChange::ResultCreated {
+            rid: id.0,
+            wu: wu.0,
         });
-        self.unsent.insert(id);
-        self.by_wu.entry(wu).or_default().push(id);
-        self.wus[wu.0 as usize].results_created += 1;
+        self.raw_create_result(wu);
         id
     }
 
@@ -136,14 +143,18 @@ impl Db {
     /// # Panics
     /// If the result is not unsent.
     pub fn mark_sent(&mut self, rid: ResultId, client: ClientId, now: SimTime, deadline: SimTime) {
-        let r = &mut self.results[rid.0 as usize];
-        assert_eq!(r.state, ResultState::Unsent, "sending a non-unsent result");
-        r.state = ResultState::InProgress;
-        r.client = Some(client);
-        r.sent_at = Some(now);
-        r.report_deadline = Some(deadline);
-        self.unsent.remove(&rid);
-        *self.live_by_client.entry(client).or_insert(0) += 1;
+        assert_eq!(
+            self.results[rid.0 as usize].state,
+            ResultState::Unsent,
+            "sending a non-unsent result"
+        );
+        self.journal.append(&StateChange::ResultSent {
+            rid: rid.0,
+            client: client.0,
+            at_us: now.as_micros(),
+            deadline_us: deadline.as_micros(),
+        });
+        self.raw_mark_sent(rid, client, now, deadline);
     }
 
     /// Records a client report for `rid`. Ignores reports for results
@@ -156,19 +167,16 @@ impl Db {
         fingerprint: Option<OutputFingerprint>,
         now: SimTime,
     ) -> bool {
-        let r = &mut self.results[rid.0 as usize];
-        if r.state != ResultState::InProgress {
+        if self.results[rid.0 as usize].state != ResultState::InProgress {
             return false;
         }
-        r.state = ResultState::Over;
-        r.outcome = Some(outcome);
-        r.fingerprint = fingerprint;
-        r.reported_at = Some(now);
-        if let Some(c) = r.client {
-            if let Some(n) = self.live_by_client.get_mut(&c) {
-                *n = n.saturating_sub(1);
-            }
-        }
+        self.journal.append(&StateChange::ResultReported {
+            rid: rid.0,
+            outcome: outcome.to_wire(),
+            fingerprint: fingerprint.map(|f| f.0),
+            at_us: now.as_micros(),
+        });
+        self.raw_mark_reported(rid, outcome, fingerprint, now);
         true
     }
 
@@ -180,14 +188,288 @@ impl Db {
 
     /// Cancels an unsent result (its WU validated without needing it).
     pub fn cancel_unsent(&mut self, rid: ResultId) -> bool {
-        let r = &mut self.results[rid.0 as usize];
-        if r.state != ResultState::Unsent {
+        if self.results[rid.0 as usize].state != ResultState::Unsent {
             return false;
         }
+        self.journal
+            .append(&StateChange::ResultCancelled { rid: rid.0 });
+        self.raw_cancel_unsent(rid);
+        true
+    }
+
+    /// Validates `wu` with the quorum's canonical fingerprint
+    /// (transitioner outcome).
+    pub fn mark_wu_validated(&mut self, wu: WuId, canonical: OutputFingerprint, now: SimTime) {
+        self.journal.append(&StateChange::WuValidated {
+            wu: wu.0,
+            canonical: canonical.0,
+            at_us: now.as_micros(),
+        });
+        self.raw_mark_wu_validated(wu, canonical, now);
+    }
+
+    /// Fails `wu`: `max_total_results` exhausted without a quorum.
+    pub fn mark_wu_failed(&mut self, wu: WuId, now: SimTime) {
+        self.journal.append(&StateChange::WuFailed {
+            wu: wu.0,
+            at_us: now.as_micros(),
+        });
+        self.raw_mark_wu_failed(wu, now);
+    }
+
+    // ----- raw appliers (shared by live mutators and WAL replay) ----------
+
+    fn raw_insert_workunit(&mut self, spec: WorkUnitSpec, now: SimTime) {
+        let id = WuId(self.wus.len() as u32);
+        self.wus.push(WorkUnit {
+            id,
+            spec,
+            state: WuState::Active,
+            canonical: None,
+            results_created: 0,
+            created_at: now,
+            finished_at: None,
+        });
+    }
+
+    fn raw_create_result(&mut self, wu: WuId) {
+        let id = ResultId(self.results.len() as u32);
+        self.results.push(ResultRec {
+            id,
+            wu,
+            state: ResultState::Unsent,
+            client: None,
+            sent_at: None,
+            report_deadline: None,
+            reported_at: None,
+            outcome: None,
+            fingerprint: None,
+        });
+        self.unsent.insert(id);
+        self.by_wu.entry(wu).or_default().push(id);
+        self.wus[wu.0 as usize].results_created += 1;
+    }
+
+    fn raw_mark_sent(&mut self, rid: ResultId, client: ClientId, now: SimTime, deadline: SimTime) {
+        let r = &mut self.results[rid.0 as usize];
+        r.state = ResultState::InProgress;
+        r.client = Some(client);
+        r.sent_at = Some(now);
+        r.report_deadline = Some(deadline);
+        self.unsent.remove(&rid);
+        *self.live_by_client.entry(client).or_insert(0) += 1;
+    }
+
+    fn raw_mark_reported(
+        &mut self,
+        rid: ResultId,
+        outcome: ResultOutcome,
+        fingerprint: Option<OutputFingerprint>,
+        now: SimTime,
+    ) {
+        let r = &mut self.results[rid.0 as usize];
+        r.state = ResultState::Over;
+        r.outcome = Some(outcome);
+        r.fingerprint = fingerprint;
+        r.reported_at = Some(now);
+        if let Some(c) = r.client {
+            if let Some(n) = self.live_by_client.get_mut(&c) {
+                *n = n.saturating_sub(1);
+            }
+        }
+    }
+
+    fn raw_cancel_unsent(&mut self, rid: ResultId) {
+        let r = &mut self.results[rid.0 as usize];
         r.state = ResultState::Over;
         r.outcome = Some(ResultOutcome::WuDone);
         self.unsent.remove(&rid);
-        true
+    }
+
+    fn raw_mark_wu_validated(&mut self, wu: WuId, canonical: OutputFingerprint, now: SimTime) {
+        let w = &mut self.wus[wu.0 as usize];
+        w.state = WuState::Validated;
+        w.canonical = Some(canonical);
+        w.finished_at = Some(now);
+    }
+
+    fn raw_mark_wu_failed(&mut self, wu: WuId, now: SimTime) {
+        let w = &mut self.wus[wu.0 as usize];
+        w.state = WuState::Failed;
+        w.finished_at = Some(now);
+    }
+
+    // ----- WAL replay + snapshots -----------------------------------------
+
+    /// Applies one replayed change record. Returns `Ok(true)` when the
+    /// record belongs to this table and was applied, `Ok(false)` when
+    /// it belongs to another subsystem (credit, assimilator, tracker).
+    pub fn apply_change(&mut self, c: &StateChange) -> Result<bool, WireError> {
+        match c {
+            StateChange::WuInserted { at_us, spec, .. } => {
+                let spec = WorkUnitSpec::from_bytes(spec)?;
+                self.raw_insert_workunit(spec, SimTime::from_micros(*at_us));
+            }
+            StateChange::ResultCreated { wu, .. } => {
+                self.raw_create_result(WuId(*wu));
+            }
+            StateChange::ResultSent {
+                rid,
+                client,
+                at_us,
+                deadline_us,
+            } => {
+                self.raw_mark_sent(
+                    ResultId(*rid),
+                    ClientId(*client),
+                    SimTime::from_micros(*at_us),
+                    SimTime::from_micros(*deadline_us),
+                );
+            }
+            StateChange::ResultReported {
+                rid,
+                outcome,
+                fingerprint,
+                at_us,
+            } => {
+                self.raw_mark_reported(
+                    ResultId(*rid),
+                    ResultOutcome::from_wire(*outcome)?,
+                    fingerprint.map(OutputFingerprint),
+                    SimTime::from_micros(*at_us),
+                );
+            }
+            StateChange::ResultCancelled { rid } => {
+                self.raw_cancel_unsent(ResultId(*rid));
+            }
+            StateChange::WuValidated {
+                wu,
+                canonical,
+                at_us,
+            } => {
+                self.raw_mark_wu_validated(
+                    WuId(*wu),
+                    OutputFingerprint(*canonical),
+                    SimTime::from_micros(*at_us),
+                );
+            }
+            StateChange::WuFailed { wu, at_us } => {
+                self.raw_mark_wu_failed(WuId(*wu), SimTime::from_micros(*at_us));
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// Canonical snapshot of the two row tables. The secondary indexes
+    /// are derived and excluded, so two equal databases encode to
+    /// byte-identical vectors (the recovery audit's comparison).
+    pub fn encode_state(&self) -> Vec<u8> {
+        let mut e = Enc::with_capacity(64 + self.wus.len() * 64 + self.results.len() * 32);
+        e.u32(self.wus.len() as u32);
+        for w in &self.wus {
+            e.bytes(&w.spec.to_bytes());
+            e.u8(w.state.to_wire());
+            e.opt_u64(w.canonical.map(|f| f.0));
+            e.u32(w.results_created);
+            e.u64(w.created_at.as_micros());
+            e.opt_u64(w.finished_at.map(SimTime::as_micros));
+        }
+        e.u32(self.results.len() as u32);
+        for r in &self.results {
+            e.u32(r.wu.0);
+            e.u8(r.state.to_wire());
+            e.opt_u32(r.client.map(|c| c.0));
+            e.opt_u64(r.sent_at.map(SimTime::as_micros));
+            e.opt_u64(r.report_deadline.map(SimTime::as_micros));
+            e.opt_u64(r.reported_at.map(SimTime::as_micros));
+            match r.outcome {
+                None => e.bool(false),
+                Some(o) => {
+                    e.bool(true);
+                    e.u8(o.to_wire());
+                }
+            }
+            e.opt_u64(r.fingerprint.map(|f| f.0));
+        }
+        e.into_vec()
+    }
+
+    /// Rebuilds a database from an [`Db::encode_state`] snapshot
+    /// section, reconstructing every secondary index. The journal
+    /// handle starts disabled.
+    pub fn decode_state(b: &[u8]) -> Result<Db, WireError> {
+        let mut d = Dec::new(b);
+        let n_wus = d.u32()? as usize;
+        let mut wus = Vec::with_capacity(n_wus.min(1 << 16));
+        for i in 0..n_wus {
+            let spec = WorkUnitSpec::from_bytes(&d.bytes()?)?;
+            wus.push(WorkUnit {
+                id: WuId(i as u32),
+                spec,
+                state: WuState::from_wire(d.u8()?)?,
+                canonical: d.opt_u64()?.map(OutputFingerprint),
+                results_created: d.u32()?,
+                created_at: SimTime::from_micros(d.u64()?),
+                finished_at: d.opt_u64()?.map(SimTime::from_micros),
+            });
+        }
+        let n_results = d.u32()? as usize;
+        let mut results = Vec::with_capacity(n_results.min(1 << 16));
+        for i in 0..n_results {
+            let wu = WuId(d.u32()?);
+            let state = ResultState::from_wire(d.u8()?)?;
+            let client = d.opt_u32()?.map(ClientId);
+            let sent_at = d.opt_u64()?.map(SimTime::from_micros);
+            let report_deadline = d.opt_u64()?.map(SimTime::from_micros);
+            let reported_at = d.opt_u64()?.map(SimTime::from_micros);
+            let outcome = if d.bool()? {
+                Some(ResultOutcome::from_wire(d.u8()?)?)
+            } else {
+                None
+            };
+            let fingerprint = d.opt_u64()?.map(OutputFingerprint);
+            results.push(ResultRec {
+                id: ResultId(i as u32),
+                wu,
+                state,
+                client,
+                sent_at,
+                report_deadline,
+                reported_at,
+                outcome,
+                fingerprint,
+            });
+        }
+        d.finish()?;
+
+        // Rebuild the derived indexes. Iterating results in id order
+        // reproduces the per-WU creation order `by_wu` accumulated live.
+        let mut unsent = BTreeSet::new();
+        let mut by_wu: HashMap<WuId, Vec<ResultId>> = HashMap::new();
+        let mut live_by_client: HashMap<ClientId, u32> = HashMap::new();
+        for r in &results {
+            by_wu.entry(r.wu).or_default().push(r.id);
+            match r.state {
+                ResultState::Unsent => {
+                    unsent.insert(r.id);
+                }
+                ResultState::InProgress => {
+                    if let Some(c) = r.client {
+                        *live_by_client.entry(c).or_insert(0) += 1;
+                    }
+                }
+                ResultState::Over => {}
+            }
+        }
+        Ok(Db {
+            wus,
+            results,
+            unsent,
+            by_wu,
+            live_by_client,
+            journal: Journal::disabled(),
+        })
     }
 
     /// Input files of a result's work unit.
@@ -300,5 +582,91 @@ mod tests {
         db.wu_mut(wu).state = WuState::Validated;
         assert!(db.all_wus_terminal());
         assert_eq!(db.count_state(WuState::Validated), 1);
+    }
+
+    /// Drives `db` through every journaled mutator.
+    fn exercise(db: &mut Db) {
+        let a = db.insert_workunit(spec("a"), SimTime::ZERO);
+        let b = db.insert_workunit(spec("b"), SimTime::from_secs(1));
+        let ra = db.results_of(a).to_vec();
+        let rb = db.results_of(b).to_vec();
+        db.mark_sent(
+            ra[0],
+            ClientId(1),
+            SimTime::from_secs(2),
+            SimTime::from_secs(100),
+        );
+        db.mark_sent(
+            ra[1],
+            ClientId(2),
+            SimTime::from_secs(3),
+            SimTime::from_secs(100),
+        );
+        db.mark_reported(
+            ra[0],
+            ResultOutcome::Success,
+            Some(OutputFingerprint(7)),
+            SimTime::from_secs(10),
+        );
+        db.mark_reported(
+            ra[1],
+            ResultOutcome::Success,
+            Some(OutputFingerprint(7)),
+            SimTime::from_secs(11),
+        );
+        db.mark_wu_validated(a, OutputFingerprint(7), SimTime::from_secs(11));
+        db.mark_sent(
+            rb[0],
+            ClientId(3),
+            SimTime::from_secs(4),
+            SimTime::from_secs(50),
+        );
+        db.mark_timed_out(rb[0], SimTime::from_secs(50));
+        let extra = db.create_result(b);
+        db.cancel_unsent(extra);
+        db.mark_wu_failed(b, SimTime::from_secs(60));
+    }
+
+    #[test]
+    fn wal_replay_reproduces_live_state() {
+        use vmr_durable::{recover, DurabilityPlan};
+        let j = Journal::new(&DurabilityPlan::new(0.0)).unwrap();
+        let mut live = Db::new();
+        live.set_journal(j.clone());
+        exercise(&mut live);
+        j.commit();
+        let r = recover(&j.log_bytes()).unwrap();
+        assert!(!r.tail.is_empty());
+        let mut replayed = Db::new();
+        for c in &r.tail {
+            assert!(replayed.apply_change(c).unwrap(), "unhandled {c:?}");
+        }
+        assert_eq!(replayed.encode_state(), live.encode_state());
+        assert_eq!(replayed.n_unsent(), live.n_unsent());
+        assert_eq!(
+            replayed.live_count(ClientId(1)),
+            live.live_count(ClientId(1))
+        );
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_canonical() {
+        let mut db = Db::new();
+        exercise(&mut db);
+        let enc = db.encode_state();
+        let back = Db::decode_state(&enc).unwrap();
+        assert_eq!(back.encode_state(), enc);
+        assert_eq!(back.n_wus(), db.n_wus());
+        assert_eq!(back.n_results(), db.n_results());
+        assert_eq!(back.n_unsent(), db.n_unsent());
+        for wu in db.wu_ids() {
+            assert_eq!(back.results_of(wu), db.results_of(wu));
+            assert_eq!(back.wu(wu).state, db.wu(wu).state);
+            assert_eq!(back.wu(wu).canonical, db.wu(wu).canonical);
+        }
+        // Unexercised journaled mutators still work on a decoded db.
+        let mut back = back;
+        let c = back.create_result(WuId(0));
+        assert!(back.cancel_unsent(c));
     }
 }

@@ -14,7 +14,7 @@
 use crate::backoff::Backoff;
 use crate::config::ProjectConfig;
 use crate::db::Db;
-use crate::fault::FaultPlan;
+use crate::fault::{FaultIndex, FaultPlan};
 use crate::host::HostProfile;
 use crate::sched::{pick_results, WorkRequest};
 use crate::transition::{transition_wu, Transition};
@@ -22,6 +22,7 @@ use crate::types::{ClientId, FileSource, OutputFingerprint, ResultId, WuId};
 use crate::workunit::{ResultOutcome, ResultState, WorkUnitSpec};
 use std::collections::{HashMap, VecDeque};
 use vmr_desim::{EventId, RngStream, SimDuration, SimTime, Simulation, Tally};
+use vmr_durable::{Journal, Sections};
 use vmr_netsim::{
     connect, FlowId, FlowSpec, HostId, HostLink, Network, Path, Priority, Topology,
     TraversalPolicy, TraversalStats,
@@ -165,6 +166,10 @@ pub trait Policy {
     fn on_result_reported(&mut self, eng: &mut Engine, rid: ResultId) {}
     /// A custom event fired.
     fn on_custom(&mut self, eng: &mut Engine, tag: u64) {}
+    /// Contribute extra named sections to a durability snapshot
+    /// (vmr-core serializes its JobTracker here). Sections must be
+    /// canonical: equal policy states must append equal bytes.
+    fn durable_sections(&self, out: &mut Vec<(String, Vec<u8>)>) {}
 }
 
 /// A no-op policy: plain BOINC with no project hooks.
@@ -212,10 +217,18 @@ pub struct Engine {
     server_host: HostId,
     clients: Vec<Client>,
     flows: HashMap<FlowId, FlowPurpose>,
-    net_wake: Option<EventId>,
+    /// Pending NetWake event and the time it targets. The time is kept
+    /// so re-arming at the same instant preserves the original event
+    /// (and its queue tie-break rank) instead of cancel+reschedule —
+    /// required for stepped/resumed runs to match continuous ones.
+    net_wake: Option<(EventId, SimTime)>,
     feeder: Vec<ResultId>,
     rng: RngStream,
     dropouts_armed: bool,
+    /// Compiled fault lookups, built from `fault` at run start.
+    fidx: FaultIndex,
+    /// Write-ahead log handle (disabled unless `attach_durable` ran).
+    durable: Journal,
     eobs: EngineObs,
 }
 
@@ -286,6 +299,8 @@ impl Engine {
             feeder: Vec::new(),
             rng,
             dropouts_armed: false,
+            fidx: FaultIndex::default(),
+            durable: Journal::disabled(),
             eobs,
         };
         eng.sim.schedule_at(SimTime::ZERO, Ev::DaemonTick);
@@ -415,6 +430,47 @@ impl Engine {
         }
     }
 
+    // ----- durability -------------------------------------------------------
+
+    /// Attaches a write-ahead log: the engine owns the master handle
+    /// and clones it into every journaled subsystem (project database,
+    /// credit ledger, assimilator). Policies append through
+    /// [`Engine::durable`]. Call before inserting work units so the
+    /// genesis records land in the log.
+    pub fn attach_durable(&mut self, journal: Journal) {
+        journal.attach_obs(&self.obs);
+        self.db.set_journal(journal.clone());
+        self.credit.set_journal(journal.clone());
+        self.assimilator.set_journal(journal.clone());
+        self.durable = journal;
+    }
+
+    /// The engine's WAL handle (disabled unless `attach_durable` ran).
+    pub fn durable(&self) -> &Journal {
+        &self.durable
+    }
+
+    /// Canonical snapshot sections of the vcore-owned server state,
+    /// plus whatever the policy contributes. Section order is fixed, so
+    /// equal states produce byte-identical snapshots.
+    fn snapshot_sections<P: Policy>(&self, policy: &P) -> Sections {
+        let mut entries = self.state_sections();
+        policy.durable_sections(&mut entries);
+        Sections { entries }
+    }
+
+    /// The vcore-owned snapshot sections (db, credit, assimilator) —
+    /// what [`Engine::snapshot_sections`] emits before the policy adds
+    /// its own. The recovery audit compares these against a recovered
+    /// image.
+    pub fn state_sections(&self) -> Vec<(String, Vec<u8>)> {
+        vec![
+            ("db".into(), self.db.encode_state()),
+            ("credit".into(), self.credit.encode_state()),
+            ("assim".into(), self.assimilator.encode_state()),
+        ]
+    }
+
     // ----- main loop --------------------------------------------------------
 
     /// Runs until `stop` returns true, the event queue drains, or `horizon`
@@ -428,7 +484,16 @@ impl Engine {
         let mut n = 0;
         self.arm_dropouts();
         self.arm_net_wake();
+        // Construction-time records (WU inserts before the first run)
+        // belong to a transaction of their own.
+        self.durable.advance_to(self.sim.now().as_micros());
+        self.durable.commit();
         loop {
+            // A crashed journal models a dead server: stop consuming
+            // events; whatever memory holds past this point is lost.
+            if self.durable.crashed() {
+                break;
+            }
             if stop(self) {
                 break;
             }
@@ -441,18 +506,21 @@ impl Engine {
             };
             n += 1;
             self.dispatch(policy, ev.payload);
+            // One dispatched event = one WAL transaction.
+            self.durable.commit();
             self.arm_net_wake();
         }
         n
     }
 
     fn dispatch<P: Policy>(&mut self, policy: &mut P, ev: Ev) {
+        self.durable.advance_to(self.sim.now().as_micros());
         match ev {
             Ev::NetWake => self.on_net_wake(policy),
             Ev::ClientWake(c) => self.client_rpc(policy, c),
             Ev::ExecDone(c, rid) => self.on_exec_done(policy, c, rid),
             Ev::DeadlineCheck(rid) => self.on_deadline(policy, rid),
-            Ev::DaemonTick => self.on_daemon_tick(),
+            Ev::DaemonTick => self.on_daemon_tick(policy),
             Ev::PeerRetry(c, rid, idx) => self.start_input_download(c, rid, idx),
             Ev::Dropout(c) => self.on_dropout(c),
             Ev::Suspend(c) => self.on_suspend(c),
@@ -468,10 +536,17 @@ impl Engine {
         if self.dropouts_armed {
             return;
         }
+        // Rebuilt on every run entry (not behind the armed flag) so a
+        // plan swapped between run segments is picked up, matching the
+        // old scan-the-plan-live behavior.
+        self.fidx = self.fault.index();
+        if self.dropouts_armed {
+            return;
+        }
         self.dropouts_armed = true;
         for i in 0..self.clients.len() {
             let id = ClientId(i as u32);
-            if let Some(after) = self.fault.dropout_time(id) {
+            if let Some(after) = self.fidx.dropout_time(id) {
                 self.sim.schedule_at(SimTime::ZERO + after, Ev::Dropout(id));
             }
             if let Some(av) = self.clients[i].profile.availability {
@@ -559,19 +634,44 @@ impl Engine {
     }
 
     fn arm_net_wake(&mut self) {
-        if let Some(ev) = self.net_wake.take() {
+        let target = match self.net.next_event_time() {
+            Some(t) if t < SimTime::MAX => Some(t.max(self.sim.now())),
+            _ => None,
+        };
+        // Keep a pending wake aimed at the same instant: cancelling and
+        // rescheduling would give it a fresh (younger) tie-break rank
+        // among same-time events, so a run stepped in short run_until
+        // segments could diverge from one continuous run.
+        if let (Some((ev, armed_at)), Some(t)) = (self.net_wake, target) {
+            if armed_at == t && self.sim.is_pending(ev) {
+                return;
+            }
+        }
+        if let Some((ev, _)) = self.net_wake.take() {
             self.sim.cancel(ev);
         }
-        if let Some(t) = self.net.next_event_time() {
-            if t < SimTime::MAX {
-                self.net_wake = Some(self.sim.schedule_at(t.max(self.sim.now()), Ev::NetWake));
-            }
+        if let Some(t) = target {
+            self.net_wake = Some((self.sim.schedule_at(t, Ev::NetWake), t));
         }
     }
 
     // ----- server daemons ---------------------------------------------------
 
-    fn on_daemon_tick(&mut self) {
+    fn on_daemon_tick<P: Policy>(&mut self, policy: &mut P) {
+        // Periodic full snapshot, before the feeder refill so the
+        // snapshot captures the same state replay would rebuild.
+        if self.durable.snapshot_due() {
+            let sections = self.snapshot_sections(policy);
+            if let Some(bytes) = self.durable.write_snapshot(&sections) {
+                let records = self.durable.records();
+                self.obs
+                    .journal
+                    .record_with(self.sim.now().as_micros(), || EventKind::SnapshotTaken {
+                        records,
+                        bytes: bytes as u64,
+                    });
+            }
+        }
         // Feeder refill: copy unsent results (FIFO) into the cache.
         self.feeder.clear();
         self.feeder
@@ -1257,7 +1357,7 @@ impl Engine {
             let c = &mut self.clients[cid.0 as usize];
             if self.fault.task_errors_now(&mut c.rng) {
                 (true, None)
-            } else if self.fault.corrupt_now(cid, &mut c.rng) {
+            } else if self.fidx.corrupt_now(cid, &mut c.rng) {
                 (
                     false,
                     Some(OutputFingerprint(honest.0 ^ c.rng.next_u64() | 1)),

@@ -63,6 +63,69 @@ impl FaultPlan {
             .find(|(cc, _)| *cc == c)
             .map(|(_, t)| *t)
     }
+
+    /// Compiles the plan into sorted lookup tables for the hot path.
+    pub fn index(&self) -> FaultIndex {
+        FaultIndex::build(self)
+    }
+}
+
+/// Compiled lookup tables over a [`FaultPlan`].
+///
+/// `is_byzantine`/`dropout_time` on the plan itself are linear scans of
+/// the raw `Vec`s — fine for construction, wasteful when the engine
+/// consults them on every task completion and every dropout arming.
+/// The engine builds one `FaultIndex` per experiment and does binary
+/// searches instead. Semantics match the plan exactly, including the
+/// short-circuit in [`FaultIndex::corrupt_now`] (honest clients must
+/// not draw from the rng) and first-entry-wins for duplicate dropout
+/// rows (mirroring `Iterator::find` on the plan).
+#[derive(Clone, Debug, Default)]
+pub struct FaultIndex {
+    /// Sorted, deduplicated byzantine set.
+    byzantine: Vec<ClientId>,
+    /// Sorted by client, first plan entry kept on duplicates.
+    dropouts: Vec<(ClientId, SimDuration)>,
+    corruption_prob: f64,
+}
+
+impl FaultIndex {
+    /// Builds the index from a plan (once per experiment).
+    pub fn build(plan: &FaultPlan) -> Self {
+        let mut byzantine = plan.byzantine.clone();
+        byzantine.sort_unstable();
+        byzantine.dedup();
+        let mut dropouts = plan.dropouts.clone();
+        // Stable sort + keep-first preserves FaultPlan::dropout_time's
+        // first-match semantics for duplicate clients.
+        dropouts.sort_by_key(|(c, _)| *c);
+        dropouts.dedup_by_key(|(c, _)| *c);
+        FaultIndex {
+            byzantine,
+            dropouts,
+            corruption_prob: plan.corruption_prob,
+        }
+    }
+
+    /// Is `c` in the byzantine set?
+    pub fn is_byzantine(&self, c: ClientId) -> bool {
+        self.byzantine.binary_search(&c).is_ok()
+    }
+
+    /// Should this particular task's output be corrupted? Same rng
+    /// discipline as [`FaultPlan::corrupt_now`]: the membership test
+    /// short-circuits, so honest clients draw nothing.
+    pub fn corrupt_now(&self, c: ClientId, rng: &mut RngStream) -> bool {
+        self.is_byzantine(c) && rng.chance(self.corruption_prob)
+    }
+
+    /// When does `c` drop out, if ever?
+    pub fn dropout_time(&self, c: ClientId) -> Option<SimDuration> {
+        self.dropouts
+            .binary_search_by_key(&c, |(cc, _)| *cc)
+            .ok()
+            .map(|i| self.dropouts[i].1)
+    }
 }
 
 #[cfg(test)]
@@ -104,5 +167,45 @@ mod tests {
             Some(SimDuration::from_secs(30))
         );
         assert_eq!(f.dropout_time(ClientId(1)), None);
+    }
+
+    #[test]
+    fn index_matches_plan_on_every_client() {
+        let f = FaultPlan {
+            byzantine: vec![ClientId(7), ClientId(3), ClientId(7)],
+            corruption_prob: 1.0,
+            dropouts: vec![
+                (ClientId(5), SimDuration::from_secs(10)),
+                (ClientId(1), SimDuration::from_secs(20)),
+                // Duplicate: plan's find() returns the first entry.
+                (ClientId(5), SimDuration::from_secs(99)),
+            ],
+            ..FaultPlan::default()
+        };
+        let idx = f.index();
+        for c in 0..10u32 {
+            let c = ClientId(c);
+            assert_eq!(idx.is_byzantine(c), f.is_byzantine(c), "{c}");
+            assert_eq!(idx.dropout_time(c), f.dropout_time(c), "{c}");
+        }
+    }
+
+    #[test]
+    fn index_corrupt_now_preserves_rng_draw_order() {
+        let f = FaultPlan {
+            byzantine: vec![ClientId(2)],
+            corruption_prob: 0.5,
+            ..FaultPlan::default()
+        };
+        let idx = f.index();
+        // Same seed, interleaved honest/byzantine queries: the index
+        // must consume rng draws exactly when the plan does, so the two
+        // streams stay in lockstep.
+        let mut a = RngStream::new(42);
+        let mut b = RngStream::new(42);
+        for i in 0..64u32 {
+            let c = ClientId(i % 4);
+            assert_eq!(f.corrupt_now(c, &mut a), idx.corrupt_now(c, &mut b), "{i}");
+        }
     }
 }

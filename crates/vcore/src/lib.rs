@@ -44,7 +44,7 @@ pub use db::Db;
 pub use engine::{
     honest_fingerprint, Engine, EngineStats, Ev, NullPolicy, Policy, RelayChoice, ServedFile,
 };
-pub use fault::FaultPlan;
+pub use fault::{FaultIndex, FaultPlan};
 pub use host::{Availability, HostProfile};
 pub use types::{ClientId, FileRef, FileSource, OutputFingerprint, ResultId, WuId};
 pub use validate::{check_quorum, Verdict};

@@ -67,12 +67,7 @@ pub fn transition_wu(db: &mut Db, wu: WuId, now: SimTime) -> Transition {
     } = check_quorum(&fingerprints, min_quorum)
     {
         let agreeing: Vec<ResultId> = agreeing.into_iter().map(|i| successes[i]).collect();
-        {
-            let w = db.wu_mut(wu);
-            w.state = WuState::Validated;
-            w.canonical = Some(canonical);
-            w.finished_at = Some(now);
-        }
+        db.mark_wu_validated(wu, canonical, now);
         // Cancel unsent replicas; in-progress ones will report as WuDone.
         for rid in rids {
             if db.result(rid).state == ResultState::Unsent {
@@ -106,9 +101,7 @@ pub fn transition_wu(db: &mut Db, wu: WuId, now: SimTime) -> Transition {
     let created = db.wu(wu).results_created;
     let budget = spec_max.saturating_sub(created);
     if budget == 0 {
-        let w = db.wu_mut(wu);
-        w.state = WuState::Failed;
-        w.finished_at = Some(now);
+        db.mark_wu_failed(wu, now);
         return Transition::Failed;
     }
     let n_new = deficit.min(budget);

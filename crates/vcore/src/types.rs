@@ -85,6 +85,45 @@ impl FileRef {
             source: FileSource::DataServer,
         }
     }
+
+    /// Append the WAL wire form to `e`.
+    pub fn encode(&self, e: &mut vmr_durable::Enc) {
+        e.str(&self.name);
+        e.u64(self.bytes);
+        match &self.source {
+            FileSource::DataServer => e.u8(0),
+            FileSource::Peers(peers) => {
+                e.u8(1);
+                e.u32(peers.len() as u32);
+                for p in peers {
+                    e.u32(p.0);
+                }
+            }
+        }
+    }
+
+    /// Decode the WAL wire form.
+    pub fn decode(d: &mut vmr_durable::Dec<'_>) -> Result<Self, vmr_durable::WireError> {
+        let name = d.str()?;
+        let bytes = d.u64()?;
+        let source = match d.u8()? {
+            0 => FileSource::DataServer,
+            1 => {
+                let n = d.u32()? as usize;
+                let mut peers = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    peers.push(ClientId(d.u32()?));
+                }
+                FileSource::Peers(peers)
+            }
+            t => return Err(vmr_durable::WireError::BadTag(t)),
+        };
+        Ok(FileRef {
+            name,
+            bytes,
+            source,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -8,6 +8,7 @@
 
 use crate::types::{ClientId, FileRef, OutputFingerprint, WuId};
 use vmr_desim::{SimDuration, SimTime};
+use vmr_durable::{Dec, Enc, WireError};
 
 /// Immutable description of a work unit, as inserted by the project.
 #[derive(Clone, Debug)]
@@ -55,6 +56,64 @@ impl WorkUnitSpec {
             upload_outputs: true,
             payload: 0,
         }
+    }
+
+    /// Append the WAL wire form to `e`.
+    pub fn encode(&self, e: &mut Enc) {
+        e.str(&self.name);
+        e.str(&self.app);
+        e.u32(self.inputs.len() as u32);
+        for f in &self.inputs {
+            f.encode(e);
+        }
+        e.f64(self.flops);
+        e.u32(self.target_nresults);
+        e.u32(self.min_quorum);
+        e.u32(self.max_total_results);
+        e.u64(self.delay_bound.as_micros());
+        e.u64(self.output_bytes);
+        e.bool(self.upload_outputs);
+        e.u64(self.payload);
+    }
+
+    /// The WAL wire form as a standalone byte vector (the opaque blob
+    /// stored in `StateChange::WuInserted`).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        self.encode(&mut e);
+        e.into_vec()
+    }
+
+    /// Decode the WAL wire form.
+    pub fn decode(d: &mut Dec<'_>) -> Result<Self, WireError> {
+        let name = d.str()?;
+        let app = d.str()?;
+        let n = d.u32()? as usize;
+        let mut inputs = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            inputs.push(FileRef::decode(d)?);
+        }
+        Ok(WorkUnitSpec {
+            name,
+            app,
+            inputs,
+            flops: d.f64()?,
+            target_nresults: d.u32()?,
+            min_quorum: d.u32()?,
+            max_total_results: d.u32()?,
+            delay_bound: SimDuration::from_micros(d.u64()?),
+            output_bytes: d.u64()?,
+            upload_outputs: d.bool()?,
+            payload: d.u64()?,
+        })
+    }
+
+    /// Decode a standalone [`WorkUnitSpec::to_bytes`] blob.
+    pub fn from_bytes(b: &[u8]) -> Result<Self, WireError> {
+        let mut d = Dec::new(b);
+        let s = Self::decode(&mut d)?;
+        d.finish()?;
+        Ok(s)
     }
 }
 
@@ -111,6 +170,71 @@ pub enum ResultOutcome {
     /// Superseded: its WU validated without it (it may still report
     /// later; the report is accepted but changes nothing).
     WuDone,
+}
+
+impl WuState {
+    /// Stable WAL wire tag.
+    pub fn to_wire(self) -> u8 {
+        match self {
+            WuState::Active => 0,
+            WuState::Validated => 1,
+            WuState::Failed => 2,
+        }
+    }
+
+    /// Decode a WAL wire tag.
+    pub fn from_wire(t: u8) -> Result<Self, WireError> {
+        match t {
+            0 => Ok(WuState::Active),
+            1 => Ok(WuState::Validated),
+            2 => Ok(WuState::Failed),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+impl ResultState {
+    /// Stable WAL wire tag.
+    pub fn to_wire(self) -> u8 {
+        match self {
+            ResultState::Unsent => 0,
+            ResultState::InProgress => 1,
+            ResultState::Over => 2,
+        }
+    }
+
+    /// Decode a WAL wire tag.
+    pub fn from_wire(t: u8) -> Result<Self, WireError> {
+        match t {
+            0 => Ok(ResultState::Unsent),
+            1 => Ok(ResultState::InProgress),
+            2 => Ok(ResultState::Over),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+impl ResultOutcome {
+    /// Stable WAL wire tag (also used inside `StateChange` records).
+    pub fn to_wire(self) -> u8 {
+        match self {
+            ResultOutcome::Success => 0,
+            ResultOutcome::Error => 1,
+            ResultOutcome::NoReply => 2,
+            ResultOutcome::WuDone => 3,
+        }
+    }
+
+    /// Decode a WAL wire tag.
+    pub fn from_wire(t: u8) -> Result<Self, WireError> {
+        match t {
+            0 => Ok(ResultOutcome::Success),
+            1 => Ok(ResultOutcome::Error),
+            2 => Ok(ResultOutcome::NoReply),
+            3 => Ok(ResultOutcome::WuDone),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
 }
 
 /// A result row in the project database.
@@ -184,5 +308,54 @@ mod tests {
         };
         assert!(!done.is_live());
         assert!(done.is_success());
+    }
+
+    #[test]
+    fn spec_wire_round_trip() {
+        use crate::types::{FileRef, FileSource};
+        let mut s = WorkUnitSpec::basic("mr0_map_3", "mr_map", 2.5e9);
+        s.inputs = vec![
+            FileRef::on_server("chunk_3", 1 << 20),
+            FileRef {
+                name: "inter_0_3".into(),
+                bytes: 4096,
+                source: FileSource::Peers(vec![ClientId(4), ClientId(9)]),
+            },
+        ];
+        s.upload_outputs = false;
+        s.payload = 0xDEAD_BEEF;
+        let b = s.to_bytes();
+        let back = WorkUnitSpec::from_bytes(&b).unwrap();
+        assert_eq!(back.name, s.name);
+        assert_eq!(back.inputs, s.inputs);
+        assert_eq!(back.flops.to_bits(), s.flops.to_bits());
+        assert_eq!(back.delay_bound, s.delay_bound);
+        assert_eq!(back.payload, s.payload);
+        assert!(!back.upload_outputs);
+        // Canonical: equal specs encode identically.
+        assert_eq!(back.to_bytes(), b);
+    }
+
+    #[test]
+    fn enum_wire_tags_round_trip() {
+        for s in [WuState::Active, WuState::Validated, WuState::Failed] {
+            assert_eq!(WuState::from_wire(s.to_wire()).unwrap(), s);
+        }
+        for s in [
+            ResultState::Unsent,
+            ResultState::InProgress,
+            ResultState::Over,
+        ] {
+            assert_eq!(ResultState::from_wire(s.to_wire()).unwrap(), s);
+        }
+        for o in [
+            ResultOutcome::Success,
+            ResultOutcome::Error,
+            ResultOutcome::NoReply,
+            ResultOutcome::WuDone,
+        ] {
+            assert_eq!(ResultOutcome::from_wire(o.to_wire()).unwrap(), o);
+        }
+        assert!(ResultOutcome::from_wire(9).is_err());
     }
 }

@@ -26,6 +26,7 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 
 echo "==> feature matrix: vmr-obs recorder compiled out (--no-default-features)"
 cargo build --offline -p vmr-bench --no-default-features
+cargo build --offline -p vmr-durable --no-default-features
 
 if [ "$NO_TEST" -eq 0 ]; then
     echo "==> cargo test (workspace)"
@@ -42,6 +43,10 @@ if [ "$NO_BENCH" -eq 0 ]; then
     echo "==> bench smoke: table1 --quick (with metrics dump)"
     ./target/release/table1 --quick --metrics /tmp/table1_quick_metrics.json > /dev/null
     [ -s /tmp/table1_quick_metrics.json ] || { echo "table1 --metrics wrote nothing" >&2; exit 1; }
+
+    echo "==> crash-replay smoke: crash mid-run, resume from the WAL mirror, byte-diff"
+    cargo build --offline --release -p vmr-bench --bin recovery_study
+    ./target/release/recovery_study --smoke
 fi
 
 echo "==> OK"
