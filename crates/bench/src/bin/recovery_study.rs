@@ -12,17 +12,26 @@
 //! a longer cadence means a longer replay tail). `--full` uses the
 //! paper's 1 GB input instead of the quick 256 MB subset.
 //!
+//! The sweep also reports the **compacted** image size per cadence
+//! (`cmpct_KiB`): what the on-disk mirror shrinks to once frames
+//! superseded by the latest committed full snapshot are dropped — and
+//! a second table compares plan shapes (full snapshots, incremental,
+//! sharded) at a fixed cadence.
+//!
 //! `--smoke` is the check.sh gate: crash one run at a fixed record
 //! count, mirror its WAL through a file sink, resume from the mirrored
 //! bytes, and byte-compare the Table I row against an uninterrupted
-//! run — exit 1 on any divergence.
+//! run — exit 1 on any divergence. Runs twice: once with the classic
+//! single-log plan, once with sharding + incremental snapshots +
+//! mirror compaction all enabled, resuming from the compacted
+//! per-section files on disk.
 
 use std::time::Instant;
 use vmr_bench::{calibrated_sizing, row_config, table1_rows};
 use vmr_core::{
     format_row, resume_experiment, run_experiment, ExperimentConfig, MrMode, RecoveredServerState,
 };
-use vmr_durable::{CrashPlan, DurabilityPlan};
+use vmr_durable::{compact, sink_image, CompactionPolicy, CrashPlan, DurabilityPlan};
 
 fn study_config(full: bool) -> ExperimentConfig {
     let row = table1_rows()[0];
@@ -65,13 +74,14 @@ fn sweep(full: bool) {
         base.finished_at.as_secs_f64()
     );
     println!(
-        "{:>10} | {:>8} | {:>9} | {:>8} | {:>8} | {:>9} | {:>5} | {:>8} | {:>8}",
+        "{:>10} | {:>8} | {:>9} | {:>8} | {:>8} | {:>9} | {:>9} | {:>5} | {:>8} | {:>8}",
         "snap_iv_s",
         "wall_ms",
         "overhead",
         "records",
         "rec_p_s",
         "wal_KiB",
+        "cmpct_KiB",
         "snaps",
         "replay",
         "recov_us"
@@ -87,11 +97,18 @@ fn sweep(full: bool) {
         let records = snap.counter("dur.wal_records");
         let wal = out.wal.as_ref().unwrap();
         let snaps = snap.histogram("dur.snapshot_us");
+        let compacted = compact(wal).expect("compaction failed");
+        if snaps.count > 0 {
+            assert!(
+                compacted.len() < wal.len(),
+                "a committed snapshot must let compaction reclaim bytes"
+            );
+        }
         let t1 = Instant::now();
         let rec = RecoveredServerState::from_log(wal).expect("recovery failed");
         let recov_us = t1.elapsed().as_secs_f64() * 1e6;
         println!(
-            "{:>10} | {:>8.2} | {:>+7.1}% | {:>8} | {:>8.1} | {:>9.1} | {:>5} | {:>8} | {:>8.0}",
+            "{:>10} | {:>8.2} | {:>+7.1}% | {:>8} | {:>8.1} | {:>9.1} | {:>9.1} | {:>5} | {:>8} | {:>8.0}",
             if interval > 0.0 {
                 format!("{interval:.0}")
             } else {
@@ -102,6 +119,7 @@ fn sweep(full: bool) {
             records,
             records as f64 / out.finished_at.as_secs_f64(),
             wal.len() as f64 / 1024.0,
+            compacted.len() as f64 / 1024.0,
             snaps.count,
             rec.replayed,
             recov_us,
@@ -111,6 +129,50 @@ fn sweep(full: bool) {
             out.reports[0].total_s.to_bits(),
             base.reports[0].total_s.to_bits(),
             "journaling changed the simulation"
+        );
+    }
+
+    // Plan shapes at one cadence: full snapshots vs incremental vs
+    // sharded. Same workload, same 60 s checkpoint interval.
+    println!();
+    println!("# plan shapes at 60 s cadence");
+    println!(
+        "{:>16} | {:>9} | {:>9} | {:>8} | {:>8}",
+        "plan", "wal_KiB", "cmpct_KiB", "replay", "recov_us"
+    );
+    let shapes: [(&str, DurabilityPlan); 4] = [
+        ("full", DurabilityPlan::new(60.0)),
+        ("inc(k=4)", DurabilityPlan::new(60.0).with_incremental(4)),
+        ("sharded", DurabilityPlan::new(60.0).with_sharding()),
+        (
+            "sharded+inc(4)",
+            DurabilityPlan::new(60.0)
+                .with_incremental(4)
+                .with_sharding(),
+        ),
+    ];
+    for (name, plan) in shapes {
+        let mut c = cfg.clone();
+        c.durable = plan;
+        let out = run_experiment(&c);
+        assert!(out.all_done && !out.crashed);
+        let wal = out.wal.as_ref().unwrap();
+        let compacted = compact(wal).expect("compaction failed");
+        let t1 = Instant::now();
+        let rec = RecoveredServerState::from_log(wal).expect("recovery failed");
+        let recov_us = t1.elapsed().as_secs_f64() * 1e6;
+        println!(
+            "{:>16} | {:>9.1} | {:>9.1} | {:>8} | {:>8.0}",
+            name,
+            wal.len() as f64 / 1024.0,
+            compacted.len() as f64 / 1024.0,
+            rec.replayed,
+            recov_us,
+        );
+        assert_eq!(
+            out.reports[0].total_s.to_bits(),
+            base.reports[0].total_s.to_bits(),
+            "plan shape changed the simulation"
         );
     }
 }
@@ -163,10 +225,72 @@ fn smoke() -> bool {
     ok
 }
 
+/// Same crash → resume → byte-compare gate with every durability
+/// feature on: incremental snapshots, a sharded per-section WAL, and
+/// mirror compaction — resuming from the compacted files on disk.
+fn smoke_sharded_compacted() -> bool {
+    let mut cfg = ExperimentConfig::table1(5, 3, 2, MrMode::InterClient);
+    cfg.input_bytes = 32 << 20;
+    cfg.durable = DurabilityPlan::new(120.0)
+        .with_incremental(3)
+        .with_sharding()
+        .with_compaction(CompactionPolicy::max_mirror_bytes(4096));
+
+    let base = run_experiment(&cfg);
+    assert!(base.all_done, "sharded smoke baseline did not complete");
+    let committed = RecoveredServerState::from_log(base.wal.as_ref().unwrap())
+        .expect("baseline log unreadable")
+        .committed_records;
+
+    let sink = std::env::temp_dir().join(format!(
+        "vmr-recovery-smoke-sharded-{}.wal",
+        std::process::id()
+    ));
+    let mut crashed_cfg = cfg.clone();
+    crashed_cfg.durable = cfg
+        .durable
+        .clone()
+        .with_crash(CrashPlan::after_records(committed / 2))
+        .with_sink(&sink);
+    let dead = run_experiment(&crashed_cfg);
+    assert!(dead.crashed && !dead.all_done, "crash plan never fired");
+    // Reassemble the per-section mirror files into one bundle image —
+    // exactly what a restarted server would read off disk.
+    let disk = sink_image(&crashed_cfg.durable).expect("WAL shard mirrors missing");
+    let mem_committed = RecoveredServerState::from_log(dead.wal.as_ref().unwrap())
+        .expect("in-memory image unreadable")
+        .committed_bytes;
+    for p in crashed_cfg.durable.sink_paths() {
+        std::fs::remove_file(p).ok();
+    }
+
+    let resumed = resume_experiment(&crashed_cfg, &disk).expect("sharded resume failed");
+    let want = format_row(5, 3, 2, &base.reports[0]);
+    let got = format_row(5, 3, 2, &resumed.reports[0]);
+    let ok = resumed.all_done
+        && got == want
+        && resumed.finished_at == base.finished_at
+        && resumed.wal == base.wal;
+    if ok {
+        println!(
+            "sharded+inc+compacted smoke OK: {} B compacted mirror vs {} B committed log, \
+             resumed run is byte-identical",
+            disk.len(),
+            mem_committed,
+        );
+        println!("  row: {got}");
+    } else {
+        eprintln!("sharded+inc+compacted smoke FAILED");
+        eprintln!("  baseline: {want} (finished {:?})", base.finished_at);
+        eprintln!("  resumed:  {got} (finished {:?})", resumed.finished_at);
+    }
+    ok
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.iter().any(|a| a == "--smoke") {
-        if !smoke() {
+        if !smoke() || !smoke_sharded_compacted() {
             std::process::exit(1);
         }
         return;

@@ -348,7 +348,11 @@ impl Policy for MrPolicy {
     }
 
     fn durable_sections(&self, out: &mut Vec<(String, Vec<u8>)>) {
-        out.push(("tracker".to_string(), self.tracker.encode_state()));
+        use vmr_durable::section;
+        out.push((
+            section::NAMES[section::TRACKER].to_string(),
+            self.tracker.encode_state(),
+        ));
     }
 }
 

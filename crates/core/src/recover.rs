@@ -12,7 +12,7 @@
 
 use crate::experiment::{build_testbed, finish, horizon, ExperimentConfig, ExperimentOutcome};
 use crate::jobtracker::JobTracker;
-use vmr_durable::{recover, CrashPlan, Journal, RecoverError, WireError};
+use vmr_durable::{recover, section, CrashPlan, Journal, RecoverError, WireError};
 use vmr_obs::EventKind;
 use vmr_vcore::{Assimilator, CreditLedger, Db, Policy};
 
@@ -88,6 +88,10 @@ pub struct RecoveredServerState {
     pub committed_at_us: u64,
     /// Byte length of the committed log prefix.
     pub committed_bytes: usize,
+    /// Sequence number of the boundary commit. Unlike frame or byte
+    /// counts this survives compaction and sharding unchanged, so the
+    /// resume path re-drives to this target.
+    pub committed_seq: u64,
 }
 
 impl RecoveredServerState {
@@ -97,19 +101,19 @@ impl RecoveredServerState {
     /// mutators use.
     pub fn from_log(log: &[u8]) -> Result<Self, RecoveryError> {
         let r = recover(log)?;
-        let mut db = match r.sections.get("db") {
+        let mut db = match r.sections.get(section::NAMES[section::DB]) {
             Some(b) => Db::decode_state(b)?,
             None => Db::new(),
         };
-        let mut credit = match r.sections.get("credit") {
+        let mut credit = match r.sections.get(section::NAMES[section::CREDIT]) {
             Some(b) => CreditLedger::decode_state(b)?,
             None => CreditLedger::new(),
         };
-        let mut assimilator = match r.sections.get("assim") {
+        let mut assimilator = match r.sections.get(section::NAMES[section::ASSIM]) {
             Some(b) => Assimilator::decode_state(b)?,
             None => Assimilator::new(),
         };
-        let mut tracker = match r.sections.get("tracker") {
+        let mut tracker = match r.sections.get(section::NAMES[section::TRACKER]) {
             Some(b) => JobTracker::decode_state(b)?,
             None => JobTracker::new(),
         };
@@ -134,6 +138,7 @@ impl RecoveredServerState {
             committed_records: r.committed_records,
             committed_at_us: r.committed_at_us,
             committed_bytes: r.committed_bytes,
+            committed_seq: r.committed_seq,
         })
     }
 
@@ -142,10 +147,19 @@ impl RecoveredServerState {
     /// against a live engine's sections.
     pub fn encode_sections(&self) -> Vec<(String, Vec<u8>)> {
         vec![
-            ("db".into(), self.db.encode_state()),
-            ("credit".into(), self.credit.encode_state()),
-            ("assim".into(), self.assimilator.encode_state()),
-            ("tracker".into(), self.tracker.encode_state()),
+            (section::NAMES[section::DB].into(), self.db.encode_state()),
+            (
+                section::NAMES[section::CREDIT].into(),
+                self.credit.encode_state(),
+            ),
+            (
+                section::NAMES[section::ASSIM].into(),
+                self.assimilator.encode_state(),
+            ),
+            (
+                section::NAMES[section::TRACKER].into(),
+                self.tracker.encode_state(),
+            ),
         ]
     }
 }
@@ -183,9 +197,15 @@ pub fn resume_experiment(
         });
 
     // Re-drive to the committed boundary, then audit byte-for-byte.
-    if rec.committed_frames > 0 {
-        let target = rec.committed_frames;
-        eng.run_until(&mut pol, horizon(), |e| e.durable().frames() >= target);
+    // The target is the commit *sequence*, not a frame count: the
+    // image may be a compacted mirror whose frame and byte counts are
+    // smaller than what the live re-run accumulates, but the commit
+    // sequence is invariant under compaction and sharding.
+    if rec.committed_seq > 0 {
+        let target = rec.committed_seq;
+        eng.run_until(&mut pol, horizon(), |e| {
+            e.durable().committed_seq() >= target
+        });
         let mut live = eng.state_sections();
         pol.durable_sections(&mut live);
         let want = rec.encode_sections();

@@ -13,13 +13,47 @@
 
 use std::collections::HashMap;
 use vmr_core::config::{MrJobConfig, MrMode};
-use vmr_core::experiment::{format_row, run_experiment, ExperimentConfig};
+use vmr_core::experiment::{format_row, run_experiment, ExperimentConfig, ExperimentOutcome};
 use vmr_core::recover::{resume_experiment, RecoveredServerState};
 use vmr_core::MrPolicy;
-use vmr_desim::SimTime;
-use vmr_durable::{frame_ends, CrashPlan, DurabilityPlan, Journal};
+use vmr_desim::{SimDuration, SimTime};
+use vmr_durable::{frame_ends, sink_image, CompactionPolicy, CrashPlan, DurabilityPlan, Journal};
 use vmr_netsim::HostLink;
 use vmr_vcore::{ClientId, Engine, FaultPlan, HostProfile, Policy, ProjectConfig};
+
+/// Asserts a resumed outcome reproduces the uninterrupted baseline
+/// bit-for-bit: Table I row, phase-time f64 bits, counters, end time.
+fn assert_bit_identical(resumed: &ExperimentOutcome, base: &ExperimentOutcome, ctx: &str) {
+    assert!(resumed.all_done && !resumed.crashed, "{ctx}");
+    assert_eq!(
+        format_row(5, 3, 2, &resumed.reports[0]),
+        format_row(5, 3, 2, &base.reports[0]),
+        "{ctx}"
+    );
+    assert_eq!(
+        resumed.reports[0].total_s.to_bits(),
+        base.reports[0].total_s.to_bits(),
+        "{ctx}"
+    );
+    assert_eq!(
+        resumed.reports[0].map_s.to_bits(),
+        base.reports[0].map_s.to_bits(),
+        "{ctx}"
+    );
+    assert_eq!(
+        resumed.reports[0].reduce_s.to_bits(),
+        base.reports[0].reduce_s.to_bits(),
+        "{ctx}"
+    );
+    assert_eq!(resumed.stats.rpcs, base.stats.rpcs, "{ctx}");
+    assert_eq!(resumed.finished_at, base.finished_at, "{ctx}");
+    // The resumed run's own WAL must re-derive the baseline's.
+    assert_eq!(
+        resumed.wal.as_ref().unwrap(),
+        base.wal.as_ref().unwrap(),
+        "{ctx}"
+    );
+}
 
 fn live_sections(eng: &Engine, pol: &MrPolicy) -> Vec<(String, Vec<u8>)> {
     let mut s = eng.state_sections();
@@ -155,27 +189,108 @@ fn resumed_experiment_is_bit_identical_to_uninterrupted() {
         let wal = dead.wal.as_ref().unwrap();
 
         let resumed = resume_experiment(&crashed_cfg, wal).unwrap();
-        assert!(resumed.all_done && !resumed.crashed);
-        // Bit-identical Table I output and counters.
-        assert_eq!(
-            format_row(5, 3, 2, &resumed.reports[0]),
-            format_row(5, 3, 2, &base.reports[0]),
+        assert_bit_identical(&resumed, &base, &format!("{crash:?}"));
+    }
+}
+
+/// Resume bit-identity with all three durability features on at once —
+/// incremental snapshots, a sharded WAL and mirror compaction — and
+/// from *both* crash artifacts: the in-memory log and the compacted
+/// on-disk mirror a real crashed server would actually be left with.
+#[test]
+fn resume_bit_identical_with_sharding_incremental_and_compaction() {
+    let dir = std::env::temp_dir().join(format!("vmr-crash-replay-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let mut cfg = ExperimentConfig::table1(5, 3, 2, MrMode::InterClient);
+    cfg.input_bytes = 32 << 20;
+    cfg.durable = DurabilityPlan::new(120.0)
+        .with_incremental(3)
+        .with_sharding()
+        .with_compaction(CompactionPolicy::max_mirror_bytes(4096));
+
+    let base = run_experiment(&cfg);
+    assert!(base.all_done && !base.crashed);
+    let base_log = base.wal.as_ref().unwrap();
+    assert!(vmr_durable::frame::is_bundle(base_log), "sharded = bundle");
+    let full = RecoveredServerState::from_log(base_log).unwrap();
+    assert!(full.committed_seq > 0);
+
+    let crashes = [
+        CrashPlan::after_records(full.committed_records / 2),
+        CrashPlan::at_us(base.finished_at.as_micros() / 2),
+    ];
+    for (i, crash) in crashes.into_iter().enumerate() {
+        let mut crashed_cfg = cfg.clone();
+        crashed_cfg.durable = cfg
+            .durable
+            .clone()
+            .with_crash(crash)
+            .with_sink(dir.join(format!("crash-{i}.wal")));
+        let dead = run_experiment(&crashed_cfg);
+        assert!(dead.crashed, "{crash:?} never fired");
+        let mem = dead.wal.as_ref().unwrap();
+
+        // Resume from the in-memory image (full uncompacted log)…
+        let resumed = resume_experiment(&crashed_cfg, mem).unwrap();
+        assert_bit_identical(&resumed, &base, &format!("{crash:?} (memory image)"));
+
+        // …and from the on-disk mirror: sharded per-section files,
+        // compacted behind committed snapshots. Same boundary, same
+        // bit-identical outcome, despite holding fewer frames.
+        let disk = sink_image(&crashed_cfg.durable).unwrap();
+        assert!(vmr_durable::frame::is_bundle(&disk));
+        let from_mem = RecoveredServerState::from_log(mem).unwrap();
+        let from_disk = RecoveredServerState::from_log(&disk).unwrap();
+        assert_eq!(from_disk.committed_seq, from_mem.committed_seq);
+        assert!(
+            from_disk.committed_bytes <= from_mem.committed_bytes,
+            "compacted mirror cannot be larger than the live log"
         );
-        assert_eq!(
-            resumed.reports[0].total_s.to_bits(),
-            base.reports[0].total_s.to_bits()
-        );
-        assert_eq!(
-            resumed.reports[0].map_s.to_bits(),
-            base.reports[0].map_s.to_bits()
-        );
-        assert_eq!(
-            resumed.reports[0].reduce_s.to_bits(),
-            base.reports[0].reduce_s.to_bits()
-        );
-        assert_eq!(resumed.stats.rpcs, base.stats.rpcs);
-        assert_eq!(resumed.finished_at, base.finished_at);
-        // The resumed run's own WAL must re-derive the baseline's.
-        assert_eq!(resumed.wal.as_ref().unwrap(), base_log);
+        let resumed_disk = resume_experiment(&crashed_cfg, &disk).unwrap();
+        assert_bit_identical(&resumed_disk, &base, &format!("{crash:?} (disk mirror)"));
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// CrashPlan × FaultIndex interaction: the crash fires on the same
+/// event the fault machinery acts on — at the exact arming instant of
+/// a client dropout, and mid-stream in a byzantine-corrupted run —
+/// and resume must still be bit-identical. This pins down the
+/// ordering contract between fault lookups (which consume rng draws)
+/// and the WAL: every fault-driven state change is journaled like any
+/// other, so re-driving a faulted run reproduces it exactly.
+#[test]
+fn crash_on_a_fault_event_resumes_bit_identically() {
+    let dropout_s = 120u64;
+    let mut cfg = ExperimentConfig::table1(5, 3, 2, MrMode::InterClient);
+    cfg.input_bytes = 16 << 20;
+    cfg.fault = FaultPlan {
+        byzantine: vec![ClientId(2)],
+        corruption_prob: 1.0,
+        dropouts: vec![(ClientId(4), SimDuration::from_secs(dropout_s))],
+        ..FaultPlan::none()
+    };
+    cfg.durable = DurabilityPlan::new(60.0)
+        .with_incremental(2)
+        .with_sharding();
+
+    let base = run_experiment(&cfg);
+    assert!(base.all_done && !base.crashed, "faulted base must finish");
+    let full = RecoveredServerState::from_log(base.wal.as_ref().unwrap()).unwrap();
+
+    let crashes = [
+        // The same sim-instant the dropout arms.
+        CrashPlan::at_us(dropout_s * 1_000_000),
+        // Mid-stream between byzantine dissent records.
+        CrashPlan::after_records(full.committed_records / 3),
+    ];
+    for crash in crashes {
+        let mut crashed_cfg = cfg.clone();
+        crashed_cfg.durable = cfg.durable.clone().with_crash(crash);
+        let dead = run_experiment(&crashed_cfg);
+        assert!(dead.crashed, "{crash:?} never fired");
+        let resumed = resume_experiment(&crashed_cfg, dead.wal.as_ref().unwrap()).unwrap();
+        assert_bit_identical(&resumed, &base, &format!("{crash:?}"));
     }
 }

@@ -1,0 +1,151 @@
+//! Log compaction: dropping frames superseded by a committed snapshot.
+//!
+//! A committed **full** snapshot makes every earlier frame redundant —
+//! recovery reads the last full snapshot, layers later incremental
+//! snapshots, and replays the changes after them; nothing before the
+//! full snapshot's frame is ever consulted. [`compact`] rewrites an
+//! image down to exactly the bytes recovery can use:
+//!
+//! * the magic header,
+//! * everything from the start of the last committed full snapshot
+//!   frame (or the header, if none) through the last commit frame.
+//!
+//! The uncommitted tail is dropped too: a mirror only ever holds
+//! committed bytes, so compacting an in-memory image (which may carry
+//! crash debris) to the same form keeps the two comparable. For a
+//! sharded bundle each shard is compacted independently — any shard
+//! snapshot fully covers its single section, so per shard every
+//! snapshot frame starts a chain.
+//!
+//! This is the pure counterpart of the journal's mirror rewrite
+//! ([`crate::CompactionPolicy`]): `compact(log_bytes())` equals the
+//! mirror contents after an unconditional compaction at the last
+//! commit. The journal's *in-memory* log is never compacted — it stays
+//! the authoritative append-only image so a resumed run can reproduce
+//! it bit-for-bit.
+
+use crate::frame::{self, FRAME_COMMIT, FRAME_SNAPSHOT};
+use crate::recover::RecoverError;
+
+fn compact_log(log: &[u8]) -> Result<Vec<u8>, RecoverError> {
+    let scan = frame::scan(log).map_err(|_| RecoverError::BadMagic)?;
+    let last_commit = match scan.frames.iter().rposition(|f| f.kind == FRAME_COMMIT) {
+        Some(i) => i,
+        None => return Ok(frame::MAGIC.to_vec()), // nothing committed
+    };
+    let committed = &scan.frames[..=last_commit];
+    let chain_start = committed
+        .iter()
+        .rposition(|f| f.kind == FRAME_SNAPSHOT)
+        .map(|i| committed[i].start())
+        .unwrap_or(frame::MAGIC.len());
+    let mut out = Vec::with_capacity(frame::MAGIC.len() + committed[last_commit].end - chain_start);
+    out.extend_from_slice(frame::MAGIC);
+    out.extend_from_slice(&log[chain_start..committed[last_commit].end]);
+    Ok(out)
+}
+
+/// Rewrites `image` (a single log or a sharded bundle) without the
+/// frames superseded by committed snapshots. Recovery from the result
+/// yields the same sections, tail, boundary sequence and sim-time as
+/// from the original — only frame/byte counts shrink.
+pub fn compact(image: &[u8]) -> Result<Vec<u8>, RecoverError> {
+    if frame::is_bundle(image) {
+        let entries = frame::parse_bundle(image).map_err(RecoverError::BadBundle)?;
+        let mut compacted = Vec::with_capacity(entries.len());
+        for (name, log) in &entries {
+            compacted.push((name.clone(), compact_log(log)?));
+        }
+        let refs: Vec<(&str, &[u8])> = compacted
+            .iter()
+            .map(|(n, l)| (n.as_str(), l.as_slice()))
+            .collect();
+        Ok(frame::bundle(&refs))
+    } else {
+        compact_log(image)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::{DurabilityPlan, Journal};
+    use crate::record::StateChange;
+    use crate::recover::recover;
+    use crate::section;
+    use crate::snapshot::Sections;
+
+    fn change(rid: u32) -> StateChange {
+        StateChange::ResultCreated { rid, wu: 0 }
+    }
+
+    fn all_sections(tag: u8) -> Sections {
+        let mut s = Sections::new();
+        for name in section::NAMES {
+            s.push(name, vec![tag]);
+        }
+        s
+    }
+
+    fn drive(j: &Journal, snap_every: u32) {
+        for i in 0..9u32 {
+            j.advance_to((i as u64 + 1) * 10);
+            j.append(&change(i));
+            if i % 3 == 2 {
+                j.append(&StateChange::CreditError { client: i });
+            }
+            j.commit();
+            if snap_every > 0 && i % snap_every == snap_every - 1 {
+                j.write_snapshot(&all_sections(i as u8));
+                j.commit();
+            }
+        }
+        // Uncommitted debris the compacted image must drop.
+        j.advance_to(999);
+        j.append(&change(999));
+    }
+
+    fn assert_equiv(image: &[u8]) {
+        let a = recover(image).unwrap();
+        let c = compact(image).unwrap();
+        let b = recover(&c).unwrap();
+        assert_eq!(a.sections, b.sections);
+        assert_eq!(a.tail, b.tail);
+        assert_eq!(a.committed_seq, b.committed_seq);
+        assert_eq!(a.committed_at_us, b.committed_at_us);
+        assert_eq!(a.from_snapshot, b.from_snapshot);
+        // Compaction is idempotent once the debris is gone.
+        assert_eq!(compact(&c).unwrap(), c);
+    }
+
+    #[test]
+    fn compacted_single_log_recovers_identically() {
+        for (snap_every, inc) in [(0, 1), (2, 1), (2, 3), (3, 2)] {
+            let plan = DurabilityPlan::new(0.0).with_incremental(inc);
+            let j = Journal::new(&plan).unwrap();
+            drive(&j, snap_every);
+            let img = j.log_bytes();
+            assert_equiv(&img);
+            if snap_every > 0 {
+                assert!(compact(&img).unwrap().len() < img.len());
+            }
+        }
+    }
+
+    #[test]
+    fn compacted_bundle_recovers_identically() {
+        let plan = DurabilityPlan::new(0.0).with_sharding().with_incremental(2);
+        let j = Journal::new(&plan).unwrap();
+        drive(&j, 2);
+        let img = j.log_bytes();
+        assert_equiv(&img);
+        assert!(compact(&img).unwrap().len() < img.len());
+    }
+
+    #[test]
+    fn uncommitted_only_log_compacts_to_magic() {
+        let j = Journal::new(&DurabilityPlan::new(0.0)).unwrap();
+        j.append(&change(0));
+        assert_eq!(compact(&j.log_bytes()).unwrap(), frame::MAGIC.to_vec());
+    }
+}

@@ -14,9 +14,34 @@
 //! **Transactions.** The simulation mutates state only while
 //! dispatching one event, so the natural atomicity unit is the event:
 //! the engine calls [`Journal::commit`] after each dispatched event
-//! that appended records, which writes a `FRAME_COMMIT` boundary.
+//! that appended records, which writes a `FRAME_COMMIT` boundary
+//! carrying the event's sim-time plus a monotonic *commit sequence*.
 //! Recovery discards any records after the last commit frame — a
 //! crash mid-event can never expose a half-applied transition.
+//!
+//! **Sharding.** With [`DurabilityPlan::sharded`], the journal keeps
+//! one log per state section ([`crate::section`]); a change record
+//! routes to its section's shard under that shard's own lock, so
+//! appends to different sections never contend — the append path
+//! touches only atomics plus one shard mutex. Each commit writes the
+//! same `(sim-time, commit seq)` boundary to *every* shard, which
+//! makes the recoverable boundary of a set of independently torn
+//! shards simply the minimum of their last commit sequences; recovery
+//! merges shard tails back into the global order by the per-record
+//! sequence number ([`crate::recover`]).
+//!
+//! **Incremental snapshots.** Applying a change sets its section's
+//! dirty bit; [`Journal::write_snapshot`] encodes only dirty sections
+//! (an incremental frame), forcing a full snapshot every
+//! [`DurabilityPlan::full_snapshot_every`]-th one. An incremental
+//! snapshot with nothing dirty is skipped entirely.
+//!
+//! **Compaction.** A committed full snapshot supersedes every earlier
+//! frame; when the [`CompactionPolicy`] triggers, the file mirror is
+//! rewritten (temp file + atomic rename) to start at that snapshot.
+//! The in-memory log is never compacted — it stays the authoritative,
+//! append-only image (`log_bytes` of a resumed run must reproduce the
+//! original bytes bit-for-bit).
 //!
 //! **Crash injection.** A [`CrashPlan`] deterministically kills the
 //! log: after the Nth change record, or at the first event boundary
@@ -31,12 +56,15 @@
 
 use crate::frame;
 use crate::record::StateChange;
+use crate::section;
 use crate::snapshot::Sections;
+use crate::wire::Enc;
 use bytes::BytesMut;
 use parking_lot::Mutex;
 use std::io::Write as _;
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 use vmr_obs::{Counter, Histo, Obs};
 
 /// Deterministic crash point for the durability layer.
@@ -77,18 +105,73 @@ impl CrashPlan {
     }
 }
 
+/// When to rewrite the file mirror so frames superseded by a committed
+/// snapshot are dropped. The default ([`CompactionPolicy::never`])
+/// keeps the mirror append-only.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CompactionPolicy {
+    /// Rewrite when the mirror file reaches this many bytes.
+    pub max_mirror_bytes: Option<u64>,
+    /// Rewrite when this many superseded change records sit in the
+    /// mirror (records before the last committed chain-start snapshot).
+    pub max_superseded_records: Option<u64>,
+}
+
+impl CompactionPolicy {
+    /// Never compact (the default).
+    pub fn never() -> Self {
+        CompactionPolicy::default()
+    }
+
+    /// Compact when the mirror reaches `n` bytes.
+    pub fn max_mirror_bytes(n: u64) -> Self {
+        CompactionPolicy {
+            max_mirror_bytes: Some(n),
+            max_superseded_records: None,
+        }
+    }
+
+    /// Compact when `n` superseded change records accumulate.
+    pub fn max_superseded_records(n: u64) -> Self {
+        CompactionPolicy {
+            max_mirror_bytes: None,
+            max_superseded_records: Some(n),
+        }
+    }
+
+    /// True when no trigger is configured.
+    pub fn is_never(&self) -> bool {
+        self.max_mirror_bytes.is_none() && self.max_superseded_records.is_none()
+    }
+
+    fn triggered(&self, mirror_bytes: u64, superseded_records: u64) -> bool {
+        self.max_mirror_bytes.is_some_and(|n| mirror_bytes >= n)
+            || self
+                .max_superseded_records
+                .is_some_and(|n| superseded_records >= n)
+    }
+}
+
 /// Configuration for one journaled run.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct DurabilityPlan {
     /// Master switch; a disabled plan builds a no-op [`Journal`].
     pub enabled: bool,
-    /// Full-snapshot cadence in sim-seconds; `<= 0` disables snapshots
+    /// Snapshot cadence in sim-seconds; `<= 0` disables snapshots
     /// (recovery then replays the whole log).
     pub snapshot_every_s: f64,
+    /// Every Kth snapshot is full; the K−1 between are incremental
+    /// (dirty sections only). `0` or `1` = every snapshot is full.
+    pub full_snapshot_every: u32,
+    /// One log per state section instead of a single shared log.
+    pub sharded: bool,
+    /// Mirror-rewrite policy; [`CompactionPolicy::never`] by default.
+    pub compaction: CompactionPolicy,
     /// Deterministic crash point, if any.
     pub crash: CrashPlan,
     /// Optional file mirror: committed bytes are appended (and
-    /// flushed) to this path at every commit.
+    /// flushed) at every commit. Sharded plans mirror each shard to
+    /// `{path}.{section}` (see [`DurabilityPlan::sink_paths`]).
     pub sink: Option<PathBuf>,
 }
 
@@ -103,6 +186,9 @@ impl DurabilityPlan {
         DurabilityPlan {
             enabled: true,
             snapshot_every_s,
+            full_snapshot_every: 1,
+            sharded: false,
+            compaction: CompactionPolicy::never(),
             crash: CrashPlan::none(),
             sink: None,
         }
@@ -119,6 +205,69 @@ impl DurabilityPlan {
         self.sink = Some(path.into());
         self
     }
+
+    /// Makes every Kth snapshot full and the rest incremental.
+    pub fn with_incremental(mut self, full_every: u32) -> Self {
+        self.full_snapshot_every = full_every;
+        self
+    }
+
+    /// Switches to one log per state section.
+    pub fn with_sharding(mut self) -> Self {
+        self.sharded = true;
+        self
+    }
+
+    /// Sets the mirror compaction policy.
+    pub fn with_compaction(mut self, policy: CompactionPolicy) -> Self {
+        self.compaction = policy;
+        self
+    }
+
+    /// The mirror file paths this plan writes: `[sink]` for a single
+    /// log, `{sink}.{section}` per section when sharded, empty without
+    /// a sink.
+    pub fn sink_paths(&self) -> Vec<PathBuf> {
+        match &self.sink {
+            None => Vec::new(),
+            Some(p) if !self.sharded => vec![p.clone()],
+            Some(p) => section::NAMES
+                .iter()
+                .map(|n| {
+                    let mut os = p.clone().into_os_string();
+                    os.push(format!(".{n}"));
+                    PathBuf::from(os)
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Reads a plan's mirror file(s) back into one recoverable image —
+/// the single log, or the shard bundle assembled from the per-section
+/// mirrors. This is what a restarted server hands to
+/// [`crate::recover`].
+pub fn sink_image(plan: &DurabilityPlan) -> std::io::Result<Vec<u8>> {
+    let paths = plan.sink_paths();
+    if paths.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::NotFound,
+            "plan has no sink",
+        ));
+    }
+    if !plan.sharded {
+        return std::fs::read(&paths[0]);
+    }
+    let mut logs = Vec::with_capacity(paths.len());
+    for p in &paths {
+        logs.push(std::fs::read(p)?);
+    }
+    let entries: Vec<(&str, &[u8])> = section::NAMES
+        .iter()
+        .zip(&logs)
+        .map(|(n, l)| (*n, l.as_slice()))
+        .collect();
+    Ok(frame::bundle(&entries))
 }
 
 /// Pre-resolved metric handles (no-ops without the `record` feature).
@@ -126,6 +275,8 @@ struct DurObs {
     wal_records: Counter,
     wal_bytes: Counter,
     snapshot_us: Histo,
+    compactions: Counter,
+    compact_reclaimed: Counter,
 }
 
 /// Log position of the last commit frame.
@@ -136,57 +287,176 @@ struct Watermark {
     records: u64,
 }
 
-struct Inner {
+/// One log (the only one, or one section's).
+struct Shard {
     log: BytesMut,
     /// Frames appended (changes + snapshots + commits).
     frames: u64,
     /// Change records appended.
     records: u64,
     committed: Watermark,
-    /// Change records appended since the last commit frame.
-    pending: bool,
-    /// Sim-time of the event being dispatched, microseconds.
-    now_us: u64,
-    /// Snapshot cadence, microseconds; 0 = never.
-    snapshot_every_us: u64,
-    next_snapshot_us: u64,
-    crash: CrashPlan,
-    crashed: bool,
+    /// Offset of the frame the committed log is self-contained from:
+    /// the last committed chain-start snapshot, else the magic header.
+    chain_start: usize,
+    /// Change records superseded by `chain_start`.
+    superseded: u64,
+    /// Snapshot written but not yet committed:
+    /// `(frame offset, records at write, starts a chain)`.
+    pending_snap: Option<(usize, u64, bool)>,
     sink: Option<std::fs::File>,
+    sink_path: Option<PathBuf>,
+    /// In-memory offset mirrored so far.
     sink_pos: usize,
-    obs: Option<DurObs>,
+    /// In-memory offset where the mirror's content (after its magic)
+    /// begins; grows at each compaction.
+    sink_from: usize,
+    /// Current mirror file length.
+    mirror_len: u64,
+    /// Superseded records already dropped by past compactions.
+    dropped: u64,
 }
 
-impl Inner {
+impl Shard {
+    fn new(sink_path: Option<PathBuf>) -> std::io::Result<Self> {
+        let mut log = BytesMut::with_capacity(4096);
+        frame::put_magic(&mut log);
+        let sink = match &sink_path {
+            Some(p) => Some(std::fs::File::create(p)?),
+            None => None,
+        };
+        Ok(Shard {
+            log,
+            frames: 0,
+            records: 0,
+            committed: Watermark::default(),
+            chain_start: frame::MAGIC.len(),
+            superseded: 0,
+            pending_snap: None,
+            sink,
+            sink_path,
+            sink_pos: 0,
+            sink_from: frame::MAGIC.len(),
+            mirror_len: 0,
+            dropped: 0,
+        })
+    }
+
     fn append_frame(&mut self, kind: u8, body: &[u8]) -> usize {
         let n = frame::append_frame(&mut self.log, kind, body);
         self.frames += 1;
-        if let Some(o) = &self.obs {
-            o.wal_bytes.add(n as u64);
-        }
         n
     }
+
+    /// Appends newly committed bytes to the mirror, then rewrites it
+    /// when `policy` triggers. Mirror failure is non-fatal: the
+    /// in-memory log stays authoritative; the mirror is best-effort.
+    fn mirror(&mut self, policy: &CompactionPolicy, obs: Option<&DurObs>) {
+        if self.sink.is_none() {
+            return;
+        }
+        let end = self.committed.bytes;
+        if end > self.sink_pos {
+            let chunk = self.log[self.sink_pos..end].to_vec();
+            let sink = self.sink.as_mut().unwrap();
+            if sink.write_all(&chunk).and_then(|_| sink.flush()).is_ok() {
+                self.sink_pos = end;
+                self.mirror_len += chunk.len() as u64;
+            }
+        }
+        if self.chain_start > self.sink_from
+            && self.sink_pos >= self.chain_start
+            && policy.triggered(self.mirror_len, self.superseded - self.dropped)
+        {
+            self.compact_mirror(obs);
+        }
+    }
+
+    /// Rewrites the mirror as `MAGIC + log[chain_start..sink_pos]` via
+    /// a temp file and atomic rename, then reopens it for appending.
+    fn compact_mirror(&mut self, obs: Option<&DurObs>) {
+        let Some(path) = self.sink_path.clone() else {
+            return;
+        };
+        let mut content = Vec::with_capacity(frame::MAGIC.len() + self.sink_pos - self.chain_start);
+        content.extend_from_slice(frame::MAGIC);
+        content.extend_from_slice(&self.log[self.chain_start..self.sink_pos]);
+        let tmp = {
+            let mut os = path.clone().into_os_string();
+            os.push(".tmp");
+            PathBuf::from(os)
+        };
+        let rewritten = std::fs::write(&tmp, &content)
+            .and_then(|_| std::fs::rename(&tmp, &path))
+            .and_then(|_| std::fs::OpenOptions::new().append(true).open(&path));
+        match rewritten {
+            Ok(f) => {
+                let reclaimed = self.mirror_len.saturating_sub(content.len() as u64);
+                self.mirror_len = content.len() as u64;
+                self.sink_from = self.chain_start;
+                self.dropped = self.superseded;
+                self.sink = Some(f);
+                if let Some(o) = obs {
+                    o.compactions.inc();
+                    o.compact_reclaimed.add(reclaimed);
+                }
+            }
+            Err(_) => {
+                std::fs::remove_file(&tmp).ok();
+            }
+        }
+    }
+}
+
+/// Commit-side bookkeeping, touched once per committed event.
+struct Ctl {
+    /// Last allocated commit sequence (0 = nothing committed yet).
+    commit_seq: u64,
+    /// Snapshots written (drives the full/incremental cycle).
+    snap_counter: u64,
+    next_snapshot_us: u64,
+}
+
+struct Core {
+    sharded: bool,
+    /// Every Kth snapshot is full (`<= 1` = always full).
+    full_every: u64,
+    /// Snapshot cadence, microseconds; 0 = never.
+    snapshot_every_us: u64,
+    compaction: CompactionPolicy,
+    crash_after: Option<u64>,
+    crash_at: Option<u64>,
+    /// One shard per section when sharded, else a single shard.
+    shards: Vec<Mutex<Shard>>,
+    /// Sim-time of the event being dispatched, microseconds.
+    now_us: AtomicU64,
+    /// Change records appended (doubles as the record-sequence source).
+    records: AtomicU64,
+    crashed: AtomicBool,
+    /// Anything appended (records or snapshots) since the last commit.
+    any_pending: AtomicBool,
+    /// Per-section dirty bits for incremental snapshots.
+    dirty: [AtomicBool; section::COUNT],
+    ctl: Mutex<Ctl>,
+    obs: OnceLock<DurObs>,
 }
 
 /// Handle to one shared write-ahead log; clones append to the same log.
 #[derive(Clone, Default)]
-pub struct Journal(Option<Arc<Mutex<Inner>>>);
+pub struct Journal(Option<Arc<Core>>);
 
 impl std::fmt::Debug for Journal {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match &self.0 {
             None => write!(f, "Journal(disabled)"),
-            Some(inner) => {
-                let g = inner.lock();
-                write!(
-                    f,
-                    "Journal(frames={}, records={}, bytes={}, crashed={})",
-                    g.frames,
-                    g.records,
-                    g.log.len(),
-                    g.crashed
-                )
-            }
+            Some(core) => write!(
+                f,
+                "Journal(shards={}, frames={}, records={}, bytes={}, crashed={})",
+                core.shards.len(),
+                self.frames(),
+                self.records(),
+                self.log_len(),
+                core.crashed.load(Ordering::Acquire)
+            ),
         }
     }
 }
@@ -198,46 +468,53 @@ impl Journal {
     }
 
     /// Builds a journal from a plan. A disabled plan yields the no-op
-    /// handle; an enabled one starts a fresh log (and file mirror).
+    /// handle; an enabled one starts a fresh log (and file mirrors).
     pub fn new(plan: &DurabilityPlan) -> std::io::Result<Self> {
         if !plan.enabled {
             return Ok(Journal(None));
         }
-        let mut log = BytesMut::with_capacity(4096);
-        frame::put_magic(&mut log);
         let every_us = if plan.snapshot_every_s > 0.0 {
             (plan.snapshot_every_s * 1e6) as u64
         } else {
             0
         };
-        let sink = match &plan.sink {
-            Some(p) => Some(std::fs::File::create(p)?),
-            None => None,
-        };
-        Ok(Journal(Some(Arc::new(Mutex::new(Inner {
-            log,
-            frames: 0,
-            records: 0,
-            committed: Watermark::default(),
-            pending: false,
-            now_us: 0,
+        let sink_paths = plan.sink_paths();
+        let shard_count = if plan.sharded { section::COUNT } else { 1 };
+        let mut shards = Vec::with_capacity(shard_count);
+        for i in 0..shard_count {
+            shards.push(Mutex::new(Shard::new(sink_paths.get(i).cloned())?));
+        }
+        Ok(Journal(Some(Arc::new(Core {
+            sharded: plan.sharded,
+            full_every: plan.full_snapshot_every.max(1) as u64,
             snapshot_every_us: every_us,
-            next_snapshot_us: every_us,
-            crash: plan.crash,
-            crashed: false,
-            sink,
-            sink_pos: 0,
-            obs: None,
-        })))))
+            compaction: plan.compaction,
+            crash_after: plan.crash.after_records,
+            crash_at: plan.crash.at_us,
+            shards,
+            now_us: AtomicU64::new(0),
+            records: AtomicU64::new(0),
+            crashed: AtomicBool::new(false),
+            any_pending: AtomicBool::new(false),
+            dirty: Default::default(),
+            ctl: Mutex::new(Ctl {
+                commit_seq: 0,
+                snap_counter: 0,
+                next_snapshot_us: every_us,
+            }),
+            obs: OnceLock::new(),
+        }))))
     }
 
     /// Resolves the `dur.*` metric handles against `obs`.
     pub fn attach_obs(&self, obs: &Obs) {
-        if let Some(inner) = &self.0 {
-            inner.lock().obs = Some(DurObs {
+        if let Some(core) = &self.0 {
+            let _ = core.obs.set(DurObs {
                 wal_records: obs.counter("dur.wal_records"),
                 wal_bytes: obs.counter("dur.wal_bytes"),
                 snapshot_us: obs.histogram("dur.snapshot_us"),
+                compactions: obs.counter("dur.compactions"),
+                compact_reclaimed: obs.counter("dur.compact_reclaimed_bytes"),
             });
         }
     }
@@ -247,143 +524,304 @@ impl Journal {
         self.0.is_some()
     }
 
+    /// True when this journal keeps one log per state section.
+    pub fn sharded(&self) -> bool {
+        self.0.as_ref().is_some_and(|c| c.sharded)
+    }
+
     /// Advances the journal's sim-clock to the event being dispatched
     /// and trips a time-based crash at that boundary.
     pub fn advance_to(&self, now_us: u64) {
-        let Some(inner) = &self.0 else { return };
-        let mut g = inner.lock();
-        g.now_us = now_us;
-        if !g.crashed && matches!(g.crash.at_us, Some(t) if now_us >= t) {
-            g.crashed = true;
+        let Some(core) = &self.0 else { return };
+        core.now_us.store(now_us, Ordering::Release);
+        if matches!(core.crash_at, Some(t) if now_us >= t) {
+            core.crashed.store(true, Ordering::Release);
         }
     }
 
-    /// Appends one change record at the current event's sim-time.
-    /// No-op when disabled or crashed; flips to crashed per the
-    /// [`CrashPlan`].
+    /// Appends one change record at the current event's sim-time,
+    /// routing it to its section's shard. No-op when disabled or
+    /// crashed; flips to crashed per the [`CrashPlan`].
     pub fn append(&self, change: &StateChange) {
-        let Some(inner) = &self.0 else { return };
-        let mut g = inner.lock();
-        if g.crashed {
+        let Some(core) = &self.0 else { return };
+        if core.crashed.load(Ordering::Acquire) {
             return;
         }
-        let body = change.to_bytes();
-        g.append_frame(frame::FRAME_CHANGE, &body);
-        g.records += 1;
-        g.pending = true;
-        if let Some(o) = &g.obs {
-            o.wal_records.inc();
-        }
-        if g.crash.after_records == Some(g.records) {
-            g.crashed = true;
+        let sec = change.section_index();
+        let shard = if core.sharded { sec } else { 0 };
+        let seq = {
+            let mut s = core.shards[shard].lock();
+            // Allocate the global record sequence under the shard lock
+            // so each shard's records carry strictly increasing
+            // sequences (the invariant recovery validates).
+            let seq = core.records.fetch_add(1, Ordering::AcqRel) + 1;
+            let mut body = Enc::with_capacity(48);
+            body.u64(seq);
+            change.encode(&mut body);
+            let n = s.append_frame(frame::FRAME_CHANGE, &body.into_vec());
+            s.records += 1;
+            if let Some(o) = core.obs.get() {
+                o.wal_records.inc();
+                o.wal_bytes.add(n as u64);
+            }
+            seq
+        };
+        core.dirty[sec].store(true, Ordering::Release);
+        core.any_pending.store(true, Ordering::Release);
+        if core.crash_after == Some(seq) {
+            core.crashed.store(true, Ordering::Release);
         }
     }
 
     /// Writes a commit frame closing the current transaction (the
-    /// event being dispatched). No-op when nothing is pending.
+    /// event being dispatched) — to every shard when sharded, so the
+    /// global boundary is the minimum of the shards' last commit
+    /// sequences. No-op when nothing is pending.
     pub fn commit(&self) {
-        let Some(inner) = &self.0 else { return };
-        let mut g = inner.lock();
-        if g.crashed || !g.pending {
+        let Some(core) = &self.0 else { return };
+        if core.crashed.load(Ordering::Acquire) {
             return;
         }
-        let t = g.now_us;
-        g.append_frame(frame::FRAME_COMMIT, &t.to_be_bytes());
-        g.pending = false;
-        g.committed = Watermark {
-            bytes: g.log.len(),
-            frames: g.frames,
-            records: g.records,
-        };
-        let end = g.committed.bytes;
-        let start = g.sink_pos;
-        if g.sink.is_some() && end > start {
-            let chunk = g.log[start..end].to_vec();
-            let sink = g.sink.as_mut().unwrap();
-            // Mirror failure is non-fatal: the in-memory log stays
-            // authoritative for this run; the mirror is best-effort.
-            if sink.write_all(&chunk).and_then(|_| sink.flush()).is_ok() {
-                g.sink_pos = end;
+        if !core.any_pending.swap(false, Ordering::AcqRel) {
+            return;
+        }
+        let mut ctl = core.ctl.lock();
+        ctl.commit_seq += 1;
+        let seq = ctl.commit_seq;
+        let now = core.now_us.load(Ordering::Acquire);
+        let mut body = [0u8; 16];
+        body[..8].copy_from_slice(&now.to_be_bytes());
+        body[8..].copy_from_slice(&seq.to_be_bytes());
+        for m in &core.shards {
+            let mut s = m.lock();
+            let n = s.append_frame(frame::FRAME_COMMIT, &body);
+            if let Some(o) = core.obs.get() {
+                o.wal_bytes.add(n as u64);
             }
+            if let Some((off, recs, starts_chain)) = s.pending_snap.take() {
+                if starts_chain {
+                    s.chain_start = off;
+                    s.superseded = recs;
+                }
+            }
+            s.committed = Watermark {
+                bytes: s.log.len(),
+                frames: s.frames,
+                records: s.records,
+            };
+            s.mirror(&core.compaction, core.obs.get());
         }
     }
 
     /// True when a snapshot is due at the current event's sim-time.
     pub fn snapshot_due(&self) -> bool {
-        let Some(inner) = &self.0 else { return false };
-        let g = inner.lock();
-        !g.crashed && g.snapshot_every_us > 0 && g.now_us >= g.next_snapshot_us
+        let Some(core) = &self.0 else { return false };
+        if core.crashed.load(Ordering::Acquire) || core.snapshot_every_us == 0 {
+            return false;
+        }
+        core.now_us.load(Ordering::Acquire) >= core.ctl.lock().next_snapshot_us
     }
 
-    /// Writes a full-state snapshot frame and schedules the next one.
-    /// Returns the encoded snapshot size, or `None` when disabled or
-    /// crashed.
+    /// Writes a snapshot and schedules the next one. Every
+    /// [`DurabilityPlan::full_snapshot_every`]-th snapshot encodes all
+    /// sections (full); the rest encode only sections dirtied since
+    /// the last snapshot (incremental) — skipped entirely, returning
+    /// `None`, when nothing is dirty. Also `None` when disabled or
+    /// crashed; otherwise the total encoded snapshot size.
     pub fn write_snapshot(&self, sections: &Sections) -> Option<usize> {
-        let Some(inner) = &self.0 else { return None };
-        let mut g = inner.lock();
-        if g.crashed {
+        let core = self.0.as_ref()?;
+        if core.crashed.load(Ordering::Acquire) {
             return None;
         }
         let t0 = std::time::Instant::now();
-        let body = sections.to_bytes();
-        g.append_frame(frame::FRAME_SNAPSHOT, &body);
-        g.pending = true; // the closing commit covers the snapshot too
-        if g.snapshot_every_us > 0 {
-            while g.next_snapshot_us <= g.now_us {
-                g.next_snapshot_us += g.snapshot_every_us;
+        let mut ctl = core.ctl.lock();
+        if core.snapshot_every_us > 0 {
+            let now = core.now_us.load(Ordering::Acquire);
+            while ctl.next_snapshot_us <= now {
+                ctl.next_snapshot_us += core.snapshot_every_us;
             }
         }
-        if let Some(o) = &g.obs {
+        let full = core.full_every <= 1 || ctl.snap_counter % core.full_every == 0;
+        let covered: Vec<bool> = sections
+            .entries
+            .iter()
+            .map(|(name, _)| {
+                full || section::index_of(name)
+                    .is_none_or(|i| core.dirty[i].load(Ordering::Acquire))
+            })
+            .collect();
+        if !full && !covered.iter().any(|&c| c) {
+            return None; // incremental with nothing dirty: skip
+        }
+        let written = if core.sharded {
+            let mut total = 0usize;
+            for ((name, bytes), &cov) in sections.entries.iter().zip(&covered) {
+                if !cov {
+                    continue;
+                }
+                let Some(idx) = section::index_of(name) else {
+                    debug_assert!(false, "unknown section {name:?} in sharded snapshot");
+                    continue;
+                };
+                let mut one = Sections::new();
+                one.push(name, bytes.clone());
+                let body = one.to_bytes();
+                let mut s = core.shards[idx].lock();
+                let off = s.log.len();
+                // Per shard the snapshot always covers its whole (single)
+                // section, so every sharded snapshot frame is full and
+                // starts a new compaction chain.
+                let n = s.append_frame(frame::FRAME_SNAPSHOT, &body);
+                s.pending_snap = Some((off, s.records, true));
+                if let Some(o) = core.obs.get() {
+                    o.wal_bytes.add(n as u64);
+                }
+                total += body.len();
+            }
+            total
+        } else {
+            let subset = if full {
+                sections.clone()
+            } else {
+                let mut sub = Sections::new();
+                for ((name, bytes), &cov) in sections.entries.iter().zip(&covered) {
+                    if cov {
+                        sub.push(name, bytes.clone());
+                    }
+                }
+                sub
+            };
+            let body = subset.to_bytes();
+            let kind = if full {
+                frame::FRAME_SNAPSHOT
+            } else {
+                frame::FRAME_SNAPSHOT_INC
+            };
+            let mut s = core.shards[0].lock();
+            let off = s.log.len();
+            let n = s.append_frame(kind, &body);
+            // Only a full snapshot is self-contained; incrementals
+            // extend the chain of the last full one.
+            s.pending_snap = Some((off, s.records, full));
+            if let Some(o) = core.obs.get() {
+                o.wal_bytes.add(n as u64);
+            }
+            body.len()
+        };
+        for ((name, _), &cov) in sections.entries.iter().zip(&covered) {
+            if cov {
+                if let Some(i) = section::index_of(name) {
+                    core.dirty[i].store(false, Ordering::Release);
+                }
+            }
+        }
+        ctl.snap_counter += 1;
+        core.any_pending.store(true, Ordering::Release);
+        if let Some(o) = core.obs.get() {
             o.snapshot_us.record(t0.elapsed().as_micros() as f64);
         }
-        Some(body.len())
+        Some(written)
     }
 
     /// True once the crash plan has fired.
     pub fn crashed(&self) -> bool {
-        self.0.as_ref().is_some_and(|i| i.lock().crashed)
+        self.0
+            .as_ref()
+            .is_some_and(|c| c.crashed.load(Ordering::Acquire))
     }
 
-    /// Frames appended so far (changes + snapshots + commits).
+    /// Frames appended so far across all shards.
     pub fn frames(&self) -> u64 {
-        self.0.as_ref().map_or(0, |i| i.lock().frames)
+        self.0
+            .as_ref()
+            .map_or(0, |c| c.shards.iter().map(|m| m.lock().frames).sum())
     }
 
     /// Change records appended so far.
     pub fn records(&self) -> u64 {
-        self.0.as_ref().map_or(0, |i| i.lock().records)
+        self.0
+            .as_ref()
+            .map_or(0, |c| c.records.load(Ordering::Acquire))
     }
 
-    /// Frames up to and including the last commit frame.
+    /// Frames up to and including the last commit frame (summed
+    /// across shards).
     pub fn committed_frames(&self) -> u64 {
-        self.0.as_ref().map_or(0, |i| i.lock().committed.frames)
+        self.0.as_ref().map_or(0, |c| {
+            c.shards.iter().map(|m| m.lock().committed.frames).sum()
+        })
     }
 
     /// Change records covered by the last commit frame.
     pub fn committed_records(&self) -> u64 {
-        self.0.as_ref().map_or(0, |i| i.lock().committed.records)
+        self.0.as_ref().map_or(0, |c| {
+            c.shards.iter().map(|m| m.lock().committed.records).sum()
+        })
     }
 
-    /// Total log length in bytes (including any uncommitted tail).
+    /// Sequence number of the last commit (0 = nothing committed).
+    /// Unlike frame or byte counts this is invariant under compaction
+    /// and sharding, which is why resume targets it.
+    pub fn committed_seq(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.ctl.lock().commit_seq)
+    }
+
+    /// Total log length in bytes (including any uncommitted tail) —
+    /// exactly `log_bytes().len()`.
     pub fn log_len(&self) -> usize {
-        self.0.as_ref().map_or(0, |i| i.lock().log.len())
+        let Some(core) = &self.0 else { return 0 };
+        if !core.sharded {
+            return core.shards[0].lock().log.len();
+        }
+        // Bundle container: magic + u32 count + per shard
+        // (u32+name, u32+log).
+        frame::BUNDLE_MAGIC.len()
+            + 4
+            + core
+                .shards
+                .iter()
+                .zip(section::NAMES)
+                .map(|(m, n)| 8 + n.len() + m.lock().log.len())
+                .sum::<usize>()
     }
 
     /// A copy of the log image, including any uncommitted tail — what
-    /// a crashed server's disk would hold.
+    /// a crashed server's disk would hold. Sharded journals return the
+    /// bundle form ([`frame::bundle`]).
     pub fn log_bytes(&self) -> Vec<u8> {
-        self.0
-            .as_ref()
-            .map_or_else(Vec::new, |i| i.lock().log.to_vec())
+        let Some(core) = &self.0 else {
+            return Vec::new();
+        };
+        if !core.sharded {
+            return core.shards[0].lock().log.to_vec();
+        }
+        let logs: Vec<Vec<u8>> = core.shards.iter().map(|m| m.lock().log.to_vec()).collect();
+        let entries: Vec<(&str, &[u8])> = section::NAMES
+            .iter()
+            .zip(&logs)
+            .map(|(n, l)| (*n, l.as_slice()))
+            .collect();
+        frame::bundle(&entries)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::recover::recover;
 
     fn change(rid: u32) -> StateChange {
         StateChange::ResultCreated { rid, wu: 0 }
+    }
+
+    fn tracker_change(job: u32) -> StateChange {
+        StateChange::MrReduceValidated { job }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("vmr-durable-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
     }
 
     #[test]
@@ -393,7 +831,9 @@ mod tests {
         j.append(&change(0));
         j.commit();
         assert!(!j.enabled());
+        assert!(!j.sharded());
         assert_eq!(j.records(), 0);
+        assert_eq!(j.committed_seq(), 0);
         assert!(j.log_bytes().is_empty());
         assert!(!j.snapshot_due());
     }
@@ -406,13 +846,16 @@ mod tests {
         j.append(&change(1));
         assert_eq!(j.records(), 2);
         assert_eq!(j.committed_records(), 0);
+        assert_eq!(j.committed_seq(), 0);
         j.commit();
         assert_eq!(j.committed_records(), 2);
         assert_eq!(j.committed_frames(), 3);
+        assert_eq!(j.committed_seq(), 1);
         // Idle commit writes nothing.
         let frames = j.frames();
         j.commit();
         assert_eq!(j.frames(), frames);
+        assert_eq!(j.committed_seq(), 1);
     }
 
     #[test]
@@ -462,8 +905,7 @@ mod tests {
 
     #[test]
     fn sink_mirrors_committed_bytes_only() {
-        let dir = std::env::temp_dir().join(format!("vmr-durable-sink-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = temp_dir("sink");
         let path = dir.join("wal.bin");
         let plan = DurabilityPlan::new(0.0).with_sink(&path);
         let j = Journal::new(&plan).unwrap();
@@ -475,6 +917,160 @@ mod tests {
         assert_eq!(mirrored.len(), j.log_len());
         j.append(&change(1)); // uncommitted → not mirrored
         assert_eq!(std::fs::read(&path).unwrap().len(), mirrored.len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn all_sections(tag: u8) -> Sections {
+        let mut s = Sections::new();
+        for name in section::NAMES {
+            s.push(name, vec![tag]);
+        }
+        s
+    }
+
+    #[test]
+    fn incremental_snapshots_cover_only_dirty_sections() {
+        let plan = DurabilityPlan::new(0.0).with_incremental(3);
+        let j = Journal::new(&plan).unwrap();
+        j.advance_to(1);
+        j.append(&change(0)); // dirties db
+        j.commit();
+        // Snapshot 0 of the cycle: full, despite only db being dirty.
+        assert!(j.write_snapshot(&all_sections(1)).is_some());
+        j.commit();
+        let r = recover(&j.log_bytes()).unwrap();
+        assert_eq!(r.sections.entries.len(), section::COUNT);
+
+        // Snapshot 1: incremental; only the tracker is dirty now.
+        j.advance_to(2);
+        j.append(&tracker_change(0));
+        j.commit();
+        assert!(j.write_snapshot(&all_sections(2)).is_some());
+        j.commit();
+        let r = recover(&j.log_bytes()).unwrap();
+        // Layered: tracker from the increment, the rest from the full.
+        assert_eq!(r.sections.get("tracker"), Some(&[2u8][..]));
+        assert_eq!(r.sections.get("db"), Some(&[1u8][..]));
+        assert!(r.tail.is_empty());
+
+        // Snapshot 2 with nothing dirty: skipped entirely.
+        assert_eq!(j.write_snapshot(&all_sections(3)), None);
+    }
+
+    #[test]
+    fn every_kth_snapshot_is_full() {
+        let plan = DurabilityPlan::new(0.0).with_incremental(2);
+        let j = Journal::new(&plan).unwrap();
+        let mut sizes = Vec::new();
+        for i in 0..4u32 {
+            j.advance_to(i as u64 + 1);
+            j.append(&change(i)); // dirty db each round
+            j.commit();
+            sizes.push(j.write_snapshot(&all_sections(i as u8)).unwrap());
+            j.commit();
+        }
+        // Cycle of 2: full, inc, full, inc — incs (db only) are smaller.
+        assert_eq!(sizes[0], sizes[2]);
+        assert!(sizes[1] < sizes[0]);
+        assert_eq!(sizes[1], sizes[3]);
+        let r = recover(&j.log_bytes()).unwrap();
+        assert_eq!(r.sections.get("db"), Some(&[3u8][..]));
+        assert_eq!(r.sections.get("tracker"), Some(&[2u8][..]));
+    }
+
+    #[test]
+    fn sharded_journal_routes_by_section_and_bundles() {
+        let plan = DurabilityPlan::new(0.0).with_sharding();
+        let j = Journal::new(&plan).unwrap();
+        assert!(j.sharded());
+        j.advance_to(7);
+        j.append(&change(0));
+        j.append(&tracker_change(1));
+        j.commit();
+        let img = j.log_bytes();
+        assert_eq!(img.len(), j.log_len());
+        assert!(frame::is_bundle(&img));
+        let shards = frame::parse_bundle(&img).unwrap();
+        assert_eq!(
+            shards.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>(),
+            section::NAMES
+        );
+        // Every shard got the commit frame; only db/tracker got a record.
+        let counts: Vec<usize> = shards
+            .iter()
+            .map(|(_, log)| frame::scan(log).unwrap().frames.len())
+            .collect();
+        assert_eq!(counts, vec![2, 1, 1, 2]);
+        let r = recover(&img).unwrap();
+        assert_eq!(r.committed_seq, 1);
+        assert_eq!(r.tail, vec![change(0), tracker_change(1)]);
+        assert_eq!(r.committed_at_us, 7);
+    }
+
+    #[test]
+    fn compaction_shrinks_the_mirror_and_preserves_recovery() {
+        let dir = temp_dir("compact");
+        let path = dir.join("wal.bin");
+        let plan = DurabilityPlan::new(0.0)
+            .with_sink(&path)
+            .with_compaction(CompactionPolicy::max_superseded_records(4));
+        let j = Journal::new(&plan).unwrap();
+        for i in 0..6u32 {
+            j.advance_to(i as u64 + 1);
+            j.append(&change(i));
+            j.commit();
+        }
+        let uncompacted = std::fs::read(&path).unwrap();
+        assert_eq!(uncompacted.len(), j.log_len());
+        // A committed snapshot supersedes the 6 records → compaction.
+        j.write_snapshot(&all_sections(9)).unwrap();
+        j.commit();
+        let compacted = std::fs::read(&path).unwrap();
+        assert!(
+            compacted.len() < j.log_len(),
+            "mirror {} vs log {}",
+            compacted.len(),
+            j.log_len()
+        );
+        // Both images recover to the same state and boundary.
+        let a = recover(&compacted).unwrap();
+        let b = recover(&j.log_bytes()).unwrap();
+        assert_eq!(a.sections, b.sections);
+        assert_eq!(a.tail, b.tail);
+        assert_eq!(a.committed_seq, b.committed_seq);
+        assert_eq!(a.committed_at_us, b.committed_at_us);
+        // Appends after compaction land in the rewritten mirror.
+        j.advance_to(100);
+        j.append(&change(99));
+        j.commit();
+        let grown = std::fs::read(&path).unwrap();
+        assert!(grown.len() > compacted.len());
+        let a2 = recover(&grown).unwrap();
+        assert_eq!(a2.tail, vec![change(99)]);
+        assert_eq!(
+            a2.committed_seq,
+            recover(&j.log_bytes()).unwrap().committed_seq
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sharded_sink_paths_and_image() {
+        let dir = temp_dir("shard-sink");
+        let path = dir.join("wal.bin");
+        let plan = DurabilityPlan::new(0.0).with_sharding().with_sink(&path);
+        assert_eq!(plan.sink_paths().len(), section::COUNT);
+        assert!(plan.sink_paths()[0].to_string_lossy().ends_with(".db"));
+        let j = Journal::new(&plan).unwrap();
+        j.advance_to(3);
+        j.append(&change(0));
+        j.append(&tracker_change(1));
+        j.commit();
+        let disk = sink_image(&plan).unwrap();
+        assert_eq!(disk, j.log_bytes());
+        let r = recover(&disk).unwrap();
+        assert_eq!(r.committed_seq, 1);
+        assert_eq!(r.tail.len(), 2);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -5,21 +5,30 @@
 //! the JobTracker's map-output registry, the credit ledger. Production
 //! BOINC keeps that state alive across crashes by leaning on MySQL;
 //! this crate is the equivalent layer for our in-memory server — a
-//! from-scratch write-ahead log plus periodic full snapshots, with
+//! from-scratch write-ahead log plus periodic snapshots, with
 //! recovery = load-latest-snapshot + replay-tail.
 //!
 //! * [`StateChange`] — the typed change vocabulary; one variant per
-//!   server-state mutator in `vcore`/`core` ([`record`](crate::record)).
+//!   server-state mutator in `vcore`/`core`, each owned by one state
+//!   [`section`] ([`record`](crate::record)).
 //! * [`Journal`] — the clonable log handle the `Engine` owns and hands
-//!   to each mutator; commit frames mark event-granularity
-//!   transactions ([`journal`](crate::journal)).
+//!   to each mutator; commit frames carrying `(sim-time, commit seq)`
+//!   mark event-granularity transactions. Optionally **sharded**: one
+//!   log per section, appends contending only per shard
+//!   ([`journal`](crate::journal)).
 //! * [`Sections`] — named opaque snapshot sections, encoded by the
-//!   state-owning crates ([`snapshot`](crate::snapshot)).
+//!   state-owning crates. Snapshots are **full** or **incremental**
+//!   (dirty sections only, layered at recovery)
+//!   ([`snapshot`](crate::snapshot)).
+//! * [`CompactionPolicy`] / [`compact`](crate::compact::compact) — the
+//!   file mirror is rewritten to drop frames superseded by a committed
+//!   snapshot ([`compact`](crate::compact)).
 //! * [`CrashPlan`] / [`DurabilityPlan`] — deterministic crash-point
 //!   injection and run configuration.
-//! * [`recover`] — torn-tail-tolerant log scan returning the last
-//!   committed snapshot plus the replay tail
-//!   ([`recover`](crate::recover)).
+//! * [`recover`] — torn-tail-tolerant recovery over a single log or a
+//!   sharded bundle, merging shard tails back into global order by
+//!   record sequence and turning any structural anomaly into a typed
+//!   [`RecoverError`] ([`recover`](crate::recover)).
 //!
 //! This is a leaf crate like `vmr-obs`: it knows nothing of the
 //! structs it persists. Ids are raw integers and crate-specific
@@ -27,10 +36,11 @@
 //! owning crate, which keeps the dependency arrow pointing the same
 //! way as observability (`vcore`/`core` → `vmr-durable`).
 //!
-//! Metrics (`dur.wal_records`, `dur.wal_bytes`, `dur.snapshot_us`)
-//! flow through `vmr-obs` and compile out with
-//! `--no-default-features`; the log itself is **not** feature-gated.
-//! See DESIGN.md §3.9 for the format and the recovery invariants.
+//! Metrics (`dur.wal_records`, `dur.wal_bytes`, `dur.snapshot_us`,
+//! `dur.compactions`, `dur.compact_reclaimed_bytes`) flow through
+//! `vmr-obs` and compile out with `--no-default-features`; the log
+//! itself is **not** feature-gated. See DESIGN.md §3.9 for the format
+//! and the recovery invariants.
 //!
 //! ```
 //! use vmr_durable::{DurabilityPlan, Journal, StateChange, recover};
@@ -40,19 +50,23 @@
 //! j.commit();
 //! let r = recover(&j.log_bytes()).unwrap();
 //! assert_eq!(r.tail.len(), 1);
+//! assert_eq!(r.committed_seq, 1);
 //! ```
 
 #![warn(missing_docs)]
 
+pub mod compact;
 pub mod crc;
 pub mod frame;
 pub mod journal;
 pub mod record;
 pub mod recover;
+pub mod section;
 pub mod snapshot;
 pub mod wire;
 
-pub use journal::{CrashPlan, DurabilityPlan, Journal};
+pub use compact::compact;
+pub use journal::{sink_image, CompactionPolicy, CrashPlan, DurabilityPlan, Journal};
 pub use record::StateChange;
 pub use recover::{frame_ends, recover, RecoverError, Recovered};
 pub use snapshot::Sections;
@@ -92,5 +106,45 @@ mod tests {
             );
             assert_eq!(r.committed_records, r.tail.len() as u64);
         }
+    }
+
+    /// The same event stream through a single log and a sharded bundle
+    /// recovers to identical sections + tail at the final boundary.
+    #[test]
+    fn sharded_and_single_recover_identically() {
+        let drive = |j: &Journal| {
+            for i in 0..8u32 {
+                j.advance_to(i as u64 * 5);
+                j.append(&StateChange::ResultCreated { rid: i, wu: 0 });
+                if i % 2 == 0 {
+                    j.append(&StateChange::CreditError { client: i });
+                }
+                if i % 3 == 0 {
+                    j.append(&StateChange::MrReduceValidated { job: i });
+                }
+                j.commit();
+                if i == 4 {
+                    let mut s = Sections::new();
+                    for name in section::NAMES {
+                        s.push(name, vec![i as u8]);
+                    }
+                    j.write_snapshot(&s);
+                    j.commit();
+                }
+            }
+        };
+        let single = Journal::new(&DurabilityPlan::new(0.0)).unwrap();
+        let sharded = Journal::new(&DurabilityPlan::new(0.0).with_sharding()).unwrap();
+        drive(&single);
+        drive(&sharded);
+        let a = recover(&single.log_bytes()).unwrap();
+        let b = recover(&sharded.log_bytes()).unwrap();
+        assert_eq!(a.tail, b.tail);
+        assert_eq!(a.committed_seq, b.committed_seq);
+        assert_eq!(a.committed_at_us, b.committed_at_us);
+        assert_eq!(a.committed_records, b.committed_records);
+        // Section content matches (single-log order is writer-chosen
+        // but both used canonical order here).
+        assert_eq!(a.sections, b.sections);
     }
 }

@@ -178,6 +178,30 @@ const T_MR_PHASE: u8 = 14;
 const T_MR_STAMP: u8 = 15;
 
 impl StateChange {
+    /// The canonical state section this change mutates (see
+    /// [`crate::section`]) — the shard it routes to in a sharded WAL
+    /// and the dirty bit it sets for incremental snapshots.
+    pub fn section_index(&self) -> usize {
+        use crate::section;
+        match self {
+            StateChange::WuInserted { .. }
+            | StateChange::ResultCreated { .. }
+            | StateChange::ResultSent { .. }
+            | StateChange::ResultReported { .. }
+            | StateChange::ResultCancelled { .. }
+            | StateChange::WuValidated { .. }
+            | StateChange::WuFailed { .. } => section::DB,
+            StateChange::CreditGranted { .. } | StateChange::CreditError { .. } => section::CREDIT,
+            StateChange::Assimilated { .. } => section::ASSIM,
+            StateChange::MrJobSubmitted { .. }
+            | StateChange::MrWuIndexed { .. }
+            | StateChange::MrMapValidated { .. }
+            | StateChange::MrReduceValidated { .. }
+            | StateChange::MrPhase { .. }
+            | StateChange::MrStamp { .. } => section::TRACKER,
+        }
+    }
+
     /// Append the wire form to `e`.
     pub fn encode(&self, e: &mut Enc) {
         match self {
@@ -468,6 +492,19 @@ mod tests {
             assert_eq!(StateChange::decode(&mut d).unwrap(), c);
             d.finish().unwrap();
         }
+    }
+
+    #[test]
+    fn every_variant_has_a_section() {
+        use crate::section;
+        let counts = all_variants().iter().fold([0usize; 4], |mut acc, c| {
+            acc[c.section_index()] += 1;
+            acc
+        });
+        assert_eq!(counts[section::DB], 7);
+        assert_eq!(counts[section::CREDIT], 2);
+        assert_eq!(counts[section::ASSIM], 1);
+        assert_eq!(counts[section::TRACKER], 6);
     }
 
     #[test]

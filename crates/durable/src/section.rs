@@ -1,0 +1,52 @@
+//! The canonical state-section vocabulary shared by snapshots and the
+//! sharded WAL.
+//!
+//! Server state is partitioned into four named sections — the project
+//! database, the credit ledger, the assimilator and the MapReduce
+//! JobTracker. Snapshot frames carry them by name
+//! ([`crate::Sections`]); the sharded journal keys one log per section
+//! ([`crate::DurabilityPlan::sharded`]); and every
+//! [`crate::StateChange`] variant maps to exactly one section
+//! ([`crate::StateChange::section_index`]), which is what routes a
+//! change record to its shard and sets that shard's dirty bit for
+//! incremental snapshots.
+//!
+//! The list is append-only and its order is canonical: recovery
+//! assembles merged sections in this order, so two equal server states
+//! recovered through different paths (single log, sharded bundle,
+//! compacted mirror) compare byte-identical.
+
+/// Index of the project-database section.
+pub const DB: usize = 0;
+/// Index of the credit-ledger section.
+pub const CREDIT: usize = 1;
+/// Index of the assimilator section.
+pub const ASSIM: usize = 2;
+/// Index of the JobTracker section.
+pub const TRACKER: usize = 3;
+
+/// Canonical section names, in canonical order.
+pub const NAMES: [&str; 4] = ["db", "credit", "assim", "tracker"];
+
+/// Number of sections (= number of shards in a sharded WAL).
+pub const COUNT: usize = NAMES.len();
+
+/// Resolves a section name to its canonical index.
+pub fn index_of(name: &str) -> Option<usize> {
+    NAMES.iter().position(|&n| n == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_indices_agree() {
+        assert_eq!(index_of("db"), Some(DB));
+        assert_eq!(index_of("credit"), Some(CREDIT));
+        assert_eq!(index_of("assim"), Some(ASSIM));
+        assert_eq!(index_of("tracker"), Some(TRACKER));
+        assert_eq!(index_of("ghost"), None);
+        assert_eq!(COUNT, 4);
+    }
+}

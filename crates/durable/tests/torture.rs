@@ -1,0 +1,250 @@
+//! WAL torture harness: a deterministic, seeded corruption fuzzer over
+//! journals recorded from real (small) Table I style experiment runs.
+//!
+//! Every assault asserts the same contract: recovery either succeeds
+//! at a valid commit boundary (`committed_seq` no later than the
+//! intact image's) or returns a typed [`RecoverError`] — it must
+//! *never* panic, and the recovered state must feed cleanly into the
+//! full server-state materializer (`RecoveredServerState::from_log`).
+//!
+//! Assault classes:
+//! 1. truncation at every byte offset (a strided sample under
+//!    `TORTURE_SMOKE=1`),
+//! 2. single-bit flips in headers, payloads and CRCs,
+//! 3. duplicated / reordered / cross-planted shard tail frames in
+//!    sharded bundles.
+//!
+//! The fuzzer RNG is a fixed-seed xorshift, so a failure reproduces
+//! exactly by rerunning the test.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::OnceLock;
+use vmr_core::config::MrMode;
+use vmr_core::experiment::{run_experiment, ExperimentConfig};
+use vmr_core::recover::RecoveredServerState;
+use vmr_durable::frame::{bundle, is_bundle, parse_bundle};
+use vmr_durable::{compact, frame_ends, recover, DurabilityPlan};
+
+/// xorshift64*: deterministic, dependency-free fuzzing RNG.
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        XorShift(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+/// `TORTURE_SMOKE=1` bounds the budget for CI smoke runs.
+fn smoke() -> bool {
+    std::env::var_os("TORTURE_SMOKE").is_some()
+}
+
+/// Records one WAL image from a quick experiment run under `plan`.
+fn quick_wal(plan: DurabilityPlan) -> Vec<u8> {
+    let mut cfg = ExperimentConfig::table1(4, 2, 1, MrMode::InterClient);
+    cfg.input_bytes = 4 << 20; // tiny job: a rich log, a quick run
+    cfg.durable = plan;
+    let out = run_experiment(&cfg);
+    assert!(out.all_done && !out.crashed, "seed run must finish");
+    out.wal.expect("durability was enabled")
+}
+
+/// The corpus: real journals across every plan shape, plus their
+/// compacted mirrors. Recorded once per test binary.
+fn corpus() -> &'static Vec<(&'static str, Vec<u8>)> {
+    static CORPUS: OnceLock<Vec<(&'static str, Vec<u8>)>> = OnceLock::new();
+    CORPUS.get_or_init(|| {
+        let single = quick_wal(DurabilityPlan::new(45.0));
+        let inc = quick_wal(DurabilityPlan::new(45.0).with_incremental(3));
+        let sharded = quick_wal(
+            DurabilityPlan::new(45.0)
+                .with_incremental(3)
+                .with_sharding(),
+        );
+        let inc_compacted = compact(&inc).expect("intact image compacts");
+        let sharded_compacted = compact(&sharded).expect("intact bundle compacts");
+        vec![
+            ("single", single),
+            ("incremental", inc),
+            ("incremental-compacted", inc_compacted),
+            ("sharded", sharded),
+            ("sharded-compacted", sharded_compacted),
+        ]
+    })
+}
+
+/// One assault verdict: recovery must not panic; on success the
+/// boundary must be one the intact image had already committed; on
+/// failure the error must be typed (and therefore displayable).
+fn assert_survives(name: &str, image: &[u8], baseline_seq: u64, ctx: &str) {
+    let recovered = catch_unwind(AssertUnwindSafe(|| recover(image)))
+        .unwrap_or_else(|_| panic!("{name}: recover panicked ({ctx})"));
+    match recovered {
+        Ok(r) => assert!(
+            r.committed_seq <= baseline_seq,
+            "{name}: corrupt image advanced the boundary past the \
+             intact one ({} > {baseline_seq}) ({ctx})",
+            r.committed_seq
+        ),
+        Err(e) => {
+            // Typed and displayable — corruption is a result, never
+            // an abort.
+            let _ = format!("{e}");
+        }
+    }
+    // The full materializer (snapshot decode + tail replay through the
+    // real appliers) must hold the same never-panic contract.
+    let applied = catch_unwind(AssertUnwindSafe(|| RecoveredServerState::from_log(image)));
+    assert!(applied.is_ok(), "{name}: from_log panicked ({ctx})");
+}
+
+#[test]
+fn truncation_at_every_byte_offset() {
+    for (name, image) in corpus() {
+        let baseline = recover(image).expect("intact image recovers");
+        assert!(baseline.committed_seq > 0, "{name}: trivial corpus image");
+        // Full mode cuts at every byte; smoke strides (coprime with
+        // typical frame sizes so cuts land on every alignment class).
+        let stride = if smoke() { 37 } else { 1 };
+        let mut cut = 0;
+        while cut <= image.len() {
+            assert_survives(name, &image[..cut], baseline.committed_seq, "truncation");
+            cut += stride;
+        }
+        // The boundary cuts (empty, magic-only, full) always run.
+        for cut in [0, 8.min(image.len()), image.len()] {
+            assert_survives(name, &image[..cut], baseline.committed_seq, "truncation");
+        }
+    }
+}
+
+#[test]
+fn single_bit_flips_never_panic() {
+    let mut rng = XorShift::new(0x7031_7031);
+    for (name, image) in corpus() {
+        let baseline = recover(image).expect("intact image recovers");
+        let flips = if smoke() { 200 } else { 2_000 };
+        let mut mutated = image.clone();
+        for _ in 0..flips {
+            let byte = rng.below(mutated.len());
+            let bit = 1u8 << rng.below(8);
+            mutated[byte] ^= bit;
+            assert_survives(
+                name,
+                &mutated,
+                baseline.committed_seq,
+                &format!("bit flip at byte {byte}"),
+            );
+            mutated[byte] ^= bit; // restore: flips are independent
+        }
+        // Pair of simultaneous flips: header + payload interplay.
+        for _ in 0..flips / 4 {
+            let (b1, b2) = (rng.below(mutated.len()), rng.below(mutated.len()));
+            let (m1, m2) = (1u8 << rng.below(8), 1u8 << rng.below(8));
+            mutated[b1] ^= m1;
+            mutated[b2] ^= m2;
+            assert_survives(name, &mutated, baseline.committed_seq, "double flip");
+            mutated[b2] ^= m2;
+            mutated[b1] ^= m1;
+        }
+        assert_eq!(&mutated, image, "restore discipline broke");
+    }
+}
+
+/// Splits one shard log into its magic prefix and per-frame byte
+/// ranges. Shard logs inside a bundle are standalone WAL images, so
+/// `frame_ends` applies directly.
+fn shard_frames(log: &[u8]) -> Vec<(usize, usize)> {
+    let ends = frame_ends(log).expect("intact shard scans");
+    let mut frames = vec![];
+    let mut start = 8; // past magic
+    for end in ends {
+        frames.push((start, end));
+        start = end;
+    }
+    frames
+}
+
+#[test]
+fn duplicated_and_reordered_shard_tails() {
+    let mut rng = XorShift::new(0x5EED_CAFE);
+    for (name, image) in corpus() {
+        if !is_bundle(image) {
+            continue;
+        }
+        let baseline = recover(image).expect("intact bundle recovers");
+        let shards = parse_bundle(image).expect("intact bundle parses");
+        let cases = if smoke() { 60 } else { 600 };
+        for case in 0..cases {
+            let mut mutated: Vec<(String, Vec<u8>)> = shards.clone();
+            let si = rng.below(mutated.len());
+            let frames = shard_frames(&mutated[si].1);
+            if frames.is_empty() {
+                continue;
+            }
+            match case % 3 {
+                0 => {
+                    // Duplicate a frame onto its shard's tail.
+                    let (s, e) = frames[rng.below(frames.len())];
+                    let dup = mutated[si].1[s..e].to_vec();
+                    mutated[si].1.extend_from_slice(&dup);
+                }
+                1 => {
+                    // Reorder: swap two frames within one shard.
+                    let (a, b) = (rng.below(frames.len()), rng.below(frames.len()));
+                    let (fa, fb) = (frames[a.min(b)], frames[a.max(b)]);
+                    if fa == fb {
+                        continue;
+                    }
+                    let log = &mutated[si].1;
+                    let mut out = log[..fa.0].to_vec();
+                    out.extend_from_slice(&log[fb.0..fb.1]);
+                    out.extend_from_slice(&log[fa.1..fb.0]);
+                    out.extend_from_slice(&log[fa.0..fa.1]);
+                    out.extend_from_slice(&log[fb.1..]);
+                    mutated[si].1 = out;
+                }
+                _ => {
+                    // Cross-plant: append one shard's frame to another
+                    // (wrong-section records must be typed, not applied).
+                    let ti = rng.below(mutated.len());
+                    let (s, e) = frames[rng.below(frames.len())];
+                    let moved = mutated[si].1[s..e].to_vec();
+                    mutated[ti].1.extend_from_slice(&moved);
+                }
+            }
+            let entries: Vec<(&str, &[u8])> = mutated
+                .iter()
+                .map(|(n, b)| (n.as_str(), b.as_slice()))
+                .collect();
+            let rebundled = bundle(&entries);
+            assert_survives(name, &rebundled, baseline.committed_seq, "shard tamper");
+        }
+    }
+}
+
+/// Sanity anchor for the whole harness: the intact corpus images all
+/// recover to their own full boundary and materialize cleanly.
+#[test]
+fn intact_corpus_recovers_to_its_own_boundary() {
+    for (name, image) in corpus() {
+        let r = recover(image).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(r.committed_seq > 0, "{name}");
+        let state = RecoveredServerState::from_log(image).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(state.committed_seq, r.committed_seq, "{name}");
+        assert_eq!(state.tracker.jobs.len(), 1, "{name}");
+    }
+}

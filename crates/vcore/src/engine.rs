@@ -464,10 +464,17 @@ impl Engine {
     /// its own. The recovery audit compares these against a recovered
     /// image.
     pub fn state_sections(&self) -> Vec<(String, Vec<u8>)> {
+        use vmr_durable::section;
         vec![
-            ("db".into(), self.db.encode_state()),
-            ("credit".into(), self.credit.encode_state()),
-            ("assim".into(), self.assimilator.encode_state()),
+            (section::NAMES[section::DB].into(), self.db.encode_state()),
+            (
+                section::NAMES[section::CREDIT].into(),
+                self.credit.encode_state(),
+            ),
+            (
+                section::NAMES[section::ASSIM].into(),
+                self.assimilator.encode_state(),
+            ),
         ]
     }
 
@@ -658,8 +665,11 @@ impl Engine {
     // ----- server daemons ---------------------------------------------------
 
     fn on_daemon_tick<P: Policy>(&mut self, policy: &mut P) {
-        // Periodic full snapshot, before the feeder refill so the
-        // snapshot captures the same state replay would rebuild.
+        // Periodic snapshot (full or incremental — the journal picks
+        // from its dirty bits), before the feeder refill so the
+        // snapshot captures the same state replay would rebuild. A
+        // `None` return means an incremental found nothing dirty and
+        // was skipped entirely.
         if self.durable.snapshot_due() {
             let sections = self.snapshot_sections(policy);
             if let Some(bytes) = self.durable.write_snapshot(&sections) {

@@ -45,8 +45,12 @@ if [ "$NO_BENCH" -eq 0 ]; then
     [ -s /tmp/table1_quick_metrics.json ] || { echo "table1 --metrics wrote nothing" >&2; exit 1; }
 
     echo "==> crash-replay smoke: crash mid-run, resume from the WAL mirror, byte-diff"
+    echo "    (single-log plan, then sharded + incremental + compacted)"
     cargo build --offline --release -p vmr-bench --bin recovery_study
     ./target/release/recovery_study --smoke
+
+    echo "==> durability torture smoke: seeded corruption fuzzer over recorded journals"
+    TORTURE_SMOKE=1 cargo test --offline --release -p vmr-durable --test torture --quiet
 fi
 
 echo "==> OK"
