@@ -26,7 +26,10 @@ pub mod policy;
 pub mod recover;
 pub mod workflow;
 
-pub use config::{MitigationPlan, MrJobConfig, MrMode, SizingModel};
+pub use config::{
+    GeneratedHost, HostPopulation, MitigationPlan, MrJobConfig, MrMode, PopulationSpec,
+    SizingModel, VolunteerClass,
+};
 pub use experiment::{
     format_row, run_experiment, ExperimentConfig, ExperimentOutcome, NodeMix, PhaseReport,
 };

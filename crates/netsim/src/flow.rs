@@ -39,7 +39,7 @@
 
 use crate::bandwidth::{Allocator, Priority, RouteDemand};
 use crate::obs::NetObs;
-use crate::topology::{Direction, HostId, LinkRef, Topology};
+use crate::topology::{HostId, Topology};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
 use vmr_desim::{SimDuration, SimTime, Tally};
@@ -240,15 +240,8 @@ impl Network {
         let id = FlowId(self.next_id);
         self.next_id += 1;
         let mut links = Vec::with_capacity(2 + 2 * spec.via.len());
-        if spec.src != spec.dst || !spec.via.is_empty() {
-            let idx = |host, dir| self.topo.link_index(LinkRef { host, dir }) as u32;
-            links.push(idx(spec.src, Direction::Up));
-            for &hop in &spec.via {
-                links.push(idx(hop, Direction::Down));
-                links.push(idx(hop, Direction::Up));
-            }
-            links.push(idx(spec.dst, Direction::Down));
-        }
+        self.topo
+            .route_into(spec.src, &spec.via, spec.dst, &mut links);
         let setup =
             SimDuration::from_secs_f64(spec.setup_s + self.topo.latency(spec.src, spec.dst));
         let starts_at = now + setup;
@@ -539,6 +532,58 @@ impl Network {
             self.setup_heap.pop();
         }
     }
+
+    /// Tears the engine down into the state another engine needs to take
+    /// over mid-run (see `AggregateNetwork`'s regime migration). Flows
+    /// come out in ascending id order with their remaining bytes settled
+    /// to `last_advance`.
+    pub(crate) fn dismantle(self) -> Dismantled {
+        let last = self.last_advance;
+        let flows = self
+            .flows
+            .iter()
+            .map(|(&id, f)| MigratedFlow {
+                id,
+                spec: f.spec.clone(),
+                links: f.links.clone(),
+                bytes_left: f.bytes_left_at(last),
+                starts_at: f.starts_at,
+                created_at: f.created_at,
+            })
+            .collect();
+        Dismantled {
+            topo: self.topo,
+            last_advance: last,
+            next_id: self.next_id,
+            fg_durations: self.fg_durations,
+            bg_durations: self.bg_durations,
+            bytes_delivered: self.bytes_delivered,
+            flows,
+        }
+    }
+}
+
+/// A still-active flow handed over during regime migration.
+#[derive(Clone, Debug)]
+pub(crate) struct MigratedFlow {
+    pub id: FlowId,
+    pub spec: FlowSpec,
+    pub links: Vec<u32>,
+    pub bytes_left: f64,
+    pub starts_at: SimTime,
+    pub created_at: SimTime,
+}
+
+/// Everything a successor engine needs to continue a run that started
+/// under the exact engine.
+pub(crate) struct Dismantled {
+    pub topo: Topology,
+    pub last_advance: SimTime,
+    pub next_id: u64,
+    pub fg_durations: Tally,
+    pub bg_durations: Tally,
+    pub bytes_delivered: f64,
+    pub flows: Vec<MigratedFlow>,
 }
 
 #[cfg(test)]

@@ -4,7 +4,8 @@
 //! 100 Mbit links) with a deterministic model:
 //!
 //! * [`topology`] — hosts with up/down access links; unconstrained core
-//!   (the non-blocking switch).
+//!   (the non-blocking switch) or, beyond testbed scale, a hierarchy of
+//!   ISP/AS aggregation tiers and an optional shared backbone.
 //! * [`bandwidth`] — max–min fair rate allocation (progressive filling)
 //!   with a two-priority TCP-Nice mode where background flows only use
 //!   leftover capacity.
@@ -14,11 +15,16 @@
 //!   completion/setup heaps) so per-event cost is independent of the
 //!   in-flight flow population; [`naive`] keeps the original
 //!   scan-everything engine as an executable specification.
+//! * [`aggregate`] — internet-scale engine: bit-identical delegation to
+//!   [`flow`] below a flow-count threshold, then a one-way ratchet into
+//!   flow-class coalescing (processor-sharing pools) with quantized
+//!   per-link published shares for 10⁵⁺-host populations.
 //! * [`nat`] / [`traversal`] — NAT endpoint classes and the tiered
 //!   direct → reversal → hole-punch → relay escalation of §III.D.
 
 #![warn(missing_docs)]
 
+pub mod aggregate;
 pub mod bandwidth;
 pub mod flow;
 pub mod naive;
@@ -27,9 +33,10 @@ mod obs;
 pub mod topology;
 pub mod traversal;
 
+pub use aggregate::{AggregateNetwork, ScalePolicy};
 pub use bandwidth::{allocate, allocate_reference, Allocator, FlowDemand, Priority, RouteDemand};
 pub use flow::{Completion, FlowId, FlowSpec, Network};
 pub use naive::NaiveNetwork;
 pub use nat::{NatMix, NatType};
-pub use topology::{Direction, HostId, HostLink, LinkRef, Topology};
+pub use topology::{Direction, HostId, HostLink, LinkRef, TierId, TierLink, Topology};
 pub use traversal::{connect, ConnectOutcome, Path, TraversalPolicy, TraversalStats};

@@ -18,6 +18,13 @@
 //! what lets the differential tests in `tests/equivalence.rs` demand the
 //! two engines produce **bit-identical completion streams**.
 //!
+//! The reference allocator speaks the flat [`LinkRef`] vocabulary
+//! (host access links only), so this engine models **flat topologies
+//! only** — construction rejects tiered/backbone hierarchies. That is
+//! deliberate: the spec engine pins down testbed-scale semantics, and
+//! the hierarchical regimes are validated against [`crate::Network`]
+//! (which shares the dense-index path code) instead.
+//!
 //! Do not use this in simulations; use [`crate::Network`].
 
 use crate::bandwidth::{allocate_reference, FlowDemand, Priority};
@@ -107,6 +114,10 @@ impl NaiveNetwork {
     /// `netsim.realloc_waves` counter is still engine-defined: this
     /// engine reallocates on every settle by design.)
     pub fn with_obs(topo: Topology, obs: &vmr_obs::Obs) -> Self {
+        assert!(
+            !topo.is_hierarchical(),
+            "NaiveNetwork models flat topologies only (see module docs)"
+        );
         NaiveNetwork {
             topo,
             flows: HashMap::new(),

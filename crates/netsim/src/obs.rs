@@ -11,6 +11,13 @@ pub(crate) struct NetObs {
     pub realloc_waves: vmr_obs::Counter,
     pub realloc_scope: vmr_obs::Scope,
     pub journal: vmr_obs::Journal,
+    /// Flow-class pools currently coalescing ≥ 2 flows (scale regime).
+    pub aggregates: vmr_obs::Gauge,
+    /// Flows that joined an already-populated pool instead of being
+    /// fair-shared individually.
+    pub coalesce_hits: vmr_obs::Counter,
+    /// Per-flow completions expanded back out of a multi-member pool.
+    pub splits: vmr_obs::Counter,
 }
 
 impl NetObs {
@@ -24,6 +31,9 @@ impl NetObs {
             realloc_waves: obs.counter("netsim.realloc_waves"),
             realloc_scope: obs.scope("netsim.realloc_wave"),
             journal: obs.journal.clone(),
+            aggregates: obs.gauge("net.aggregates_active"),
+            coalesce_hits: obs.counter("net.coalesce_hits"),
+            splits: obs.counter("net.splits"),
         }
     }
 }

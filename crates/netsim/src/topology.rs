@@ -1,10 +1,19 @@
-//! Hosts and access links.
+//! Hosts, access links, and the internet-scale tier hierarchy.
 //!
 //! The Emulab testbed the paper used is a set of machines on 100 Mbit
-//! NICs behind non-blocking switches, so the model is *access-link
+//! NICs behind non-blocking switches, so the base model is *access-link
 //! limited*: each host has an uplink and a downlink capacity, and the
 //! switch core is unconstrained. A flow from A to B is limited by A's
 //! uplink and B's downlink (and by any relay hop's links).
+//!
+//! For volunteer populations beyond testbed scale the topology grows a
+//! **hierarchy**: hosts may be placed behind an ISP/AS *tier* whose
+//! aggregation links (up/down) carry every flow entering or leaving
+//! that tier, and inter-tier traffic may additionally cross a single
+//! shared *backbone* pipe. A topology with no tiers and no backbone
+//! behaves exactly like the original flat model — same link set, same
+//! dense indices, same latencies — so testbed-scale runs are unchanged
+//! bit for bit.
 
 use std::fmt;
 
@@ -94,35 +103,139 @@ impl HostLink {
     }
 }
 
-/// The set of hosts and their access links.
+/// Identifies an ISP/AS aggregation tier in the topology.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TierId(pub u32);
+
+impl fmt::Debug for TierId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "isp{}", self.0)
+    }
+}
+
+/// Static description of one ISP/AS tier's aggregation links.
+#[derive(Clone, Debug)]
+pub struct TierLink {
+    /// Capacity of the tier's uplink toward the backbone, bytes/second.
+    pub up_bytes_per_sec: f64,
+    /// Capacity of the tier's downlink from the backbone, bytes/second.
+    pub down_bytes_per_sec: f64,
+    /// One-way propagation latency across the tier's aggregation
+    /// network, seconds (added per side when a flow crosses tiers).
+    pub latency_s: f64,
+}
+
+impl TierLink {
+    /// Symmetric aggregation link of `gbit` gigabits per second.
+    pub fn symmetric_gbit(gbit: f64, latency_s: f64) -> Self {
+        let bps = gbit * 1e9 / 8.0;
+        TierLink {
+            up_bytes_per_sec: bps,
+            down_bytes_per_sec: bps,
+            latency_s,
+        }
+    }
+}
+
+/// Sentinel in `tier_of` for hosts not placed behind any tier.
+const NO_TIER: u32 = u32::MAX;
+
+/// The set of hosts, their access links, and the optional tier
+/// hierarchy above them.
 ///
 /// Every directed link endpoint also has a *dense index* in
-/// `0..num_links()` (host `h` owns slots `2h` / `2h+1` for up / down),
-/// so per-link state can live in flat arrays instead of hash maps —
-/// the bandwidth allocator and flow engine depend on this.
+/// `0..num_links()`: host `h` owns slots `2h` / `2h+1` for up / down,
+/// tier `t` owns slots `2H + 2t` / `2H + 2t + 1` (where `H` is the host
+/// count), and the backbone — if constrained — owns the final slot.
+/// Per-link state can therefore live in flat arrays instead of hash
+/// maps — the bandwidth allocator and flow engines depend on this.
+/// Because tier/backbone indices embed the host count, a topology must
+/// be fully built before an engine starts routing over it (engines own
+/// their topology, so this holds by construction).
 #[derive(Clone, Debug, Default)]
 pub struct Topology {
     hosts: Vec<HostLink>,
-    /// Capacity per dense link index, kept in sync with `hosts`.
+    /// Capacity per dense host-link index, kept in sync with `hosts`.
     caps: Vec<f64>,
+    /// Tier membership per host (`NO_TIER` = directly on the core).
+    tier_of: Vec<u32>,
+    tiers: Vec<TierLink>,
+    /// Capacity per dense tier-link slot, kept in sync with `tiers`.
+    tier_caps: Vec<f64>,
+    /// Shared backbone pipe crossed by inter-tier flows, bytes/second;
+    /// `None` models the original unconstrained core.
+    backbone: Option<f64>,
+    backbone_latency_s: f64,
 }
 
 impl Topology {
     /// An empty topology.
     pub fn new() -> Self {
-        Topology {
-            hosts: Vec::new(),
-            caps: Vec::new(),
-        }
+        Topology::default()
     }
 
-    /// Adds a host, returning its id.
+    /// Adds a host directly on the unconstrained core, returning its id.
     pub fn add_host(&mut self, link: HostLink) -> HostId {
         let id = HostId(self.hosts.len() as u32);
         self.caps.push(link.up_bytes_per_sec);
         self.caps.push(link.down_bytes_per_sec);
         self.hosts.push(link);
+        self.tier_of.push(NO_TIER);
         id
+    }
+
+    /// Adds an ISP/AS tier, returning its id.
+    pub fn add_tier(&mut self, link: TierLink) -> TierId {
+        let id = TierId(self.tiers.len() as u32);
+        self.tier_caps.push(link.up_bytes_per_sec);
+        self.tier_caps.push(link.down_bytes_per_sec);
+        self.tiers.push(link);
+        id
+    }
+
+    /// Adds a host behind the given tier, returning its id.
+    ///
+    /// # Panics
+    /// If `tier` is not in this topology.
+    pub fn add_host_in(&mut self, tier: TierId, link: HostLink) -> HostId {
+        assert!((tier.0 as usize) < self.tiers.len(), "unknown {tier:?}");
+        let id = self.add_host(link);
+        self.tier_of[id.0 as usize] = tier.0;
+        id
+    }
+
+    /// Constrains the backbone: inter-tier flows cross one shared pipe
+    /// of `bytes_per_sec` with `latency_s` one-way latency.
+    pub fn set_backbone(&mut self, bytes_per_sec: f64, latency_s: f64) {
+        self.backbone = Some(bytes_per_sec);
+        self.backbone_latency_s = latency_s;
+    }
+
+    /// The tier a host sits behind, if any.
+    pub fn tier_of(&self, host: HostId) -> Option<TierId> {
+        match self.tier_of[host.0 as usize] {
+            NO_TIER => None,
+            t => Some(TierId(t)),
+        }
+    }
+
+    /// Number of tiers.
+    pub fn num_tiers(&self) -> usize {
+        self.tiers.len()
+    }
+
+    /// The aggregation-link description of `tier`.
+    ///
+    /// # Panics
+    /// If `tier` is not in this topology.
+    pub fn tier_link(&self, tier: TierId) -> &TierLink {
+        &self.tiers[tier.0 as usize]
+    }
+
+    /// True when the topology has tier or backbone structure that the
+    /// flat `LinkRef` vocabulary (host links only) cannot express.
+    pub fn is_hierarchical(&self) -> bool {
+        !self.tiers.is_empty() || self.backbone.is_some()
     }
 
     /// Number of hosts.
@@ -148,14 +261,29 @@ impl Topology {
         self.link(l.host).capacity(l.dir)
     }
 
-    /// Number of dense link slots (two per host).
+    /// Number of dense link slots: two per host, two per tier, plus one
+    /// for the backbone when it is constrained.
     pub fn num_links(&self) -> usize {
-        self.caps.len()
+        self.caps.len() + self.tier_caps.len() + self.backbone.is_some() as usize
     }
 
-    /// Dense index of a directed link endpoint, in `0..num_links()`.
+    /// Dense index of a directed host-link endpoint.
     pub fn link_index(&self, l: LinkRef) -> usize {
         l.host.0 as usize * 2 + l.dir.index()
+    }
+
+    /// Dense index of a directed tier-link endpoint.
+    pub fn tier_link_index(&self, tier: TierId, dir: Direction) -> usize {
+        self.caps.len() + tier.0 as usize * 2 + dir.index()
+    }
+
+    /// Dense index of the backbone slot.
+    ///
+    /// # Panics
+    /// If the backbone is unconstrained.
+    pub fn backbone_index(&self) -> usize {
+        assert!(self.backbone.is_some(), "backbone is unconstrained");
+        self.caps.len() + self.tier_caps.len()
     }
 
     /// Capacity of the dense link slot `idx`, bytes/second.
@@ -163,15 +291,68 @@ impl Topology {
     /// # Panics
     /// If `idx >= num_links()`.
     pub fn capacity_at(&self, idx: usize) -> f64 {
-        self.caps[idx]
+        let nh = self.caps.len();
+        if idx < nh {
+            self.caps[idx]
+        } else if idx < nh + self.tier_caps.len() {
+            self.tier_caps[idx - nh]
+        } else {
+            self.backbone.expect("backbone slot without backbone")
+        }
     }
 
-    /// One-way latency between two hosts through the core, seconds.
+    /// One-way latency between two hosts, seconds: the sum of both
+    /// access-link latencies, plus — when the hosts sit behind different
+    /// tiers — each side's tier latency and the backbone latency.
     pub fn latency(&self, a: HostId, b: HostId) -> f64 {
         if a == b {
-            0.0
-        } else {
-            self.link(a).latency_s + self.link(b).latency_s
+            return 0.0;
+        }
+        let mut l = self.link(a).latency_s + self.link(b).latency_s;
+        let (ta, tb) = (self.tier_of[a.0 as usize], self.tier_of[b.0 as usize]);
+        if ta != tb {
+            if ta != NO_TIER {
+                l += self.tiers[ta as usize].latency_s;
+            }
+            if tb != NO_TIER {
+                l += self.tiers[tb as usize].latency_s;
+            }
+            l += self.backbone_latency_s;
+        }
+        l
+    }
+
+    /// Appends the dense link indices a transfer from `src` through the
+    /// `via` relay chain to `dst` traverses, in path order.
+    ///
+    /// Each hop-to-hop segment contributes the sender's uplink, then —
+    /// when the endpoints sit behind different tiers — the source tier's
+    /// uplink, the (constrained) backbone, and the destination tier's
+    /// downlink, then the receiver's downlink. A loopback transfer
+    /// (`src == dst`, no relays) traverses nothing. On a flat topology
+    /// this produces exactly the original host-link path.
+    pub fn route_into(&self, src: HostId, via: &[HostId], dst: HostId, out: &mut Vec<u32>) {
+        if src == dst && via.is_empty() {
+            return;
+        }
+        let mut from = src;
+        for k in 0..=via.len() {
+            let to = if k < via.len() { via[k] } else { dst };
+            out.push((from.0 as usize * 2 + Direction::Up.index()) as u32);
+            let (tf, tt) = (self.tier_of[from.0 as usize], self.tier_of[to.0 as usize]);
+            if tf != tt {
+                if tf != NO_TIER {
+                    out.push(self.tier_link_index(TierId(tf), Direction::Up) as u32);
+                }
+                if self.backbone.is_some() {
+                    out.push(self.backbone_index() as u32);
+                }
+                if tt != NO_TIER {
+                    out.push(self.tier_link_index(TierId(tt), Direction::Down) as u32);
+                }
+            }
+            out.push((to.0 as usize * 2 + Direction::Down.index()) as u32);
+            from = to;
         }
     }
 
@@ -212,6 +393,71 @@ mod tests {
         assert_eq!(t.latency(a, a), 0.0);
         let ids: Vec<_> = t.host_ids().collect();
         assert_eq!(ids, vec![a, b]);
+    }
+
+    #[test]
+    fn flat_route_matches_legacy_path() {
+        let mut t = Topology::new();
+        let a = t.add_host(HostLink::symmetric_mbit(100.0, 0.001));
+        let b = t.add_host(HostLink::symmetric_mbit(100.0, 0.001));
+        let v = t.add_host(HostLink::symmetric_mbit(10.0, 0.001));
+        assert!(!t.is_hierarchical());
+        let mut out = Vec::new();
+        t.route_into(a, &[], b, &mut out);
+        assert_eq!(out, vec![0, 3]); // a.up, b.down
+        out.clear();
+        t.route_into(a, &[v], b, &mut out);
+        assert_eq!(out, vec![0, 5, 4, 3]); // a.up, v.down, v.up, b.down
+        out.clear();
+        t.route_into(a, &[], a, &mut out);
+        assert!(out.is_empty(), "loopback traverses nothing");
+    }
+
+    #[test]
+    fn tiered_route_crosses_aggregation_and_backbone() {
+        let mut t = Topology::new();
+        let isp0 = t.add_tier(TierLink::symmetric_gbit(1.0, 0.005));
+        let isp1 = t.add_tier(TierLink::symmetric_gbit(2.0, 0.004));
+        let a = t.add_host_in(isp0, HostLink::symmetric_mbit(100.0, 0.001));
+        let b = t.add_host_in(isp0, HostLink::symmetric_mbit(100.0, 0.001));
+        let c = t.add_host_in(isp1, HostLink::symmetric_mbit(10.0, 0.002));
+        t.set_backbone(100e9 / 8.0, 0.01);
+        assert!(t.is_hierarchical());
+        assert_eq!(t.tier_of(a), Some(isp0));
+        assert_eq!(t.tier_of(c), Some(isp1));
+        // 3 hosts → slots 0..6; 2 tiers → 6..10; backbone → 10.
+        assert_eq!(t.num_links(), 11);
+        assert_eq!(t.tier_link_index(isp0, Direction::Up), 6);
+        assert_eq!(t.tier_link_index(isp1, Direction::Down), 9);
+        assert_eq!(t.backbone_index(), 10);
+        assert_eq!(t.capacity_at(6), 1e9 / 8.0);
+        assert_eq!(t.capacity_at(10), 100e9 / 8.0);
+
+        // Intra-tier: access links only (traffic stays inside the ISP).
+        let mut out = Vec::new();
+        t.route_into(a, &[], b, &mut out);
+        assert_eq!(out, vec![0, 3]);
+        // Inter-tier: a.up, isp0.up, backbone, isp1.down, c.down.
+        out.clear();
+        t.route_into(a, &[], c, &mut out);
+        assert_eq!(out, vec![0, 6, 10, 9, 5]);
+        // Latency gains tier + backbone terms only across tiers.
+        assert!((t.latency(a, b) - 0.002).abs() < 1e-12);
+        assert!((t.latency(a, c) - (0.001 + 0.002 + 0.005 + 0.004 + 0.01)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn untiered_hosts_mixed_with_tiered() {
+        let mut t = Topology::new();
+        let server = t.add_host(HostLink::symmetric_mbit(1000.0, 0.0005));
+        let isp = t.add_tier(TierLink::symmetric_gbit(1.0, 0.005));
+        let vol = t.add_host_in(isp, HostLink::asymmetric_mbit(16.0, 1.0, 0.02));
+        let mut out = Vec::new();
+        // Untiered → tiered crosses the destination tier's downlink
+        // (no backbone configured → no backbone slot).
+        t.route_into(server, &[], vol, &mut out);
+        assert_eq!(out, vec![0, 5, 3]);
+        assert!((t.latency(server, vol) - (0.0005 + 0.02 + 0.005)).abs() < 1e-12);
     }
 
     #[test]

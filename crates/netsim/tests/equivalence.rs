@@ -8,12 +8,16 @@
 //!   [`NaiveNetwork`] — same flows, same order, same microsecond, same
 //!   durations, exact byte/tally accounting — for arbitrary monotone
 //!   event scripts, and be deterministic across repeated runs.
+//! * [`AggregateNetwork`] must be bit-identical to [`Network`] below its
+//!   coalescing threshold (flat **and** tiered topologies), and above it
+//!   must complete every flow exactly once with total bytes conserved
+//!   and the makespan inside an asserted tolerance band.
 
 use proptest::prelude::*;
 use vmr_desim::{SimDuration, SimTime};
 use vmr_netsim::{
-    allocate, allocate_reference, Direction, FlowDemand, FlowSpec, HostId, HostLink, LinkRef,
-    NaiveNetwork, Network, Priority, Topology,
+    allocate, allocate_reference, AggregateNetwork, Direction, FlowDemand, FlowSpec, HostId,
+    HostLink, LinkRef, NaiveNetwork, Network, Priority, ScalePolicy, TierLink, Topology,
 };
 
 fn host_link(sel: u8) -> HostLink {
@@ -108,12 +112,18 @@ fn obs_counters(obs: &vmr_obs::Obs) -> [u64; 4] {
 /// stream, returns the engine's obs counter vector for differential
 /// comparison.
 macro_rules! script_runner {
-    ($name:ident, $engine:ty) => {
+    ($name:ident, $on_name:ident, $engine:ty) => {
         fn $name(
             hosts: &[u8],
             flows: &[RawFlow],
         ) -> (Vec<(u64, u64, u64)>, f64, u64, u64, [u64; 4]) {
-            let topo = build_topology(hosts);
+            $on_name(build_topology(hosts), flows)
+        }
+
+        fn $on_name(
+            topo: Topology,
+            flows: &[RawFlow],
+        ) -> (Vec<(u64, u64, u64)>, f64, u64, u64, [u64; 4]) {
             let n = topo.len() as u32;
             let obs = vmr_obs::Obs::new();
             let mut net = <$engine>::with_obs(topo, &obs);
@@ -166,8 +176,123 @@ macro_rules! script_runner {
     };
 }
 
-script_runner!(run_incremental, Network);
-script_runner!(run_naive, NaiveNetwork);
+script_runner!(run_incremental, run_incremental_on, Network);
+script_runner!(run_naive, run_naive_on, NaiveNetwork);
+
+/// Scale-regime statistics of an [`AggregateNetwork`] run, for the
+/// counter assertions.
+struct AggStats {
+    aggregates_active: usize,
+    peak_aggregates: usize,
+    coalesce_hits: u64,
+    splits: u64,
+    scale_regime: bool,
+}
+
+/// `script_runner!` body for [`AggregateNetwork`] — hand-rolled because
+/// the engine takes a [`ScalePolicy`], exposes tallies through methods
+/// rather than fields, and reports aggregate statistics. Optionally
+/// replays onto a caller-built (possibly tiered) topology.
+#[allow(clippy::type_complexity)]
+fn run_aggregate_on(
+    topo: Topology,
+    flows: &[RawFlow],
+    policy: ScalePolicy,
+) -> (Vec<(u64, u64, u64)>, f64, u64, u64, [u64; 4], AggStats) {
+    let n = topo.len() as u32;
+    let obs = vmr_obs::Obs::new();
+    let mut net = AggregateNetwork::with_policy(topo, &obs, policy);
+    let mut now = SimTime::ZERO;
+    let mut out = Vec::new();
+    let mut started = Vec::new();
+    let record = |c: vmr_netsim::Completion| (c.id.0, c.at.as_micros(), c.duration.as_micros());
+    for &((src, dst, relay_sel, bytes, setup_ms, prio_sel), (cap_sel, dt_us, abort_sel)) in flows {
+        now += SimDuration::from_micros(dt_us as u64 % 3_000_000);
+        out.extend(net.advance(now).into_iter().map(record));
+        if abort_sel % 7 == 0 && !started.is_empty() {
+            let victim = started[abort_sel as usize % started.len()];
+            net.abort_flow(now, victim);
+        }
+        let src = HostId(src % n);
+        let dst = HostId(dst % n);
+        let mut spec = FlowSpec::simple(src, dst, bytes % 5_000_000);
+        spec.setup_s = (setup_ms % 2_000) as f64 / 1_000.0;
+        if prio_sel % 3 == 0 {
+            spec.priority = Priority::Background;
+        }
+        if cap_sel % 4 == 0 {
+            spec.rate_cap = Some(1_000.0 + cap_sel as f64 * 977.0);
+        }
+        if relay_sel % 6 == 0 && n >= 3 {
+            spec.via = vec![HostId((relay_sel + 1) % n)];
+        }
+        started.push(net.start_flow(now, spec));
+    }
+    let mut guard = 0u32;
+    while let Some(t) = net.next_event_time() {
+        if t == SimTime::MAX {
+            break;
+        }
+        guard += 1;
+        assert!(guard < 100_000, "script did not converge");
+        out.extend(net.advance(t).into_iter().map(record));
+    }
+    let stats = AggStats {
+        aggregates_active: net.aggregates_active(),
+        peak_aggregates: net.peak_aggregates(),
+        coalesce_hits: net.coalesce_hits(),
+        splits: net.splits(),
+        scale_regime: net.is_scale_regime(),
+    };
+    // The vmr-obs wiring (`net.aggregates_active` gauge,
+    // `net.coalesce_hits` / `net.splits` counters) must agree with the
+    // engine's own statistics whenever recording is compiled in.
+    if cfg!(feature = "record") {
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("net.coalesce_hits"), stats.coalesce_hits);
+        assert_eq!(snap.counter("net.splits"), stats.splits);
+        let gauge = match snap.get("net.aggregates_active") {
+            Some(vmr_obs::MetricValue::Gauge(v)) => *v,
+            _ => 0.0,
+        };
+        assert_eq!(gauge, stats.aggregates_active as f64);
+    }
+    (
+        out,
+        net.bytes_delivered(),
+        net.fg_durations().count(),
+        net.bg_durations().count(),
+        obs_counters(&obs),
+        stats,
+    )
+}
+
+#[allow(clippy::type_complexity)]
+fn run_aggregate(
+    hosts: &[u8],
+    flows: &[RawFlow],
+    policy: ScalePolicy,
+) -> (Vec<(u64, u64, u64)>, f64, u64, u64, [u64; 4], AggStats) {
+    run_aggregate_on(build_topology(hosts), flows, policy)
+}
+
+/// A three-ISP tiered topology with a constrained backbone, for the
+/// hierarchical differential tests (the incremental engine allocates
+/// over the same dense tier/backbone indices the aggregate engine
+/// publishes shares for).
+fn tiered_topology(hosts: &[u8]) -> Topology {
+    let mut t = Topology::new();
+    let tiers = [
+        t.add_tier(TierLink::symmetric_gbit(0.04, 0.004)),
+        t.add_tier(TierLink::symmetric_gbit(0.1, 0.006)),
+        t.add_tier(TierLink::symmetric_gbit(0.02, 0.008)),
+    ];
+    for (i, &h) in hosts.iter().enumerate() {
+        t.add_host_in(tiers[i % tiers.len()], host_link(h));
+    }
+    t.set_backbone(60e6 / 8.0, 0.012);
+    t
+}
 
 /// Compares two completion streams for exact equality — same flows, in
 /// the same order, at the same microsecond, with the same durations —
@@ -340,4 +465,132 @@ proptest! {
         prop_assert_eq!(first.0, second.0);
         prop_assert_eq!(first.1.to_bits(), second.1.to_bits());
     }
+
+    /// Below its coalescing threshold the aggregate engine IS the
+    /// incremental engine: bit-identical completion streams, bytes,
+    /// tallies and obs counters, with zero aggregate activity — for
+    /// arbitrary mixed scripts (relays, aborts, both priorities).
+    #[test]
+    fn aggregate_matches_incremental_below_threshold(
+        hosts in proptest::collection::vec(0u8..4, 2usize..8),
+        flows in proptest::collection::vec(
+            (
+                (0u32..8, 0u32..8, 0u32..12, 0u64..5_000_000, 0u16..2_000, 0u8..6),
+                (0u8..8, 0u32..3_000_000, 0u8..15),
+            ),
+            1usize..25,
+        ),
+    ) {
+        let policy = ScalePolicy { coalesce_threshold: 1_000, quantum_mantissa_bits: 6 };
+        let (inc, inc_bytes, inc_fg, inc_bg, inc_obs) = run_incremental(&hosts, &flows);
+        let (agg, agg_bytes, agg_fg, agg_bg, agg_obs, stats) =
+            run_aggregate(&hosts, &flows, policy);
+        let diff = stream_divergence(&inc, &agg);
+        prop_assert!(diff.is_none(), "completion streams diverge: {}", diff.unwrap());
+        prop_assert_eq!(inc_bytes.to_bits(), agg_bytes.to_bits());
+        prop_assert_eq!((inc_fg, inc_bg), (agg_fg, agg_bg));
+        prop_assert_eq!(inc_obs, agg_obs);
+        prop_assert!(!stats.scale_regime, "engine migrated below threshold");
+        prop_assert_eq!(stats.peak_aggregates, 0);
+        prop_assert_eq!((stats.coalesce_hits, stats.splits), (0, 0));
+    }
+
+    /// Same bit-identity claim on a hierarchical topology: the exact
+    /// engine allocates over tier and backbone links through the same
+    /// dense index space the aggregate engine publishes shares for.
+    #[test]
+    fn aggregate_matches_incremental_on_tiered_topology(
+        hosts in proptest::collection::vec(0u8..4, 3usize..8),
+        flows in proptest::collection::vec(
+            (
+                (0u32..8, 0u32..8, 0u32..12, 0u64..5_000_000, 0u16..2_000, 0u8..6),
+                (0u8..8, 0u32..3_000_000, 0u8..15),
+            ),
+            1usize..25,
+        ),
+    ) {
+        let policy = ScalePolicy { coalesce_threshold: 1_000, quantum_mantissa_bits: 6 };
+        let (inc, inc_bytes, inc_fg, inc_bg, inc_obs) =
+            run_incremental_on(tiered_topology(&hosts), &flows);
+        let (agg, agg_bytes, agg_fg, agg_bg, agg_obs, stats) =
+            run_aggregate_on(tiered_topology(&hosts), &flows, policy);
+        let diff = stream_divergence(&inc, &agg);
+        prop_assert!(diff.is_none(), "completion streams diverge: {}", diff.unwrap());
+        prop_assert_eq!(inc_bytes.to_bits(), agg_bytes.to_bits());
+        prop_assert_eq!((inc_fg, inc_bg), (agg_fg, agg_bg));
+        prop_assert_eq!(inc_obs, agg_obs);
+        prop_assert!(!stats.scale_regime);
+    }
+
+    /// Above the threshold the fluid approximation must stay honest:
+    /// every flow still completes exactly once, total bytes match, and
+    /// the makespan lands within the asserted tolerance band of the
+    /// exact engine (the min-share pool rate is a lower bound on the
+    /// max-min rate, so the aggregate engine can only be slower — by at
+    /// most the pooling and share-quantization error).
+    #[test]
+    fn aggregate_makespan_within_tolerance_above_threshold(
+        hosts in proptest::collection::vec(0u8..4, 2usize..8),
+        flows in proptest::collection::vec(
+            (
+                // Foreground-only (prio_sel never % 3 == 0) …
+                (0u32..8, 0u32..8, 0u32..12, 1_000u64..5_000_000, 0u16..500, 1u8..3),
+                // … no aborts (abort_sel never % 7 == 0), tight spacing
+                // so the script actually crosses the threshold.
+                (0u8..8, 0u32..200_000, 1u8..7),
+            ),
+            6usize..25,
+        ),
+    ) {
+        let policy = ScalePolicy { coalesce_threshold: 4, quantum_mantissa_bits: 6 };
+        let (inc, inc_bytes, ..) = run_incremental(&hosts, &flows);
+        let (agg, agg_bytes, _, _, _, stats) = run_aggregate(&hosts, &flows, policy);
+        // No aborts: every scripted flow completes in both engines.
+        prop_assert_eq!(inc.len(), flows.len());
+        prop_assert_eq!(agg.len(), flows.len());
+        let mut inc_ids: Vec<u64> = inc.iter().map(|c| c.0).collect();
+        let mut agg_ids: Vec<u64> = agg.iter().map(|c| c.0).collect();
+        inc_ids.sort_unstable();
+        agg_ids.sort_unstable();
+        prop_assert_eq!(inc_ids, agg_ids);
+        // Payload byte counts are integers < 2^53, so the sums are
+        // exact regardless of completion order.
+        prop_assert_eq!(inc_bytes.to_bits(), agg_bytes.to_bits());
+        let inc_makespan = inc.iter().map(|c| c.1).max().unwrap_or(0).max(1) as f64;
+        let agg_makespan = agg.iter().map(|c| c.1).max().unwrap_or(0).max(1) as f64;
+        let ratio = agg_makespan / inc_makespan;
+        prop_assert!(
+            (0.99..=3.0).contains(&ratio),
+            "makespan ratio {} outside tolerance (exact {} µs, aggregate {} µs, migrated: {})",
+            ratio, inc_makespan, agg_makespan, stats.scale_regime
+        );
+    }
+}
+
+/// Deterministic coalescing scenario: eight identical-path foreground
+/// transfers with a threshold of four. The engine must migrate on the
+/// fifth start, pool the class, and expand per-flow completions back
+/// out — visible through the `net.*` statistics (run_aggregate also
+/// cross-checks them against the vmr-obs snapshot).
+#[test]
+fn scale_regime_counters_track_coalescing() {
+    let hosts = [0u8; 6];
+    let flows: Vec<RawFlow> = (0..8u64)
+        .map(|i| ((0, 1, 1, 2_000_000 + i, 0, 1), (1, 0, 1)))
+        .collect();
+    let policy = ScalePolicy {
+        coalesce_threshold: 4,
+        quantum_mantissa_bits: 6,
+    };
+    let (out, bytes, fg, bg, _obs, stats) = run_aggregate(&hosts, &flows, policy);
+    assert_eq!(out.len(), 8, "every flow completes exactly once");
+    assert_eq!(fg, 8);
+    assert_eq!(bg, 0);
+    let expected: f64 = flows.iter().map(|f| (f.0 .3 % 5_000_000) as f64).sum();
+    assert_eq!(bytes.to_bits(), expected.to_bits());
+    assert!(stats.scale_regime, "threshold crossing must ratchet");
+    assert!(stats.peak_aggregates >= 1, "same-class flows must pool");
+    assert!(stats.coalesce_hits > 0);
+    assert!(stats.splits > 0);
+    assert_eq!(stats.aggregates_active, 0, "pools drained at quiescence");
 }

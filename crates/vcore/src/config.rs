@@ -58,6 +58,15 @@ pub struct ProjectConfig {
     /// Quarantine: stop granting work to hosts whose error rate (from
     /// the credit ledger) exceeds this; `None` disables.
     pub max_host_error_rate: Option<f64>,
+    /// In-flight flow count beyond which the network engine leaves its
+    /// exact regime and coalesces flow classes (see
+    /// `vmr_netsim::ScalePolicy`). The default (`usize::MAX`) never
+    /// coalesces, keeping testbed-scale runs bit-identical to the
+    /// exact engine; internet-scale populations set a few hundred.
+    pub net_coalesce_threshold: usize,
+    /// Mantissa bits kept by the scale regime's published link shares
+    /// (52 = exact, 6 ≈ 1.5 % buckets).
+    pub net_quantum_bits: u32,
 }
 
 impl Default for ProjectConfig {
@@ -79,6 +88,8 @@ impl Default for ProjectConfig {
             serving_timeout_s: 3600.0,
             locality_scheduling: false,
             max_host_error_rate: None,
+            net_coalesce_threshold: usize::MAX,
+            net_quantum_bits: 52,
         }
     }
 }
@@ -90,6 +101,25 @@ impl ProjectConfig {
             SimDuration::from_secs(self.backoff_min_s),
             SimDuration::from_secs(self.backoff_max_s),
         )
+    }
+
+    /// The network engine's scale policy built from the plain-number
+    /// knobs.
+    pub fn scale_policy(&self) -> vmr_netsim::ScalePolicy {
+        vmr_netsim::ScalePolicy {
+            coalesce_threshold: self.net_coalesce_threshold,
+            quantum_mantissa_bits: self.net_quantum_bits,
+        }
+    }
+
+    /// Returns a copy tuned for internet-scale host populations: the
+    /// network engine coalesces flow classes past a few hundred
+    /// in-flight flows (matching `ScalePolicy::internet`).
+    pub fn with_internet_net(mut self) -> Self {
+        let p = vmr_netsim::ScalePolicy::internet();
+        self.net_coalesce_threshold = p.coalesce_threshold;
+        self.net_quantum_bits = p.quantum_mantissa_bits;
+        self
     }
 }
 

@@ -24,7 +24,7 @@ use std::collections::{HashMap, VecDeque};
 use vmr_desim::{EventId, RngStream, SimDuration, SimTime, Simulation, Tally};
 use vmr_durable::{Journal, Sections};
 use vmr_netsim::{
-    connect, FlowId, FlowSpec, HostId, HostLink, Network, Path, Priority, Topology,
+    connect, AggregateNetwork, FlowId, FlowSpec, HostId, HostLink, Path, Priority, Topology,
     TraversalPolicy, TraversalStats,
 };
 use vmr_obs::EventKind;
@@ -193,7 +193,7 @@ pub enum RelayChoice {
 /// The BOINC-like middleware simulation.
 pub struct Engine {
     sim: Simulation<Ev>,
-    net: Network,
+    net: AggregateNetwork,
     /// The project database (public: policies inspect it freely).
     pub db: Db,
     /// Configuration knobs.
@@ -280,9 +280,10 @@ impl Engine {
         let obs = vmr_obs::Obs::new();
         sim.attach_obs(&obs);
         let eobs = EngineObs::attach(&obs);
+        let policy = cfg.scale_policy();
         let mut eng = Engine {
             sim,
-            net: Network::with_obs(topo, &obs),
+            net: AggregateNetwork::with_policy(topo, &obs, policy),
             db: Db::new(),
             cfg,
             fault: FaultPlan::none(),
@@ -351,12 +352,12 @@ impl Engine {
     }
 
     fn net_add_host(&mut self, link: HostLink) -> HostId {
-        // Network does not expose topology mutation; rebuild it.
+        // The engine does not expose topology mutation; rebuild it.
         let mut topo = self.net.topology().clone();
         let id = topo.add_host(link);
         // Safe only before any flow exists (construction phase).
         assert_eq!(self.net.active_flows(), 0, "add clients before running");
-        self.net = Network::with_obs(topo, &self.obs);
+        self.net = AggregateNetwork::with_policy(topo, &self.obs, self.cfg.scale_policy());
         id
     }
 

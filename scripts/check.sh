@@ -40,6 +40,11 @@ if [ "$NO_BENCH" -eq 0 ]; then
         | sed -n 's/^BENCH_netsim\.json //p' > BENCH_netsim.json
     [ -s BENCH_netsim.json ] || { echo "flow_churn emitted no BENCH line" >&2; exit 1; }
 
+    if [ "${NETSIM_SCALE_SMOKE:-0}" = "1" ]; then
+        echo "==> netsim scale smoke: 20k-host aggregate leg (NETSIM_SCALE_SMOKE=1)"
+        ./target/release/flow_churn --scale-smoke
+    fi
+
     echo "==> bench smoke: table1 --quick (with metrics dump)"
     ./target/release/table1 --quick --metrics /tmp/table1_quick_metrics.json > /dev/null
     [ -s /tmp/table1_quick_metrics.json ] || { echo "table1 --metrics wrote nothing" >&2; exit 1; }
