@@ -1,0 +1,264 @@
+//! Ablation **A10**: adaptive replication driven by host reputation
+//! (`vmr-trust`) vs the paper's fixed-quorum validation.
+//!
+//! Cost axis: fixed 2-way replication doubles every WU's compute.
+//! Benefit axis: replication is what catches wrong results. The trust
+//! subsystem buys back most of the redundancy on honest-majority
+//! populations (hosts graduate to single replicas after probation,
+//! audited by randomized spot-checks) — this study measures what that
+//! costs in *error escapes* under adversarial populations: colluding
+//! cliques, flaky-then-reliable hosts, and trust-poisoning sleepers.
+//!
+//! Each leg runs a plain work-unit population to completion and
+//! reports redundant compute (successful reports per validated WU) and
+//! the error-escape rate (validated WUs whose canonical fingerprint is
+//! not the honest one). Emits one machine-readable line,
+//! `BENCH_trust.json`, with every row plus the headline reduction.
+//!
+//! Usage: `cargo run -p vmr-bench --release --bin trust_study`
+//! (`--smoke` runs the 40-host legs only).
+
+use std::time::Instant;
+use vmr_desim::{SimDuration, SimTime};
+use vmr_netsim::HostLink;
+use vmr_vcore::{
+    honest_fingerprint, Engine, FaultPlan, HostProfile, NullPolicy, ProjectConfig, TrustConfig,
+    WorkUnitSpec, WuId, WuState,
+};
+
+/// Tasks per host (before replication) — enough post-probation volume
+/// that adaptive replication can amortize the 2-way probation phase.
+const TASKS_PER_HOST: u32 = 25;
+
+/// Estimator knobs used for every trust-enabled leg.
+fn trust_cfg() -> TrustConfig {
+    let mut t = TrustConfig::enabled();
+    t.probation_results = 3;
+    t.spot_check_rate = 0.05;
+    t
+}
+
+struct Scenario {
+    name: &'static str,
+    plan: fn(u32) -> FaultPlan,
+}
+
+/// Adversarial population schedules, parameterized by host count. The
+/// per-host load is scale-invariant (makespan ≈ 200 s of sim-time at
+/// every host count), so the flip/wake times below sit mid-run: flaky
+/// hosts turn reliable with time left to re-earn trust, and sleepers
+/// defect *after* the ledger has graduated them to single replicas.
+const SCENARIOS: &[Scenario] = &[
+    Scenario {
+        name: "honest",
+        plan: |_| FaultPlan::none(),
+    },
+    Scenario {
+        name: "clique",
+        plan: |n| FaultPlan::colluding_clique(n, 0.10, 7, 101),
+    },
+    Scenario {
+        name: "flaky",
+        plan: |n| FaultPlan::flaky_then_reliable(n, 0.10, 0.5, SimDuration::from_secs(60), 202),
+    },
+    Scenario {
+        name: "poison",
+        plan: |n| FaultPlan::trust_poisoning(n, 0.05, 1.0, SimDuration::from_secs(100), 303),
+    },
+];
+
+struct Row {
+    hosts: u32,
+    scenario: &'static str,
+    mode: &'static str,
+    wus: u32,
+    validated: u32,
+    escapes: u32,
+    reports: u64,
+    redundancy: f64,
+    trusted: u64,
+    spot_checks: u64,
+    saved: u64,
+    makespan_s: f64,
+    wall_s: f64,
+}
+
+fn run_leg(hosts: u32, scenario: &Scenario, trust: TrustConfig, mode: &'static str) -> Row {
+    let wall = Instant::now();
+    let cfg = ProjectConfig {
+        trust,
+        ..ProjectConfig::default()
+    };
+    let mut eng = Engine::testbed(9000 + hosts as u64, cfg);
+    for _ in 0..hosts {
+        eng.add_client(
+            HostProfile::pc3001(),
+            HostLink::symmetric_mbit(100.0, 0.000_5),
+        );
+    }
+    let wus = hosts * TASKS_PER_HOST;
+    for i in 0..wus {
+        let mut spec = WorkUnitSpec::basic(format!("w{i}"), "app", 2e9);
+        spec.target_nresults = 2;
+        spec.min_quorum = 2;
+        eng.insert_workunit(spec);
+    }
+    eng.fault = (scenario.plan)(hosts);
+
+    let mut pol = NullPolicy;
+    eng.run_until(&mut pol, SimTime::from_secs(500_000), |e| {
+        e.db.all_wus_terminal()
+    });
+
+    let mut validated = 0u32;
+    let mut escapes = 0u32;
+    for i in 0..wus {
+        let w = eng.db.wu(WuId(i));
+        if w.state != WuState::Validated {
+            continue;
+        }
+        validated += 1;
+        if w.canonical != Some(honest_fingerprint(&w.spec.name)) {
+            escapes += 1;
+        }
+    }
+    Row {
+        hosts,
+        scenario: scenario.name,
+        mode,
+        wus,
+        validated,
+        escapes,
+        reports: eng.stats.reports,
+        redundancy: eng.stats.reports as f64 / validated.max(1) as f64,
+        trusted: eng.trust.trusted_count(),
+        spot_checks: eng.obs.counter("trust.spot_checks").get(),
+        saved: eng.obs.counter("trust.replication_saved").get(),
+        makespan_s: eng.now().as_secs_f64(),
+        wall_s: wall.elapsed().as_secs_f64(),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let host_counts: &[u32] = if smoke { &[40] } else { &[40, 2000] };
+
+    println!("# A10 — adaptive replication vs fixed quorum ({TASKS_PER_HOST} tasks/host)");
+    println!(
+        "{:>6} | {:>8} | {:>8} | {:>6} | {:>9} | {:>10} | {:>8} | {:>7} | {:>6} | {:>9} | {:>7}",
+        "hosts",
+        "scenario",
+        "mode",
+        "wus",
+        "validated",
+        "redundancy",
+        "escapes",
+        "trusted",
+        "spot",
+        "sim s",
+        "wall s"
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &hosts in host_counts {
+        for sc in SCENARIOS {
+            for (mode, trust) in [("fixed", TrustConfig::default()), ("trust", trust_cfg())] {
+                let r = run_leg(hosts, sc, trust, mode);
+                println!(
+                    "{:>6} | {:>8} | {:>8} | {:>6} | {:>9} | {:>10.3} | {:>8} | {:>7} | {:>6} | {:>9.1} | {:>7.2}",
+                    r.hosts,
+                    r.scenario,
+                    r.mode,
+                    r.wus,
+                    r.validated,
+                    r.redundancy,
+                    r.escapes,
+                    r.trusted,
+                    r.spot_checks,
+                    r.makespan_s,
+                    r.wall_s
+                );
+                rows.push(r);
+            }
+        }
+    }
+
+    // Headline: redundant-compute reduction under honest majority, per
+    // host count (trust vs fixed-quorum baseline).
+    let reduction = |hosts: u32| -> f64 {
+        let get = |mode: &str| {
+            rows.iter()
+                .find(|r| r.hosts == hosts && r.scenario == "honest" && r.mode == mode)
+                .map(|r| r.redundancy)
+                .unwrap_or(f64::NAN)
+        };
+        1.0 - get("trust") / get("fixed")
+    };
+
+    for &hosts in host_counts {
+        // Sanity that the subsystem is live, at every scale.
+        let t = rows
+            .iter()
+            .find(|r| r.hosts == hosts && r.scenario == "honest" && r.mode == "trust")
+            .unwrap();
+        assert!(t.trusted > 0, "no host earned trust at {hosts} hosts");
+        assert!(t.saved > 0, "no replica was saved at {hosts} hosts");
+        assert_eq!(t.escapes, 0, "honest population must not escape");
+        println!(
+            "\nhonest-majority redundant-compute reduction at {hosts} hosts: {:.1}%",
+            100.0 * reduction(hosts)
+        );
+    }
+    if !smoke {
+        assert!(
+            reduction(2000) >= 0.40,
+            "adaptive replication must cut >=40% of redundant compute at 2000 hosts"
+        );
+    }
+
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"hosts\": {}, \"scenario\": \"{}\", \"mode\": \"{}\", \"wus\": {}, \
+                 \"validated\": {}, \"escapes\": {}, \"escape_rate\": {:.5}, \"reports\": {}, \
+                 \"redundancy\": {:.4}, \"trusted\": {}, \"spot_checks\": {}, \
+                 \"replication_saved\": {}, \"makespan_s\": {:.1}, \"wall_s\": {:.4}}}",
+                r.hosts,
+                r.scenario,
+                r.mode,
+                r.wus,
+                r.validated,
+                r.escapes,
+                r.escapes as f64 / r.validated.max(1) as f64,
+                r.reports,
+                r.redundancy,
+                r.trusted,
+                r.spot_checks,
+                r.saved,
+                r.makespan_s,
+                r.wall_s
+            )
+        })
+        .collect();
+    let headline: Vec<String> = host_counts
+        .iter()
+        .map(|&h| format!("\"reduction_{h}_honest\": {:.4}", reduction(h)))
+        .collect();
+    println!(
+        "\nBENCH_trust.json {{{}, \"rows\": [{}]}}",
+        headline.join(", "),
+        json_rows.join(", ")
+    );
+
+    println!(
+        "\nShape: under honest majority the ledger graduates nearly every \
+         host past probation and most WUs run singly (randomly spot-checked), \
+         recovering close to half the baseline's redundant compute; colluding \
+         cliques still beat *both* validators whenever a quorum lands entirely \
+         inside the clique; flaky-then-reliable hosts pay their history until \
+         decay re-earns trust; trust-poisoning sleepers are the price of \
+         adaptivity — their post-wake escapes pass unreplicated until a \
+         spot-check revokes trust."
+    );
+}

@@ -13,7 +13,8 @@ use vmr_desim::{SimTime, Timeline};
 use vmr_durable::{DurabilityPlan, Journal};
 use vmr_netsim::{HostLink, NatMix, TraversalPolicy};
 use vmr_vcore::{
-    ClientId, Engine, EngineStats, FaultPlan, HostProfile, ProjectConfig, ResultState, WuId,
+    ClientId, Engine, EngineStats, FaultPlan, HostProfile, ProjectConfig, ResultState, TrustConfig,
+    WuId,
 };
 
 /// How many of each testbed node type to instantiate (§IV.A's pc3001 /
@@ -92,6 +93,9 @@ pub struct ExperimentConfig {
     /// Server durability: WAL + snapshot cadence + optional crash point
     /// (disabled by default — the in-memory-only baseline).
     pub durable: DurabilityPlan,
+    /// Host reputation / adaptive replication (disabled by default —
+    /// the fixed-quorum baseline the paper uses).
+    pub trust: TrustConfig,
 }
 
 impl ExperimentConfig {
@@ -120,6 +124,7 @@ impl ExperimentConfig {
             locality_scheduling: false,
             record_timeline: false,
             durable: DurabilityPlan::disabled(),
+            trust: TrustConfig::default(),
         }
     }
 }
@@ -182,6 +187,7 @@ pub(crate) fn build_testbed(cfg: &ExperimentConfig, journal: Journal) -> (Engine
         backoff_max_s: cfg.backoff_max_s,
         report_results_immediately: cfg.mitigation.immediate_report,
         locality_scheduling: cfg.locality_scheduling,
+        trust: cfg.trust.clone(),
         ..ProjectConfig::default()
     };
     pc.backoff_min_s = pc.backoff_min_s.min(cfg.backoff_max_s);

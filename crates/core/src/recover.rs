@@ -14,7 +14,7 @@ use crate::experiment::{build_testbed, finish, horizon, ExperimentConfig, Experi
 use crate::jobtracker::JobTracker;
 use vmr_durable::{recover, section, CrashPlan, Journal, RecoverError, WireError};
 use vmr_obs::EventKind;
-use vmr_vcore::{Assimilator, CreditLedger, Db, Policy};
+use vmr_vcore::{Assimilator, CreditLedger, Db, TrustLedger};
 
 /// Why a recovery or resume attempt failed.
 #[derive(Debug)]
@@ -75,6 +75,10 @@ pub struct RecoveredServerState {
     pub assimilator: Assimilator,
     /// The BOINC-MR JobTracker.
     pub tracker: JobTracker,
+    /// The host reputation ledger. Self-contained: its snapshot embeds
+    /// the trust config, so replaying its records needs no external
+    /// configuration.
+    pub trust: TrustLedger,
     /// True when a committed snapshot seeded the state (false = full
     /// replay from genesis).
     pub from_snapshot: bool,
@@ -117,11 +121,16 @@ impl RecoveredServerState {
             Some(b) => JobTracker::decode_state(b)?,
             None => JobTracker::new(),
         };
+        let mut trust = match r.sections.get(section::NAMES[section::TRUST]) {
+            Some(b) => TrustLedger::decode_state(b)?,
+            None => TrustLedger::new(Default::default()),
+        };
         for c in &r.tail {
             if db.apply_change(c)?
                 || credit.apply_change(c)?
                 || assimilator.apply_change(c, &db)?
                 || tracker.apply_change(c)?
+                || trust.apply_change(c)?
             {
                 continue;
             }
@@ -132,6 +141,7 @@ impl RecoveredServerState {
             credit,
             assimilator,
             tracker,
+            trust,
             from_snapshot: r.from_snapshot,
             replayed: r.tail.len() as u64,
             committed_frames: r.committed_frames,
@@ -159,6 +169,10 @@ impl RecoveredServerState {
             (
                 section::NAMES[section::TRACKER].into(),
                 self.tracker.encode_state(),
+            ),
+            (
+                section::NAMES[section::TRUST].into(),
+                self.trust.encode_state(),
             ),
         ]
     }
@@ -206,8 +220,7 @@ pub fn resume_experiment(
         eng.run_until(&mut pol, horizon(), |e| {
             e.durable().committed_seq() >= target
         });
-        let mut live = eng.state_sections();
-        pol.durable_sections(&mut live);
+        let live = eng.live_sections(&pol);
         let want = rec.encode_sections();
         for ((ln, lb), (wn, wb)) in live.iter().zip(&want) {
             if ln != wn || lb != wb {

@@ -19,7 +19,7 @@ use vmr_core::MrPolicy;
 use vmr_desim::{SimDuration, SimTime};
 use vmr_durable::{frame_ends, sink_image, CompactionPolicy, CrashPlan, DurabilityPlan, Journal};
 use vmr_netsim::HostLink;
-use vmr_vcore::{ClientId, Engine, FaultPlan, HostProfile, Policy, ProjectConfig};
+use vmr_vcore::{ClientId, Engine, FaultPlan, HostProfile, ProjectConfig, TrustConfig};
 
 /// Asserts a resumed outcome reproduces the uninterrupted baseline
 /// bit-for-bit: Table I row, phase-time f64 bits, counters, end time.
@@ -56,9 +56,7 @@ fn assert_bit_identical(resumed: &ExperimentOutcome, base: &ExperimentOutcome, c
 }
 
 fn live_sections(eng: &Engine, pol: &MrPolicy) -> Vec<(String, Vec<u8>)> {
-    let mut s = eng.state_sections();
-    pol.durable_sections(&mut s);
-    s
+    eng.live_sections(pol)
 }
 
 #[test]
@@ -251,6 +249,47 @@ fn resume_bit_identical_with_sharding_incremental_and_compaction() {
         assert_bit_identical(&resumed_disk, &base, &format!("{crash:?} (disk mirror)"));
     }
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Crash-replay with an *active trust ledger*: hosts earn trust, WUs
+/// run unreplicated behind quorum overrides, spot-checks and scaled
+/// credit grants land in the TRUST/CREDIT WAL sections — and a mid-run
+/// crash must still resume to a bit-identical outcome (Table I row,
+/// f64 bits, counters, and the resumed WAL itself).
+#[test]
+fn trust_enabled_crash_resumes_bit_identically() {
+    let mut cfg = ExperimentConfig::table1(5, 3, 2, MrMode::InterClient);
+    cfg.input_bytes = 32 << 20;
+    cfg.durable = DurabilityPlan::new(120.0);
+    cfg.trust = {
+        let mut t = TrustConfig::enabled();
+        t.probation_results = 2;
+        t.spot_check_rate = 0.2;
+        t
+    };
+
+    let base = run_experiment(&cfg);
+    assert!(base.all_done && !base.crashed);
+    let full = RecoveredServerState::from_log(base.wal.as_ref().unwrap()).unwrap();
+    let observed: u64 = (0..5).map(|h| full.trust.host(h).validated).sum();
+    assert!(observed > 0, "the recovered ledger must show activity");
+    assert!(
+        full.trust.config().enabled,
+        "the snapshot-embedded config survives recovery"
+    );
+
+    let crashes = [
+        CrashPlan::after_records(full.committed_records / 2),
+        CrashPlan::at_us(base.finished_at.as_micros() / 2),
+    ];
+    for crash in crashes {
+        let mut crashed_cfg = cfg.clone();
+        crashed_cfg.durable = cfg.durable.clone().with_crash(crash);
+        let dead = run_experiment(&crashed_cfg);
+        assert!(dead.crashed, "{crash:?} never fired");
+        let resumed = resume_experiment(&crashed_cfg, dead.wal.as_ref().unwrap()).unwrap();
+        assert_bit_identical(&resumed, &base, &format!("trust {crash:?}"));
+    }
 }
 
 /// CrashPlan × FaultIndex interaction: the crash fires on the same

@@ -1000,7 +1000,7 @@ mod tests {
             .iter()
             .map(|(_, log)| frame::scan(log).unwrap().frames.len())
             .collect();
-        assert_eq!(counts, vec![2, 1, 1, 2]);
+        assert_eq!(counts, vec![2, 1, 1, 2, 1]);
         let r = recover(&img).unwrap();
         assert_eq!(r.committed_seq, 1);
         assert_eq!(r.tail, vec![change(0), tracker_change(1)]);

@@ -157,6 +157,62 @@ pub enum StateChange {
         /// Stamp sim-time, microseconds.
         at_us: u64,
     },
+    /// A validation outcome was fed to the trust ledger
+    /// (`TrustLedger::observe`). `outcome`: 0 agree, 1 mismatch,
+    /// 2 error/timeout.
+    TrustObserved {
+        /// Observed host.
+        client: u32,
+        /// Outcome discriminant (see above).
+        outcome: u8,
+    },
+    /// A spot-check was drawn for a trusted host
+    /// (`TrustLedger::record_spot_check`).
+    TrustSpotCheck {
+        /// Spot-checked host.
+        client: u32,
+    },
+    /// The effective quorum of a WU was overridden (or the override
+    /// cleared) by the replication policy (`Db::set_quorum_override`).
+    WuQuorumOverride {
+        /// Work-unit id.
+        wu: u32,
+        /// New override; `None` restores the spec's `min_quorum`.
+        quorum: Option<u32>,
+    },
+    /// Credit granted pro-rata to trust on an unreplicated validation
+    /// (`CreditLedger::on_wu_validated_scaled`).
+    CreditGrantedScaled {
+        /// Clients whose fingerprint matched the canonical one.
+        agreeing: Vec<u32>,
+        /// Clients that disagreed (charged an invalid result).
+        dissenting: Vec<u32>,
+        /// Claimed FLOPs, as `f64` bits.
+        flops_bits: u64,
+        /// Grant scale in `[0, 1]`, as `f64` bits.
+        scale_bits: u64,
+    },
+    /// An enabled trust configuration attached to the WAL
+    /// (`TrustLedger::set_journal`). Written once at startup so a
+    /// pre-snapshot crash replays trust records from genesis with the
+    /// run's estimator constants, not the defaults. Real-valued knobs
+    /// travel as `f64` bits.
+    TrustConfigured {
+        /// `TrustConfig::enabled`.
+        enabled: bool,
+        /// `trust_threshold` bits.
+        threshold_bits: u64,
+        /// `init_error_rate` bits.
+        init_bits: u64,
+        /// `decay` bits.
+        decay_bits: u64,
+        /// `punish` bits.
+        punish_bits: u64,
+        /// `probation_results`.
+        probation: u64,
+        /// `spot_check_rate` bits.
+        spot_bits: u64,
+    },
 }
 
 // Variant tags on the wire. Append-only: never renumber.
@@ -176,6 +232,11 @@ const T_MR_MAP_VALIDATED: u8 = 12;
 const T_MR_REDUCE_VALIDATED: u8 = 13;
 const T_MR_PHASE: u8 = 14;
 const T_MR_STAMP: u8 = 15;
+const T_TRUST_OBSERVED: u8 = 16;
+const T_TRUST_SPOT_CHECK: u8 = 17;
+const T_WU_QUORUM_OVERRIDE: u8 = 18;
+const T_CREDIT_GRANTED_SCALED: u8 = 19;
+const T_TRUST_CONFIGURED: u8 = 20;
 
 impl StateChange {
     /// The canonical state section this change mutates (see
@@ -190,8 +251,11 @@ impl StateChange {
             | StateChange::ResultReported { .. }
             | StateChange::ResultCancelled { .. }
             | StateChange::WuValidated { .. }
-            | StateChange::WuFailed { .. } => section::DB,
-            StateChange::CreditGranted { .. } | StateChange::CreditError { .. } => section::CREDIT,
+            | StateChange::WuFailed { .. }
+            | StateChange::WuQuorumOverride { .. } => section::DB,
+            StateChange::CreditGranted { .. }
+            | StateChange::CreditError { .. }
+            | StateChange::CreditGrantedScaled { .. } => section::CREDIT,
             StateChange::Assimilated { .. } => section::ASSIM,
             StateChange::MrJobSubmitted { .. }
             | StateChange::MrWuIndexed { .. }
@@ -199,6 +263,9 @@ impl StateChange {
             | StateChange::MrReduceValidated { .. }
             | StateChange::MrPhase { .. }
             | StateChange::MrStamp { .. } => section::TRACKER,
+            StateChange::TrustObserved { .. }
+            | StateChange::TrustSpotCheck { .. }
+            | StateChange::TrustConfigured { .. } => section::TRUST,
         }
     }
 
@@ -324,6 +391,50 @@ impl StateChange {
                 e.u8(*which);
                 e.u64(*at_us);
             }
+            StateChange::TrustObserved { client, outcome } => {
+                e.u8(T_TRUST_OBSERVED);
+                e.u32(*client);
+                e.u8(*outcome);
+            }
+            StateChange::TrustSpotCheck { client } => {
+                e.u8(T_TRUST_SPOT_CHECK);
+                e.u32(*client);
+            }
+            StateChange::WuQuorumOverride { wu, quorum } => {
+                e.u8(T_WU_QUORUM_OVERRIDE);
+                e.u32(*wu);
+                e.opt_u32(*quorum);
+            }
+            StateChange::CreditGrantedScaled {
+                agreeing,
+                dissenting,
+                flops_bits,
+                scale_bits,
+            } => {
+                e.u8(T_CREDIT_GRANTED_SCALED);
+                e.vec_u32(agreeing);
+                e.vec_u32(dissenting);
+                e.u64(*flops_bits);
+                e.u64(*scale_bits);
+            }
+            StateChange::TrustConfigured {
+                enabled,
+                threshold_bits,
+                init_bits,
+                decay_bits,
+                punish_bits,
+                probation,
+                spot_bits,
+            } => {
+                e.u8(T_TRUST_CONFIGURED);
+                e.bool(*enabled);
+                e.u64(*threshold_bits);
+                e.u64(*init_bits);
+                e.u64(*decay_bits);
+                e.u64(*punish_bits);
+                e.u64(*probation);
+                e.u64(*spot_bits);
+            }
         }
     }
 
@@ -407,6 +518,30 @@ impl StateChange {
                 which: d.u8()?,
                 at_us: d.u64()?,
             },
+            T_TRUST_OBSERVED => StateChange::TrustObserved {
+                client: d.u32()?,
+                outcome: d.u8()?,
+            },
+            T_TRUST_SPOT_CHECK => StateChange::TrustSpotCheck { client: d.u32()? },
+            T_WU_QUORUM_OVERRIDE => StateChange::WuQuorumOverride {
+                wu: d.u32()?,
+                quorum: d.opt_u32()?,
+            },
+            T_CREDIT_GRANTED_SCALED => StateChange::CreditGrantedScaled {
+                agreeing: d.vec_u32()?,
+                dissenting: d.vec_u32()?,
+                flops_bits: d.u64()?,
+                scale_bits: d.u64()?,
+            },
+            T_TRUST_CONFIGURED => StateChange::TrustConfigured {
+                enabled: d.bool()?,
+                threshold_bits: d.u64()?,
+                init_bits: d.u64()?,
+                decay_bits: d.u64()?,
+                punish_bits: d.u64()?,
+                probation: d.u64()?,
+                spot_bits: d.u64()?,
+            },
             t => return Err(WireError::BadTag(t)),
         })
     }
@@ -481,6 +616,30 @@ mod tests {
                 which: 1,
                 at_us: 18,
             },
+            StateChange::TrustObserved {
+                client: 2,
+                outcome: 1,
+            },
+            StateChange::TrustSpotCheck { client: 2 },
+            StateChange::WuQuorumOverride {
+                wu: 0,
+                quorum: Some(1),
+            },
+            StateChange::CreditGrantedScaled {
+                agreeing: vec![2],
+                dissenting: vec![],
+                flops_bits: 1e9f64.to_bits(),
+                scale_bits: 0.75f64.to_bits(),
+            },
+            StateChange::TrustConfigured {
+                enabled: true,
+                threshold_bits: 0.05f64.to_bits(),
+                init_bits: 0.1f64.to_bits(),
+                decay_bits: 0.5f64.to_bits(),
+                punish_bits: 0.5f64.to_bits(),
+                probation: 3,
+                spot_bits: 0.05f64.to_bits(),
+            },
         ]
     }
 
@@ -497,14 +656,15 @@ mod tests {
     #[test]
     fn every_variant_has_a_section() {
         use crate::section;
-        let counts = all_variants().iter().fold([0usize; 4], |mut acc, c| {
+        let counts = all_variants().iter().fold([0usize; 5], |mut acc, c| {
             acc[c.section_index()] += 1;
             acc
         });
-        assert_eq!(counts[section::DB], 7);
-        assert_eq!(counts[section::CREDIT], 2);
+        assert_eq!(counts[section::DB], 8);
+        assert_eq!(counts[section::CREDIT], 3);
         assert_eq!(counts[section::ASSIM], 1);
         assert_eq!(counts[section::TRACKER], 6);
+        assert_eq!(counts[section::TRUST], 3);
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! The canonical state-section vocabulary shared by snapshots and the
 //! sharded WAL.
 //!
-//! Server state is partitioned into four named sections — the project
-//! database, the credit ledger, the assimilator and the MapReduce
-//! JobTracker. Snapshot frames carry them by name
+//! Server state is partitioned into five named sections — the project
+//! database, the credit ledger, the assimilator, the MapReduce
+//! JobTracker and the host trust ledger. Snapshot frames carry them by
+//! name
 //! ([`crate::Sections`]); the sharded journal keys one log per section
 //! ([`crate::DurabilityPlan::sharded`]); and every
 //! [`crate::StateChange`] variant maps to exactly one section
@@ -24,9 +25,11 @@ pub const CREDIT: usize = 1;
 pub const ASSIM: usize = 2;
 /// Index of the JobTracker section.
 pub const TRACKER: usize = 3;
+/// Index of the host trust-ledger section.
+pub const TRUST: usize = 4;
 
 /// Canonical section names, in canonical order.
-pub const NAMES: [&str; 4] = ["db", "credit", "assim", "tracker"];
+pub const NAMES: [&str; 5] = ["db", "credit", "assim", "tracker", "trust"];
 
 /// Number of sections (= number of shards in a sharded WAL).
 pub const COUNT: usize = NAMES.len();
@@ -46,7 +49,8 @@ mod tests {
         assert_eq!(index_of("credit"), Some(CREDIT));
         assert_eq!(index_of("assim"), Some(ASSIM));
         assert_eq!(index_of("tracker"), Some(TRACKER));
+        assert_eq!(index_of("trust"), Some(TRUST));
         assert_eq!(index_of("ghost"), None);
-        assert_eq!(COUNT, 4);
+        assert_eq!(COUNT, 5);
     }
 }

@@ -67,6 +67,10 @@ pub struct ProjectConfig {
     /// Mantissa bits kept by the scale regime's published link shares
     /// (52 = exact, 6 ≈ 1.5 % buckets).
     pub net_quantum_bits: u32,
+    /// Host reputation / adaptive replication knobs (`vmr-trust`).
+    /// Disabled by default — the engine is then bit-identical to the
+    /// fixed-quorum baseline.
+    pub trust: vmr_trust::TrustConfig,
 }
 
 impl Default for ProjectConfig {
@@ -90,6 +94,7 @@ impl Default for ProjectConfig {
             max_host_error_rate: None,
             net_coalesce_threshold: usize::MAX,
             net_quantum_bits: 52,
+            trust: vmr_trust::TrustConfig::default(),
         }
     }
 }
@@ -133,6 +138,7 @@ mod tests {
         assert_eq!(c.backoff_max_s, 600);
         assert!(!c.report_results_immediately);
         assert_eq!(c.peer_retry_limit, 3);
+        assert!(!c.trust.enabled, "trust is opt-in");
     }
 
     #[test]

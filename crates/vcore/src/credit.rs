@@ -92,6 +92,26 @@ impl CreditLedger {
         self.raw_on_wu_validated(agreeing, dissenting, flops);
     }
 
+    /// An *unreplicated* work unit validated under the trust policy:
+    /// the claimed credit is granted pro-rata to the host's reliability
+    /// (`scale` in `[0, 1]`) — BOINC's coupling of credit to trust, so
+    /// a host cannot earn full credit faster by skipping replication.
+    pub fn on_wu_validated_scaled(
+        &mut self,
+        agreeing: &[ClientId],
+        dissenting: &[ClientId],
+        flops: f64,
+        scale: f64,
+    ) {
+        self.journal.append(&StateChange::CreditGrantedScaled {
+            agreeing: agreeing.iter().map(|c| c.0).collect(),
+            dissenting: dissenting.iter().map(|c| c.0).collect(),
+            flops_bits: flops.to_bits(),
+            scale_bits: scale.to_bits(),
+        });
+        self.raw_on_wu_validated_scaled(agreeing, dissenting, flops, scale);
+    }
+
     /// A result errored client-side or missed its deadline.
     pub fn on_error(&mut self, c: ClientId) {
         self.journal
@@ -101,6 +121,25 @@ impl CreditLedger {
 
     fn raw_on_wu_validated(&mut self, agreeing: &[ClientId], dissenting: &[ClientId], flops: f64) {
         let grant = claimed_credit(flops);
+        for &c in agreeing {
+            let a = self.entry(c);
+            a.granted += grant;
+            a.valid_results += 1;
+        }
+        for &c in dissenting {
+            let a = self.entry(c);
+            a.invalid_results += 1;
+        }
+    }
+
+    fn raw_on_wu_validated_scaled(
+        &mut self,
+        agreeing: &[ClientId],
+        dissenting: &[ClientId],
+        flops: f64,
+        scale: f64,
+    ) {
+        let grant = claimed_credit(flops) * scale;
         for &c in agreeing {
             let a = self.entry(c);
             a.granted += grant;
@@ -127,6 +166,21 @@ impl CreditLedger {
             }
             StateChange::CreditError { client } => {
                 self.entry(ClientId(*client)).errors += 1;
+            }
+            StateChange::CreditGrantedScaled {
+                agreeing,
+                dissenting,
+                flops_bits,
+                scale_bits,
+            } => {
+                let agreeing: Vec<ClientId> = agreeing.iter().copied().map(ClientId).collect();
+                let dissenting: Vec<ClientId> = dissenting.iter().copied().map(ClientId).collect();
+                self.raw_on_wu_validated_scaled(
+                    &agreeing,
+                    &dissenting,
+                    f64::from_bits(*flops_bits),
+                    f64::from_bits(*scale_bits),
+                );
             }
             _ => return Ok(false),
         }
@@ -270,6 +324,15 @@ mod tests {
     }
 
     #[test]
+    fn scaled_grant_is_pro_rata() {
+        let mut l = CreditLedger::new();
+        l.on_wu_validated_scaled(&[ClientId(0)], &[], 864e9, 0.9);
+        let a = l.account(ClientId(0));
+        assert!((a.granted - 90.0).abs() < 1e-9, "{}", a.granted);
+        assert_eq!(a.valid_results, 1);
+    }
+
+    #[test]
     fn wal_replay_reproduces_ledger_bit_for_bit() {
         use vmr_durable::{recover, DurabilityPlan};
         let j = Journal::new(&DurabilityPlan::new(0.0)).unwrap();
@@ -279,6 +342,7 @@ mod tests {
         live.on_wu_validated(&[ClientId(0), ClientId(2)], &[ClientId(5)], 1.1e9);
         live.on_wu_validated(&[ClientId(2)], &[], 0.3e9);
         live.on_error(ClientId(0));
+        live.on_wu_validated_scaled(&[ClientId(2)], &[], 1.7e9, 0.987_654_321);
         live.on_wu_validated(&[ClientId(0)], &[ClientId(2)], 2.7e9);
         j.commit();
         let r = recover(&j.log_bytes()).unwrap();

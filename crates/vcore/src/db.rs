@@ -217,6 +217,18 @@ impl Db {
         self.raw_mark_wu_failed(wu, now);
     }
 
+    /// Sets (or clears, with `None`) the trust policy's override of the
+    /// spec's `min_quorum` for `wu`. No-op when unchanged, so repeated
+    /// decisions don't bloat the WAL.
+    pub fn set_quorum_override(&mut self, wu: WuId, quorum: Option<u32>) {
+        if self.wus[wu.0 as usize].quorum_override == quorum {
+            return;
+        }
+        self.journal
+            .append(&StateChange::WuQuorumOverride { wu: wu.0, quorum });
+        self.raw_set_quorum_override(wu, quorum);
+    }
+
     // ----- raw appliers (shared by live mutators and WAL replay) ----------
 
     fn raw_insert_workunit(&mut self, spec: WorkUnitSpec, now: SimTime) {
@@ -229,6 +241,7 @@ impl Db {
             results_created: 0,
             created_at: now,
             finished_at: None,
+            quorum_override: None,
         });
     }
 
@@ -299,6 +312,10 @@ impl Db {
         w.finished_at = Some(now);
     }
 
+    fn raw_set_quorum_override(&mut self, wu: WuId, quorum: Option<u32>) {
+        self.wus[wu.0 as usize].quorum_override = quorum;
+    }
+
     // ----- WAL replay + snapshots -----------------------------------------
 
     /// Applies one replayed change record. Returns `Ok(true)` when the
@@ -356,6 +373,9 @@ impl Db {
             StateChange::WuFailed { wu, at_us } => {
                 self.raw_mark_wu_failed(WuId(*wu), SimTime::from_micros(*at_us));
             }
+            StateChange::WuQuorumOverride { wu, quorum } => {
+                self.raw_set_quorum_override(WuId(*wu), *quorum);
+            }
             _ => return Ok(false),
         }
         Ok(true)
@@ -374,6 +394,7 @@ impl Db {
             e.u32(w.results_created);
             e.u64(w.created_at.as_micros());
             e.opt_u64(w.finished_at.map(SimTime::as_micros));
+            e.opt_u32(w.quorum_override);
         }
         e.u32(self.results.len() as u32);
         for r in &self.results {
@@ -412,6 +433,7 @@ impl Db {
                 results_created: d.u32()?,
                 created_at: SimTime::from_micros(d.u64()?),
                 finished_at: d.opt_u64()?.map(SimTime::from_micros),
+                quorum_override: d.opt_u32()?,
             });
         }
         let n_results = d.u32()? as usize;
@@ -575,6 +597,17 @@ mod tests {
     }
 
     #[test]
+    fn quorum_override_changes_effective_quorum() {
+        let mut db = Db::new();
+        let wu = db.insert_workunit(spec("a"), SimTime::ZERO);
+        assert_eq!(db.wu(wu).effective_quorum(), 2);
+        db.set_quorum_override(wu, Some(1));
+        assert_eq!(db.wu(wu).effective_quorum(), 1);
+        db.set_quorum_override(wu, None);
+        assert_eq!(db.wu(wu).effective_quorum(), 2);
+    }
+
+    #[test]
     fn terminal_tracking() {
         let mut db = Db::new();
         let wu = db.insert_workunit(spec("a"), SimTime::ZERO);
@@ -624,6 +657,8 @@ mod tests {
         db.mark_timed_out(rb[0], SimTime::from_secs(50));
         let extra = db.create_result(b);
         db.cancel_unsent(extra);
+        db.set_quorum_override(b, Some(1));
+        db.set_quorum_override(b, Some(1)); // unchanged: no record
         db.mark_wu_failed(b, SimTime::from_secs(60));
     }
 

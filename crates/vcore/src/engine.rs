@@ -14,8 +14,8 @@
 use crate::backoff::Backoff;
 use crate::config::ProjectConfig;
 use crate::db::Db;
-use crate::fault::{FaultIndex, FaultPlan};
-use crate::host::HostProfile;
+use crate::fault::{Corruption, FaultIndex, FaultPlan};
+use crate::host::{HostProfile, ValidationCounts};
 use crate::sched::{pick_results, WorkRequest};
 use crate::transition::{transition_wu, Transition};
 use crate::types::{ClientId, FileSource, OutputFingerprint, ResultId, WuId};
@@ -28,6 +28,7 @@ use vmr_netsim::{
     TraversalPolicy, TraversalStats,
 };
 use vmr_obs::EventKind;
+use vmr_trust::{Outcome as TrustOutcome, ReplicationDecision, ReplicationPolicy, TrustLedger};
 
 /// Events driving the middleware simulation.
 #[derive(Debug)]
@@ -214,6 +215,11 @@ pub struct Engine {
     pub assimilator: crate::assimilate::Assimilator,
     /// Relay-node selection for NAT-relayed transfers.
     pub relay: RelayChoice,
+    /// Host reputation ledger driving adaptive replication. Observes
+    /// validation outcomes only when `cfg.trust.enabled`; its WAL
+    /// section is always part of snapshots (a pristine ledger encodes
+    /// deterministically).
+    pub trust: TrustLedger,
     server_host: HostId,
     clients: Vec<Client>,
     flows: HashMap<FlowId, FlowPurpose>,
@@ -224,6 +230,14 @@ pub struct Engine {
     net_wake: Option<(EventId, SimTime)>,
     feeder: Vec<ResultId>,
     rng: RngStream,
+    /// Dedicated stream for spot-check draws: it is consumed only for
+    /// trusted hosts with trust enabled, so disabling trust leaves
+    /// every other stream's draw sequence untouched (bit-identical
+    /// baseline runs).
+    trust_rng: RngStream,
+    /// Per-client validation outcome tallies, kept even when the trust
+    /// subsystem is disabled (satellite observability).
+    host_outcomes: Vec<ValidationCounts>,
     dropouts_armed: bool,
     /// Compiled fault lookups, built from `fault` at run start.
     fidx: FaultIndex,
@@ -249,6 +263,14 @@ struct EngineObs {
     report_delay_s: vmr_obs::Histo,
     feeder_occupancy: vmr_obs::TimeGauge,
     transitioner_scope: vmr_obs::Scope,
+    host_valid: vmr_obs::Counter,
+    host_invalid: vmr_obs::Counter,
+    host_error: vmr_obs::Counter,
+    error_escapes: vmr_obs::Counter,
+    trust_spot_checks: vmr_obs::Counter,
+    trust_spot_check_failures: vmr_obs::Counter,
+    trust_replication_saved: vmr_obs::Counter,
+    trust_hosts_trusted: vmr_obs::TimeGauge,
 }
 
 impl EngineObs {
@@ -266,6 +288,14 @@ impl EngineObs {
             report_delay_s: obs.histogram("vcore.report_delay_s"),
             feeder_occupancy: obs.time_gauge("vcore.feeder_occupancy"),
             transitioner_scope: obs.scope("vcore.transitioner_sweep"),
+            host_valid: obs.counter_labeled("vcore.host_outcomes", &[("outcome", "valid")]),
+            host_invalid: obs.counter_labeled("vcore.host_outcomes", &[("outcome", "invalid")]),
+            host_error: obs.counter_labeled("vcore.host_outcomes", &[("outcome", "error")]),
+            error_escapes: obs.counter("vcore.error_escapes"),
+            trust_spot_checks: obs.counter("trust.spot_checks"),
+            trust_spot_check_failures: obs.counter("trust.spot_check_failures"),
+            trust_replication_saved: obs.counter("trust.replication_saved"),
+            trust_hosts_trusted: obs.time_gauge("trust.hosts_trusted"),
         }
     }
 }
@@ -277,6 +307,8 @@ impl Engine {
         let server_host = topo.add_host(server_link);
         let mut sim = Simulation::new(seed);
         let rng = sim.fork_rng("engine");
+        let trust_rng = sim.fork_rng("trust");
+        let trust = TrustLedger::new(cfg.trust.clone());
         let obs = vmr_obs::Obs::new();
         sim.attach_obs(&obs);
         let eobs = EngineObs::attach(&obs);
@@ -293,12 +325,15 @@ impl Engine {
             credit: crate::credit::CreditLedger::new(),
             assimilator: crate::assimilate::Assimilator::new(),
             relay: RelayChoice::default(),
+            trust,
             server_host,
             clients: Vec::new(),
             flows: HashMap::new(),
             net_wake: None,
             feeder: Vec::new(),
             rng,
+            trust_rng,
+            host_outcomes: Vec::new(),
             dropouts_armed: false,
             fidx: FaultIndex::default(),
             durable: Journal::disabled(),
@@ -348,6 +383,7 @@ impl Engine {
         let ev = self.sim.schedule_at(c.next_rpc_at, Ev::ClientWake(id));
         c.wake = Some(ev);
         self.clients.push(c);
+        self.host_outcomes.push(ValidationCounts::default());
         id
     }
 
@@ -399,6 +435,13 @@ impl Engine {
         self.clients[c.0 as usize].dropped
     }
 
+    /// Validation outcome tallies for a client. Maintained regardless
+    /// of whether the trust subsystem is enabled, so operators can see
+    /// the raw material a reputation system would consume.
+    pub fn host_outcomes(&self, c: ClientId) -> ValidationCounts {
+        self.host_outcomes[c.0 as usize]
+    }
+
     /// Schedules a policy-defined event.
     pub fn schedule_custom(&mut self, delay: SimDuration, tag: u64) {
         self.sim.schedule_in(delay, Ev::Custom(tag));
@@ -443,6 +486,7 @@ impl Engine {
         self.db.set_journal(journal.clone());
         self.credit.set_journal(journal.clone());
         self.assimilator.set_journal(journal.clone());
+        self.trust.set_journal(journal.clone());
         self.durable = journal;
     }
 
@@ -455,15 +499,14 @@ impl Engine {
     /// plus whatever the policy contributes. Section order is fixed, so
     /// equal states produce byte-identical snapshots.
     fn snapshot_sections<P: Policy>(&self, policy: &P) -> Sections {
-        let mut entries = self.state_sections();
-        policy.durable_sections(&mut entries);
-        Sections { entries }
+        Sections {
+            entries: self.live_sections(policy),
+        }
     }
 
     /// The vcore-owned snapshot sections (db, credit, assimilator) —
-    /// what [`Engine::snapshot_sections`] emits before the policy adds
-    /// its own. The recovery audit compares these against a recovered
-    /// image.
+    /// the prefix [`Engine::live_sections`] emits before the policy and
+    /// trust ledger add theirs.
     pub fn state_sections(&self) -> Vec<(String, Vec<u8>)> {
         use vmr_durable::section;
         vec![
@@ -477,6 +520,22 @@ impl Engine {
                 self.assimilator.encode_state(),
             ),
         ]
+    }
+
+    /// Every snapshot section in canonical order: the vcore-owned
+    /// trio, then whatever the policy contributes, then the trust
+    /// ledger (always present — a pristine ledger still encodes its
+    /// config deterministically). The recovery audit compares these
+    /// against a recovered image byte-for-byte.
+    pub fn live_sections<P: Policy>(&self, policy: &P) -> Vec<(String, Vec<u8>)> {
+        use vmr_durable::section;
+        let mut entries = self.state_sections();
+        policy.durable_sections(&mut entries);
+        entries.push((
+            section::NAMES[section::TRUST].into(),
+            self.trust.encode_state(),
+        ));
+        entries
     }
 
     // ----- main loop --------------------------------------------------------
@@ -722,7 +781,50 @@ impl Engine {
                     .filter_map(|&rid| self.db.result(rid).client)
                     .collect();
                 let flops = self.db.wu(wu).spec.flops;
-                self.credit.on_wu_validated(&clients, &dissenting, flops);
+                // Error escape: a wrong fingerprint became canonical
+                // (colluders outvoted the honest hosts, or an
+                // unreplicated result was wrong). Tracked always — the
+                // fixed-quorum baseline rows need it too.
+                if canonical != honest_fingerprint(&self.db.wu(wu).spec.name) {
+                    self.eobs.error_escapes.inc();
+                }
+                // Per-host outcome tallies, kept even with trust off.
+                for &c in &clients {
+                    self.host_outcomes[c.0 as usize].valid += 1;
+                    self.eobs.host_valid.inc();
+                }
+                for &c in &dissenting {
+                    self.host_outcomes[c.0 as usize].invalid += 1;
+                    self.eobs.host_invalid.inc();
+                }
+                if self.cfg.trust.enabled {
+                    for &c in &dissenting {
+                        // A trusted host caught dissenting is a failed
+                        // spot-check: the whole point of keeping the
+                        // occasional replicated WU for trusted hosts.
+                        if self.trust.is_trusted(c.0) {
+                            self.eobs.trust_spot_check_failures.inc();
+                        }
+                        self.trust.observe(c.0, TrustOutcome::Mismatch);
+                    }
+                    for &c in &clients {
+                        self.trust.observe(c.0, TrustOutcome::Agree);
+                    }
+                    self.eobs
+                        .trust_hosts_trusted
+                        .set(now.as_micros(), self.trust.trusted_count() as f64);
+                }
+                // Credit: an unreplicated validation (trusted host,
+                // quorum overridden to one) is granted pro-rata to the
+                // host's reliability; full quorums grant as before.
+                let unreplicated = self.db.wu(wu).effective_quorum() == 1 && clients.len() == 1;
+                if self.cfg.trust.enabled && unreplicated {
+                    let scale = self.trust.reliability(clients[0].0);
+                    self.credit
+                        .on_wu_validated_scaled(&clients, &dissenting, flops, scale);
+                } else {
+                    self.credit.on_wu_validated(&clients, &dissenting, flops);
+                }
                 self.assimilator.assimilate(crate::assimilate::Assimilated {
                     wu,
                     wu_name: self.db.wu(wu).spec.name.clone(),
@@ -800,6 +902,11 @@ impl Engine {
                 self.eobs.reports.inc();
                 if errored {
                     self.credit.on_error(cid);
+                    self.host_outcomes[cid.0 as usize].errors += 1;
+                    self.eobs.host_error.inc();
+                    if self.cfg.trust.enabled {
+                        self.trust.observe(cid.0, TrustOutcome::Error);
+                    }
                 }
                 // The §IV.B gap: upload finished at exec/upload time; the
                 // server only *learns* of it now.
@@ -881,6 +988,7 @@ impl Engine {
                 self.stats.grants += 1;
                 self.eobs.grants.inc();
                 self.sim.schedule_at(deadline, Ev::DeadlineCheck(rid));
+                self.adapt_replication(cid, rid);
                 self.grant_task(cid, rid);
                 policy.on_task_granted(self, cid, rid);
             }
@@ -919,6 +1027,74 @@ impl Engine {
             let c = &mut self.clients[cid.0 as usize];
             c.backoff.on_work_received();
             c.next_rpc_at = now;
+        }
+    }
+
+    /// Adaptive replication: re-evaluates a WU's replication level at
+    /// the moment a replica is handed to `cid` (the one point where the
+    /// scheduler knows both the WU and the host).
+    ///
+    /// * Granting to an **untrusted** host always restores the spec
+    ///   quorum, so a relaxed quorum can never be inherited by a retry
+    ///   landing on an unknown host.
+    /// * Granting the WU's **first live attempt** to a trusted host
+    ///   drops the quorum to one and cancels the spare replicas —
+    ///   unless a randomized spot-check keeps full replication to keep
+    ///   trusted hosts honest.
+    ///
+    /// No-op (and no rng draws) when `cfg.trust.enabled` is false.
+    fn adapt_replication(&mut self, cid: ClientId, rid: ResultId) {
+        if !self.cfg.trust.enabled {
+            return;
+        }
+        let wu = self.db.result(rid).wu;
+        if !self.trust.is_trusted(cid.0) {
+            // `set_quorum_override` is a no-op (no WAL record) when the
+            // override is already clear.
+            self.db.set_quorum_override(wu, None);
+            return;
+        }
+        // Only the WU's first live attempt is eligible for relaxation:
+        // every sibling replica must still be unsent (no reports,
+        // retries or in-flight copies a quorum change could strand).
+        let eligible = self
+            .db
+            .results_of(wu)
+            .iter()
+            .all(|&r| r == rid || self.db.result(r).state == ResultState::Unsent);
+        if !eligible {
+            return;
+        }
+        let decision = {
+            let policy = ReplicationPolicy::new(self.cfg.trust.clone());
+            let rng = &mut self.trust_rng;
+            policy.decide(true, |p| rng.chance(p))
+        };
+        match decision {
+            ReplicationDecision::Single => {
+                let spares: Vec<ResultId> = self
+                    .db
+                    .results_of(wu)
+                    .iter()
+                    .copied()
+                    .filter(|&r| r != rid)
+                    .collect();
+                for r in spares {
+                    if self.db.cancel_unsent(r) {
+                        self.feeder.retain(|&x| x != r);
+                        self.eobs.trust_replication_saved.inc();
+                    }
+                }
+                self.db.set_quorum_override(wu, Some(1));
+            }
+            ReplicationDecision::SpotCheck => {
+                self.trust.record_spot_check(cid.0);
+                self.eobs.trust_spot_checks.inc();
+                self.db.set_quorum_override(wu, None);
+            }
+            ReplicationDecision::Full => {
+                self.db.set_quorum_override(wu, None);
+            }
         }
     }
 
@@ -1368,13 +1544,18 @@ impl Engine {
             let c = &mut self.clients[cid.0 as usize];
             if self.fault.task_errors_now(&mut c.rng) {
                 (true, None)
-            } else if self.fidx.corrupt_now(cid, &mut c.rng) {
-                (
-                    false,
-                    Some(OutputFingerprint(honest.0 ^ c.rng.next_u64() | 1)),
-                )
             } else {
-                (false, Some(honest))
+                match self.fidx.corruption_now(cid, now, &mut c.rng) {
+                    Corruption::None => (false, Some(honest)),
+                    Corruption::Random => (
+                        false,
+                        Some(OutputFingerprint(honest.0 ^ c.rng.next_u64() | 1)),
+                    ),
+                    // Colluders emit the clique's shared wrong answer —
+                    // identical across members, so they can outvote an
+                    // honest minority (or agree under spot-checks).
+                    Corruption::Clique(tag) => (false, Some(clique_fingerprint(honest, tag))),
+                }
             }
         };
         {
@@ -1432,6 +1613,11 @@ impl Engine {
             self.db.mark_timed_out(rid, now);
             if let Some(c) = client {
                 self.credit.on_error(c);
+                self.host_outcomes[c.0 as usize].errors += 1;
+                self.eobs.host_error.inc();
+                if self.cfg.trust.enabled {
+                    self.trust.observe(c.0, TrustOutcome::Error);
+                }
             }
             if let Some(c) = client {
                 let cl = &mut self.clients[c.0 as usize];
@@ -1516,6 +1702,20 @@ pub fn honest_fingerprint(wu_name: &str) -> OutputFingerprint {
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     OutputFingerprint(h)
+}
+
+/// The wrong-but-agreed fingerprint a colluding clique emits for a WU:
+/// derived from the honest fingerprint and the clique tag only, so
+/// every member produces the same value without coordination. The
+/// low bit is forced on, matching the random-corruption convention
+/// (never equal to the honest output).
+pub fn clique_fingerprint(honest: OutputFingerprint, tag: u64) -> OutputFingerprint {
+    // splitmix64 finalizer decorrelates nearby tags.
+    let mut z = tag.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    OutputFingerprint(honest.0 ^ z | 1)
 }
 
 #[cfg(test)]
@@ -1886,5 +2086,236 @@ mod tests {
         assert_eq!(run(7), run(7));
         // Different seeds: at least the run completes (values may differ).
         let _ = run(8);
+    }
+
+    // ----- trust / adaptive replication -------------------------------------
+
+    /// A trust config that trusts quickly and never spot-checks, so the
+    /// adaptive path is deterministic in tests.
+    fn eager_trust() -> vmr_trust::TrustConfig {
+        let mut t = vmr_trust::TrustConfig::enabled();
+        t.probation_results = 2;
+        t.spot_check_rate = 0.0;
+        t
+    }
+
+    fn trust_engine(n_clients: usize, trust: vmr_trust::TrustConfig) -> Engine {
+        let cfg = ProjectConfig {
+            trust,
+            ..ProjectConfig::default()
+        };
+        let mut eng = Engine::testbed(42, cfg);
+        for _ in 0..n_clients {
+            eng.add_client(
+                HostProfile::pc3001(),
+                HostLink::symmetric_mbit(100.0, 0.000_5),
+            );
+        }
+        eng
+    }
+
+    #[test]
+    fn trusted_hosts_graduate_to_single_replication() {
+        let mut eng = trust_engine(2, eager_trust());
+        for i in 0..10 {
+            eng.insert_workunit(wu_spec(&format!("w{i}"), 0, 0));
+        }
+        let mut policy = NullPolicy;
+        eng.run_until(&mut policy, SimTime::from_secs(100_000), |e| {
+            e.db.all_wus_terminal()
+        });
+        assert!(eng.db.all_wus_terminal());
+        assert_eq!(eng.trust.trusted_count(), 2, "both hosts graduate");
+        // Once trusted, later WUs validate from a single result.
+        let relaxed = (0..10)
+            .filter(|&i| eng.db.wu(WuId(i)).quorum_override == Some(1))
+            .count();
+        assert!(relaxed >= 4, "only {relaxed} WUs ran unreplicated");
+        // Every WU still validated with the honest canonical output.
+        for i in 0..10 {
+            assert_eq!(
+                eng.db.wu(WuId(i)).state,
+                crate::workunit::WuState::Validated
+            );
+            assert_eq!(
+                eng.db.wu(WuId(i)).canonical,
+                Some(honest_fingerprint(&format!("w{i}")))
+            );
+        }
+        // Redundant work was actually saved: fewer reports than the
+        // 2-per-WU fixed-quorum baseline.
+        assert!(
+            eng.stats.reports < 20,
+            "reports={} should be below 2/WU",
+            eng.stats.reports
+        );
+    }
+
+    #[test]
+    fn spot_checks_keep_full_replication() {
+        let mut t = eager_trust();
+        t.spot_check_rate = 1.0; // every trusted grant is a spot-check
+        let mut eng = trust_engine(2, t);
+        for i in 0..8 {
+            eng.insert_workunit(wu_spec(&format!("w{i}"), 0, 0));
+        }
+        let mut policy = NullPolicy;
+        eng.run_until(&mut policy, SimTime::from_secs(100_000), |e| {
+            e.db.all_wus_terminal()
+        });
+        assert!(eng.db.all_wus_terminal());
+        assert_eq!(eng.trust.trusted_count(), 2);
+        for i in 0..8 {
+            assert_eq!(
+                eng.db.wu(WuId(i)).quorum_override,
+                None,
+                "spot-checks must never relax the quorum"
+            );
+        }
+        let checks: u64 = (0..2).map(|c| eng.trust.host(c).spot_checks).sum();
+        assert!(checks > 0, "spot-checks must be recorded in the ledger");
+        assert_eq!(eng.stats.reports, 16, "full 2-way replication kept");
+    }
+
+    #[test]
+    fn dissent_revokes_trust() {
+        // One host turns byzantine after building trust (a sleeper
+        // waking mid-run). Spot-checks must catch it: without them an
+        // unreplicated wrong result simply *becomes* canonical.
+        let mut t = eager_trust();
+        t.spot_check_rate = 0.5;
+        let mut eng = trust_engine(3, t);
+        eng.fault = FaultPlan::trust_poisoning(3, 0.34, 1.0, SimDuration::from_secs(30), 9);
+        let member = (0..3)
+            .map(ClientId)
+            .find(|&c| {
+                matches!(
+                    eng.fault.index().corruption_now(
+                        c,
+                        SimTime::from_secs(31),
+                        &mut RngStream::new(1)
+                    ),
+                    Corruption::Random
+                )
+            })
+            .expect("one sleeper member");
+        for i in 0..24 {
+            let mut spec = wu_spec(&format!("w{i}"), 0, 0);
+            spec.flops = 7.5e9; // ~5 s on pc3001: the run outlives the wake
+            eng.insert_workunit(spec);
+        }
+        let mut policy = NullPolicy;
+        eng.run_until(&mut policy, SimTime::from_secs(200_000), |e| {
+            e.db.all_wus_terminal()
+        });
+        assert!(eng.db.all_wus_terminal());
+        assert!(
+            !eng.trust.is_trusted(member.0),
+            "the sleeper must lose trust after defecting"
+        );
+        assert!(
+            eng.host_outcomes(member).invalid > 0,
+            "dissents must be tallied"
+        );
+    }
+
+    #[test]
+    fn host_outcome_tallies_without_trust() {
+        // Trust disabled: the per-host validation ledger still fills.
+        let mut eng = small_engine(3);
+        eng.fault = FaultPlan {
+            byzantine: vec![ClientId(0)],
+            corruption_prob: 1.0,
+            ..FaultPlan::default()
+        };
+        for i in 0..4 {
+            let mut spec = wu_spec(&format!("w{i}"), 0, 0);
+            spec.target_nresults = 3;
+            spec.min_quorum = 2;
+            eng.insert_workunit(spec);
+        }
+        let mut policy = NullPolicy;
+        eng.run_until(&mut policy, SimTime::from_secs(100_000), |e| {
+            e.db.all_wus_terminal()
+        });
+        let honest: u64 = (1..3).map(|c| eng.host_outcomes(ClientId(c)).valid).sum();
+        assert!(honest > 0, "honest hosts tally valids");
+        assert!(
+            eng.host_outcomes(ClientId(0)).invalid > 0,
+            "byzantine host tallies invalids"
+        );
+        assert_eq!(eng.trust.trusted_count(), 0, "ledger untouched when off");
+    }
+
+    #[test]
+    fn trust_disabled_knobs_do_not_change_behavior() {
+        // With `enabled: false`, the other trust knobs must not leak
+        // into the run: stats and journaled state stay bit-identical
+        // to the default config.
+        let run = |trust: vmr_trust::TrustConfig| {
+            let cfg = ProjectConfig {
+                trust,
+                ..ProjectConfig::default()
+            };
+            let mut eng = Engine::testbed(7, cfg);
+            for _ in 0..4 {
+                eng.add_client(
+                    HostProfile::pc3001(),
+                    HostLink::symmetric_mbit(100.0, 0.000_5),
+                );
+            }
+            for i in 0..4 {
+                eng.insert_workunit(wu_spec(&format!("w{i}"), 200_000, 50_000));
+            }
+            let mut policy = NullPolicy;
+            eng.run_until(&mut policy, SimTime::from_secs(40_000), |e| {
+                e.db.all_wus_terminal()
+            });
+            (
+                eng.now(),
+                eng.stats.rpcs,
+                eng.stats.grants,
+                eng.stats.reports,
+                eng.db.encode_state(),
+                eng.credit.encode_state(),
+            )
+        };
+        let weird = vmr_trust::TrustConfig {
+            trust_threshold: 0.9,
+            probation_results: 0,
+            spot_check_rate: 1.0,
+            ..Default::default()
+        };
+        assert!(!weird.enabled);
+        assert_eq!(run(vmr_trust::TrustConfig::default()), run(weird));
+    }
+
+    #[test]
+    fn colluding_clique_fingerprints_agree() {
+        let honest = honest_fingerprint("w0");
+        let a = clique_fingerprint(honest, 77);
+        let b = clique_fingerprint(honest, 77);
+        assert_eq!(a, b, "members derive the same wrong answer");
+        assert_ne!(a, honest);
+        assert_ne!(a, clique_fingerprint(honest, 78));
+    }
+
+    #[test]
+    fn clique_quorum_escapes_validation() {
+        // Both replicas land on clique members → their shared wrong
+        // fingerprint reaches quorum and escapes as canonical.
+        let mut eng = small_engine(2);
+        eng.fault = FaultPlan::colluding_clique(2, 1.0, 5, 11);
+        let wu = eng.insert_workunit(wu_spec("w0", 0, 0));
+        let mut policy = NullPolicy;
+        eng.run_until(&mut policy, SimTime::from_secs(40_000), |e| {
+            e.db.all_wus_terminal()
+        });
+        assert_eq!(eng.db.wu(wu).state, crate::workunit::WuState::Validated);
+        assert_eq!(
+            eng.db.wu(wu).canonical,
+            Some(clique_fingerprint(honest_fingerprint("w0"), 5)),
+            "the clique's agreed-on wrong answer becomes canonical"
+        );
     }
 }

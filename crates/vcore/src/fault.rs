@@ -7,9 +7,34 @@
 //! The plan marks a subset of clients byzantine (they report corrupted
 //! fingerprints with some probability), injects transient inter-client
 //! transfer failures, and can make clients vanish mid-task (churn).
+//!
+//! Beyond the stationary byzantine set, three *time-aware* adversaries
+//! target the trust subsystem specifically:
+//! * **colluding cliques** — members corrupt every task with a *shared*
+//!   deterministic wrong fingerprint, so enough clique replicas of one
+//!   WU can win a quorum against the honest minority;
+//! * **flaky-then-reliable hosts** — corrupt with some probability
+//!   until `flaky_flip_time`, honest afterwards (hardware fixed, GPU
+//!   driver updated…) — trust must be earnable back;
+//! * **sleepers (trust poisoning)** — honest until `sleeper_wake_time`,
+//!   then corrupt: the host farms trust under full replication, gets
+//!   its quorum dropped to 1, and only randomized spot-checks can
+//!   catch the defection.
 
 use crate::types::ClientId;
-use vmr_desim::{RngStream, SimDuration};
+use vmr_desim::{RngStream, SimDuration, SimTime};
+
+/// What a task's output corruption looks like, if any.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Corruption {
+    /// Honest output.
+    None,
+    /// An independent random wrong fingerprint (classic byzantine).
+    Random,
+    /// The clique's shared wrong fingerprint, derived from this tag —
+    /// identical across members, so colluders can agree.
+    Clique(u64),
+}
 
 /// Fault-injection plan for one experiment.
 #[derive(Clone, Debug, Default)]
@@ -27,6 +52,23 @@ pub struct FaultPlan {
     /// Clients that disappear: `(client, when)` — after `when` they stop
     /// responding entirely (no reports, no serving).
     pub dropouts: Vec<(ClientId, SimDuration)>,
+    /// Colluding clique members (corrupt deterministically, shared
+    /// fingerprint — no rng draws).
+    pub clique: Vec<ClientId>,
+    /// Tag the clique's shared wrong fingerprint is derived from.
+    pub clique_tag: u64,
+    /// Flaky-then-reliable hosts.
+    pub flaky: Vec<ClientId>,
+    /// Probability a flaky host corrupts a task before the flip.
+    pub flaky_corruption_prob: f64,
+    /// When flaky hosts become reliable.
+    pub flaky_flip_time: SimDuration,
+    /// Sleeper hosts (trust poisoning): honest, then defect.
+    pub sleepers: Vec<ClientId>,
+    /// When sleepers start corrupting.
+    pub sleeper_wake_time: SimDuration,
+    /// Probability a woken sleeper corrupts any given task.
+    pub sleeper_corruption_prob: f64,
 }
 
 impl FaultPlan {
@@ -34,6 +76,54 @@ impl FaultPlan {
     /// consider node failure in our tests").
     pub fn none() -> Self {
         FaultPlan::default()
+    }
+
+    /// A seeded flaky-then-reliable schedule: `frac` of the `n_hosts`
+    /// population corrupts outputs with probability `prob` until
+    /// `flip_time`, then behaves honestly. The member set is drawn from
+    /// its own `seed`, independent of the engine's streams.
+    pub fn flaky_then_reliable(
+        n_hosts: u32,
+        frac: f64,
+        prob: f64,
+        flip_time: SimDuration,
+        seed: u64,
+    ) -> Self {
+        FaultPlan {
+            flaky: seeded_subset(n_hosts, frac, seed),
+            flaky_corruption_prob: prob,
+            flaky_flip_time: flip_time,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// A colluding clique: `frac` of the population (seeded draw)
+    /// corrupts *every* task with the shared fingerprint tagged `tag`,
+    /// so clique replicas of one WU agree with each other.
+    pub fn colluding_clique(n_hosts: u32, frac: f64, tag: u64, seed: u64) -> Self {
+        FaultPlan {
+            clique: seeded_subset(n_hosts, frac, seed),
+            clique_tag: tag,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// A trust-poisoning ramp: `frac` of the population (seeded draw)
+    /// is honest until `wake_time`, then corrupts with probability
+    /// `prob` — defecting only after trust is earned.
+    pub fn trust_poisoning(
+        n_hosts: u32,
+        frac: f64,
+        prob: f64,
+        wake_time: SimDuration,
+        seed: u64,
+    ) -> Self {
+        FaultPlan {
+            sleepers: seeded_subset(n_hosts, frac, seed),
+            sleeper_wake_time: wake_time,
+            sleeper_corruption_prob: prob,
+            ..FaultPlan::default()
+        }
     }
 
     /// Is `c` in the byzantine set?
@@ -44,6 +134,33 @@ impl FaultPlan {
     /// Should this particular task's output be corrupted?
     pub fn corrupt_now(&self, c: ClientId, rng: &mut RngStream) -> bool {
         self.is_byzantine(c) && rng.chance(self.corruption_prob)
+    }
+
+    /// Time-aware corruption decision covering every schedule. Rng
+    /// discipline: only the stationary-byzantine and currently-active
+    /// flaky/sleeper branches draw; clique membership and honest
+    /// clients consume nothing, so legacy plans keep their exact draw
+    /// order.
+    pub fn corruption_now(&self, c: ClientId, now: SimTime, rng: &mut RngStream) -> Corruption {
+        if self.corrupt_now(c, rng) {
+            return Corruption::Random;
+        }
+        if self.clique.contains(&c) {
+            return Corruption::Clique(self.clique_tag);
+        }
+        if self.flaky.contains(&c)
+            && now.as_micros() < self.flaky_flip_time.as_micros()
+            && rng.chance(self.flaky_corruption_prob)
+        {
+            return Corruption::Random;
+        }
+        if self.sleepers.contains(&c)
+            && now.as_micros() >= self.sleeper_wake_time.as_micros()
+            && rng.chance(self.sleeper_corruption_prob)
+        {
+            return Corruption::Random;
+        }
+        Corruption::None
     }
 
     /// Should this particular task error out client-side?
@@ -70,6 +187,17 @@ impl FaultPlan {
     }
 }
 
+/// Seeded draw of `round(frac * n_hosts)` distinct hosts, sorted.
+fn seeded_subset(n_hosts: u32, frac: f64, seed: u64) -> Vec<ClientId> {
+    let k = ((n_hosts as f64 * frac.clamp(0.0, 1.0)).round() as usize).min(n_hosts as usize);
+    let mut ids: Vec<ClientId> = (0..n_hosts).map(ClientId).collect();
+    let mut rng = RngStream::new(seed);
+    rng.shuffle(&mut ids);
+    ids.truncate(k);
+    ids.sort_unstable();
+    ids
+}
+
 /// Compiled lookup tables over a [`FaultPlan`].
 ///
 /// `is_byzantine`/`dropout_time` on the plan itself are linear scans of
@@ -87,23 +215,46 @@ pub struct FaultIndex {
     /// Sorted by client, first plan entry kept on duplicates.
     dropouts: Vec<(ClientId, SimDuration)>,
     corruption_prob: f64,
+    /// Sorted, deduplicated clique set.
+    clique: Vec<ClientId>,
+    clique_tag: u64,
+    /// Sorted, deduplicated flaky set.
+    flaky: Vec<ClientId>,
+    flaky_corruption_prob: f64,
+    flaky_flip_us: u64,
+    /// Sorted, deduplicated sleeper set.
+    sleepers: Vec<ClientId>,
+    sleeper_wake_us: u64,
+    sleeper_corruption_prob: f64,
+}
+
+fn sorted_set(v: &[ClientId]) -> Vec<ClientId> {
+    let mut v = v.to_vec();
+    v.sort_unstable();
+    v.dedup();
+    v
 }
 
 impl FaultIndex {
     /// Builds the index from a plan (once per experiment).
     pub fn build(plan: &FaultPlan) -> Self {
-        let mut byzantine = plan.byzantine.clone();
-        byzantine.sort_unstable();
-        byzantine.dedup();
         let mut dropouts = plan.dropouts.clone();
         // Stable sort + keep-first preserves FaultPlan::dropout_time's
         // first-match semantics for duplicate clients.
         dropouts.sort_by_key(|(c, _)| *c);
         dropouts.dedup_by_key(|(c, _)| *c);
         FaultIndex {
-            byzantine,
+            byzantine: sorted_set(&plan.byzantine),
             dropouts,
             corruption_prob: plan.corruption_prob,
+            clique: sorted_set(&plan.clique),
+            clique_tag: plan.clique_tag,
+            flaky: sorted_set(&plan.flaky),
+            flaky_corruption_prob: plan.flaky_corruption_prob,
+            flaky_flip_us: plan.flaky_flip_time.as_micros(),
+            sleepers: sorted_set(&plan.sleepers),
+            sleeper_wake_us: plan.sleeper_wake_time.as_micros(),
+            sleeper_corruption_prob: plan.sleeper_corruption_prob,
         }
     }
 
@@ -117,6 +268,30 @@ impl FaultIndex {
     /// short-circuits, so honest clients draw nothing.
     pub fn corrupt_now(&self, c: ClientId, rng: &mut RngStream) -> bool {
         self.is_byzantine(c) && rng.chance(self.corruption_prob)
+    }
+
+    /// Time-aware corruption decision; same semantics and rng draw
+    /// order as [`FaultPlan::corruption_now`], over binary searches.
+    pub fn corruption_now(&self, c: ClientId, now: SimTime, rng: &mut RngStream) -> Corruption {
+        if self.corrupt_now(c, rng) {
+            return Corruption::Random;
+        }
+        if self.clique.binary_search(&c).is_ok() {
+            return Corruption::Clique(self.clique_tag);
+        }
+        if self.flaky.binary_search(&c).is_ok()
+            && now.as_micros() < self.flaky_flip_us
+            && rng.chance(self.flaky_corruption_prob)
+        {
+            return Corruption::Random;
+        }
+        if self.sleepers.binary_search(&c).is_ok()
+            && now.as_micros() >= self.sleeper_wake_us
+            && rng.chance(self.sleeper_corruption_prob)
+        {
+            return Corruption::Random;
+        }
+        Corruption::None
     }
 
     /// When does `c` drop out, if ever?
@@ -187,6 +362,101 @@ mod tests {
             let c = ClientId(c);
             assert_eq!(idx.is_byzantine(c), f.is_byzantine(c), "{c}");
             assert_eq!(idx.dropout_time(c), f.dropout_time(c), "{c}");
+        }
+    }
+
+    #[test]
+    fn flaky_then_reliable_flips_at_the_given_time() {
+        let f = FaultPlan::flaky_then_reliable(40, 0.25, 1.0, SimDuration::from_secs(100), 7);
+        assert_eq!(f.flaky.len(), 10, "frac of the population");
+        let idx = f.index();
+        let member = f.flaky[0];
+        let mut rng = RngStream::new(1);
+        assert_eq!(
+            idx.corruption_now(member, SimTime::from_secs(99), &mut rng),
+            Corruption::Random,
+            "corrupts before the flip"
+        );
+        assert_eq!(
+            idx.corruption_now(member, SimTime::from_secs(100), &mut rng),
+            Corruption::None,
+            "reliable from the flip on"
+        );
+        let honest = ClientId((0..40).find(|&i| !f.flaky.contains(&ClientId(i))).unwrap());
+        assert_eq!(
+            idx.corruption_now(honest, SimTime::from_secs(0), &mut rng),
+            Corruption::None
+        );
+    }
+
+    #[test]
+    fn flaky_selection_is_seeded_and_deterministic() {
+        let a = FaultPlan::flaky_then_reliable(100, 0.1, 1.0, SimDuration::from_secs(1), 42);
+        let b = FaultPlan::flaky_then_reliable(100, 0.1, 1.0, SimDuration::from_secs(1), 42);
+        let c = FaultPlan::flaky_then_reliable(100, 0.1, 1.0, SimDuration::from_secs(1), 43);
+        assert_eq!(a.flaky, b.flaky, "same seed, same members");
+        assert_ne!(a.flaky, c.flaky, "different seed, different members");
+        assert!(a.flaky.windows(2).all(|w| w[0] < w[1]), "sorted, distinct");
+    }
+
+    #[test]
+    fn clique_members_share_a_deterministic_fingerprint() {
+        let f = FaultPlan::colluding_clique(40, 0.3, 0xC11, 5);
+        assert_eq!(f.clique.len(), 12);
+        let idx = f.index();
+        let mut rng = RngStream::new(9);
+        let before = rng.next_u64();
+        let mut rng2 = RngStream::new(9);
+        let _ = rng2.next_u64();
+        for &m in &f.clique {
+            assert_eq!(
+                idx.corruption_now(m, SimTime::from_secs(5), &mut rng2),
+                Corruption::Clique(0xC11)
+            );
+        }
+        // Clique decisions consumed no randomness.
+        let mut rng3 = RngStream::new(9);
+        assert_eq!(rng3.next_u64(), before);
+    }
+
+    #[test]
+    fn sleepers_defect_only_after_waking() {
+        let f = FaultPlan::trust_poisoning(40, 0.1, 1.0, SimDuration::from_secs(500), 3);
+        assert_eq!(f.sleepers.len(), 4);
+        let idx = f.index();
+        let s = f.sleepers[0];
+        let mut rng = RngStream::new(2);
+        assert_eq!(
+            idx.corruption_now(s, SimTime::from_secs(499), &mut rng),
+            Corruption::None
+        );
+        assert_eq!(
+            idx.corruption_now(s, SimTime::from_secs(500), &mut rng),
+            Corruption::Random
+        );
+    }
+
+    #[test]
+    fn index_corruption_now_matches_plan_in_lockstep() {
+        let mut f = FaultPlan::flaky_then_reliable(8, 0.5, 0.5, SimDuration::from_secs(50), 11);
+        f.byzantine = vec![ClientId(0)];
+        f.corruption_prob = 0.5;
+        f.sleepers = vec![ClientId(7)];
+        f.sleeper_wake_time = SimDuration::from_secs(30);
+        f.sleeper_corruption_prob = 0.5;
+        f.clique = vec![ClientId(6)];
+        f.clique_tag = 77;
+        let idx = f.index();
+        let mut a = RngStream::new(42);
+        let mut b = RngStream::new(42);
+        for i in 0..256u32 {
+            let c = ClientId(i % 8);
+            let t = SimTime::from_secs((i as u64 * 7) % 100);
+            assert_eq!(
+                f.corruption_now(c, t, &mut a),
+                idx.corruption_now(c, t, &mut b),
+                "{i}"
+            );
         }
     }
 

@@ -47,6 +47,27 @@ impl Availability {
     }
 }
 
+/// Per-host validation outcome tally. The engine keeps one per client
+/// regardless of whether the trust subsystem is enabled, and exposes
+/// the population totals as `vcore.host_outcomes` metrics — the raw
+/// material reputation systems (and project operators) work from.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ValidationCounts {
+    /// Results that agreed with the canonical fingerprint.
+    pub valid: u64,
+    /// Successful-looking results whose fingerprint dissented.
+    pub invalid: u64,
+    /// Client errors and deadline misses.
+    pub errors: u64,
+}
+
+impl ValidationCounts {
+    /// All outcomes observed for this host.
+    pub fn total(&self) -> u64 {
+        self.valid + self.invalid + self.errors
+    }
+}
+
 /// Deserialization default for [`HostProfile::nat`] (referenced from the
 /// `#[serde(default)]` attribute; kept callable so the vendored serde
 /// stub, which ignores field attributes, does not orphan it).
@@ -142,5 +163,15 @@ mod tests {
     fn with_nat_override() {
         let h = HostProfile::pc3001().with_nat(NatType::Symmetric);
         assert_eq!(h.nat, NatType::Symmetric);
+    }
+
+    #[test]
+    fn validation_counts_tally() {
+        let mut v = ValidationCounts::default();
+        assert_eq!(v.total(), 0);
+        v.valid += 3;
+        v.invalid += 1;
+        v.errors += 2;
+        assert_eq!(v.total(), 6);
     }
 }

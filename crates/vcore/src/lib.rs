@@ -42,10 +42,14 @@ pub use config::ProjectConfig;
 pub use credit::{claimed_credit, CreditLedger, HostAccount};
 pub use db::Db;
 pub use engine::{
-    honest_fingerprint, Engine, EngineStats, Ev, NullPolicy, Policy, RelayChoice, ServedFile,
+    clique_fingerprint, honest_fingerprint, Engine, EngineStats, Ev, NullPolicy, Policy,
+    RelayChoice, ServedFile,
 };
-pub use fault::{FaultIndex, FaultPlan};
-pub use host::{Availability, HostProfile};
+pub use fault::{Corruption, FaultIndex, FaultPlan};
+pub use host::{Availability, HostProfile, ValidationCounts};
 pub use types::{ClientId, FileRef, FileSource, OutputFingerprint, ResultId, WuId};
 pub use validate::{check_quorum, Verdict};
+pub use vmr_trust::{
+    Outcome as TrustOutcome, ReplicationDecision, ReplicationPolicy, TrustConfig, TrustLedger,
+};
 pub use workunit::{ResultOutcome, ResultRec, ResultState, WorkUnit, WorkUnitSpec, WuState};

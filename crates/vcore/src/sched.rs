@@ -37,6 +37,12 @@ pub fn pick_results(
         if picked.len() >= want {
             break;
         }
+        // The feeder cache can lag the database: a candidate may have
+        // been cancelled (trust policy dropping spare replicas) or
+        // granted since it was cached. Only unsent results are eligible.
+        if db.result(rid).state != crate::workunit::ResultState::Unsent {
+            continue;
+        }
         let wu = db.result(rid).wu;
         if db.client_has_wu(req.client, wu) {
             continue;
@@ -162,6 +168,28 @@ mod tests {
             10,
         );
         assert_eq!(picked.len(), 1);
+    }
+
+    #[test]
+    fn stale_cancelled_candidates_are_skipped() {
+        let mut db = db_with(1);
+        let stale = unsent(&db); // cached before the cancellation
+        let rids = db.results_of(crate::types::WuId(0)).to_vec();
+        db.cancel_unsent(rids[0]);
+        let picked = pick_results(
+            &db,
+            &stale,
+            WorkRequest {
+                client: ClientId(0),
+                slots_wanted: 5,
+            },
+            10,
+        );
+        assert_eq!(
+            picked,
+            vec![rids[1]],
+            "cancelled result must not be granted"
+        );
     }
 
     #[test]

@@ -5,9 +5,13 @@
 //! 1. run the validator if enough successful results arrived;
 //! 2. on quorum → mark validated, cancel now-redundant unsent replicas;
 //! 3. otherwise, top the WU back up with fresh replicas so that the
-//!    number of results that can still succeed reaches `min_quorum` —
-//!    unless `max_total_results` is exhausted, in which case the WU
-//!    fails permanently.
+//!    number of results that can still succeed reaches the effective
+//!    quorum — unless `max_total_results` is exhausted, in which case
+//!    the WU fails permanently.
+//!
+//! The effective quorum is the spec's `min_quorum` unless the trust
+//! policy overrode it ([`crate::workunit::WorkUnit::effective_quorum`]):
+//! a WU riding on a single trusted host validates from that one result.
 
 use crate::db::Db;
 use crate::types::{OutputFingerprint, ResultId, WuId};
@@ -58,7 +62,7 @@ pub fn transition_wu(db: &mut Db, wu: WuId, now: SimTime) -> Transition {
                 .expect("success without fingerprint")
         })
         .collect();
-    let min_quorum = db.wu(wu).spec.min_quorum;
+    let min_quorum = db.wu(wu).effective_quorum();
 
     if let Verdict::Valid {
         canonical,
@@ -238,6 +242,39 @@ mod tests {
             "spare replica cancelled"
         );
         assert_eq!(db.n_unsent(), 0);
+    }
+
+    #[test]
+    fn quorum_override_validates_from_a_single_result() {
+        let (mut db, wu) = setup();
+        db.set_quorum_override(wu, Some(1));
+        let rids = db.results_of(wu).to_vec();
+        db.cancel_unsent(rids[1]); // trust policy cancelled the spare
+        send_and_report(&mut db, rids[0], 0, 42);
+        match transition_wu(&mut db, wu, SimTime::from_secs(2)) {
+            Transition::Validated {
+                canonical,
+                agreeing,
+            } => {
+                assert_eq!(canonical, OutputFingerprint(42));
+                assert_eq!(agreeing.len(), 1);
+            }
+            t => panic!("expected Validated, got {t:?}"),
+        }
+    }
+
+    #[test]
+    fn cleared_override_restores_spec_quorum() {
+        let (mut db, wu) = setup();
+        db.set_quorum_override(wu, Some(1));
+        db.set_quorum_override(wu, None);
+        let rids = db.results_of(wu).to_vec();
+        send_and_report(&mut db, rids[0], 0, 42);
+        assert_eq!(
+            transition_wu(&mut db, wu, SimTime::from_secs(1)),
+            Transition::None,
+            "one result must not validate once the override is cleared"
+        );
     }
 
     #[test]

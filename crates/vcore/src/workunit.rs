@@ -145,6 +145,17 @@ pub struct WorkUnit {
     pub created_at: SimTime,
     /// When the WU validated/failed.
     pub finished_at: Option<SimTime>,
+    /// Adaptive-replication override of the spec's `min_quorum` (set by
+    /// the trust policy when the WU rides on a single trusted host).
+    pub quorum_override: Option<u32>,
+}
+
+impl WorkUnit {
+    /// The quorum the transitioner enforces: the trust policy's
+    /// override when present, the spec's `min_quorum` otherwise.
+    pub fn effective_quorum(&self) -> u32 {
+        self.quorum_override.unwrap_or(self.spec.min_quorum)
+    }
 }
 
 /// Server-side state of one result (replica).

@@ -64,6 +64,7 @@ fn main() {
         peer_transfer_failure_prob: 0.05,
         task_error_prob: 0.02,
         dropouts: vec![(ClientId(7), SimDuration::from_secs(200))],
+        ..FaultPlan::default()
     };
     let hostile = run_experiment(&cfg);
     println!(

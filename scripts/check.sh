@@ -27,6 +27,7 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "==> feature matrix: vmr-obs recorder compiled out (--no-default-features)"
 cargo build --offline -p vmr-bench --no-default-features
 cargo build --offline -p vmr-durable --no-default-features
+cargo build --offline -p vmr-trust --no-default-features
 
 if [ "$NO_TEST" -eq 0 ]; then
     echo "==> cargo test (workspace)"
@@ -56,6 +57,12 @@ if [ "$NO_BENCH" -eq 0 ]; then
 
     echo "==> durability torture smoke: seeded corruption fuzzer over recorded journals"
     TORTURE_SMOKE=1 cargo test --offline --release -p vmr-durable --test torture --quiet
+
+    if [ "${TRUST_SMOKE:-0}" = "1" ]; then
+        echo "==> trust smoke: adaptive-replication ablation, 40-host legs (TRUST_SMOKE=1)"
+        cargo build --offline --release -p vmr-bench --bin trust_study
+        ./target/release/trust_study --smoke > /dev/null
+    fi
 fi
 
 echo "==> OK"

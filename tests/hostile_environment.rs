@@ -114,6 +114,7 @@ fn everything_at_once() {
         peer_transfer_failure_prob: 0.1,
         task_error_prob: 0.05,
         dropouts: vec![(ClientId(9), SimDuration::from_secs(400))],
+        ..FaultPlan::default()
     };
     let out = run_experiment(&c);
     assert!(
