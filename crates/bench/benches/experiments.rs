@@ -20,7 +20,7 @@ fn bench_table1(c: &mut Criterion) {
     let sizing = calibrated_sizing();
     println!("\n=== Table I reproduction (headline; full table: --bin table1) ===");
     for row in table1_rows() {
-        let out = run_experiment(&row_config(&row, sizing));
+        let out = run_experiment(&row_config(&row, sizing)).expect("valid experiment config");
         let r = &out.reports[0];
         println!(
             "{:>2} nodes {:>2} maps {:>2} red [{}]: map {:>4.0}s reduce {:>4.0}s total {:>5.0}s (paper {:>4.0}/{:>4.0}/{:>5.0})",
@@ -40,7 +40,15 @@ fn bench_table1(c: &mut Criterion) {
                 row.nodes, row.n_maps, row.n_reduces, row.mode
             )),
             &cfg,
-            |b, cfg| b.iter(|| black_box(run_experiment(cfg).finished_at)),
+            |b, cfg| {
+                b.iter(|| {
+                    black_box(
+                        run_experiment(cfg)
+                            .expect("valid experiment config")
+                            .finished_at,
+                    )
+                })
+            },
         );
     }
     g.finish();
@@ -53,7 +61,7 @@ fn bench_fig4(c: &mut Criterion) {
     cfg.sizing = sizing;
     cfg.record_timeline = true;
     cfg.seed = 0xF164;
-    let out = run_experiment(&cfg);
+    let out = run_experiment(&cfg).expect("valid experiment config");
     let r = &out.reports[0];
     println!(
         "\n=== Fig. 4 reproduction: map {:.0}s (paper 747[396]), reduce start gap visible; full series: --bin fig4 ===",
@@ -62,7 +70,15 @@ fn bench_fig4(c: &mut Criterion) {
     let mut g = c.benchmark_group("experiments/fig4");
     g.sample_size(10);
     g.bench_function("15n-15m-3r-timeline", |b| {
-        b.iter(|| black_box(run_experiment(&cfg).timeline.spans().len()))
+        b.iter(|| {
+            black_box(
+                run_experiment(&cfg)
+                    .expect("valid experiment config")
+                    .timeline
+                    .spans()
+                    .len(),
+            )
+        })
     });
     g.finish();
 }

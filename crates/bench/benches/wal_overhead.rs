@@ -36,7 +36,13 @@ fn bench_wal_overhead(c: &mut Criterion) {
         let mut cfg = small();
         cfg.durable = plan;
         g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
-            b.iter(|| black_box(run_experiment(cfg).finished_at))
+            b.iter(|| {
+                black_box(
+                    run_experiment(cfg)
+                        .expect("valid experiment config")
+                        .finished_at,
+                )
+            })
         });
     }
     g.finish();
@@ -61,7 +67,10 @@ fn bench_recovery(c: &mut Criterion) {
     ] {
         let mut cfg = small();
         cfg.durable = plan;
-        let wal = run_experiment(&cfg).wal.unwrap();
+        let wal = run_experiment(&cfg)
+            .expect("valid experiment config")
+            .wal
+            .unwrap();
         g.bench_with_input(BenchmarkId::from_parameter(name), &wal, |b, wal| {
             b.iter(|| {
                 black_box(

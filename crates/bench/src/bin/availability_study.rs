@@ -9,7 +9,8 @@
 //! Usage: `cargo run -p vmr-bench --release --bin availability_study`
 
 use vmr_bench::calibrated_sizing;
-use vmr_core::{run_experiment, ExperimentConfig, MrMode};
+use vmr_bench::run_or_exit;
+use vmr_core::{ExperimentConfig, MrMode};
 use vmr_vcore::Availability;
 
 fn main() {
@@ -48,7 +49,7 @@ fn main() {
         cfg.sizing = sizing;
         cfg.availability = avail;
         cfg.seed = 0xA8A8;
-        let out = run_experiment(&cfg);
+        let out = run_or_exit(&cfg);
         assert!(out.all_done, "{name} did not finish");
         let duty = avail.map(|a| a.duty_cycle()).unwrap_or(1.0);
         let r = &out.reports[0];

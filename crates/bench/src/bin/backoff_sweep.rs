@@ -6,8 +6,8 @@
 //!
 //! Usage: `cargo run -p vmr-bench --release --bin backoff_sweep`
 
-use vmr_bench::{calibrated_sizing, report};
-use vmr_core::{run_experiment, ExperimentConfig, MrMode};
+use vmr_bench::{calibrated_sizing, report, run_or_exit};
+use vmr_core::{ExperimentConfig, MrMode};
 
 fn main() {
     let sizing = calibrated_sizing();
@@ -30,7 +30,7 @@ fn main() {
             cfg.sizing = sizing;
             cfg.backoff_max_s = cap;
             cfg.seed = seed;
-            let out = run_experiment(&cfg);
+            let out = run_or_exit(&cfg);
             assert!(out.all_done);
             let r = &out.reports[0];
             tm += r.map_s;

@@ -7,7 +7,8 @@
 //! Usage: `cargo run -p vmr-bench --release --bin fig4`
 
 use vmr_bench::calibrated_sizing;
-use vmr_core::{run_experiment, ExperimentConfig, MrMode};
+use vmr_bench::run_or_exit;
+use vmr_core::{ExperimentConfig, MrMode};
 use vmr_desim::SimTime;
 
 fn main() {
@@ -16,7 +17,7 @@ fn main() {
     cfg.record_timeline = true;
     // Seed chosen so a clear backoff straggler appears (several do).
     cfg.seed = 0xF164;
-    let out = run_experiment(&cfg);
+    let out = run_or_exit(&cfg);
     assert!(out.all_done);
     let r = &out.reports[0];
 

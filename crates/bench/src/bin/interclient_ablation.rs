@@ -5,7 +5,8 @@
 //! Usage: `cargo run -p vmr-bench --release --bin interclient_ablation`
 
 use vmr_bench::calibrated_sizing;
-use vmr_core::{run_experiment, ExperimentConfig, MrMode};
+use vmr_bench::run_or_exit;
+use vmr_core::{ExperimentConfig, MrMode};
 
 fn main() {
     let sizing = calibrated_sizing();
@@ -19,7 +20,7 @@ fn main() {
             let mut cfg = ExperimentConfig::table1(20, 20, n_reduces, mode);
             cfg.sizing = sizing;
             cfg.seed = 77 + n_reduces as u64;
-            let out = run_experiment(&cfg);
+            let out = run_or_exit(&cfg);
             assert!(out.all_done);
             (
                 out.reports[0].reduce_s,
@@ -40,7 +41,7 @@ fn main() {
     let mut cfg = ExperimentConfig::table1(20, 20, 5, MrMode::InterClient);
     cfg.sizing = sizing;
     cfg.seed = 99;
-    let with_upload = run_experiment(&cfg);
+    let with_upload = run_or_exit(&cfg);
     let mut cfg2 = cfg.clone();
     cfg2.sizing = sizing;
     // map_outputs_to_server is a job-level knob; thread it via sizing…
@@ -50,13 +51,15 @@ fn main() {
         use vmr_core::{MrJobConfig, MrPolicy};
         use vmr_netsim::HostLink;
         use vmr_vcore::{Engine, HostProfile, ProjectConfig};
-        let mut eng = Engine::testbed(cfg2.seed, ProjectConfig::default());
-        for _ in 0..20 {
-            eng.add_client(
-                HostProfile::pc3001(),
-                HostLink::symmetric_mbit(100.0, 0.000_5),
-            );
-        }
+        let mut eng = Engine::builder(cfg2.seed)
+            .config(ProjectConfig::default())
+            .clients((0..20).map(|_| {
+                (
+                    HostProfile::pc3001(),
+                    HostLink::symmetric_mbit(100.0, 0.000_5),
+                )
+            }))
+            .build();
         let mut jc = MrJobConfig::paper_wordcount(20, 5, MrMode::InterClient);
         jc.sizing = sizing;
         jc.map_outputs_to_server = false;

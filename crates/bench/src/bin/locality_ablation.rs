@@ -17,7 +17,8 @@
 //! Usage: `cargo run -p vmr-bench --release --bin locality_ablation`
 
 use vmr_bench::calibrated_sizing;
-use vmr_core::{run_experiment, ExperimentConfig, MrMode};
+use vmr_bench::run_or_exit;
+use vmr_core::{ExperimentConfig, MrMode};
 
 fn main() {
     let sizing = calibrated_sizing();
@@ -33,7 +34,7 @@ fn main() {
             cfg.sizing = sizing;
             cfg.locality_scheduling = locality;
             cfg.seed = 0x10CA;
-            let out = run_experiment(&cfg);
+            let out = run_or_exit(&cfg);
             assert!(out.all_done);
             println!(
                 "{:<9} | {:<9} | {:>8.0} | {:>8.0}",
@@ -54,7 +55,7 @@ fn main() {
         cfg.concurrent_jobs = 3;
         cfg.locality_scheduling = locality;
         cfg.seed = 0x10CB;
-        let out = run_experiment(&cfg);
+        let out = run_or_exit(&cfg);
         assert!(out.all_done);
         let mean_red: f64 =
             out.reports.iter().map(|r| r.reduce_s).sum::<f64>() / out.reports.len() as f64;

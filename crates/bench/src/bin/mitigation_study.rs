@@ -7,8 +7,8 @@
 //!
 //! Usage: `cargo run -p vmr-bench --release --bin mitigation_study`
 
-use vmr_bench::{calibrated_sizing, report};
-use vmr_core::{run_experiment, ExperimentConfig, MitigationPlan, MrMode};
+use vmr_bench::{calibrated_sizing, report, run_or_exit};
+use vmr_core::{ExperimentConfig, MitigationPlan, MrMode};
 
 fn main() {
     let sizing = calibrated_sizing();
@@ -54,7 +54,7 @@ fn main() {
         for seed in SEEDS {
             let mut cfg = base(seed);
             cfg.mitigation = plan;
-            let out = run_experiment(&cfg);
+            let out = run_or_exit(&cfg);
             assert!(out.all_done, "{name} failed");
             tm += out.reports[0].map_s;
             tr += out.reports[0].reduce_s;
@@ -77,7 +77,7 @@ fn main() {
     for jobs in [1usize, 2, 4] {
         let mut cfg = base(42);
         cfg.concurrent_jobs = jobs;
-        let out = run_experiment(&cfg);
+        let out = run_or_exit(&cfg);
         assert!(out.all_done);
         let n = out.reports.len() as f64;
         let map: f64 = out.reports.iter().map(|r| r.map_s).sum::<f64>() / n;

@@ -7,7 +7,8 @@
 //! Usage: `cargo run -p vmr-bench --release --bin nat_sweep`
 
 use vmr_bench::calibrated_sizing;
-use vmr_core::{run_experiment, ExperimentConfig, MrMode};
+use vmr_bench::run_or_exit;
+use vmr_core::{ExperimentConfig, MrMode};
 use vmr_netsim::{NatMix, NatType, TraversalPolicy};
 
 fn main() {
@@ -43,7 +44,7 @@ fn main() {
             cfg.nat_mix = mix.clone();
             cfg.traversal = pol.clone();
             cfg.seed = 0xAA7;
-            let out = run_experiment(&cfg);
+            let out = run_or_exit(&cfg);
             assert!(out.all_done);
             let t = &out.stats.traversal;
             println!(

@@ -27,10 +27,8 @@
 //! per-section files on disk.
 
 use std::time::Instant;
-use vmr_bench::{calibrated_sizing, row_config, table1_rows};
-use vmr_core::{
-    format_row, resume_experiment, run_experiment, ExperimentConfig, MrMode, RecoveredServerState,
-};
+use vmr_bench::{calibrated_sizing, row_config, run_or_exit, table1_rows};
+use vmr_core::{format_row, resume_experiment, ExperimentConfig, MrMode, RecoveredServerState};
 use vmr_durable::{compact, sink_image, CompactionPolicy, CrashPlan, DurabilityPlan};
 
 fn study_config(full: bool) -> ExperimentConfig {
@@ -55,14 +53,14 @@ fn sweep(full: bool) {
 
     // Warm-up run (allocator + page-cache), then best-of-N timing so
     // the overhead column measures journaling, not cold-start noise.
-    let base = run_experiment(&cfg);
+    let base = run_or_exit(&cfg);
     assert!(base.all_done, "baseline did not complete");
     let reps = if full { 3 } else { 10 };
     let time_it = |c: &ExperimentConfig| -> f64 {
         (0..reps)
             .map(|_| {
                 let t0 = Instant::now();
-                std::hint::black_box(run_experiment(c));
+                std::hint::black_box(run_or_exit(c));
                 t0.elapsed().as_secs_f64() * 1e3
             })
             .fold(f64::INFINITY, f64::min)
@@ -90,7 +88,7 @@ fn sweep(full: bool) {
     for interval in [0.0, 10.0, 30.0, 60.0, 120.0, 300.0] {
         let mut c = cfg.clone();
         c.durable = DurabilityPlan::new(interval);
-        let out = run_experiment(&c);
+        let out = run_or_exit(&c);
         assert!(out.all_done && !out.crashed);
         let wall_ms = time_it(&c);
         let snap = out.obs.snapshot();
@@ -154,7 +152,7 @@ fn sweep(full: bool) {
     for (name, plan) in shapes {
         let mut c = cfg.clone();
         c.durable = plan;
-        let out = run_experiment(&c);
+        let out = run_or_exit(&c);
         assert!(out.all_done && !out.crashed);
         let wal = out.wal.as_ref().unwrap();
         let compacted = compact(wal).expect("compaction failed");
@@ -183,7 +181,7 @@ fn smoke() -> bool {
     cfg.input_bytes = 32 << 20;
     cfg.durable = DurabilityPlan::new(120.0);
 
-    let base = run_experiment(&cfg);
+    let base = run_or_exit(&cfg);
     assert!(base.all_done, "smoke baseline did not complete");
     let committed = RecoveredServerState::from_log(base.wal.as_ref().unwrap())
         .expect("baseline log unreadable")
@@ -198,7 +196,7 @@ fn smoke() -> bool {
         .clone()
         .with_crash(CrashPlan::after_records(committed / 2))
         .with_sink(&sink);
-    let dead = run_experiment(&crashed_cfg);
+    let dead = run_or_exit(&crashed_cfg);
     assert!(dead.crashed && !dead.all_done, "crash plan never fired");
     let disk = std::fs::read(&sink).expect("WAL mirror missing");
     std::fs::remove_file(&sink).ok();
@@ -236,7 +234,7 @@ fn smoke_sharded_compacted() -> bool {
         .with_sharding()
         .with_compaction(CompactionPolicy::max_mirror_bytes(4096));
 
-    let base = run_experiment(&cfg);
+    let base = run_or_exit(&cfg);
     assert!(base.all_done, "sharded smoke baseline did not complete");
     let committed = RecoveredServerState::from_log(base.wal.as_ref().unwrap())
         .expect("baseline log unreadable")
@@ -252,7 +250,7 @@ fn smoke_sharded_compacted() -> bool {
         .clone()
         .with_crash(CrashPlan::after_records(committed / 2))
         .with_sink(&sink);
-    let dead = run_experiment(&crashed_cfg);
+    let dead = run_or_exit(&crashed_cfg);
     assert!(dead.crashed && !dead.all_done, "crash plan never fired");
     // Reassemble the per-section mirror files into one bundle image —
     // exactly what a restarted server would read off disk.

@@ -7,7 +7,8 @@
 //! Usage: `cargo run -p vmr-bench --release --bin replication_sweep`
 
 use vmr_bench::calibrated_sizing;
-use vmr_core::{run_experiment, ExperimentConfig, MrMode};
+use vmr_bench::run_or_exit;
+use vmr_core::{ExperimentConfig, MrMode};
 use vmr_vcore::{ClientId, FaultPlan};
 
 fn main() {
@@ -30,7 +31,7 @@ fn main() {
                 corruption_prob: 1.0,
                 ..FaultPlan::default()
             };
-            let out = run_experiment(&cfg);
+            let out = run_or_exit(&cfg);
             let total = out.reports.first().map(|r| r.total_s).unwrap_or(f64::NAN);
             println!(
                 "{:>11} | {:>9} | {:>8} | {:>10.0} | {:>7}",

@@ -14,7 +14,8 @@
 //! Usage: `cargo run -p vmr-bench --release --bin supernode_relay`
 
 use vmr_bench::calibrated_sizing;
-use vmr_core::{run_experiment, ExperimentConfig, MrMode};
+use vmr_bench::run_or_exit;
+use vmr_core::{ExperimentConfig, MrMode};
 use vmr_netsim::{NatMix, NatType, TraversalPolicy};
 
 fn main() {
@@ -32,7 +33,7 @@ fn main() {
         cfg.traversal = TraversalPolicy::default();
         cfg.supernode_relays = supernodes;
         cfg.seed = 0x5003 + supernodes as u64;
-        let out = run_experiment(&cfg);
+        let out = run_or_exit(&cfg);
         assert!(out.all_done);
         let label = if supernodes == 0 {
             "server (TURN)".to_string()

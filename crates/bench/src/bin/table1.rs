@@ -1,7 +1,7 @@
 //! Regenerates the paper's **Table I** (word-count makespans).
 //!
 //! Usage: `cargo run -p vmr-bench --release --bin table1 \
-//!     [--mixed] [--quick] [--durable] [--metrics <path>]`
+//!     [--mixed] [--quick] [--durable] [--shards <n>] [--metrics <path>]`
 //!
 //! Prints, for every row, the simulated map/reduce/total times with the
 //! "slowest node discarded" derivation in brackets, next to the paper's
@@ -10,12 +10,15 @@
 //! `--quick` runs only the first row of each scheduling mode (the
 //! check.sh bench smoke). `--durable` journals every row's server
 //! state (WAL + 300 s snapshots) and prints a `# wal:` footer — the
-//! numbers themselves must not move. `--metrics <path>` additionally
+//! numbers themselves must not move. `--shards <n>` runs every row on
+//! an n-way sharded server core; output is byte-identical to
+//! `--shards 1` by construction (the check.sh shard smoke diffs the
+//! two). `--metrics <path>` additionally
 //! dumps every row's obs metrics snapshot to `path` as a JSON array;
 //! stdout is unchanged by it.
 
-use vmr_bench::{calibrated_sizing, row_config, table1_rows};
-use vmr_core::{format_row, run_experiment, MrMode};
+use vmr_bench::{calibrated_sizing, row_config, run_or_exit, table1_rows};
+use vmr_core::{format_row, MrMode};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -26,6 +29,16 @@ fn main() {
         .iter()
         .position(|a| a == "--metrics")
         .map(|i| args.get(i + 1).expect("--metrics needs a path").clone());
+    let shards: usize = args
+        .iter()
+        .position(|a| a == "--shards")
+        .map(|i| {
+            args.get(i + 1)
+                .expect("--shards needs a count")
+                .parse()
+                .expect("--shards takes an integer")
+        })
+        .unwrap_or(1);
     let sizing = calibrated_sizing();
     println!("# Table I — word count makespan (1 GB input, replication 2, quorum 2, 100 Mbit)");
     if mixed {
@@ -68,6 +81,7 @@ fn main() {
             prev_mode = Some(row.mode);
         }
         let mut cfg = row_config(&row, sizing);
+        cfg.shards = shards;
         if durable {
             cfg.durable = vmr_durable::DurabilityPlan::new(300.0);
         }
@@ -78,7 +92,7 @@ fn main() {
                 pcr200: row.nodes - row.nodes / 2,
             };
         }
-        let out = run_experiment(&cfg);
+        let out = run_or_exit(&cfg);
         assert!(out.all_done, "row did not complete");
         if let Some(wal) = &out.wal {
             let snap = out.obs.snapshot();

@@ -89,13 +89,15 @@ fn run_leg(hosts: u32, scenario: &Scenario, trust: TrustConfig, mode: &'static s
         trust,
         ..ProjectConfig::default()
     };
-    let mut eng = Engine::testbed(9000 + hosts as u64, cfg);
-    for _ in 0..hosts {
-        eng.add_client(
-            HostProfile::pc3001(),
-            HostLink::symmetric_mbit(100.0, 0.000_5),
-        );
-    }
+    let mut eng = Engine::builder(9000 + hosts as u64)
+        .config(cfg)
+        .clients((0..hosts).map(|_| {
+            (
+                HostProfile::pc3001(),
+                HostLink::symmetric_mbit(100.0, 0.000_5),
+            )
+        }))
+        .build();
     let wus = hosts * TASKS_PER_HOST;
     for i in 0..wus {
         let mut spec = WorkUnitSpec::basic(format!("w{i}"), "app", 2e9);

@@ -5,7 +5,7 @@
 pub mod churn;
 pub mod report;
 
-use vmr_core::{ExperimentConfig, MrMode, SizingModel};
+use vmr_core::{ExperimentConfig, ExperimentOutcome, MrMode, SizingModel};
 use vmr_mapreduce::apps::WordCount;
 use vmr_mapreduce::{CorpusGen, CorpusSpec};
 
@@ -26,6 +26,16 @@ pub struct Table1Row {
     pub paper_reduce: (f64, Option<f64>),
     /// Paper's published total time.
     pub paper_total: (f64, Option<f64>),
+}
+
+/// Runs an experiment for a benchmark binary: invalid configurations
+/// and WAL-sink failures print a one-line error and exit nonzero
+/// instead of unwinding with a backtrace.
+pub fn run_or_exit(cfg: &ExperimentConfig) -> ExperimentOutcome {
+    vmr_core::run_experiment(cfg).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    })
 }
 
 /// The nine measured rows of Table I (the 10-node/1-WU row is blank in

@@ -6,8 +6,7 @@
 use serde::{Deserialize, Serialize};
 use vmr_durable::{Dec, Enc, WireError};
 use vmr_mapreduce::{run_map_task, HashPartitioner, JobSpec, MapReduceApp};
-use vmr_netsim::{HostLink, NatType, TierId, TierLink, Topology};
-use vmr_vcore::{Availability, HostProfile};
+pub use vmr_vcore::population::{GeneratedHost, HostPopulation, PopulationSpec, VolunteerClass};
 
 /// How reduce tasks obtain their map-output inputs (the two systems
 /// Table I compares).
@@ -258,271 +257,6 @@ impl MrJobConfig {
     }
 }
 
-/// One access/compute class in a volunteer population, in the style of
-/// Anderson & Fedak's BOINC host census ("The Computational and Storage
-/// Potential of Volunteer Computing", CCGrid'06): the population is a
-/// heavy-tailed mixture of a few connection classes rather than anything
-/// resembling the uniform 100 Mbit Emulab testbed.
-#[derive(Clone, Debug)]
-pub struct VolunteerClass {
-    /// Class label (becomes the generated hosts' profile model name).
-    pub name: &'static str,
-    /// Relative share of the population drawing this class.
-    pub weight: f64,
-    /// Access downlink, megabit/s (before per-host jitter).
-    pub down_mbit: f64,
-    /// Access uplink, megabit/s (before per-host jitter).
-    pub up_mbit: f64,
-    /// One-way access latency, seconds.
-    pub latency_s: f64,
-    /// Sustained compute speed, FLOPS.
-    pub flops_per_sec: f64,
-    /// Mean (on, off) period lengths in seconds of the owner-usage
-    /// availability pattern; `None` = always-on machine.
-    pub availability: Option<(f64, f64)>,
-}
-
-/// Parameters of a synthetic internet-scale volunteer population:
-/// `hosts` volunteers drawn from a class mixture, spread over `isps`
-/// oversubscribed aggregation tiers behind a shared backbone.
-#[derive(Clone, Debug)]
-pub struct PopulationSpec {
-    /// Number of volunteer hosts to generate.
-    pub hosts: usize,
-    /// Deterministic generator seed.
-    pub seed: u64,
-    /// Number of ISP/AS aggregation tiers.
-    pub isps: usize,
-    /// Contention ratio of an ISP tier: tier capacity = the sum of its
-    /// subscribers' access downlinks divided by this (8–20 is typical
-    /// for consumer broadband).
-    pub isp_oversubscription: f64,
-    /// One-way latency of an ISP aggregation hop, seconds.
-    pub isp_latency_s: f64,
-    /// Backbone capacity = the sum of tier capacities divided by this.
-    pub backbone_oversubscription: f64,
-    /// One-way backbone traversal latency, seconds.
-    pub backbone_latency_s: f64,
-    /// The class mixture (weights need not sum to 1).
-    pub classes: Vec<VolunteerClass>,
-}
-
-/// One generated volunteer: its class, tier placement, access rates and
-/// a ready-made [`HostProfile`] for the vcore scheduler.
-#[derive(Clone, Debug)]
-pub struct GeneratedHost {
-    /// Index into [`PopulationSpec::classes`].
-    pub class: usize,
-    /// The ISP tier the host subscribes to.
-    pub tier: TierId,
-    /// Jittered access downlink, megabit/s.
-    pub down_mbit: f64,
-    /// Jittered access uplink, megabit/s.
-    pub up_mbit: f64,
-    /// Compute/availability profile for the BOINC model.
-    pub profile: HostProfile,
-}
-
-/// A generated volunteer population: the hierarchical topology plus
-/// per-host metadata, index-aligned with the topology's `HostId`s.
-#[derive(Debug)]
-pub struct HostPopulation {
-    /// Hierarchical network (host access links → ISP tiers → backbone).
-    pub topo: Topology,
-    /// Per-host metadata; `hosts[i]` describes `HostId(i as u32)`.
-    pub hosts: Vec<GeneratedHost>,
-}
-
-/// splitmix64 — small deterministic generator, no external dependency.
-fn splitmix64(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
-}
-
-/// Uniform draw in `[0, 1)`.
-fn unit_f64(state: &mut u64) -> f64 {
-    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
-}
-
-impl PopulationSpec {
-    /// An Anderson-&-Fedak-flavoured consumer-internet mixture: mostly
-    /// DSL/cable with a slow satellite/dial-up floor and a fibre/campus
-    /// tail, giving the measured heavy-tailed access-bandwidth
-    /// distribution (median a few Mbit, p95 tens of Mbit).
-    pub fn internet(hosts: usize, seed: u64) -> Self {
-        PopulationSpec {
-            hosts,
-            seed,
-            isps: (hosts / 64).clamp(1, 2048),
-            isp_oversubscription: 8.0,
-            isp_latency_s: 0.008,
-            backbone_oversubscription: 3.0,
-            backbone_latency_s: 0.02,
-            classes: vec![
-                VolunteerClass {
-                    name: "satellite",
-                    weight: 0.05,
-                    down_mbit: 0.5,
-                    up_mbit: 0.25,
-                    latency_s: 0.15,
-                    flops_per_sec: 1.0e9,
-                    availability: Some((1_800.0, 1_800.0)),
-                },
-                VolunteerClass {
-                    name: "dsl",
-                    weight: 0.40,
-                    down_mbit: 4.0,
-                    up_mbit: 0.5,
-                    latency_s: 0.03,
-                    flops_per_sec: 1.5e9,
-                    availability: Some((3_600.0, 1_800.0)),
-                },
-                VolunteerClass {
-                    name: "cable",
-                    weight: 0.35,
-                    down_mbit: 16.0,
-                    up_mbit: 1.0,
-                    latency_s: 0.02,
-                    flops_per_sec: 2.4e9,
-                    availability: Some((7_200.0, 3_600.0)),
-                },
-                VolunteerClass {
-                    name: "fiber",
-                    weight: 0.15,
-                    down_mbit: 100.0,
-                    up_mbit: 20.0,
-                    latency_s: 0.005,
-                    flops_per_sec: 3.0e9,
-                    availability: Some((14_400.0, 3_600.0)),
-                },
-                VolunteerClass {
-                    name: "campus",
-                    weight: 0.05,
-                    down_mbit: 100.0,
-                    up_mbit: 100.0,
-                    latency_s: 0.002,
-                    flops_per_sec: 3.2e9,
-                    availability: None,
-                },
-            ],
-        }
-    }
-
-    /// Draws the population. Deterministic in the spec: the same spec
-    /// yields bit-identical topologies and profiles.
-    ///
-    /// Two passes: classes/ISPs/jitters are sampled first so every tier
-    /// capacity can be sized from its actual subscriber load (sum of
-    /// member downlinks over the contention ratio), then the topology is
-    /// built tiers-first (tier ids must exist before `add_host_in`).
-    pub fn generate(&self) -> HostPopulation {
-        assert!(!self.classes.is_empty(), "population needs ≥ 1 class");
-        let total_w: f64 = self.classes.iter().map(|c| c.weight).sum();
-        let isps = self.isps.max(1);
-        let mut rng = self.seed ^ 0x5851_f42d_4c95_7f2d;
-        struct Draw {
-            class: usize,
-            isp: usize,
-            bw_jitter: f64,
-            cpu_jitter: f64,
-        }
-        let mut draws = Vec::with_capacity(self.hosts);
-        let mut isp_down_mbit = vec![0.0f64; isps];
-        for _ in 0..self.hosts {
-            let mut roll = unit_f64(&mut rng) * total_w;
-            let mut class = self.classes.len() - 1;
-            for (i, c) in self.classes.iter().enumerate() {
-                if roll < c.weight {
-                    class = i;
-                    break;
-                }
-                roll -= c.weight;
-            }
-            let isp = (splitmix64(&mut rng) % isps as u64) as usize;
-            let bw_jitter = 0.75 + 0.5 * unit_f64(&mut rng);
-            let cpu_jitter = 0.75 + 0.5 * unit_f64(&mut rng);
-            isp_down_mbit[isp] += self.classes[class].down_mbit * bw_jitter;
-            draws.push(Draw {
-                class,
-                isp,
-                bw_jitter,
-                cpu_jitter,
-            });
-        }
-        let mut topo = Topology::new();
-        let mut tiers = Vec::with_capacity(isps);
-        let mut total_gbit = 0.0;
-        for &down in &isp_down_mbit {
-            let gbit = (down / 1_000.0 / self.isp_oversubscription).max(0.001);
-            total_gbit += gbit;
-            tiers.push(topo.add_tier(TierLink::symmetric_gbit(gbit, self.isp_latency_s)));
-        }
-        topo.set_backbone(
-            total_gbit / self.backbone_oversubscription * 1e9 / 8.0,
-            self.backbone_latency_s,
-        );
-        let mut hosts = Vec::with_capacity(self.hosts);
-        for d in draws {
-            let c = &self.classes[d.class];
-            let down_mbit = c.down_mbit * d.bw_jitter;
-            let up_mbit = c.up_mbit * d.bw_jitter;
-            topo.add_host_in(
-                tiers[d.isp],
-                HostLink::asymmetric_mbit(down_mbit, up_mbit, c.latency_s),
-            );
-            hosts.push(GeneratedHost {
-                class: d.class,
-                tier: tiers[d.isp],
-                down_mbit,
-                up_mbit,
-                profile: HostProfile {
-                    model: c.name.into(),
-                    flops_per_sec: c.flops_per_sec * d.cpu_jitter,
-                    slots: 1,
-                    nat: NatType::Open,
-                    availability: c.availability.map(|(on_mean_s, off_mean_s)| Availability {
-                        on_mean_s,
-                        off_mean_s,
-                    }),
-                },
-            });
-        }
-        HostPopulation { topo, hosts }
-    }
-}
-
-impl HostPopulation {
-    /// Number of generated hosts.
-    pub fn len(&self) -> usize {
-        self.hosts.len()
-    }
-
-    /// Whether the population is empty.
-    pub fn is_empty(&self) -> bool {
-        self.hosts.is_empty()
-    }
-
-    /// Host count per class index.
-    pub fn class_counts(&self, n_classes: usize) -> Vec<usize> {
-        let mut counts = vec![0usize; n_classes];
-        for h in &self.hosts {
-            counts[h.class] += 1;
-        }
-        counts
-    }
-
-    /// Mean access downlink across the population, megabit/s.
-    pub fn mean_down_mbit(&self) -> f64 {
-        if self.hosts.is_empty() {
-            return 0.0;
-        }
-        self.hosts.iter().map(|h| h.down_mbit).sum::<f64>() / self.hosts.len() as f64
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -578,91 +312,6 @@ mod tests {
     fn mode_labels_match_table1() {
         assert_eq!(MrMode::ServerRelay.to_string(), "BOINC");
         assert_eq!(MrMode::InterClient.to_string(), "BOINC-MR");
-    }
-
-    #[test]
-    fn population_is_deterministic() {
-        let spec = PopulationSpec::internet(500, 42);
-        let a = spec.generate();
-        let b = spec.generate();
-        assert_eq!(a.len(), 500);
-        assert_eq!(a.topo.num_links(), b.topo.num_links());
-        for (x, y) in a.hosts.iter().zip(&b.hosts) {
-            assert_eq!(x.class, y.class);
-            assert_eq!(x.tier, y.tier);
-            assert_eq!(x.down_mbit.to_bits(), y.down_mbit.to_bits());
-            assert_eq!(
-                x.profile.flops_per_sec.to_bits(),
-                y.profile.flops_per_sec.to_bits()
-            );
-        }
-        // A different seed actually changes the draw.
-        let c = PopulationSpec::internet(500, 43).generate();
-        assert!(a
-            .hosts
-            .iter()
-            .zip(&c.hosts)
-            .any(|(x, y)| x.down_mbit.to_bits() != y.down_mbit.to_bits()));
-    }
-
-    #[test]
-    fn population_class_mix_tracks_weights() {
-        let spec = PopulationSpec::internet(10_000, 7);
-        let pop = spec.generate();
-        let total_w: f64 = spec.classes.iter().map(|c| c.weight).sum();
-        let counts = pop.class_counts(spec.classes.len());
-        for (c, &n) in spec.classes.iter().zip(&counts) {
-            let expect = c.weight / total_w;
-            let got = n as f64 / 10_000.0;
-            assert!(
-                (got - expect).abs() < 0.03,
-                "{}: drew {} expected ~{}",
-                c.name,
-                got,
-                expect
-            );
-        }
-    }
-
-    #[test]
-    fn population_bandwidth_is_heavy_tailed() {
-        let pop = PopulationSpec::internet(10_000, 1).generate();
-        let mut down: Vec<f64> = pop.hosts.iter().map(|h| h.down_mbit).collect();
-        down.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
-        let median = down[down.len() / 2];
-        let p95 = down[down.len() * 95 / 100];
-        assert!(
-            p95 / median > 4.0,
-            "tail too flat: median {median}, p95 {p95}"
-        );
-    }
-
-    #[test]
-    fn population_topology_is_oversubscribed_hierarchy() {
-        let spec = PopulationSpec::internet(2_000, 9);
-        let pop = spec.generate();
-        assert!(pop.topo.is_hierarchical());
-        assert_eq!(pop.topo.num_tiers(), spec.isps);
-        // Every tier with subscribers publishes less capacity than the
-        // sum of its members' access downlinks (contention ratio > 1).
-        let mut member_down = vec![0.0f64; spec.isps];
-        for h in &pop.hosts {
-            member_down[h.tier.0 as usize] += h.down_mbit * 1e6 / 8.0;
-        }
-        for (i, &sum) in member_down.iter().enumerate() {
-            if sum > 0.0 {
-                let tier = pop.topo.tier_link(TierId(i as u32));
-                assert!(tier.down_bytes_per_sec < sum, "tier {i} not oversubscribed");
-            }
-        }
-        // Availability classes propagate into the vcore profiles; the
-        // always-on campus class keeps `None`.
-        assert!(pop.hosts.iter().any(|h| h.profile.availability.is_some()));
-        assert!(pop
-            .hosts
-            .iter()
-            .filter(|h| h.profile.model == "campus")
-            .all(|h| h.profile.availability.is_none()));
     }
 
     #[test]

@@ -96,6 +96,52 @@ pub struct ExperimentConfig {
     /// Host reputation / adaptive replication (disabled by default —
     /// the fixed-quorum baseline the paper uses).
     pub trust: TrustConfig,
+    /// Server-state shards (work-unit tables, feeder, ledgers). `1` is
+    /// the sequential layout; any count produces bit-identical runs.
+    pub shards: usize,
+}
+
+/// Why an experiment configuration was rejected (or failed to start).
+#[derive(Debug)]
+pub enum ConfigError {
+    /// The volunteer population is empty — nothing can run.
+    NoNodes,
+    /// More reduce work units than map work units: the partition model
+    /// hands each reducer at least one map output, so this geometry is
+    /// unsatisfiable.
+    ReducesExceedMaps {
+        /// Configured map count.
+        maps: usize,
+        /// Configured reduce count.
+        reduces: usize,
+    },
+    /// `shards == 0` — the shard layout needs at least one shard.
+    ZeroShards,
+    /// Opening the durability plan's WAL file sink failed.
+    WalSink(std::io::Error),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NoNodes => write!(f, "experiment has zero volunteer nodes"),
+            ConfigError::ReducesExceedMaps { maps, reduces } => write!(
+                f,
+                "n_reduces ({reduces}) exceeds n_maps ({maps}): every reducer needs map output"
+            ),
+            ConfigError::ZeroShards => write!(f, "shards must be >= 1"),
+            ConfigError::WalSink(e) => write!(f, "WAL sink init failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ConfigError::WalSink(e) => Some(e),
+            _ => None,
+        }
+    }
 }
 
 impl ExperimentConfig {
@@ -125,7 +171,26 @@ impl ExperimentConfig {
             record_timeline: false,
             durable: DurabilityPlan::disabled(),
             trust: TrustConfig::default(),
+            shards: 1,
         }
+    }
+
+    /// Checks the configuration, returning the first problem found.
+    /// [`run_experiment`] calls this before building anything.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.nodes.total() == 0 {
+            return Err(ConfigError::NoNodes);
+        }
+        if self.n_reduces > self.n_maps {
+            return Err(ConfigError::ReducesExceedMaps {
+                maps: self.n_maps,
+                reduces: self.n_reduces,
+            });
+        }
+        if self.shards == 0 {
+            return Err(ConfigError::ZeroShards);
+        }
+        Ok(())
     }
 }
 
@@ -191,31 +256,37 @@ pub(crate) fn build_testbed(cfg: &ExperimentConfig, journal: Journal) -> (Engine
         ..ProjectConfig::default()
     };
     pc.backoff_min_s = pc.backoff_min_s.min(cfg.backoff_max_s);
-    let mut eng = Engine::testbed(cfg.seed, pc);
-    if !cfg.record_timeline {
-        eng.obs.journal.set_enabled(false);
-    }
-    eng.attach_durable(journal);
-    eng.traversal = cfg.traversal.clone();
-    eng.fault = cfg.fault.clone();
 
     // Volunteers: the paper's 100 Mbit testbed links.
     let mut nat_rng = vmr_desim::RngStream::new(cfg.seed ^ 0x9a7);
-    for i in 0..cfg.nodes.total() {
-        let mut prof = if i < cfg.nodes.pc3001 {
-            HostProfile::pc3001()
-        } else {
-            HostProfile::pcr200()
-        };
-        if let Some(mix) = &cfg.nat_mix {
-            prof.nat = mix.draw(&mut nat_rng);
-        }
-        if i < cfg.supernode_relays {
-            prof.nat = vmr_netsim::NatType::Open; // supernodes must be reachable
-        }
-        prof.availability = cfg.availability;
-        eng.add_client(prof, HostLink::symmetric_mbit(100.0, 0.000_5));
+    let volunteers: Vec<_> = (0..cfg.nodes.total())
+        .map(|i| {
+            let mut prof = if i < cfg.nodes.pc3001 {
+                HostProfile::pc3001()
+            } else {
+                HostProfile::pcr200()
+            };
+            if let Some(mix) = &cfg.nat_mix {
+                prof.nat = mix.draw(&mut nat_rng);
+            }
+            if i < cfg.supernode_relays {
+                prof.nat = vmr_netsim::NatType::Open; // supernodes must be reachable
+            }
+            prof.availability = cfg.availability;
+            (prof, HostLink::symmetric_mbit(100.0, 0.000_5))
+        })
+        .collect();
+    let mut eng = Engine::builder(cfg.seed)
+        .config(pc)
+        .shards(cfg.shards.max(1))
+        .journal(journal)
+        .clients(volunteers)
+        .build();
+    if !cfg.record_timeline {
+        eng.obs.journal.set_enabled(false);
     }
+    eng.traversal = cfg.traversal.clone();
+    eng.fault = cfg.fault.clone();
     if cfg.supernode_relays > 0 {
         eng.relay = vmr_vcore::RelayChoice::Supernodes(
             (0..cfg.supernode_relays as u32).map(ClientId).collect(),
@@ -240,6 +311,11 @@ pub(crate) fn build_testbed(cfg: &ExperimentConfig, journal: Journal) -> (Engine
 /// back half of [`run_experiment`] and
 /// [`crate::recover::resume_experiment`].
 pub(crate) fn finish(eng: Engine, pol: MrPolicy) -> ExperimentOutcome {
+    // Clean run end: force the group-commit tail out of the mirror so
+    // the on-disk image matches the committed log. A crashed journal
+    // refuses (the dead server cannot flush), which is exactly the
+    // image recovery should see.
+    eng.durable().flush_sink();
     let reports = pol
         .tracker
         .jobs
@@ -265,11 +341,15 @@ pub(crate) fn finish(eng: Engine, pol: MrPolicy) -> ExperimentOutcome {
 }
 
 /// Runs one experiment to completion (or to its configured crash).
-pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentOutcome {
-    let journal = Journal::new(&cfg.durable).expect("WAL sink init failed");
+///
+/// Rejects invalid configurations ([`ExperimentConfig::validate`]) and
+/// surfaces WAL-sink I/O failures instead of panicking.
+pub fn run_experiment(cfg: &ExperimentConfig) -> Result<ExperimentOutcome, ConfigError> {
+    cfg.validate()?;
+    let journal = Journal::new(&cfg.durable).map_err(ConfigError::WalSink)?;
     let (mut eng, mut pol) = build_testbed(cfg, journal);
     eng.run_until(&mut pol, horizon(), |e| e.db.all_wus_terminal());
-    finish(eng, pol)
+    Ok(finish(eng, pol))
 }
 
 /// Latest successful report time over `wus`, optionally excluding one
@@ -365,7 +445,7 @@ mod tests {
     #[test]
     fn small_experiment_completes_both_modes() {
         for mode in [MrMode::ServerRelay, MrMode::InterClient] {
-            let out = run_experiment(&small(mode));
+            let out = run_experiment(&small(mode)).expect("valid experiment config");
             assert!(out.all_done, "{mode}: job did not finish");
             let r = &out.reports[0];
             assert!(r.map_s > 0.0);
@@ -376,8 +456,8 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = run_experiment(&small(MrMode::InterClient));
-        let b = run_experiment(&small(MrMode::InterClient));
+        let a = run_experiment(&small(MrMode::InterClient)).expect("valid experiment config");
+        let b = run_experiment(&small(MrMode::InterClient)).expect("valid experiment config");
         assert_eq!(a.reports[0].total_s, b.reports[0].total_s);
         assert_eq!(a.stats.rpcs, b.stats.rpcs);
     }
@@ -388,8 +468,8 @@ mod tests {
         let mut c2 = small(MrMode::InterClient);
         c1.seed = 1;
         c2.seed = 2;
-        let a = run_experiment(&c1);
-        let b = run_experiment(&c2);
+        let a = run_experiment(&c1).expect("valid experiment config");
+        let b = run_experiment(&c2).expect("valid experiment config");
         // Jitter and stagger should shift makespans at least slightly.
         assert_ne!(a.reports[0].total_s, b.reports[0].total_s);
     }
@@ -407,8 +487,8 @@ mod tests {
             c.n_maps = 8;
             c.n_reduces = 4;
         }
-        let relay = run_experiment(&relay_cfg);
-        let p2p = run_experiment(&p2p_cfg);
+        let relay = run_experiment(&relay_cfg).expect("valid experiment config");
+        let p2p = run_experiment(&p2p_cfg).expect("valid experiment config");
         assert!(relay.all_done && p2p.all_done);
         assert!(
             p2p.reports[0].reduce_s < relay.reports[0].reduce_s,
@@ -422,7 +502,7 @@ mod tests {
     fn timeline_recorded_when_requested() {
         let mut c = small(MrMode::InterClient);
         c.record_timeline = true;
-        let out = run_experiment(&c);
+        let out = run_experiment(&c).expect("valid experiment config");
         assert!(!out.timeline.spans().is_empty());
         assert!(out
             .timeline

@@ -31,7 +31,8 @@ pub use config::{
     SizingModel, VolunteerClass,
 };
 pub use experiment::{
-    format_row, run_experiment, ExperimentConfig, ExperimentOutcome, NodeMix, PhaseReport,
+    format_row, run_experiment, ConfigError, ExperimentConfig, ExperimentOutcome, NodeMix,
+    PhaseReport,
 };
 pub use jobtracker::{JobState, JobTracker, Phase, TaskKind};
 pub use policy::MrPolicy;

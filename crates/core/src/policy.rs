@@ -361,17 +361,17 @@ mod tests {
     use super::*;
     use vmr_desim::SimTime;
     use vmr_netsim::HostLink;
-    use vmr_vcore::{HostProfile, ProjectConfig};
+    use vmr_vcore::HostProfile;
 
     fn engine(n: usize) -> Engine {
-        let mut eng = Engine::testbed(1, ProjectConfig::default());
-        for _ in 0..n {
-            eng.add_client(
-                HostProfile::pc3001(),
-                HostLink::symmetric_mbit(100.0, 0.000_5),
-            );
-        }
-        eng
+        Engine::builder(1)
+            .clients((0..n).map(|_| {
+                (
+                    HostProfile::pc3001(),
+                    HostLink::symmetric_mbit(100.0, 0.000_5),
+                )
+            }))
+            .build()
     }
 
     fn tiny_job(mode: MrMode) -> MrJobConfig {

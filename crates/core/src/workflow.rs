@@ -143,17 +143,17 @@ mod tests {
     use crate::config::MrMode;
     use vmr_desim::SimTime;
     use vmr_netsim::HostLink;
-    use vmr_vcore::{HostProfile, ProjectConfig};
+    use vmr_vcore::HostProfile;
 
     fn engine(n: usize) -> Engine {
-        let mut eng = Engine::testbed(3, ProjectConfig::default());
-        for _ in 0..n {
-            eng.add_client(
-                HostProfile::pc3001(),
-                HostLink::symmetric_mbit(100.0, 0.000_5),
-            );
-        }
-        eng
+        Engine::builder(3)
+            .clients((0..n).map(|_| {
+                (
+                    HostProfile::pc3001(),
+                    HostLink::symmetric_mbit(100.0, 0.000_5),
+                )
+            }))
+            .build()
     }
 
     fn stage(n_maps: usize, n_reduces: usize, input: u64) -> Stage {

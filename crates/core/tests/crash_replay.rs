@@ -19,7 +19,7 @@ use vmr_core::MrPolicy;
 use vmr_desim::{SimDuration, SimTime};
 use vmr_durable::{frame_ends, sink_image, CompactionPolicy, CrashPlan, DurabilityPlan, Journal};
 use vmr_netsim::HostLink;
-use vmr_vcore::{ClientId, Engine, FaultPlan, HostProfile, ProjectConfig, TrustConfig};
+use vmr_vcore::{ClientId, Engine, FaultPlan, HostProfile, TrustConfig};
 
 /// Asserts a resumed outcome reproduces the uninterrupted baseline
 /// bit-for-bit: Table I row, phase-time f64 bits, counters, end time.
@@ -66,15 +66,16 @@ fn recovered_state_matches_live_at_every_frame_boundary() {
     // happy path.
     let plan = DurabilityPlan::new(60.0);
     let j = Journal::new(&plan).unwrap();
-    let mut eng = Engine::testbed(7, ProjectConfig::default());
+    let mut eng = Engine::builder(7)
+        .journal(j.clone())
+        .clients((0..5).map(|_| {
+            (
+                HostProfile::pc3001(),
+                HostLink::symmetric_mbit(100.0, 0.000_5),
+            )
+        }))
+        .build();
     eng.obs.journal.set_enabled(false);
-    eng.attach_durable(j.clone());
-    for _ in 0..5 {
-        eng.add_client(
-            HostProfile::pc3001(),
-            HostLink::symmetric_mbit(100.0, 0.000_5),
-        );
-    }
     eng.fault = FaultPlan {
         byzantine: vec![ClientId(4)],
         corruption_prob: 1.0,
@@ -168,7 +169,7 @@ fn resumed_experiment_is_bit_identical_to_uninterrupted() {
     cfg.input_bytes = 32 << 20;
     cfg.durable = DurabilityPlan::new(120.0);
 
-    let base = run_experiment(&cfg);
+    let base = run_experiment(&cfg).expect("valid experiment config");
     assert!(base.all_done && !base.crashed);
     let base_log = base.wal.as_ref().unwrap();
     let full = RecoveredServerState::from_log(base_log).unwrap();
@@ -181,7 +182,7 @@ fn resumed_experiment_is_bit_identical_to_uninterrupted() {
     for crash in crashes {
         let mut crashed_cfg = cfg.clone();
         crashed_cfg.durable = cfg.durable.clone().with_crash(crash);
-        let dead = run_experiment(&crashed_cfg);
+        let dead = run_experiment(&crashed_cfg).expect("valid experiment config");
         assert!(dead.crashed, "{crash:?} never fired");
         assert!(!dead.all_done, "server died mid-job");
         let wal = dead.wal.as_ref().unwrap();
@@ -207,7 +208,7 @@ fn resume_bit_identical_with_sharding_incremental_and_compaction() {
         .with_sharding()
         .with_compaction(CompactionPolicy::max_mirror_bytes(4096));
 
-    let base = run_experiment(&cfg);
+    let base = run_experiment(&cfg).expect("valid experiment config");
     assert!(base.all_done && !base.crashed);
     let base_log = base.wal.as_ref().unwrap();
     assert!(vmr_durable::frame::is_bundle(base_log), "sharded = bundle");
@@ -225,7 +226,7 @@ fn resume_bit_identical_with_sharding_incremental_and_compaction() {
             .clone()
             .with_crash(crash)
             .with_sink(dir.join(format!("crash-{i}.wal")));
-        let dead = run_experiment(&crashed_cfg);
+        let dead = run_experiment(&crashed_cfg).expect("valid experiment config");
         assert!(dead.crashed, "{crash:?} never fired");
         let mem = dead.wal.as_ref().unwrap();
 
@@ -251,6 +252,75 @@ fn resume_bit_identical_with_sharding_incremental_and_compaction() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Group-commit crash semantics: with coalesced mirror flushes the
+/// on-disk image a crashed server leaves behind lags the in-memory
+/// log by up to one flush group (the dead server cannot run the final
+/// `flush_sink`), recovery from that lagging image lands exactly on
+/// the last *flushed* commit boundary — and resuming from either
+/// artifact is still bit-identical to an uninterrupted run.
+#[test]
+fn group_commit_crash_recovers_to_last_flushed_group() {
+    let dir = std::env::temp_dir().join(format!("vmr-group-commit-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let mut cfg = ExperimentConfig::table1(5, 3, 2, MrMode::InterClient);
+    cfg.input_bytes = 32 << 20;
+    cfg.durable = DurabilityPlan::new(120.0).with_group_commit(8);
+
+    let base = run_experiment(&cfg).expect("valid experiment config");
+    assert!(base.all_done && !base.crashed);
+    let full = RecoveredServerState::from_log(base.wal.as_ref().unwrap()).unwrap();
+    assert!(full.committed_records > 0);
+
+    let crashes = [
+        CrashPlan::after_records(full.committed_records / 2),
+        CrashPlan::at_us(base.finished_at.as_micros() / 2),
+    ];
+    let mut disk_lagged = 0u32;
+    for (i, crash) in crashes.into_iter().enumerate() {
+        let mut crashed_cfg = cfg.clone();
+        crashed_cfg.durable = cfg
+            .durable
+            .clone()
+            .with_crash(crash)
+            .with_sink(dir.join(format!("crash-{i}.wal")));
+        let dead = run_experiment(&crashed_cfg).expect("valid experiment config");
+        assert!(dead.crashed, "{crash:?} never fired");
+        let mem = dead.wal.as_ref().unwrap();
+
+        // The in-memory image holds everything committed up to the
+        // crash; resume from it is the usual bit-identity.
+        let resumed = resume_experiment(&crashed_cfg, mem).unwrap();
+        assert_bit_identical(&resumed, &base, &format!("group-commit {crash:?} (memory)"));
+
+        // The disk mirror only holds flushed groups: it recovers to a
+        // commit boundary no later than the in-memory one, and unless
+        // the crash landed exactly on a group boundary, strictly
+        // earlier.
+        let disk = sink_image(&crashed_cfg.durable).unwrap();
+        let from_mem = RecoveredServerState::from_log(mem).unwrap();
+        let from_disk = RecoveredServerState::from_log(&disk).unwrap();
+        assert!(
+            from_disk.committed_records <= from_mem.committed_records,
+            "mirror cannot be ahead of the log"
+        );
+        if from_disk.committed_records < from_mem.committed_records {
+            disk_lagged += 1;
+        }
+        let resumed_disk = resume_experiment(&crashed_cfg, &disk).unwrap();
+        assert_bit_identical(
+            &resumed_disk,
+            &base,
+            &format!("group-commit {crash:?} (disk)"),
+        );
+    }
+    assert!(
+        disk_lagged > 0,
+        "an 8-commit flush group should leave at least one crash image lagging"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// Crash-replay with an *active trust ledger*: hosts earn trust, WUs
 /// run unreplicated behind quorum overrides, spot-checks and scaled
 /// credit grants land in the TRUST/CREDIT WAL sections — and a mid-run
@@ -268,7 +338,7 @@ fn trust_enabled_crash_resumes_bit_identically() {
         t
     };
 
-    let base = run_experiment(&cfg);
+    let base = run_experiment(&cfg).expect("valid experiment config");
     assert!(base.all_done && !base.crashed);
     let full = RecoveredServerState::from_log(base.wal.as_ref().unwrap()).unwrap();
     let observed: u64 = (0..5).map(|h| full.trust.host(h).validated).sum();
@@ -285,7 +355,7 @@ fn trust_enabled_crash_resumes_bit_identically() {
     for crash in crashes {
         let mut crashed_cfg = cfg.clone();
         crashed_cfg.durable = cfg.durable.clone().with_crash(crash);
-        let dead = run_experiment(&crashed_cfg);
+        let dead = run_experiment(&crashed_cfg).expect("valid experiment config");
         assert!(dead.crashed, "{crash:?} never fired");
         let resumed = resume_experiment(&crashed_cfg, dead.wal.as_ref().unwrap()).unwrap();
         assert_bit_identical(&resumed, &base, &format!("trust {crash:?}"));
@@ -314,7 +384,7 @@ fn crash_on_a_fault_event_resumes_bit_identically() {
         .with_incremental(2)
         .with_sharding();
 
-    let base = run_experiment(&cfg);
+    let base = run_experiment(&cfg).expect("valid experiment config");
     assert!(base.all_done && !base.crashed, "faulted base must finish");
     let full = RecoveredServerState::from_log(base.wal.as_ref().unwrap()).unwrap();
 
@@ -327,7 +397,7 @@ fn crash_on_a_fault_event_resumes_bit_identically() {
     for crash in crashes {
         let mut crashed_cfg = cfg.clone();
         crashed_cfg.durable = cfg.durable.clone().with_crash(crash);
-        let dead = run_experiment(&crashed_cfg);
+        let dead = run_experiment(&crashed_cfg).expect("valid experiment config");
         assert!(dead.crashed, "{crash:?} never fired");
         let resumed = resume_experiment(&crashed_cfg, dead.wal.as_ref().unwrap()).unwrap();
         assert_bit_identical(&resumed, &base, &format!("{crash:?}"));

@@ -1,0 +1,109 @@
+//! Shard-count invariance for the partitioned server core.
+//!
+//! Sharding is a pure performance refactor: every cross-shard
+//! iteration merges in global id order, so for *any* seed, geometry,
+//! transfer mode and fault plan, an experiment run on 2/4/8 shards
+//! must be bit-identical to the single-shard (pre-sharding) engine —
+//! the Table I row, the phase-time f64 bits, every engine counter,
+//! the simulated finish time, and the full WAL byte stream.
+//!
+//! Full experiment runs are too slow for the default 256-case budget,
+//! so this drives the property runner directly with a small budget;
+//! the runner's seed is fixed, so the sampled configurations are the
+//! same on every run.
+
+use proptest::prelude::*;
+use proptest::test_runner::{Config, TestCaseError, TestRunner};
+use vmr_core::{format_row, run_experiment, ExperimentConfig, ExperimentOutcome, MrMode};
+use vmr_desim::SimDuration;
+use vmr_durable::DurabilityPlan;
+use vmr_vcore::{ClientId, FaultPlan};
+
+/// Everything an outcome can disagree on, in comparable form.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    row: String,
+    map_bits: u64,
+    reduce_bits: u64,
+    total_bits: u64,
+    rpcs: u64,
+    empty_replies: u64,
+    grants: u64,
+    reports: u64,
+    finished_at: vmr_desim::SimTime,
+    all_done: bool,
+    wal: Vec<u8>,
+}
+
+fn fingerprint(out: &ExperimentOutcome, nodes: usize) -> Fingerprint {
+    let r = &out.reports[0];
+    Fingerprint {
+        row: format_row(nodes, 3, 2, r),
+        map_bits: r.map_s.to_bits(),
+        reduce_bits: r.reduce_s.to_bits(),
+        total_bits: r.total_s.to_bits(),
+        rpcs: out.stats.rpcs,
+        empty_replies: out.stats.empty_replies,
+        grants: out.stats.grants,
+        reports: out.stats.reports,
+        finished_at: out.finished_at,
+        all_done: out.all_done,
+        wal: out.wal.clone().expect("durable run must carry a WAL"),
+    }
+}
+
+#[test]
+fn sharded_engine_is_bit_identical_for_any_seed_and_fault_plan() {
+    let mut runner = TestRunner::new(Config { cases: 6 });
+    let strat = (
+        any::<u64>(),  // experiment seed
+        4usize..7,     // volunteer nodes
+        any::<bool>(), // inter-client vs server relay
+        any::<bool>(), // inject a byzantine host + a dropout
+        60u64..900,    // dropout arming time
+    );
+    runner
+        .run(&strat, |(seed, nodes, interclient, faulty, dropout_s)| {
+            let mode = if interclient {
+                MrMode::InterClient
+            } else {
+                MrMode::ServerRelay
+            };
+            let mut cfg = ExperimentConfig::table1(nodes, 3, 2, mode);
+            cfg.seed = seed;
+            cfg.input_bytes = 8 << 20;
+            // Journal every run so the WAL byte streams are compared too.
+            cfg.durable = DurabilityPlan::new(120.0);
+            if faulty {
+                cfg.fault = FaultPlan {
+                    byzantine: vec![ClientId((seed % nodes as u64) as u32)],
+                    corruption_prob: 1.0,
+                    dropouts: vec![(
+                        ClientId(((seed >> 8) % nodes as u64) as u32),
+                        SimDuration::from_secs(dropout_s),
+                    )],
+                    ..FaultPlan::none()
+                };
+            }
+            let base = fingerprint(&run_experiment(&cfg).expect("valid config"), nodes);
+            for shards in [2usize, 4, 8] {
+                let mut sharded = cfg.clone();
+                sharded.shards = shards;
+                let got = fingerprint(&run_experiment(&sharded).expect("valid config"), nodes);
+                if got != base {
+                    return Err(TestCaseError::fail(format!(
+                        "{shards} shards diverged from 1 shard: wal {} vs {} bytes, \
+                         rpcs {} vs {}, row {:?} vs {:?}",
+                        got.wal.len(),
+                        base.wal.len(),
+                        got.rpcs,
+                        base.rpcs,
+                        got.row,
+                        base.row,
+                    )));
+                }
+            }
+            Ok(())
+        })
+        .unwrap_or_else(|e| panic!("{e}"));
+}

@@ -173,6 +173,20 @@ pub struct DurabilityPlan {
     /// flushed) at every commit. Sharded plans mirror each shard to
     /// `{path}.{section}` (see [`DurabilityPlan::sink_paths`]).
     pub sink: Option<PathBuf>,
+    /// Group-commit: the mirror is written and flushed every Nth
+    /// commit instead of every commit, coalescing the accumulated
+    /// committed bytes into one write + fsync per interval. `0` or `1`
+    /// is the historical flush-per-commit behaviour. The in-memory log
+    /// and its commit frames are unaffected — only mirror I/O is
+    /// deferred, so a crash between flushes loses at most the last
+    /// N−1 committed events *from the mirror* (the recoverable
+    /// boundary moves back to the last flushed commit).
+    pub flush_every_commits: u64,
+    /// Drive mirror compaction from a detached background thread
+    /// (nudged at each commit) instead of inline on the commit path.
+    /// Rewrites are mirror-only, so this never affects simulation
+    /// state — it only moves the rewrite cost off the hot path.
+    pub background_compaction: bool,
 }
 
 impl DurabilityPlan {
@@ -191,6 +205,8 @@ impl DurabilityPlan {
             compaction: CompactionPolicy::never(),
             crash: CrashPlan::none(),
             sink: None,
+            flush_every_commits: 1,
+            background_compaction: false,
         }
     }
 
@@ -221,6 +237,19 @@ impl DurabilityPlan {
     /// Sets the mirror compaction policy.
     pub fn with_compaction(mut self, policy: CompactionPolicy) -> Self {
         self.compaction = policy;
+        self
+    }
+
+    /// Group-commit: flush the mirror every `n` commits (see
+    /// [`DurabilityPlan::flush_every_commits`]).
+    pub fn with_group_commit(mut self, n: u64) -> Self {
+        self.flush_every_commits = n;
+        self
+    }
+
+    /// Runs mirror compaction on a background thread.
+    pub fn with_background_compaction(mut self) -> Self {
+        self.background_compaction = true;
         self
     }
 
@@ -314,6 +343,8 @@ struct Shard {
     mirror_len: u64,
     /// Superseded records already dropped by past compactions.
     dropped: u64,
+    /// Commits since the mirror was last flushed (group-commit).
+    unflushed_commits: u64,
 }
 
 impl Shard {
@@ -338,6 +369,7 @@ impl Shard {
             sink_from: frame::MAGIC.len(),
             mirror_len: 0,
             dropped: 0,
+            unflushed_commits: 0,
         })
     }
 
@@ -347,22 +379,52 @@ impl Shard {
         n
     }
 
-    /// Appends newly committed bytes to the mirror, then rewrites it
-    /// when `policy` triggers. Mirror failure is non-fatal: the
-    /// in-memory log stays authoritative; the mirror is best-effort.
-    fn mirror(&mut self, policy: &CompactionPolicy, obs: Option<&DurObs>) {
+    /// Mirrors newly committed bytes, honouring group-commit: the
+    /// write + flush happens only every `flush_every`-th commit, so
+    /// the accumulated committed bytes of the whole interval coalesce
+    /// into one syscall pair. Inline compaction (when not delegated to
+    /// the background thread) runs after a real flush.
+    fn mirror(
+        &mut self,
+        policy: &CompactionPolicy,
+        flush_every: u64,
+        background: bool,
+        obs: Option<&DurObs>,
+    ) {
         if self.sink.is_none() {
             return;
         }
+        self.unflushed_commits += 1;
+        if self.unflushed_commits < flush_every.max(1) {
+            return; // defer to the group boundary
+        }
+        self.flush_to_committed();
+        if !background {
+            self.maybe_compact(policy, obs);
+        }
+    }
+
+    /// Appends everything committed-but-unmirrored to the sink and
+    /// flushes it. Mirror failure is non-fatal: the in-memory log
+    /// stays authoritative; the mirror is best-effort.
+    fn flush_to_committed(&mut self) {
+        self.unflushed_commits = 0;
+        let Some(sink) = self.sink.as_mut() else {
+            return;
+        };
         let end = self.committed.bytes;
         if end > self.sink_pos {
             let chunk = self.log[self.sink_pos..end].to_vec();
-            let sink = self.sink.as_mut().unwrap();
             if sink.write_all(&chunk).and_then(|_| sink.flush()).is_ok() {
                 self.sink_pos = end;
                 self.mirror_len += chunk.len() as u64;
             }
         }
+    }
+
+    /// Rewrites the mirror if the compaction policy triggers and the
+    /// mirrored prefix already contains the chain-start snapshot.
+    fn maybe_compact(&mut self, policy: &CompactionPolicy, obs: Option<&DurObs>) {
         if self.chain_start > self.sink_from
             && self.sink_pos >= self.chain_start
             && policy.triggered(self.mirror_len, self.superseded - self.dropped)
@@ -423,6 +485,11 @@ struct Core {
     /// Snapshot cadence, microseconds; 0 = never.
     snapshot_every_us: u64,
     compaction: CompactionPolicy,
+    /// Mirror flush interval in commits (group-commit; 1 = every).
+    flush_every: u64,
+    /// Nudge channel to the background compaction thread, when one
+    /// runs. `std::sync::mpsc::Sender` is `!Sync`, hence the mutex.
+    compact_tx: Option<Mutex<std::sync::mpsc::Sender<()>>>,
     crash_after: Option<u64>,
     crash_at: Option<u64>,
     /// One shard per section when sharded, else a single shard.
@@ -484,11 +551,21 @@ impl Journal {
         for i in 0..shard_count {
             shards.push(Mutex::new(Shard::new(sink_paths.get(i).cloned())?));
         }
-        Ok(Journal(Some(Arc::new(Core {
+        let background =
+            plan.background_compaction && plan.sink.is_some() && !plan.compaction.is_never();
+        let (compact_tx, compact_rx) = if background {
+            let (tx, rx) = std::sync::mpsc::channel();
+            (Some(Mutex::new(tx)), Some(rx))
+        } else {
+            (None, None)
+        };
+        let core = Arc::new(Core {
             sharded: plan.sharded,
             full_every: plan.full_snapshot_every.max(1) as u64,
             snapshot_every_us: every_us,
             compaction: plan.compaction,
+            flush_every: plan.flush_every_commits.max(1),
+            compact_tx,
             crash_after: plan.crash.after_records,
             crash_at: plan.crash.at_us,
             shards,
@@ -503,7 +580,28 @@ impl Journal {
                 next_snapshot_us: every_us,
             }),
             obs: OnceLock::new(),
-        }))))
+        });
+        if let Some(rx) = compact_rx {
+            // Detached worker holding only a weak ref: it exits when
+            // the last Journal handle drops (channel disconnects) or
+            // the core is gone by the time a nudge arrives. Rewrites
+            // are mirror-only, so the worker never touches sim state.
+            let weak = Arc::downgrade(&core);
+            std::thread::Builder::new()
+                .name("vmr-wal-compact".into())
+                .spawn(move || {
+                    while rx.recv().is_ok() {
+                        // Coalesce queued nudges into one sweep.
+                        while rx.try_recv().is_ok() {}
+                        let Some(core) = weak.upgrade() else { break };
+                        for m in &core.shards {
+                            m.lock().maybe_compact(&core.compaction, core.obs.get());
+                        }
+                    }
+                })
+                .ok();
+        }
+        Ok(Journal(Some(core)))
     }
 
     /// Resolves the `dur.*` metric handles against `obs`.
@@ -609,7 +707,30 @@ impl Journal {
                 frames: s.frames,
                 records: s.records,
             };
-            s.mirror(&core.compaction, core.obs.get());
+            s.mirror(
+                &core.compaction,
+                core.flush_every,
+                core.compact_tx.is_some(),
+                core.obs.get(),
+            );
+        }
+        if let Some(tx) = &core.compact_tx {
+            let _ = tx.lock().send(());
+        }
+    }
+
+    /// Forces any committed-but-unflushed mirror bytes out (the tail
+    /// of a group-commit interval). Called at clean run end so the
+    /// mirror captures the final commits; no-op when disabled or
+    /// crashed — a crashed journal's mirror must stay exactly what the
+    /// "dead server" left behind.
+    pub fn flush_sink(&self) {
+        let Some(core) = &self.0 else { return };
+        if core.crashed.load(Ordering::Acquire) {
+            return;
+        }
+        for m in &core.shards {
+            m.lock().flush_to_committed();
         }
     }
 
@@ -1051,6 +1172,107 @@ mod tests {
             a2.committed_seq,
             recover(&j.log_bytes()).unwrap().committed_seq
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn group_commit_defers_mirror_flush_to_the_interval() {
+        let dir = temp_dir("group");
+        let path = dir.join("wal.bin");
+        let plan = DurabilityPlan::new(0.0)
+            .with_sink(&path)
+            .with_group_commit(3);
+        let j = Journal::new(&plan).unwrap();
+        // Two committed events: still inside the group window → the
+        // mirror holds nothing yet.
+        for i in 0..2u32 {
+            j.advance_to(i as u64 + 1);
+            j.append(&change(i));
+            j.commit();
+        }
+        assert_eq!(std::fs::read(&path).unwrap().len(), 0, "flush must defer");
+        // Third commit closes the group: one write covers all three.
+        j.advance_to(3);
+        j.append(&change(2));
+        j.commit();
+        let flushed = std::fs::read(&path).unwrap();
+        assert_eq!(flushed.len(), j.log_len());
+        let r = recover(&flushed).unwrap();
+        assert_eq!(r.committed_seq, 3);
+        assert_eq!(r.tail.len(), 3);
+        // A dangling commit inside the next window is recovered only
+        // up to the last *flushed* group boundary...
+        j.advance_to(4);
+        j.append(&change(3));
+        j.commit();
+        let partial = recover(&std::fs::read(&path).unwrap()).unwrap();
+        assert_eq!(partial.committed_seq, 3);
+        // ...until a clean shutdown forces the tail out.
+        j.flush_sink();
+        let r = recover(&std::fs::read(&path).unwrap()).unwrap();
+        assert_eq!(r.committed_seq, 4);
+        assert_eq!(r.tail.len(), 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crashed_journal_never_flushes_the_sink() {
+        let dir = temp_dir("group-crash");
+        let path = dir.join("wal.bin");
+        let plan = DurabilityPlan::new(0.0)
+            .with_sink(&path)
+            .with_group_commit(10)
+            .with_crash(CrashPlan::after_records(2));
+        let j = Journal::new(&plan).unwrap();
+        j.advance_to(1);
+        j.append(&change(0));
+        j.commit();
+        j.append(&change(1)); // trips the crash
+        assert!(j.crashed());
+        j.flush_sink();
+        // The deferred commit died with the "server": the mirror holds
+        // exactly what a real crashed process would have left.
+        assert_eq!(std::fs::read(&path).unwrap().len(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn background_compaction_thread_rewrites_the_mirror() {
+        let dir = temp_dir("bg-compact");
+        let path = dir.join("wal.bin");
+        let plan = DurabilityPlan::new(0.0)
+            .with_sink(&path)
+            .with_compaction(CompactionPolicy::max_superseded_records(4))
+            .with_background_compaction();
+        let j = Journal::new(&plan).unwrap();
+        for i in 0..6u32 {
+            j.advance_to(i as u64 + 1);
+            j.append(&change(i));
+            j.commit();
+        }
+        j.write_snapshot(&all_sections(9)).unwrap();
+        j.commit();
+        // The rewrite happens off-thread; wait for it (bounded).
+        let mut compacted = Vec::new();
+        for _ in 0..500 {
+            compacted = std::fs::read(&path).unwrap();
+            if !compacted.is_empty() && compacted.len() < j.log_len() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert!(
+            compacted.len() < j.log_len(),
+            "background compaction never ran: mirror {} vs log {}",
+            compacted.len(),
+            j.log_len()
+        );
+        // The compacted mirror recovers to the same state and boundary.
+        let a = recover(&compacted).unwrap();
+        let b = recover(&j.log_bytes()).unwrap();
+        assert_eq!(a.sections, b.sections);
+        assert_eq!(a.tail, b.tail);
+        assert_eq!(a.committed_seq, b.committed_seq);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -57,7 +57,7 @@ fn quick_wal(plan: DurabilityPlan) -> Vec<u8> {
     let mut cfg = ExperimentConfig::table1(4, 2, 1, MrMode::InterClient);
     cfg.input_bytes = 4 << 20; // tiny job: a rich log, a quick run
     cfg.durable = plan;
-    let out = run_experiment(&cfg);
+    let out = run_experiment(&cfg).expect("valid experiment config");
     assert!(out.all_done && !out.crashed, "seed run must finish");
     out.wal.expect("durability was enabled")
 }

@@ -1,7 +1,82 @@
 //! Project/client configuration knobs.
+//!
+//! The config is grouped into nested sub-structs per subsystem
+//! ([`NetConfig`], [`ShardConfig`], [`vmr_trust::TrustConfig`]) so new
+//! subsystems stop flat-growing the top level. Serialization stays
+//! backward-compatible: the sub-structs are `#[serde(flatten)]`ed and
+//! their fields keep the historical flat names (`net_coalesce_threshold`
+//! etc.), and every new group carries `#[serde(default)]`.
 
 use serde::{Deserialize, Serialize};
 use vmr_desim::SimDuration;
+
+/// Network-engine knobs (see `vmr_netsim::ScalePolicy`).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[serde(default)]
+pub struct NetConfig {
+    /// In-flight flow count beyond which the network engine leaves its
+    /// exact regime and coalesces flow classes. The default
+    /// (`usize::MAX`) never coalesces, keeping testbed-scale runs
+    /// bit-identical to the exact engine; internet-scale populations
+    /// set a few hundred.
+    #[serde(rename = "net_coalesce_threshold")]
+    pub coalesce_threshold: usize,
+    /// Mantissa bits kept by the scale regime's published link shares
+    /// (52 = exact, 6 ≈ 1.5 % buckets).
+    #[serde(rename = "net_quantum_bits")]
+    pub quantum_bits: u32,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            coalesce_threshold: usize::MAX,
+            quantum_bits: 52,
+        }
+    }
+}
+
+/// Server-core sharding knobs.
+///
+/// The engine partitions its hot state (workunit/result tables, feeder
+/// cache, credit/trust ledgers) into `n` shards keyed by
+/// `wu_id % n` / `host_id % n`. Shard merges are deterministic (global
+/// id order), so any shard count produces bit-identical runs; `n = 1`
+/// is exactly the historical single-shard engine.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[serde(default)]
+pub struct ShardConfig {
+    /// Number of server-state shards (≥ 1).
+    #[serde(rename = "shard_n")]
+    pub n: usize,
+    /// Run daemon passes (transitioner planning, feeder refill) on a
+    /// worker pool fanned out over shards. Plans are applied in global
+    /// id order, so this does not affect results — only wall-clock.
+    #[serde(rename = "shard_parallel_daemons")]
+    pub parallel_daemons: bool,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            n: 1,
+            parallel_daemons: false,
+        }
+    }
+}
+
+/// Built-in configuration presets (see [`ProjectConfig::preset`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Preset {
+    /// The paper's §IV.A Emulab testbed: exact network regime,
+    /// replication 2 / quorum 2, 600 s backoff cap. Identical to
+    /// `ProjectConfig::default()`.
+    Testbed,
+    /// Internet-scale volunteer populations: the network engine
+    /// coalesces flow classes past a few hundred in-flight flows
+    /// (matching `vmr_netsim::ScalePolicy::internet()`).
+    Internet,
+}
 
 /// Server- and client-side tunables of the middleware model.
 ///
@@ -58,18 +133,16 @@ pub struct ProjectConfig {
     /// Quarantine: stop granting work to hosts whose error rate (from
     /// the credit ledger) exceeds this; `None` disables.
     pub max_host_error_rate: Option<f64>,
-    /// In-flight flow count beyond which the network engine leaves its
-    /// exact regime and coalesces flow classes (see
-    /// `vmr_netsim::ScalePolicy`). The default (`usize::MAX`) never
-    /// coalesces, keeping testbed-scale runs bit-identical to the
-    /// exact engine; internet-scale populations set a few hundred.
-    pub net_coalesce_threshold: usize,
-    /// Mantissa bits kept by the scale regime's published link shares
-    /// (52 = exact, 6 ≈ 1.5 % buckets).
-    pub net_quantum_bits: u32,
+    /// Network-engine scale knobs.
+    #[serde(flatten)]
+    pub net: NetConfig,
+    /// Server-core sharding knobs.
+    #[serde(flatten)]
+    pub shard: ShardConfig,
     /// Host reputation / adaptive replication knobs (`vmr-trust`).
     /// Disabled by default — the engine is then bit-identical to the
     /// fixed-quorum baseline.
+    #[serde(default)]
     pub trust: vmr_trust::TrustConfig,
 }
 
@@ -92,14 +165,29 @@ impl Default for ProjectConfig {
             serving_timeout_s: 3600.0,
             locality_scheduling: false,
             max_host_error_rate: None,
-            net_coalesce_threshold: usize::MAX,
-            net_quantum_bits: 52,
+            net: NetConfig::default(),
+            shard: ShardConfig::default(),
             trust: vmr_trust::TrustConfig::default(),
         }
     }
 }
 
 impl ProjectConfig {
+    /// A named preset: the general form of the old ad-hoc
+    /// `with_internet_net()` tuning constructor.
+    pub fn preset(p: Preset) -> Self {
+        let mut cfg = ProjectConfig::default();
+        match p {
+            Preset::Testbed => {}
+            Preset::Internet => {
+                let sp = vmr_netsim::ScalePolicy::internet();
+                cfg.net.coalesce_threshold = sp.coalesce_threshold;
+                cfg.net.quantum_bits = sp.quantum_mantissa_bits;
+            }
+        }
+        cfg
+    }
+
     /// Backoff bounds as durations.
     pub fn backoff_bounds(&self) -> (SimDuration, SimDuration) {
         (
@@ -112,18 +200,17 @@ impl ProjectConfig {
     /// knobs.
     pub fn scale_policy(&self) -> vmr_netsim::ScalePolicy {
         vmr_netsim::ScalePolicy {
-            coalesce_threshold: self.net_coalesce_threshold,
-            quantum_mantissa_bits: self.net_quantum_bits,
+            coalesce_threshold: self.net.coalesce_threshold,
+            quantum_mantissa_bits: self.net.quantum_bits,
         }
     }
 
-    /// Returns a copy tuned for internet-scale host populations: the
-    /// network engine coalesces flow classes past a few hundred
-    /// in-flight flows (matching `ScalePolicy::internet`).
+    /// Returns a copy tuned for internet-scale host populations.
+    #[deprecated(note = "use ProjectConfig::preset(Preset::Internet) or set cfg.net directly")]
     pub fn with_internet_net(mut self) -> Self {
         let p = vmr_netsim::ScalePolicy::internet();
-        self.net_coalesce_threshold = p.coalesce_threshold;
-        self.net_quantum_bits = p.quantum_mantissa_bits;
+        self.net.coalesce_threshold = p.coalesce_threshold;
+        self.net.quantum_bits = p.quantum_mantissa_bits;
         self
     }
 }
@@ -139,6 +226,7 @@ mod tests {
         assert!(!c.report_results_immediately);
         assert_eq!(c.peer_retry_limit, 3);
         assert!(!c.trust.enabled, "trust is opt-in");
+        assert_eq!(c.shard.n, 1, "single shard is the baseline");
     }
 
     #[test]
@@ -150,11 +238,36 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
-        let c = ProjectConfig::default();
-        // serde support is exercised via the Serialize impl existing;
-        // check a clone-compare (the derive is compile-time verified).
+    fn presets() {
+        let t = ProjectConfig::preset(Preset::Testbed);
+        assert_eq!(t.net.coalesce_threshold, usize::MAX);
+        let i = ProjectConfig::preset(Preset::Internet);
+        let sp = vmr_netsim::ScalePolicy::internet();
+        assert_eq!(i.net.coalesce_threshold, sp.coalesce_threshold);
+        assert_eq!(i.net.quantum_bits, sp.quantum_mantissa_bits);
+        #[allow(deprecated)]
+        let legacy = ProjectConfig::default().with_internet_net();
+        assert_eq!(legacy.net.coalesce_threshold, i.net.coalesce_threshold);
+        assert_eq!(legacy.net.quantum_bits, i.net.quantum_bits);
+    }
+
+    /// Serde support is attribute-level with the vendored stub (no
+    /// runtime format crate exists offline): the sub-structs keep the
+    /// historical flat wire names via `#[serde(flatten)]` + `rename`,
+    /// and carry `#[serde(default)]` so pre-shard configs deserialize
+    /// under real serde. Here we verify the derives compile and the
+    /// nested groups are value-preserved through a clone.
+    #[test]
+    fn serde_derives_and_nested_groups() {
+        fn serializable<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
+        serializable::<ProjectConfig>();
+        serializable::<NetConfig>();
+        serializable::<ShardConfig>();
+        let mut c = ProjectConfig::default();
+        c.net.quantum_bits = 6;
+        c.shard.n = 4;
         let d = c.clone();
         assert_eq!(format!("{c:?}"), format!("{d:?}"));
+        assert_eq!(d.shard.n, 4);
     }
 }

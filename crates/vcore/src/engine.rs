@@ -22,7 +22,7 @@ use crate::types::{ClientId, FileSource, OutputFingerprint, ResultId, WuId};
 use crate::workunit::{ResultOutcome, ResultState, WorkUnitSpec};
 use std::collections::{HashMap, VecDeque};
 use vmr_desim::{EventId, RngStream, SimDuration, SimTime, Simulation, Tally};
-use vmr_durable::{Journal, Sections};
+use vmr_durable::{DurabilityPlan, Journal, Sections};
 use vmr_netsim::{
     connect, AggregateNetwork, FlowId, FlowSpec, HostId, HostLink, Path, Priority, Topology,
     TraversalPolicy, TraversalStats,
@@ -228,7 +228,9 @@ pub struct Engine {
     /// (and its queue tie-break rank) instead of cancel+reschedule —
     /// required for stepped/resumed runs to match continuous ones.
     net_wake: Option<(EventId, SimTime)>,
-    feeder: Vec<ResultId>,
+    feeder: crate::sched::Feeder,
+    /// Worker pool for daemon passes, sized from `cfg.shard`.
+    pool: crate::shard::WorkerPool,
     rng: RngStream,
     /// Dedicated stream for spot-check draws: it is consumed only for
     /// trusted hosts with trust enabled, so disabling trust leaves
@@ -301,28 +303,54 @@ impl EngineObs {
 }
 
 impl Engine {
+    /// Starts a fluent [`EngineBuilder`] — the single construction
+    /// surface for engines: configuration, shard count, durability,
+    /// synthetic populations and ad-hoc clients in one pass.
+    pub fn builder(seed: u64) -> EngineBuilder {
+        EngineBuilder::new(seed)
+    }
+
     /// Builds an engine with a server host on `server_link`.
+    #[deprecated(note = "use Engine::builder(seed).config(cfg).server_link(link).build()")]
     pub fn new(seed: u64, cfg: ProjectConfig, server_link: HostLink) -> Self {
-        let mut topo = Topology::new();
-        let server_host = topo.add_host(server_link);
+        Engine::builder(seed)
+            .config(cfg)
+            .server_link(server_link)
+            .build()
+    }
+
+    /// Convenience: an engine with a 100 Mbit server, like the testbed.
+    #[deprecated(note = "use Engine::builder(seed).config(cfg).build()")]
+    pub fn testbed(seed: u64, cfg: ProjectConfig) -> Self {
+        Engine::builder(seed).config(cfg).build()
+    }
+
+    /// Assembles the engine over a fully built topology. The topology
+    /// must be complete before the network engine is constructed (dense
+    /// link indices embed the host count), which is exactly what the
+    /// builder guarantees — [`Engine::add_client`] after the fact pays
+    /// an O(hosts) network rebuild instead.
+    fn from_parts(seed: u64, cfg: ProjectConfig, topo: Topology, server_host: HostId) -> Self {
         let mut sim = Simulation::new(seed);
         let rng = sim.fork_rng("engine");
         let trust_rng = sim.fork_rng("trust");
-        let trust = TrustLedger::new(cfg.trust.clone());
+        let trust = TrustLedger::with_shards(cfg.trust.clone(), cfg.shard.n.max(1));
         let obs = vmr_obs::Obs::new();
         sim.attach_obs(&obs);
         let eobs = EngineObs::attach(&obs);
         let policy = cfg.scale_policy();
+        let n_shards = cfg.shard.n.max(1);
+        let pool = crate::shard::WorkerPool::from_config(&cfg.shard);
         let mut eng = Engine {
             sim,
             net: AggregateNetwork::with_policy(topo, &obs, policy),
-            db: Db::new(),
+            db: Db::with_shards(n_shards),
             cfg,
             fault: FaultPlan::none(),
             traversal: TraversalPolicy::direct_only(),
             obs,
             stats: EngineStats::default(),
-            credit: crate::credit::CreditLedger::new(),
+            credit: crate::credit::CreditLedger::with_shards(n_shards),
             assimilator: crate::assimilate::Assimilator::new(),
             relay: RelayChoice::default(),
             trust,
@@ -330,7 +358,8 @@ impl Engine {
             clients: Vec::new(),
             flows: HashMap::new(),
             net_wake: None,
-            feeder: Vec::new(),
+            feeder: crate::sched::Feeder::new(n_shards),
+            pool,
             rng,
             trust_rng,
             host_outcomes: Vec::new(),
@@ -343,22 +372,23 @@ impl Engine {
         eng
     }
 
-    /// Convenience: an engine with a 100 Mbit server, like the testbed.
-    pub fn testbed(seed: u64, cfg: ProjectConfig) -> Self {
-        Engine::new(seed, cfg, HostLink::symmetric_mbit(100.0, 0.000_5))
-    }
-
     // ----- construction ---------------------------------------------------
 
     /// Adds a volunteer with the given profile and link. Returns its id.
+    ///
+    /// Prefer declaring clients on [`Engine::builder`]: adding one here
+    /// rebuilds the network engine (topologies are sealed once routing
+    /// starts), so an N-client loop costs O(N²).
     pub fn add_client(&mut self, profile: HostProfile, link: HostLink) -> ClientId {
+        let host = self.net_add_host(link);
+        self.push_client(profile, host)
+    }
+
+    /// Registers a client over an already-placed network host (the
+    /// builder path: hosts go into the topology before the network
+    /// engine exists, so no rebuild is needed).
+    fn push_client(&mut self, profile: HostProfile, host: HostId) -> ClientId {
         let id = ClientId(self.clients.len() as u32);
-        let host = {
-            // Topology is owned by Network; rebuild-free host addition.
-            let topo = self.net.topology();
-            let _ = topo;
-            self.net_add_host(link)
-        };
         let rng = self.rng.fork(&format!("client-{}", id.0));
         let (bmin, bmax) = self.cfg.backoff_bounds();
         let mut c = Client {
@@ -481,7 +511,14 @@ impl Engine {
     /// credit ledger, assimilator). Policies append through
     /// [`Engine::durable`]. Call before inserting work units so the
     /// genesis records land in the log.
+    #[deprecated(note = "pass the journal to Engine::builder via .journal(j) or .durability(plan)")]
     pub fn attach_durable(&mut self, journal: Journal) {
+        self.set_durable(journal);
+    }
+
+    /// [`Engine::attach_durable`] without the deprecation: the builder
+    /// wires journals through here.
+    fn set_durable(&mut self, journal: Journal) {
         journal.attach_obs(&self.obs);
         self.db.set_journal(journal.clone());
         self.credit.set_journal(journal.clone());
@@ -742,10 +779,10 @@ impl Engine {
                     });
             }
         }
-        // Feeder refill: copy unsent results (FIFO) into the cache.
-        self.feeder.clear();
+        // Feeder refill: copy unsent results (FIFO) into the cache,
+        // one id-ordered segment per shard (pool-parallel scan).
         self.feeder
-            .extend(self.db.unsent_results().take(self.cfg.feeder_slots));
+            .refill(&self.db, self.cfg.feeder_slots, &self.pool);
         self.eobs
             .feeder_occupancy
             .set(self.sim.now().as_micros(), self.feeder.len() as f64);
@@ -947,15 +984,19 @@ impl Engine {
         let mut got_work = false;
         let mut n_granted = 0u32;
         if slots_wanted > 0 {
-            let candidates: Vec<ResultId> = if self.cfg.locality_scheduling {
+            let req = WorkRequest {
+                client: cid,
+                slots_wanted,
+            };
+            let picked = if self.cfg.locality_scheduling {
                 // Prefer results whose inputs this client already serves
                 // (it can read them from local disk instead of the
                 // network). Stable sort keeps FIFO order within ties.
                 let served = &self.clients[cid.0 as usize].served;
                 let mut scored: Vec<(usize, ResultId)> = self
                     .feeder
-                    .iter()
-                    .map(|&rid| {
+                    .candidates()
+                    .map(|rid| {
                         let score = self
                             .db
                             .inputs_of(rid)
@@ -966,23 +1007,27 @@ impl Engine {
                     })
                     .collect();
                 scored.sort_by_key(|&(score, rid)| (std::cmp::Reverse(score), rid));
-                scored.into_iter().map(|(_, rid)| rid).collect()
+                pick_results(
+                    &self.db,
+                    scored.into_iter().map(|(_, rid)| rid),
+                    req,
+                    self.cfg.max_results_per_rpc,
+                )
             } else {
-                self.feeder.clone()
+                // The merged candidate stream is lazy: the grant fills
+                // after a handful of results, so the feeder shards past
+                // the cut-off are never scanned.
+                pick_results(
+                    &self.db,
+                    self.feeder.candidates(),
+                    req,
+                    self.cfg.max_results_per_rpc,
+                )
             };
-            let picked = pick_results(
-                &self.db,
-                &candidates,
-                WorkRequest {
-                    client: cid,
-                    slots_wanted,
-                },
-                self.cfg.max_results_per_rpc,
-            );
             got_work = !picked.is_empty();
             n_granted = picked.len() as u32;
             for rid in picked {
-                self.feeder.retain(|&r| r != rid);
+                self.feeder.remove(rid);
                 let deadline = now + self.db.wu(self.db.result(rid).wu).spec.delay_bound;
                 self.db.mark_sent(rid, cid, now, deadline);
                 self.stats.grants += 1;
@@ -1081,7 +1126,7 @@ impl Engine {
                     .collect();
                 for r in spares {
                     if self.db.cancel_unsent(r) {
-                        self.feeder.retain(|&x| x != r);
+                        self.feeder.remove(r);
                         self.eobs.trust_replication_saved.inc();
                     }
                 }
@@ -1694,6 +1739,182 @@ impl Engine {
     }
 }
 
+/// Why [`EngineBuilder::try_build`] failed.
+#[derive(Debug)]
+pub enum BuildError {
+    /// Opening the durability plan's WAL file sink failed.
+    WalSink(std::io::Error),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::WalSink(e) => write!(f, "WAL sink init failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BuildError::WalSink(e) => Some(e),
+        }
+    }
+}
+
+/// Fluent constructor for [`Engine`] — the one place an engine's
+/// configuration, shard layout, durability, population and clients come
+/// together:
+///
+/// ```ignore
+/// let eng = Engine::builder(seed)
+///     .config(cfg)
+///     .shards(4)
+///     .durability(DurabilityPlan::new().with_group_commit(64))
+///     .population(PopulationSpec::internet(1_000, seed))
+///     .build();
+/// ```
+///
+/// Construction is O(hosts): the topology is assembled in full before
+/// the network engine is created, unlike repeated
+/// [`Engine::add_client`] calls which rebuild the network per client.
+/// For a fixed seed the built engine is bit-identical to the legacy
+/// `Engine::testbed` + `add_client`-loop + `attach_durable` sequence
+/// (same RNG fork order, same event schedule).
+pub struct EngineBuilder {
+    seed: u64,
+    cfg: ProjectConfig,
+    server_link: HostLink,
+    journal: Option<Journal>,
+    plan: Option<DurabilityPlan>,
+    population: Option<crate::population::PopulationSpec>,
+    clients: Vec<(HostProfile, HostLink)>,
+}
+
+impl EngineBuilder {
+    fn new(seed: u64) -> Self {
+        EngineBuilder {
+            seed,
+            cfg: ProjectConfig::default(),
+            // The Emulab-style testbed default: a 100 Mbit server.
+            server_link: HostLink::symmetric_mbit(100.0, 0.000_5),
+            journal: None,
+            plan: None,
+            population: None,
+            clients: Vec::new(),
+        }
+    }
+
+    /// Replaces the project configuration (default:
+    /// [`ProjectConfig::default`]).
+    pub fn config(mut self, cfg: ProjectConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Sets the server-state shard count (overrides `cfg.shard.n`).
+    /// `1` — the default — is the bit-identical sequential layout.
+    pub fn shards(mut self, n: usize) -> Self {
+        self.cfg.shard.n = n;
+        self
+    }
+
+    /// Enables the shard worker pool for daemon passes (overrides
+    /// `cfg.shard.parallel_daemons`).
+    pub fn parallel_daemons(mut self, on: bool) -> Self {
+        self.cfg.shard.parallel_daemons = on;
+        self
+    }
+
+    /// Replaces the server's access link (default: symmetric 100 Mbit).
+    pub fn server_link(mut self, link: HostLink) -> Self {
+        self.server_link = link;
+        self
+    }
+
+    /// Opens a write-ahead log from `plan` at build time and attaches
+    /// it. Sink I/O failures surface from [`EngineBuilder::try_build`].
+    /// Ignored when an explicit [`EngineBuilder::journal`] is also set.
+    pub fn durability(mut self, plan: DurabilityPlan) -> Self {
+        self.plan = Some(plan);
+        self
+    }
+
+    /// Attaches an already-open journal (e.g. one shared with a
+    /// recovery harness). Takes precedence over
+    /// [`EngineBuilder::durability`].
+    pub fn journal(mut self, journal: Journal) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// Adds a synthetic volunteer population: its ISP tiers, backbone
+    /// and access links go straight into the engine topology (the
+    /// server stays on the unconstrained core) and every generated host
+    /// becomes a client with its generated profile. Population clients
+    /// come first, before any [`EngineBuilder::client`] entries.
+    pub fn population(mut self, spec: crate::population::PopulationSpec) -> Self {
+        self.population = Some(spec);
+        self
+    }
+
+    /// Adds one volunteer with the given profile and access link.
+    pub fn client(mut self, profile: HostProfile, link: HostLink) -> Self {
+        self.clients.push((profile, link));
+        self
+    }
+
+    /// Adds volunteers in bulk, in iteration order.
+    pub fn clients<I>(mut self, it: I) -> Self
+    where
+        I: IntoIterator<Item = (HostProfile, HostLink)>,
+    {
+        self.clients.extend(it);
+        self
+    }
+
+    /// Builds the engine, surfacing WAL-sink I/O errors.
+    pub fn try_build(self) -> Result<Engine, BuildError> {
+        let journal = match (self.journal, &self.plan) {
+            (Some(j), _) => j,
+            (None, Some(p)) => Journal::new(p).map_err(BuildError::WalSink)?,
+            (None, None) => Journal::disabled(),
+        };
+        let mut topo = Topology::new();
+        let server_host = topo.add_host(self.server_link);
+        let mut placed: Vec<(HostProfile, HostId)> = Vec::new();
+        if let Some(spec) = &self.population {
+            for (host, g) in spec.generate_into(&mut topo) {
+                placed.push((g.profile, host));
+            }
+        }
+        for (profile, link) in self.clients {
+            let host = topo.add_host(link);
+            placed.push((profile, host));
+        }
+        let mut eng = Engine::from_parts(self.seed, self.cfg, topo, server_host);
+        // Attach before any work units exist so genesis records land in
+        // the log; a disabled journal makes every hook a no-op branch.
+        eng.set_durable(journal);
+        for (profile, host) in placed {
+            eng.push_client(profile, host);
+        }
+        Ok(eng)
+    }
+
+    /// Builds the engine.
+    ///
+    /// # Panics
+    /// If the durability plan's WAL sink cannot be opened — use
+    /// [`EngineBuilder::try_build`] to handle that.
+    pub fn build(self) -> Engine {
+        match self.try_build() {
+            Ok(eng) => eng,
+            Err(e) => panic!("{e}"),
+        }
+    }
+}
+
 /// The honest output fingerprint of a work unit (FNV-1a of its name).
 pub fn honest_fingerprint(wu_name: &str) -> OutputFingerprint {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -1724,14 +1945,14 @@ mod tests {
     use crate::types::FileRef;
 
     fn small_engine(n_clients: usize) -> Engine {
-        let mut eng = Engine::testbed(42, ProjectConfig::default());
-        for _ in 0..n_clients {
-            eng.add_client(
-                HostProfile::pc3001(),
-                HostLink::symmetric_mbit(100.0, 0.000_5),
-            );
-        }
-        eng
+        Engine::builder(42)
+            .clients((0..n_clients).map(|_| {
+                (
+                    HostProfile::pc3001(),
+                    HostLink::symmetric_mbit(100.0, 0.000_5),
+                )
+            }))
+            .build()
     }
 
     fn wu_spec(name: &str, input_bytes: u64, output_bytes: u64) -> WorkUnitSpec {
@@ -1874,13 +2095,7 @@ mod tests {
 
     #[test]
     fn dropout_before_report_times_out_and_retries() {
-        let mut eng = Engine::testbed(42, ProjectConfig::default());
-        for _ in 0..3 {
-            eng.add_client(
-                HostProfile::pc3001(),
-                HostLink::symmetric_mbit(100.0, 0.000_5),
-            );
-        }
+        let mut eng = small_engine(3);
         eng.fault = FaultPlan {
             dropouts: vec![(ClientId(0), SimDuration::from_secs(5))],
             ..FaultPlan::default()
@@ -1918,12 +2133,13 @@ mod tests {
     fn availability_pauses_execution() {
         // Dedicated host vs a 50% duty-cycle volunteer, same 200 s task.
         let run = |avail: bool| {
-            let mut eng = Engine::testbed(123, ProjectConfig::default());
             let mut prof = HostProfile::pc3001();
             if avail {
                 prof = prof.with_availability(60.0, 60.0);
             }
-            eng.add_client(prof, HostLink::symmetric_mbit(100.0, 0.000_5));
+            let mut eng = Engine::builder(123)
+                .client(prof, HostLink::symmetric_mbit(100.0, 0.000_5))
+                .build();
             let mut spec = wu_spec("w0", 0, 0);
             spec.flops = 200.0 * 1.5e9;
             spec.target_nresults = 1;
@@ -2062,13 +2278,14 @@ mod tests {
     #[test]
     fn deterministic_runs() {
         let run = |seed| {
-            let mut eng = Engine::testbed(seed, ProjectConfig::default());
-            for _ in 0..5 {
-                eng.add_client(
-                    HostProfile::pc3001(),
-                    HostLink::symmetric_mbit(100.0, 0.000_5),
-                );
-            }
+            let mut eng = Engine::builder(seed)
+                .clients((0..5).map(|_| {
+                    (
+                        HostProfile::pc3001(),
+                        HostLink::symmetric_mbit(100.0, 0.000_5),
+                    )
+                }))
+                .build();
             for i in 0..4 {
                 eng.insert_workunit(wu_spec(&format!("w{i}"), 500_000, 100_000));
             }
@@ -2088,6 +2305,88 @@ mod tests {
         let _ = run(8);
     }
 
+    /// The builder must reproduce the legacy `testbed` + `add_client`
+    /// loop + `attach_durable` sequence bit for bit: same stats, same
+    /// canonical state encodings, same WAL bytes.
+    #[test]
+    #[allow(deprecated)]
+    fn builder_is_bit_identical_to_legacy_construction() {
+        let link = || HostLink::symmetric_mbit(100.0, 0.000_5);
+        let run = |use_builder: bool| {
+            let plan = DurabilityPlan::new(0.0);
+            let mut eng = if use_builder {
+                Engine::builder(99)
+                    .config(ProjectConfig::default())
+                    .durability(plan)
+                    .clients((0..4).map(|_| (HostProfile::pc3001(), link())))
+                    .build()
+            } else {
+                let mut e = Engine::testbed(99, ProjectConfig::default());
+                e.attach_durable(Journal::new(&plan).unwrap());
+                for _ in 0..4 {
+                    e.add_client(HostProfile::pc3001(), link());
+                }
+                e
+            };
+            for i in 0..4 {
+                eng.insert_workunit(wu_spec(&format!("w{i}"), 300_000, 60_000));
+            }
+            let mut policy = NullPolicy;
+            eng.run_until(&mut policy, SimTime::from_secs(40_000), |e| {
+                e.db.all_wus_terminal()
+            });
+            assert!(eng.db.all_wus_terminal());
+            (
+                eng.now(),
+                eng.stats.rpcs,
+                eng.stats.grants,
+                eng.stats.reports,
+                eng.db.encode_state(),
+                eng.credit.encode_state(),
+                eng.assimilator.encode_state(),
+                eng.durable().log_bytes(),
+            )
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    /// `.population(spec)` puts the generated hosts behind their ISP
+    /// tiers in the *engine's* topology and registers each as a client
+    /// with its generated profile; the server stays on the core.
+    #[test]
+    fn builder_population_becomes_clients_behind_tiers() {
+        let spec = crate::population::PopulationSpec::internet(64, 5);
+        let standalone = spec.generate();
+        let mut eng = Engine::builder(5).population(spec).build();
+        assert_eq!(eng.n_clients(), 64);
+        // One WU drives the full loop over the hierarchical network.
+        let mut s = wu_spec("w0", 100_000, 10_000);
+        s.target_nresults = 2;
+        s.min_quorum = 2;
+        s.delay_bound = SimDuration::from_secs(50_000);
+        let wu = eng.insert_workunit(s);
+        let mut policy = NullPolicy;
+        eng.run_until(&mut policy, SimTime::from_secs(200_000), |e| {
+            e.db.all_wus_terminal()
+        });
+        assert_eq!(eng.db.wu(wu).state, crate::workunit::WuState::Validated);
+        // Generated profiles carried over verbatim, tiers preserved.
+        for (i, want) in standalone.hosts.iter().enumerate() {
+            let c = ClientId(i as u32);
+            assert_eq!(eng.client_profile(c).model, want.profile.model);
+            assert_eq!(
+                eng.client_profile(c).flops_per_sec.to_bits(),
+                want.profile.flops_per_sec.to_bits()
+            );
+            assert_eq!(
+                eng.net.topology().tier_of(eng.client_host(c)),
+                Some(want.tier)
+            );
+        }
+        assert_eq!(eng.net.topology().tier_of(eng.server_host()), None);
+        assert!(eng.net.topology().is_hierarchical());
+    }
+
     // ----- trust / adaptive replication -------------------------------------
 
     /// A trust config that trusts quickly and never spot-checks, so the
@@ -2104,14 +2403,15 @@ mod tests {
             trust,
             ..ProjectConfig::default()
         };
-        let mut eng = Engine::testbed(42, cfg);
-        for _ in 0..n_clients {
-            eng.add_client(
-                HostProfile::pc3001(),
-                HostLink::symmetric_mbit(100.0, 0.000_5),
-            );
-        }
-        eng
+        Engine::builder(42)
+            .config(cfg)
+            .clients((0..n_clients).map(|_| {
+                (
+                    HostProfile::pc3001(),
+                    HostLink::symmetric_mbit(100.0, 0.000_5),
+                )
+            }))
+            .build()
     }
 
     #[test]
@@ -2257,13 +2557,15 @@ mod tests {
                 trust,
                 ..ProjectConfig::default()
             };
-            let mut eng = Engine::testbed(7, cfg);
-            for _ in 0..4 {
-                eng.add_client(
-                    HostProfile::pc3001(),
-                    HostLink::symmetric_mbit(100.0, 0.000_5),
-                );
-            }
+            let mut eng = Engine::builder(7)
+                .config(cfg)
+                .clients((0..4).map(|_| {
+                    (
+                        HostProfile::pc3001(),
+                        HostLink::symmetric_mbit(100.0, 0.000_5),
+                    )
+                }))
+                .build();
             for i in 0..4 {
                 eng.insert_workunit(wu_spec(&format!("w{i}"), 200_000, 50_000));
             }

@@ -30,7 +30,9 @@ pub mod db;
 pub mod engine;
 pub mod fault;
 pub mod host;
+pub mod population;
 pub mod sched;
+pub mod shard;
 pub mod transition;
 pub mod types;
 pub mod validate;
@@ -38,15 +40,20 @@ pub mod workunit;
 
 pub use assimilate::{Assimilated, Assimilator};
 pub use backoff::Backoff;
-pub use config::ProjectConfig;
+pub use config::{NetConfig, Preset, ProjectConfig, ShardConfig};
 pub use credit::{claimed_credit, CreditLedger, HostAccount};
 pub use db::Db;
 pub use engine::{
     clique_fingerprint, honest_fingerprint, Engine, EngineStats, Ev, NullPolicy, Policy,
     RelayChoice, ServedFile,
 };
+pub use engine::{BuildError, EngineBuilder};
 pub use fault::{Corruption, FaultIndex, FaultPlan};
 pub use host::{Availability, HostProfile, ValidationCounts};
+pub use population::{GeneratedHost, HostPopulation, PopulationSpec, VolunteerClass};
+pub use sched::Feeder;
+pub use shard::{run_transition_pass, serve_batch, BatchGrant, WorkerPool};
+pub use transition::{apply_transition, plan_transition, Transition, TransitionPlan};
 pub use types::{ClientId, FileRef, FileSource, OutputFingerprint, ResultId, WuId};
 pub use validate::{check_quorum, Verdict};
 pub use vmr_trust::{

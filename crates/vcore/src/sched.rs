@@ -10,6 +10,7 @@
 //! the engine applies its choices to the database.
 
 use crate::db::Db;
+use crate::shard::WorkerPool;
 use crate::types::{ClientId, ResultId};
 
 /// A client's work request, as seen by the scheduler.
@@ -22,18 +23,20 @@ pub struct WorkRequest {
 }
 
 /// Chooses up to `min(slots_wanted, max_per_rpc)` results for `req`
-/// from the feeder's candidate list, skipping work units the client
+/// from the feeder's candidate stream, skipping work units the client
 /// already holds a replica of. Candidates are consumed in order
-/// (feeder order == creation order, BOINC's FIFO default).
+/// (feeder order == creation order, BOINC's FIFO default) and lazily —
+/// the stream is abandoned once the grant fills, so a merged per-shard
+/// feeder never materializes candidates it won't inspect.
 pub fn pick_results(
     db: &Db,
-    candidates: &[ResultId],
+    candidates: impl IntoIterator<Item = ResultId>,
     req: WorkRequest,
     max_per_rpc: u32,
 ) -> Vec<ResultId> {
     let want = req.slots_wanted.min(max_per_rpc) as usize;
     let mut picked: Vec<ResultId> = Vec::with_capacity(want);
-    for &rid in candidates {
+    for rid in candidates {
         if picked.len() >= want {
             break;
         }
@@ -55,6 +58,142 @@ pub fn pick_results(
         picked.push(rid);
     }
     picked
+}
+
+/// The feeder's shared-memory cache of ready-to-send results, sharded
+/// by `rid % n` to match the database partitioning.
+///
+/// Each shard's segment is kept in ascending rid order (refills insert
+/// in id order; removals preserve order), so the merged candidate
+/// stream ([`Feeder::candidates`]) reproduces the single-shard feeder's
+/// FIFO order exactly — sharding never changes which results a grant
+/// picks. What it changes is cost: evicting a granted result touches
+/// only its own segment (O(capacity / n) instead of O(capacity)), the
+/// per-grant hot path this partitioning exists for.
+#[derive(Debug)]
+pub struct Feeder {
+    segments: Vec<Vec<ResultId>>,
+}
+
+impl Feeder {
+    /// An empty feeder partitioned into `n` shards (`n ≥ 1`).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "feeder shard count must be at least 1");
+        Feeder {
+            segments: (0..n).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Number of feeder shards.
+    pub fn n_shards(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Cached results across all segments.
+    pub fn len(&self) -> usize {
+        self.segments.iter().map(Vec::len).sum()
+    }
+
+    /// True when no results are cached.
+    pub fn is_empty(&self) -> bool {
+        self.segments.iter().all(Vec::is_empty)
+    }
+
+    /// Drops everything from the cache.
+    pub fn clear(&mut self) {
+        for seg in &mut self.segments {
+            seg.clear();
+        }
+    }
+
+    /// One feeder pass: replaces the cache with the first `slots`
+    /// unsent results in global id order. With a worker pool, each
+    /// shard's candidate prefix is scanned concurrently and the global
+    /// cutoff is found by an id-order merge — bit-identical to the
+    /// sequential scan at any shard count.
+    pub fn refill(&mut self, db: &Db, slots: usize, pool: &WorkerPool) {
+        let n = self.segments.len();
+        if n == 1 {
+            let seg = &mut self.segments[0];
+            seg.clear();
+            seg.extend(db.unsent_results().take(slots));
+            return;
+        }
+        debug_assert_eq!(n, db.n_shards(), "feeder/db shard counts must match");
+        // Per-shard candidate prefixes: the global first-`slots` cut
+        // cannot take more than `slots` from any one shard.
+        let prefixes: Vec<Vec<ResultId>> =
+            pool.map(n, |s| db.shard_unsent(s).take(slots).collect());
+        // Merge in id order to find how many of each prefix make the
+        // global cut; each shard's share is a prefix of its candidates.
+        let mut take = vec![0usize; n];
+        let mut heads = vec![0usize; n];
+        for _ in 0..slots {
+            let mut best: Option<(usize, ResultId)> = None;
+            for s in 0..n {
+                if let Some(&rid) = prefixes[s].get(heads[s]) {
+                    if best.map(|(_, b)| rid < b).unwrap_or(true) {
+                        best = Some((s, rid));
+                    }
+                }
+            }
+            match best {
+                Some((s, _)) => {
+                    heads[s] += 1;
+                    take[s] += 1;
+                }
+                None => break,
+            }
+        }
+        for (s, mut prefix) in prefixes.into_iter().enumerate() {
+            prefix.truncate(take[s]);
+            self.segments[s] = prefix;
+        }
+    }
+
+    /// Evicts `rid` from the cache (granted or cancelled). Touches only
+    /// the result's own segment: O(len / n_shards).
+    pub fn remove(&mut self, rid: ResultId) {
+        let s = rid.0 as usize % self.segments.len();
+        self.segments[s].retain(|&r| r != rid);
+    }
+
+    /// The cached results in global id order — an id-order merge of the
+    /// per-shard segments, lazily evaluated.
+    pub fn candidates(&self) -> impl Iterator<Item = ResultId> + '_ {
+        MergeSegments {
+            heads: self
+                .segments
+                .iter()
+                .map(|seg| seg.iter().copied().peekable())
+                .collect(),
+        }
+    }
+}
+
+/// K-way id-order merge over the per-shard segments (shard counts are
+/// small, so a linear head scan beats a heap).
+struct MergeSegments<I: Iterator<Item = ResultId>> {
+    heads: Vec<std::iter::Peekable<I>>,
+}
+
+impl<I: Iterator<Item = ResultId>> Iterator for MergeSegments<I> {
+    type Item = ResultId;
+    fn next(&mut self) -> Option<ResultId> {
+        if self.heads.len() == 1 {
+            return self.heads[0].next();
+        }
+        let mut best: Option<(usize, ResultId)> = None;
+        for (i, it) in self.heads.iter_mut().enumerate() {
+            if let Some(&id) = it.peek() {
+                if best.map(|(_, b)| id < b).unwrap_or(true) {
+                    best = Some((i, id));
+                }
+            }
+        }
+        let (i, _) = best?;
+        self.heads[i].next()
+    }
 }
 
 #[cfg(test)]
@@ -83,7 +222,7 @@ mod tests {
         let db = db_with(5);
         let picked = pick_results(
             &db,
-            &unsent(&db),
+            unsent(&db),
             WorkRequest {
                 client: ClientId(0),
                 slots_wanted: 3,
@@ -98,7 +237,7 @@ mod tests {
         let db = db_with(5);
         let picked = pick_results(
             &db,
-            &unsent(&db),
+            unsent(&db),
             WorkRequest {
                 client: ClientId(0),
                 slots_wanted: 10,
@@ -113,7 +252,7 @@ mod tests {
         let db = db_with(1); // one WU, two replicas unsent
         let picked = pick_results(
             &db,
-            &unsent(&db),
+            unsent(&db),
             WorkRequest {
                 client: ClientId(0),
                 slots_wanted: 5,
@@ -136,7 +275,7 @@ mod tests {
         );
         let picked = pick_results(
             &db,
-            &unsent(&db),
+            unsent(&db),
             WorkRequest {
                 client: ClientId(0),
                 slots_wanted: 5,
@@ -160,7 +299,7 @@ mod tests {
         );
         let picked = pick_results(
             &db,
-            &unsent(&db),
+            unsent(&db),
             WorkRequest {
                 client: ClientId(1),
                 slots_wanted: 1,
@@ -178,7 +317,7 @@ mod tests {
         db.cancel_unsent(rids[0]);
         let picked = pick_results(
             &db,
-            &stale,
+            stale,
             WorkRequest {
                 client: ClientId(0),
                 slots_wanted: 5,
@@ -197,7 +336,7 @@ mod tests {
         let db = db_with(3);
         let picked = pick_results(
             &db,
-            &unsent(&db),
+            unsent(&db),
             WorkRequest {
                 client: ClientId(0),
                 slots_wanted: 0,
@@ -212,7 +351,7 @@ mod tests {
         let db = db_with(0);
         let picked = pick_results(
             &db,
-            &[],
+            std::iter::empty(),
             WorkRequest {
                 client: ClientId(0),
                 slots_wanted: 4,

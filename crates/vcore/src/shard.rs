@@ -1,0 +1,384 @@
+//! Sharded server-core passes: a worker pool fanned out over the
+//! database shards, the parallel transitioner pass, and batched
+//! scheduler serving.
+//!
+//! Production BOINC scales its daemons by running `n` instances of
+//! each, partitioned by `wu_id mod n` over the shared database. This
+//! module is that partitioning applied to the in-process engine: the
+//! tables are already split by id shard ([`crate::db::Db`]), so daemon
+//! passes fan out one worker per shard and merge in global id order.
+//!
+//! **Determinism.** Every pass is split plan/apply:
+//! * the *plan* phase reads `&Db` concurrently (one worker per shard;
+//!   plans for distinct WUs touch disjoint rows), and
+//! * the *apply* phase replays the plans **sequentially in global
+//!   WU-id order**, which fixes result-id allocation and the WAL
+//!   record stream.
+//!
+//! The merge order makes worker count and shard count invisible to the
+//! output: `shards = 1` with no pool is bit-identical to `shards = 8`
+//! on eight workers. Parallelism changes wall-clock only.
+
+use crate::config::ShardConfig;
+use crate::db::Db;
+use crate::sched::{pick_results, Feeder, WorkRequest};
+use crate::transition::{apply_transition, plan_transition, Transition, TransitionPlan};
+use crate::types::{ClientId, ResultId, WuId};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use vmr_desim::SimTime;
+
+/// A fixed-width worker pool for per-shard fan-out.
+///
+/// Workers are scoped threads spawned per pass (the pass borrows the
+/// database), claiming shard indices from a shared counter. A pool of
+/// width 1 runs inline with zero thread overhead — the default, and
+/// the configuration every bit-identity guarantee is proven against.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkerPool {
+    workers: usize,
+}
+
+impl WorkerPool {
+    /// A pool running `workers` concurrent workers (clamped to ≥ 1).
+    pub fn new(workers: usize) -> Self {
+        WorkerPool {
+            workers: workers.max(1),
+        }
+    }
+
+    /// The inline pool: everything runs on the calling thread.
+    pub fn sequential() -> Self {
+        WorkerPool { workers: 1 }
+    }
+
+    /// The pool a [`ShardConfig`] asks for: one worker per shard up to
+    /// the machine's parallelism when `parallel_daemons` is set,
+    /// inline otherwise.
+    pub fn from_config(cfg: &ShardConfig) -> Self {
+        if !cfg.parallel_daemons || cfg.n <= 1 {
+            return WorkerPool::sequential();
+        }
+        let hw = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        WorkerPool::new(cfg.n.min(hw))
+    }
+
+    /// Worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Maps `f` over `0..n` (one call per shard), returning results in
+    /// index order. Runs inline when the pool is sequential or there is
+    /// only one shard; otherwise workers claim indices from a shared
+    /// counter so an expensive shard doesn't serialize the rest.
+    pub fn map<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if self.workers <= 1 || n <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        let slots: Vec<std::sync::Mutex<&mut Option<T>>> =
+            out.iter_mut().map(std::sync::Mutex::new).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers.min(n) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let v = f(i);
+                    **slots[i].lock().unwrap() = Some(v);
+                });
+            }
+        });
+        drop(slots);
+        out.into_iter()
+            .map(|v| v.expect("worker pool slot unfilled"))
+            .collect()
+    }
+}
+
+/// One transitioner pass over every work unit: plans per shard on the
+/// pool, applies in global WU-id order. Returns the non-trivial
+/// transitions in that order (the engine's policy hooks consume them).
+///
+/// Bit-identical to calling [`crate::transition::transition_wu`] on
+/// every WU in id order, at any shard count and pool width.
+pub fn run_transition_pass(
+    db: &mut Db,
+    now: SimTime,
+    pool: &WorkerPool,
+) -> Vec<(WuId, Transition)> {
+    let n = db.n_shards();
+    let per_shard: Vec<Vec<(WuId, TransitionPlan)>> = {
+        let db: &Db = db;
+        pool.map(n, |s| {
+            db.shard_wu_ids(s)
+                .filter_map(|wu| match plan_transition(db, wu) {
+                    TransitionPlan::None => None,
+                    plan => Some((wu, plan)),
+                })
+                .collect()
+        })
+    };
+    // Apply in global WU-id order: a k-way merge over the per-shard
+    // lists (each already ascending).
+    let total: usize = per_shard.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    let mut heads: Vec<std::iter::Peekable<_>> = per_shard
+        .into_iter()
+        .map(|v| v.into_iter().peekable())
+        .collect();
+    loop {
+        let mut best: Option<(usize, WuId)> = None;
+        for (i, it) in heads.iter_mut().enumerate() {
+            if let Some(&(wu, _)) = it.peek() {
+                if best.map(|(_, b)| wu < b).unwrap_or(true) {
+                    best = Some((i, wu));
+                }
+            }
+        }
+        let Some((i, _)) = best else { break };
+        let (wu, plan) = heads[i].next().unwrap();
+        let t = apply_transition(db, wu, plan, now);
+        if t != Transition::None {
+            out.push((wu, t));
+        }
+    }
+    out
+}
+
+/// One granted work request out of a batch.
+#[derive(Clone, Debug)]
+pub struct BatchGrant {
+    /// The requesting client.
+    pub client: ClientId,
+    /// Results granted to it (possibly empty).
+    pub granted: Vec<ResultId>,
+}
+
+/// Serves a batch of scheduler work requests against the sharded
+/// server core, in submission order: per request, candidates are the
+/// feeder's id-order merged stream, grants are applied to the database
+/// immediately (`mark_sent` with `deadline_of` the per-result report
+/// deadline) and evicted from the feeder shard-locally.
+///
+/// Submission order *is* the serialization order, so the outcome is
+/// identical to one RPC event per request through the engine; the
+/// sharding buys the O(len/n) per-grant feeder eviction and shard-local
+/// index updates that `shard_scaling` measures.
+pub fn serve_batch(
+    db: &mut Db,
+    feeder: &mut Feeder,
+    requests: &[WorkRequest],
+    max_per_rpc: u32,
+    now: SimTime,
+    mut deadline_of: impl FnMut(&Db, ResultId) -> SimTime,
+) -> Vec<BatchGrant> {
+    let mut out = Vec::with_capacity(requests.len());
+    for &req in requests {
+        let picked = pick_results(db, feeder.candidates(), req, max_per_rpc);
+        for &rid in &picked {
+            let deadline = deadline_of(db, rid);
+            db.mark_sent(rid, req.client, now, deadline);
+            feeder.remove(rid);
+        }
+        out.push(BatchGrant {
+            client: req.client,
+            granted: picked,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transition::transition_wu;
+    use crate::types::OutputFingerprint;
+    use crate::workunit::{ResultOutcome, WorkUnitSpec};
+
+    fn seeded_db(n_shards: usize, n_wus: usize) -> Db {
+        let mut db = Db::with_shards(n_shards);
+        for i in 0..n_wus {
+            db.insert_workunit(
+                WorkUnitSpec::basic(format!("wu{i}"), "app", 1e9),
+                SimTime::ZERO,
+            );
+        }
+        db
+    }
+
+    /// Reports outcomes that force a mix of plans: some WUs validate,
+    /// some disagree (retry), some time out into failure.
+    fn drive_reports(db: &mut Db) {
+        let wus: Vec<WuId> = db.wu_ids().collect();
+        for (i, wu) in wus.iter().enumerate() {
+            let rids = db.results_of(*wu).to_vec();
+            match i % 3 {
+                0 => {
+                    // Agreeing quorum.
+                    for (k, rid) in rids.iter().enumerate() {
+                        db.mark_sent(
+                            *rid,
+                            ClientId(k as u32),
+                            SimTime::ZERO,
+                            SimTime::from_secs(1000),
+                        );
+                        db.mark_reported(
+                            *rid,
+                            ResultOutcome::Success,
+                            Some(OutputFingerprint(42)),
+                            SimTime::from_secs(5),
+                        );
+                    }
+                }
+                1 => {
+                    // Disagreement: retry needed.
+                    for (k, rid) in rids.iter().enumerate() {
+                        db.mark_sent(
+                            *rid,
+                            ClientId(k as u32),
+                            SimTime::ZERO,
+                            SimTime::from_secs(1000),
+                        );
+                        db.mark_reported(
+                            *rid,
+                            ResultOutcome::Success,
+                            Some(OutputFingerprint(100 + k as u64)),
+                            SimTime::from_secs(5),
+                        );
+                    }
+                }
+                _ => {
+                    // One timeout, one still in flight.
+                    db.mark_sent(rids[0], ClientId(0), SimTime::ZERO, SimTime::from_secs(10));
+                    db.mark_timed_out(rids[0], SimTime::from_secs(10));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pass_matches_sequential_transitioner_at_any_shard_count() {
+        let now = SimTime::from_secs(20);
+        // Reference: sequential transition_wu over a single-shard db.
+        let mut reference = seeded_db(1, 17);
+        drive_reports(&mut reference);
+        let mut expected = Vec::new();
+        for wu in reference.wu_ids().collect::<Vec<_>>() {
+            match transition_wu(&mut reference, wu, now) {
+                Transition::None => {}
+                t => expected.push((wu, t)),
+            }
+        }
+        for (shards, workers) in [(1, 1), (2, 1), (4, 2), (8, 4)] {
+            let mut db = seeded_db(shards, 17);
+            drive_reports(&mut db);
+            let got = run_transition_pass(&mut db, now, &WorkerPool::new(workers));
+            assert_eq!(
+                got, expected,
+                "transition pass diverged at {shards} shards / {workers} workers"
+            );
+            assert_eq!(
+                db.encode_state(),
+                reference.encode_state(),
+                "db state diverged at {shards} shards / {workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn worker_pool_map_preserves_index_order() {
+        for workers in [1usize, 2, 4] {
+            let pool = WorkerPool::new(workers);
+            let out = pool.map(13, |i| i * i);
+            assert_eq!(out, (0..13).map(|i| i * i).collect::<Vec<_>>());
+        }
+        assert_eq!(WorkerPool::sequential().workers(), 1);
+    }
+
+    #[test]
+    fn pool_from_config_is_inline_unless_asked() {
+        let mut cfg = ShardConfig::default();
+        assert_eq!(WorkerPool::from_config(&cfg).workers(), 1);
+        cfg.n = 4;
+        assert_eq!(WorkerPool::from_config(&cfg).workers(), 1);
+        cfg.parallel_daemons = true;
+        assert!(WorkerPool::from_config(&cfg).workers() >= 1);
+    }
+
+    #[test]
+    fn serve_batch_matches_per_request_serving() {
+        let pool = WorkerPool::sequential();
+        let reqs: Vec<WorkRequest> = (0..6)
+            .map(|c| WorkRequest {
+                client: ClientId(c),
+                slots_wanted: 2,
+            })
+            .collect();
+        let mut grants_by_shardcount: Vec<Vec<BatchGrant>> = Vec::new();
+        for shards in [1usize, 4] {
+            let mut db = seeded_db(shards, 5);
+            let mut feeder = Feeder::new(shards);
+            feeder.refill(&db, 100, &pool);
+            let grants = serve_batch(&mut db, &mut feeder, &reqs, 4, SimTime::ZERO, |_, _| {
+                SimTime::from_secs(1000)
+            });
+            // Every grant respects the one-replica-per-client rule.
+            for g in &grants {
+                let mut wus: Vec<WuId> = g.granted.iter().map(|&r| db.result(r).wu).collect();
+                wus.sort_unstable();
+                wus.dedup();
+                assert_eq!(wus.len(), g.granted.len());
+            }
+            grants_by_shardcount.push(grants);
+        }
+        let a = &grants_by_shardcount[0];
+        let b = &grants_by_shardcount[1];
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.client, y.client);
+            assert_eq!(x.granted, y.granted, "grants diverged across shard counts");
+        }
+    }
+
+    #[test]
+    fn feeder_refill_is_shard_invariant() {
+        for (shards, workers) in [(2usize, 1usize), (4, 2), (8, 4)] {
+            let mut base_db = seeded_db(1, 40);
+            let mut db = seeded_db(shards, 40);
+            // Burn some results so the unsent set has gaps.
+            for wu in [0u32, 3, 7, 11] {
+                let rid = base_db.results_of(WuId(wu))[0];
+                base_db.mark_sent(rid, ClientId(9), SimTime::ZERO, SimTime::from_secs(10));
+                let rid = db.results_of(WuId(wu))[0];
+                db.mark_sent(rid, ClientId(9), SimTime::ZERO, SimTime::from_secs(10));
+            }
+            let mut base_feeder = Feeder::new(1);
+            base_feeder.refill(&base_db, 33, &WorkerPool::sequential());
+            let mut feeder = Feeder::new(shards);
+            feeder.refill(&db, 33, &WorkerPool::new(workers));
+            assert_eq!(
+                feeder.candidates().collect::<Vec<_>>(),
+                base_feeder.candidates().collect::<Vec<_>>(),
+                "refill diverged at {shards} shards"
+            );
+            assert_eq!(feeder.len(), 33);
+            // Shard-local eviction preserves the merged order.
+            let victim = base_feeder.candidates().nth(5).unwrap();
+            base_feeder.remove(victim);
+            feeder.remove(victim);
+            assert_eq!(
+                feeder.candidates().collect::<Vec<_>>(),
+                base_feeder.candidates().collect::<Vec<_>>()
+            );
+        }
+    }
+}

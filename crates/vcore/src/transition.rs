@@ -41,13 +41,44 @@ pub enum Transition {
     Failed,
 }
 
-/// Runs one transitioner pass over `wu`. Mutates the database and
-/// returns what changed so the engine can fire policy hooks.
-pub fn transition_wu(db: &mut Db, wu: WuId, now: SimTime) -> Transition {
+/// A transitioner decision computed read-only against the database —
+/// the *plan* half of the plan/apply split. Plans for distinct WUs are
+/// independent (a WU's plan reads only its own rows), so the worker
+/// pool ([`crate::shard::run_transition_pass`]) computes them in
+/// parallel per shard and applies them sequentially in global WU-id
+/// order, which keeps result-id allocation and the WAL record stream
+/// bit-identical to a sequential pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TransitionPlan {
+    /// Nothing to do.
+    None,
+    /// Quorum reached: validate with `canonical`, credit `agreeing`,
+    /// cancel the still-unsent replicas in `cancel`.
+    Validate {
+        /// Canonical output fingerprint.
+        canonical: OutputFingerprint,
+        /// Results whose outputs matched the canonical fingerprint.
+        agreeing: Vec<ResultId>,
+        /// Unsent replicas made redundant by the validation.
+        cancel: Vec<ResultId>,
+    },
+    /// Create `n_new` fresh replicas to replace errors/disagreements.
+    Retry {
+        /// How many results to create.
+        n_new: u32,
+    },
+    /// Retry budget exhausted: fail the WU permanently.
+    Fail,
+}
+
+/// Computes the transitioner's decision for `wu` without touching the
+/// database. Pure with respect to `db`: safe to evaluate for many WUs
+/// concurrently over a shared `&Db`.
+pub fn plan_transition(db: &Db, wu: WuId) -> TransitionPlan {
     if db.wu(wu).state != WuState::Active {
-        return Transition::None;
+        return TransitionPlan::None;
     }
-    let rids = db.results_of(wu).to_vec();
+    let rids = db.results_of(wu);
     // Successful reports awaiting validation.
     let successes: Vec<ResultId> = rids
         .iter()
@@ -71,16 +102,17 @@ pub fn transition_wu(db: &mut Db, wu: WuId, now: SimTime) -> Transition {
     } = check_quorum(&fingerprints, min_quorum)
     {
         let agreeing: Vec<ResultId> = agreeing.into_iter().map(|i| successes[i]).collect();
-        db.mark_wu_validated(wu, canonical, now);
-        // Cancel unsent replicas; in-progress ones will report as WuDone.
-        for rid in rids {
-            if db.result(rid).state == ResultState::Unsent {
-                db.cancel_unsent(rid);
-            }
-        }
-        return Transition::Validated {
+        // Unsent replicas are redundant once the WU validates;
+        // in-progress ones will report as WuDone.
+        let cancel: Vec<ResultId> = rids
+            .iter()
+            .copied()
+            .filter(|&r| db.result(r).state == ResultState::Unsent)
+            .collect();
+        return TransitionPlan::Validate {
             canonical,
             agreeing,
+            cancel,
         };
     }
 
@@ -98,19 +130,57 @@ pub fn transition_wu(db: &mut Db, wu: WuId, now: SimTime) -> Transition {
     };
     let potential = live + max_group;
     if potential >= min_quorum {
-        return Transition::None;
+        return TransitionPlan::None;
     }
     let deficit = min_quorum - potential;
     let spec_max = db.wu(wu).spec.max_total_results;
     let created = db.wu(wu).results_created;
     let budget = spec_max.saturating_sub(created);
     if budget == 0 {
-        db.mark_wu_failed(wu, now);
-        return Transition::Failed;
+        return TransitionPlan::Fail;
     }
-    let n_new = deficit.min(budget);
-    let new_results: Vec<ResultId> = (0..n_new).map(|_| db.create_result(wu)).collect();
-    Transition::Retried { new_results }
+    TransitionPlan::Retry {
+        n_new: deficit.min(budget),
+    }
+}
+
+/// Applies a previously computed plan to the database, journaling every
+/// mutation, and returns the [`Transition`] the engine's policy hooks
+/// consume.
+pub fn apply_transition(db: &mut Db, wu: WuId, plan: TransitionPlan, now: SimTime) -> Transition {
+    match plan {
+        TransitionPlan::None => Transition::None,
+        TransitionPlan::Validate {
+            canonical,
+            agreeing,
+            cancel,
+        } => {
+            db.mark_wu_validated(wu, canonical, now);
+            for rid in cancel {
+                db.cancel_unsent(rid);
+            }
+            Transition::Validated {
+                canonical,
+                agreeing,
+            }
+        }
+        TransitionPlan::Retry { n_new } => {
+            let new_results: Vec<ResultId> = (0..n_new).map(|_| db.create_result(wu)).collect();
+            Transition::Retried { new_results }
+        }
+        TransitionPlan::Fail => {
+            db.mark_wu_failed(wu, now);
+            Transition::Failed
+        }
+    }
+}
+
+/// Runs one transitioner pass over `wu`. Mutates the database and
+/// returns what changed so the engine can fire policy hooks.
+/// Equivalent to [`plan_transition`] followed by [`apply_transition`].
+pub fn transition_wu(db: &mut Db, wu: WuId, now: SimTime) -> Transition {
+    let plan = plan_transition(db, wu);
+    apply_transition(db, wu, plan, now)
 }
 
 #[cfg(test)]

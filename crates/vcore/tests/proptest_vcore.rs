@@ -175,13 +175,15 @@ proptest! {
                 trust,
                 ..Default::default()
             };
-            let mut eng = vmr_vcore::Engine::testbed(seed, cfg);
-            for _ in 0..3 {
-                eng.add_client(
-                    vmr_vcore::HostProfile::pc3001(),
-                    vmr_netsim::HostLink::symmetric_mbit(100.0, 0.000_5),
-                );
-            }
+            let mut eng = vmr_vcore::Engine::builder(seed)
+                .config(cfg)
+                .clients((0..3).map(|_| {
+                    (
+                        vmr_vcore::HostProfile::pc3001(),
+                        vmr_netsim::HostLink::symmetric_mbit(100.0, 0.000_5),
+                    )
+                }))
+                .build();
             for i in 0..3 {
                 let mut spec = WorkUnitSpec::basic(format!("w{i}"), "app", 2e9);
                 spec.target_nresults = 2;
@@ -233,7 +235,7 @@ proptest! {
             let cands: Vec<_> = db.unsent_results().collect();
             let picked = vmr_vcore::sched::pick_results(
                 &db,
-                &cands,
+                cands,
                 vmr_vcore::sched::WorkRequest { client: ClientId(client), slots_wanted: slots },
                 8,
             );

@@ -20,7 +20,7 @@ fn main() {
     };
 
     // ----- 1. The testbed fiction: everyone publicly reachable -----
-    let lan = run_experiment(&base());
+    let lan = run_experiment(&base()).expect("valid experiment config");
     println!(
         "all-open volunteers      : total {:>6.0} s, fallbacks {}",
         lan.reports[0].total_s, lan.stats.server_fallbacks
@@ -30,7 +30,7 @@ fn main() {
     let mut cfg = base();
     cfg.nat_mix = Some(NatMix::internet_2011());
     cfg.traversal = TraversalPolicy::direct_only();
-    let naive = run_experiment(&cfg);
+    let naive = run_experiment(&cfg).expect("valid experiment config");
     println!(
         "NAT mix, direct-only     : total {:>6.0} s, fallbacks {} (peer transfers mostly impossible)",
         naive.reports[0].total_s, naive.stats.server_fallbacks
@@ -40,7 +40,7 @@ fn main() {
     let mut cfg = base();
     cfg.nat_mix = Some(NatMix::internet_2011());
     cfg.traversal = TraversalPolicy::default();
-    let tiered = run_experiment(&cfg);
+    let tiered = run_experiment(&cfg).expect("valid experiment config");
     let t = &tiered.stats.traversal;
     println!(
         "NAT mix, tiered traversal: total {:>6.0} s, fallbacks {}",
@@ -66,7 +66,7 @@ fn main() {
         dropouts: vec![(ClientId(7), SimDuration::from_secs(200))],
         ..FaultPlan::default()
     };
-    let hostile = run_experiment(&cfg);
+    let hostile = run_experiment(&cfg).expect("valid experiment config");
     println!(
         "hostile (2 byzantine, churn): done={} total {:>6.0} s, peer failures {}, fallbacks {}",
         hostile.all_done,

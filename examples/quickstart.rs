@@ -60,7 +60,7 @@ fn main() {
     // ----- 3. simulated volunteer cloud (one Table I style cell) -----
     let mut sim = ExperimentConfig::table1(10, 10, 2, MrMode::InterClient);
     sim.input_bytes = 256 << 20; // 256 MB keeps the demo snappy
-    let out = run_experiment(&sim);
+    let out = run_experiment(&sim).expect("valid experiment config");
     let r = &out.reports[0];
     println!(
         "simulated BOINC-MR (10 nodes, 10 maps, 2 reducers, 256 MB):\n  \

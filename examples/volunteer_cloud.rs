@@ -13,7 +13,7 @@ fn main() {
     for mode in [MrMode::ServerRelay, MrMode::InterClient] {
         let mut cfg = ExperimentConfig::table1(20, 20, 5, mode);
         cfg.record_timeline = true;
-        let out = run_experiment(&cfg);
+        let out = run_experiment(&cfg).expect("valid experiment config");
         assert!(out.all_done);
         let r = &out.reports[0];
         println!("--- {mode} ---");

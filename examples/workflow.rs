@@ -15,13 +15,15 @@ use vmr_netsim::HostLink;
 use vmr_vcore::{Engine, HostProfile, ProjectConfig};
 
 fn main() {
-    let mut eng = Engine::testbed(0xF10, ProjectConfig::default());
-    for _ in 0..12 {
-        eng.add_client(
-            HostProfile::pc3001(),
-            HostLink::symmetric_mbit(100.0, 0.000_5),
-        );
-    }
+    let mut eng = Engine::builder(0xF10)
+        .config(ProjectConfig::default())
+        .clients((0..12).map(|_| {
+            (
+                HostProfile::pc3001(),
+                HostLink::symmetric_mbit(100.0, 0.000_5),
+            )
+        }))
+        .build();
 
     let mut stage1 = MrJobConfig::paper_wordcount(12, 4, MrMode::InterClient);
     stage1.input_bytes = 512 << 20;

@@ -29,6 +29,9 @@ cargo build --offline -p vmr-bench --no-default-features
 cargo build --offline -p vmr-durable --no-default-features
 cargo build --offline -p vmr-trust --no-default-features
 
+echo "==> examples build (EngineBuilder construction surface)"
+cargo build --offline --examples
+
 if [ "$NO_TEST" -eq 0 ]; then
     echo "==> cargo test (workspace)"
     cargo test --offline --workspace --quiet
@@ -57,6 +60,20 @@ if [ "$NO_BENCH" -eq 0 ]; then
 
     echo "==> durability torture smoke: seeded corruption fuzzer over recorded journals"
     TORTURE_SMOKE=1 cargo test --offline --release -p vmr-durable --test torture --quiet
+
+    if [ "${SHARD_SMOKE:-0}" = "1" ]; then
+        echo "==> shard smoke: 4-shard table1 --quick byte-diffed vs 1 shard (SHARD_SMOKE=1)"
+        ./target/release/table1 --quick > /tmp/table1_quick_1shard.txt
+        ./target/release/table1 --quick --shards 4 > /tmp/table1_quick_4shard.txt
+        diff /tmp/table1_quick_1shard.txt /tmp/table1_quick_4shard.txt \
+            || { echo "4-shard table1 output diverged from 1 shard" >&2; exit 1; }
+
+        echo "==> shard smoke: serve-loop scaling (refreshes BENCH_shard.json, >=2.5x floor)"
+        cargo build --offline --release -p vmr-bench --bin shard_scaling
+        ./target/release/shard_scaling \
+            | sed -n 's/^BENCH_shard\.json //p' > BENCH_shard.json
+        [ -s BENCH_shard.json ] || { echo "shard_scaling emitted no BENCH line" >&2; exit 1; }
+    fi
 
     if [ "${TRUST_SMOKE:-0}" = "1" ]; then
         echo "==> trust smoke: adaptive-replication ablation, 40-host legs (TRUST_SMOKE=1)"

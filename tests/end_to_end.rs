@@ -11,8 +11,8 @@ fn small(mode: MrMode, seed: u64) -> ExperimentConfig {
 
 #[test]
 fn both_modes_complete_and_order_holds() {
-    let relay = run_experiment(&small(MrMode::ServerRelay, 1));
-    let p2p = run_experiment(&small(MrMode::InterClient, 1));
+    let relay = run_experiment(&small(MrMode::ServerRelay, 1)).expect("valid experiment config");
+    let p2p = run_experiment(&small(MrMode::InterClient, 1)).expect("valid experiment config");
     assert!(relay.all_done && p2p.all_done);
     // The paper's headline: inter-client transfers make the reduce step
     // the fastest part.
@@ -28,7 +28,7 @@ fn both_modes_complete_and_order_holds() {
 
 #[test]
 fn phase_accounting_is_consistent() {
-    let out = run_experiment(&small(MrMode::InterClient, 3));
+    let out = run_experiment(&small(MrMode::InterClient, 3)).expect("valid experiment config");
     let r = &out.reports[0];
     assert!(r.map_s > 0.0 && r.reduce_s > 0.0);
     // total covers both phases plus the transition gap.
@@ -47,7 +47,7 @@ fn backoff_cap_increases_makespan() {
             .map(|s| {
                 let mut c = small(MrMode::ServerRelay, 100 + s);
                 c.backoff_max_s = cap;
-                run_experiment(&c).reports[0].total_s
+                run_experiment(&c).expect("valid experiment config").reports[0].total_s
             })
             .sum::<f64>()
             / 4.0
@@ -64,7 +64,7 @@ fn backoff_cap_increases_makespan() {
 fn report_delays_are_recorded_and_bounded_by_cap() {
     let mut c = small(MrMode::ServerRelay, 9);
     c.backoff_max_s = 300;
-    let out = run_experiment(&c);
+    let out = run_experiment(&c).expect("valid experiment config");
     assert!(out.stats.report_delay.count() > 0);
     // A report can never be delayed by more than one full backoff (plus
     // RPC scheduling slack).
@@ -77,13 +77,13 @@ fn report_delays_are_recorded_and_bounded_by_cap() {
 
 #[test]
 fn immediate_report_mitigation_cuts_delay() {
-    let base = run_experiment(&small(MrMode::InterClient, 17));
+    let base = run_experiment(&small(MrMode::InterClient, 17)).expect("valid experiment config");
     let mut c = small(MrMode::InterClient, 17);
     c.mitigation = MitigationPlan {
         immediate_report: true,
         ..Default::default()
     };
-    let fixed = run_experiment(&c);
+    let fixed = run_experiment(&c).expect("valid experiment config");
     assert!(
         fixed.stats.report_delay.mean() < base.stats.report_delay.mean(),
         "immediate reporting must cut the mean report delay: {} vs {}",
@@ -96,7 +96,7 @@ fn immediate_report_mitigation_cuts_delay() {
 fn concurrent_jobs_all_finish() {
     let mut c = small(MrMode::InterClient, 21);
     c.concurrent_jobs = 3;
-    let out = run_experiment(&c);
+    let out = run_experiment(&c).expect("valid experiment config");
     assert!(out.all_done);
     assert_eq!(out.reports.len(), 3);
     for r in &out.reports {
@@ -106,8 +106,8 @@ fn concurrent_jobs_all_finish() {
 
 #[test]
 fn experiments_are_bit_reproducible() {
-    let a = run_experiment(&small(MrMode::InterClient, 5));
-    let b = run_experiment(&small(MrMode::InterClient, 5));
+    let a = run_experiment(&small(MrMode::InterClient, 5)).expect("valid experiment config");
+    let b = run_experiment(&small(MrMode::InterClient, 5)).expect("valid experiment config");
     assert_eq!(a.reports[0].map_s, b.reports[0].map_s);
     assert_eq!(a.reports[0].reduce_s, b.reports[0].reduce_s);
     assert_eq!(a.reports[0].total_s, b.reports[0].total_s);
@@ -120,13 +120,13 @@ fn experiments_are_bit_reproducible() {
 fn faster_quadcore_mix_not_slower() {
     // §IV.A's second node type: quad-core pcr200 machines run four
     // tasks at once. Swapping half the fleet for them must not hurt.
-    let slow = run_experiment(&small(MrMode::InterClient, 30));
+    let slow = run_experiment(&small(MrMode::InterClient, 30)).expect("valid experiment config");
     let mut c = small(MrMode::InterClient, 30);
     c.nodes = NodeMix {
         pc3001: 5,
         pcr200: 5,
     };
-    let mixed = run_experiment(&c);
+    let mixed = run_experiment(&c).expect("valid experiment config");
     assert!(slow.all_done && mixed.all_done);
     assert!(
         mixed.reports[0].total_s <= slow.reports[0].total_s * 1.1,
@@ -143,13 +143,15 @@ fn assimilator_collects_every_wu_once() {
     use volunteer_mr::core::{MrJobConfig, MrPolicy};
     use volunteer_mr::netsim::HostLink;
     use volunteer_mr::vcore::{Engine, HostProfile, ProjectConfig};
-    let mut eng = Engine::testbed(out_cfg.seed, ProjectConfig::default());
-    for _ in 0..10 {
-        eng.add_client(
-            HostProfile::pc3001(),
-            HostLink::symmetric_mbit(100.0, 0.000_5),
-        );
-    }
+    let mut eng = Engine::builder(out_cfg.seed)
+        .config(ProjectConfig::default())
+        .clients((0..10).map(|_| {
+            (
+                HostProfile::pc3001(),
+                HostLink::symmetric_mbit(100.0, 0.000_5),
+            )
+        }))
+        .build();
     let mut jc = MrJobConfig::paper_wordcount(8, 3, MrMode::InterClient);
     jc.input_bytes = 128 << 20;
     let mut pol = MrPolicy::new();
@@ -176,7 +178,7 @@ fn assimilator_collects_every_wu_once() {
 fn timeline_contains_full_task_lifecycle() {
     let mut c = small(MrMode::InterClient, 7);
     c.record_timeline = true;
-    let out = run_experiment(&c);
+    let out = run_experiment(&c).expect("valid experiment config");
     let kinds: std::collections::HashSet<&str> = out
         .timeline
         .spans()

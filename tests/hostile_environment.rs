@@ -18,7 +18,7 @@ fn nat_mix_with_tiered_traversal_completes_p2p() {
     let mut c = base(2);
     c.nat_mix = Some(NatMix::internet_2011());
     c.traversal = TraversalPolicy::default();
-    let out = run_experiment(&c);
+    let out = run_experiment(&c).expect("valid experiment config");
     assert!(out.all_done);
     assert_eq!(
         out.stats.server_fallbacks, 0,
@@ -34,7 +34,7 @@ fn nat_mix_direct_only_falls_back_to_server() {
     let mut c = base(2);
     c.nat_mix = Some(NatMix::new(vec![(NatType::PortRestricted, 1.0)]));
     c.traversal = TraversalPolicy::direct_only();
-    let out = run_experiment(&c);
+    let out = run_experiment(&c).expect("valid experiment config");
     assert!(out.all_done, "fall-back must keep the job alive");
     assert!(out.stats.server_fallbacks > 0);
     assert_eq!(out.stats.traversal.successes(), 0);
@@ -47,7 +47,7 @@ fn relay_paths_carry_data_through_server() {
     let mut c = base(4);
     c.nat_mix = Some(NatMix::new(vec![(NatType::Symmetric, 1.0)]));
     c.traversal = TraversalPolicy::default();
-    let out = run_experiment(&c);
+    let out = run_experiment(&c).expect("valid experiment config");
     assert!(out.all_done);
     assert!(
         out.stats.traversal.relay > 0,
@@ -67,7 +67,7 @@ fn churn_recovers_via_timeout_and_retry() {
         ],
         ..FaultPlan::default()
     };
-    let out = run_experiment(&c);
+    let out = run_experiment(&c).expect("valid experiment config");
     assert!(out.all_done, "job must survive two dropouts");
 }
 
@@ -78,7 +78,7 @@ fn transient_peer_faults_are_retried() {
         peer_transfer_failure_prob: 0.3,
         ..FaultPlan::default()
     };
-    let out = run_experiment(&c);
+    let out = run_experiment(&c).expect("valid experiment config");
     assert!(out.all_done);
     assert!(out.stats.peer_failures > 0, "faults must actually fire");
 }
@@ -90,7 +90,7 @@ fn task_errors_trigger_reissue() {
         task_error_prob: 0.15,
         ..FaultPlan::default()
     };
-    let out = run_experiment(&c);
+    let out = run_experiment(&c).expect("valid experiment config");
     assert!(out.all_done);
     // Errors force extra grants beyond the 2×(maps+reduces) baseline.
     let baseline = 2 * (8 + 3) as u64;
@@ -116,7 +116,7 @@ fn everything_at_once() {
         dropouts: vec![(ClientId(9), SimDuration::from_secs(400))],
         ..FaultPlan::default()
     };
-    let out = run_experiment(&c);
+    let out = run_experiment(&c).expect("valid experiment config");
     assert!(
         out.all_done,
         "the full hostile scenario must still complete"

@@ -136,7 +136,7 @@ fn byzantine_rejected_in_both_worlds() {
         corruption_prob: 1.0,
         ..FaultPlan::default()
     };
-    let out = run_experiment(&sim);
+    let out = run_experiment(&sim).expect("valid experiment config");
     assert!(
         out.all_done,
         "simulated job must survive a byzantine minority"
