@@ -1,7 +1,8 @@
 //! Regenerates the paper's **Table I** (word-count makespans).
 //!
 //! Usage: `cargo run -p vmr-bench --release --bin table1 \
-//!     [--mixed] [--quick] [--durable] [--shards <n>] [--metrics <path>]`
+//!     [--mixed] [--quick] [--durable] [--shards <n>] [--metrics <path>] \
+//!     [--shuffle <baseline|legacy|swarm|coded>]`
 //!
 //! Prints, for every row, the simulated map/reduce/total times with the
 //! "slowest node discarded" derivation in brackets, next to the paper's
@@ -15,7 +16,9 @@
 //! `--shards 1` by construction (the check.sh shard smoke diffs the
 //! two). `--metrics <path>` additionally
 //! dumps every row's obs metrics snapshot to `path` as a JSON array;
-//! stdout is unchanged by it.
+//! stdout is unchanged by it. `--shuffle legacy` runs the preserved
+//! pre-extraction transfer path (the check.sh shuffle smoke diffs it
+//! against the default, strategy-driven baseline).
 
 use vmr_bench::{calibrated_sizing, row_config, run_or_exit, table1_rows};
 use vmr_core::{format_row, MrMode};
@@ -39,6 +42,20 @@ fn main() {
                 .expect("--shards takes an integer")
         })
         .unwrap_or(1);
+    let shuffle = args
+        .iter()
+        .position(|a| a == "--shuffle")
+        .map(|i| {
+            let name = args.get(i + 1).expect("--shuffle needs a strategy");
+            match name.as_str() {
+                "baseline" => vmr_core::ShuffleConfig::default(),
+                "legacy" => vmr_core::ShuffleConfig::legacy_reference(),
+                "swarm" => vmr_core::ShuffleConfig::swarm(),
+                "coded" => vmr_core::ShuffleConfig::coded(2),
+                other => panic!("unknown --shuffle strategy: {other}"),
+            }
+        })
+        .unwrap_or_default();
     let sizing = calibrated_sizing();
     println!("# Table I — word count makespan (1 GB input, replication 2, quorum 2, 100 Mbit)");
     if mixed {
@@ -82,6 +99,7 @@ fn main() {
         }
         let mut cfg = row_config(&row, sizing);
         cfg.shards = shards;
+        cfg.shuffle = shuffle.clone();
         if durable {
             cfg.durable = vmr_durable::DurabilityPlan::new(300.0);
         }

@@ -96,6 +96,9 @@ pub struct ExperimentConfig {
     /// Host reputation / adaptive replication (disabled by default —
     /// the fixed-quorum baseline the paper uses).
     pub trust: TrustConfig,
+    /// Map-output distribution strategy (Baseline = the paper's
+    /// point-to-point pull with server fall-back).
+    pub shuffle: vmr_vcore::ShuffleConfig,
     /// Server-state shards (work-unit tables, feeder, ledgers). `1` is
     /// the sequential layout; any count produces bit-identical runs.
     pub shards: usize,
@@ -171,6 +174,7 @@ impl ExperimentConfig {
             record_timeline: false,
             durable: DurabilityPlan::disabled(),
             trust: TrustConfig::default(),
+            shuffle: vmr_vcore::ShuffleConfig::default(),
             shards: 1,
         }
     }
@@ -253,6 +257,7 @@ pub(crate) fn build_testbed(cfg: &ExperimentConfig, journal: Journal) -> (Engine
         report_results_immediately: cfg.mitigation.immediate_report,
         locality_scheduling: cfg.locality_scheduling,
         trust: cfg.trust.clone(),
+        shuffle: cfg.shuffle.clone(),
         ..ProjectConfig::default()
     };
     pc.backoff_min_s = pc.backoff_min_s.min(cfg.backoff_max_s);

@@ -79,6 +79,13 @@ pub struct JobState {
     /// Index of the map task that validated last (its partitions are the
     /// only ones a prefetching reducer still needs).
     pub last_validated_map: Option<usize>,
+    /// Shuffle strategy the reduce fetch plan was derived with
+    /// (`vmr_shuffle::StrategyKind::wire_tag`). Stays 0 (baseline)
+    /// until a non-baseline plan is fixed at the map→reduce
+    /// transition and journaled as `MrShufflePlanned`.
+    pub shuffle_strategy: u8,
+    /// Coded reducer group size of the plan (1 = no grouping).
+    pub shuffle_group: u32,
 
     // ----- phase timestamps (Table I semantics) -----
     /// First map task assigned to a client ("phase execution is
@@ -125,6 +132,8 @@ impl JobState {
             maps_validated: 0,
             reduces_validated: 0,
             last_validated_map: None,
+            shuffle_strategy: 0,
+            shuffle_group: 1,
             first_map_assign: None,
             last_map_report: None,
             map_phase_validated_at: None,
@@ -243,6 +252,15 @@ impl JobTracker {
             StateChange::MrReduceValidated { job } => {
                 self.jobs[*job as usize].reduces_validated += 1;
             }
+            StateChange::MrShufflePlanned {
+                job,
+                strategy,
+                group,
+            } => {
+                let j = &mut self.jobs[*job as usize];
+                j.shuffle_strategy = *strategy;
+                j.shuffle_group = *group;
+            }
             StateChange::MrPhase { job, phase, at_us } => {
                 let j = &mut self.jobs[*job as usize];
                 j.phase = Phase::from_wire(*phase)?;
@@ -294,6 +312,8 @@ impl JobTracker {
             e.u32(j.maps_validated as u32);
             e.u32(j.reduces_validated as u32);
             e.opt_u32(j.last_validated_map.map(|m| m as u32));
+            e.u8(j.shuffle_strategy);
+            e.u32(j.shuffle_group);
             ot(&mut e, j.first_map_assign);
             ot(&mut e, j.last_map_report);
             ot(&mut e, j.map_phase_validated_at);
@@ -325,6 +345,8 @@ impl JobTracker {
             j.maps_validated = d.u32()? as usize;
             j.reduces_validated = d.u32()? as usize;
             j.last_validated_map = d.opt_u32()?.map(|m| m as usize);
+            j.shuffle_strategy = d.u8()?;
+            j.shuffle_group = d.u32()?;
             let mut ot = || -> Result<Option<SimTime>, WireError> {
                 Ok(d.opt_u64()?.map(SimTime::from_micros))
             };

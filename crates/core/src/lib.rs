@@ -37,4 +37,5 @@ pub use experiment::{
 pub use jobtracker::{JobState, JobTracker, Phase, TaskKind};
 pub use policy::MrPolicy;
 pub use recover::{resume_experiment, RecoveredServerState, RecoveryError};
+pub use vmr_shuffle::{FetchObs, ShuffleConfig, StrategyKind};
 pub use workflow::{Stage, Workflow};

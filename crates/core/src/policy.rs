@@ -18,7 +18,10 @@ use crate::config::{MrJobConfig, MrMode};
 use crate::jobtracker::{stamp, JobState, JobTracker, Phase, TaskKind};
 use vmr_desim::SimDuration;
 use vmr_durable::StateChange;
-use vmr_vcore::{ClientId, Engine, FileRef, FileSource, Policy, ResultId, WorkUnitSpec, WuId};
+use vmr_shuffle::coded_groups;
+use vmr_vcore::{
+    ClientId, Engine, FileRef, FileSource, Policy, ResultId, StrategyKind, WorkUnitSpec, WuId,
+};
 
 /// The BOINC-MR server policy.
 #[derive(Debug, Default)]
@@ -45,6 +48,12 @@ impl MrPolicy {
         let mut state = JobState::new(cfg);
         let cfg = &state.cfg;
         let chunk = cfg.chunk_bytes();
+        // Coded shuffle needs every map output on `r` hosts; the strategy
+        // raises replication/quorum when the job config alone would leave
+        // too few holders. Baseline/Swarm pass the config through.
+        let (map_repl, map_quorum) = eng
+            .shuffle_strategy()
+            .map_placement(cfg.replication, cfg.quorum);
         for m in 0..cfg.job.n_maps {
             let mut spec = WorkUnitSpec::basic(
                 format!("{}_map_{m}", cfg.job.name),
@@ -55,9 +64,9 @@ impl MrPolicy {
                 format!("{}_in_{m}", cfg.job.name),
                 chunk,
             )];
-            spec.target_nresults = cfg.replication;
-            spec.min_quorum = cfg.quorum;
-            spec.max_total_results = cfg.replication * 4;
+            spec.target_nresults = map_repl;
+            spec.min_quorum = map_quorum;
+            spec.max_total_results = map_repl * 4;
             spec.delay_bound = vmr_desim::SimDuration::from_secs_f64(cfg.delay_bound_s);
             spec.output_bytes = cfg.sizing.map_output_bytes(chunk);
             // Plain BOINC always uploads; BOINC-MR v1 keeps uploading as
@@ -98,9 +107,16 @@ impl MrPolicy {
         let n_maps = cfg.job.n_maps;
         let n_reduces = cfg.job.n_reduces;
         let total_intermediate = cfg.sizing.map_output_bytes(chunk) * n_maps as u64;
-        let mut new_wus = Vec::with_capacity(n_reduces);
+        // Fix the fetch plan before any work unit exists: the strategy
+        // decides how many bytes of each partition a reducer pulls and
+        // from which holders (Coded shares a partition across a reducer
+        // group; Baseline and Swarm pass the inputs through untouched).
+        let strat = eng.shuffle_strategy();
+        let kind = strat.kind();
+        let group = strat.coding_group(n_reduces);
+        let mut plans = Vec::with_capacity(n_reduces);
         for r in 0..n_reduces {
-            let mut inputs = Vec::with_capacity(n_maps);
+            let mut row = Vec::with_capacity(n_maps);
             for m in 0..n_maps {
                 let mut bytes = cfg.sizing.partition_bytes(chunk, n_reduces);
                 // §IV.C "intermediate data downloads": everything except
@@ -109,13 +125,24 @@ impl MrPolicy {
                 if cfg.mitigation.intermediate_downloads && job.last_validated_map != Some(m) {
                     bytes = 0;
                 }
+                let holders: Vec<u32> = job.holders[m].iter().map(|c| c.0).collect();
+                row.push(strat.plan_fetch(m, r, n_reduces, bytes, &holders));
+            }
+            plans.push(row);
+        }
+        let mut new_wus = Vec::with_capacity(n_reduces);
+        for (r, row) in plans.iter().enumerate() {
+            let mut inputs = Vec::with_capacity(n_maps);
+            for (m, plan) in row.iter().enumerate() {
                 let source = match cfg.mode {
                     MrMode::ServerRelay => FileSource::DataServer,
-                    MrMode::InterClient => FileSource::Peers(job.holders[m].clone()),
+                    MrMode::InterClient => {
+                        FileSource::Peers(plan.sources.iter().map(|&c| ClientId(c)).collect())
+                    }
                 };
                 inputs.push(FileRef {
                     name: cfg.job.partition_file(m, r),
-                    bytes,
+                    bytes: plan.bytes,
                     source,
                 });
             }
@@ -135,6 +162,23 @@ impl MrPolicy {
             spec.payload = r as u64;
             new_wus.push(eng.insert_workunit(spec));
         }
+        // Journal the plan only when it deviates from baseline so default
+        // runs keep the pre-shuffle WAL byte stream (the baseline plan is
+        // the JobState default and needs no record to replay).
+        if !matches!(kind, StrategyKind::Baseline | StrategyKind::Legacy) {
+            eng.durable().append(&StateChange::MrShufflePlanned {
+                job: job_idx as u32,
+                strategy: kind.wire_tag(),
+                group: group as u32,
+            });
+        }
+        if kind == StrategyKind::Coded {
+            // One coded send serves a whole reducer group: count the
+            // sends the plan implies (per map, per group).
+            eng.shuffle_obs()
+                .coded_sends
+                .add((n_maps * coded_groups(n_reduces, group)) as u64);
+        }
         eng.durable().append(&StateChange::MrPhase {
             job: job_idx as u32,
             phase: Phase::Reduce.to_wire(),
@@ -143,6 +187,10 @@ impl MrPolicy {
         let job = &mut self.tracker.jobs[job_idx];
         job.reduce_wus = new_wus.clone();
         job.phase = Phase::Reduce;
+        if !matches!(kind, StrategyKind::Baseline | StrategyKind::Legacy) {
+            job.shuffle_strategy = kind.wire_tag();
+            job.shuffle_group = group as u32;
+        }
         for (r, wu) in new_wus.into_iter().enumerate() {
             eng.durable().append(&StateChange::MrWuIndexed {
                 wu: wu.0,

@@ -362,6 +362,49 @@ fn trust_enabled_crash_resumes_bit_identically() {
     }
 }
 
+/// Crash-replay with an *active swarm shuffle*: chunked multi-source
+/// fetches are in flight mid-reduce, the fetch plan is journaled as
+/// `MrShufflePlanned`, and a crash in the middle of the reduce phase
+/// must still resume to a bit-identical outcome. The swarm transfer
+/// state itself is client-side and rebuilt by re-driving the run from
+/// t=0, so only the tracker-side plan needs the WAL.
+#[test]
+fn swarm_shuffle_crash_resumes_bit_identically() {
+    let mut cfg = ExperimentConfig::table1(5, 3, 2, MrMode::InterClient);
+    cfg.input_bytes = 32 << 20;
+    cfg.durable = DurabilityPlan::new(120.0);
+    cfg.shuffle = vmr_core::ShuffleConfig::swarm();
+
+    let base = run_experiment(&cfg).expect("valid experiment config");
+    assert!(base.all_done && !base.crashed);
+    assert!(
+        base.obs.snapshot().counter("shuffle.chunks_swarmed") > 0,
+        "the base run must actually swarm"
+    );
+    let full = RecoveredServerState::from_log(base.wal.as_ref().unwrap()).unwrap();
+    assert_eq!(
+        full.tracker.jobs[0].shuffle_strategy, 1,
+        "the recovered tracker must carry the swarm plan"
+    );
+
+    // Crash halfway through the reduce phase — swarm transfers are
+    // mid-fetch — and also at the record-count midpoint.
+    let reduce_mid_us =
+        base.finished_at.as_micros() - (base.reports[0].reduce_s * 500_000.0) as u64;
+    let crashes = [
+        CrashPlan::at_us(reduce_mid_us),
+        CrashPlan::after_records(full.committed_records / 2),
+    ];
+    for crash in crashes {
+        let mut crashed_cfg = cfg.clone();
+        crashed_cfg.durable = cfg.durable.clone().with_crash(crash);
+        let dead = run_experiment(&crashed_cfg).expect("valid experiment config");
+        assert!(dead.crashed, "{crash:?} never fired");
+        let resumed = resume_experiment(&crashed_cfg, dead.wal.as_ref().unwrap()).unwrap();
+        assert_bit_identical(&resumed, &base, &format!("swarm {crash:?}"));
+    }
+}
+
 /// CrashPlan × FaultIndex interaction: the crash fires on the same
 /// event the fault machinery acts on — at the exact arming instant of
 /// a client dropout, and mid-stream in a byzantine-corrupted run —

@@ -1,0 +1,125 @@
+//! Differential equivalence of the extracted Baseline shuffle strategy
+//! against the preserved pre-extraction transfer path.
+//!
+//! `StrategyKind::Legacy` runs `legacy_peer_download`, a verbatim copy
+//! of the engine's pre-extraction peer-transfer code, kept around as an
+//! executable specification. For *any* seed, geometry, transfer mode
+//! and fault plan (byzantine hosts, dropouts, flaky peer transfers),
+//! the default strategy-driven Baseline must produce a bit-identical
+//! run: the Table I row, phase-time f64 bits, engine counters, the
+//! `shuffle.*` byte counters, the simulated finish time, and the full
+//! WAL byte stream.
+//!
+//! Full experiment runs are too slow for the default 256-case budget,
+//! so this drives the property runner directly with a small budget;
+//! the runner's seed is fixed, so the sampled configurations are the
+//! same on every run.
+
+use proptest::prelude::*;
+use proptest::test_runner::{Config, TestCaseError, TestRunner};
+use vmr_core::{
+    format_row, run_experiment, ExperimentConfig, ExperimentOutcome, MrMode, ShuffleConfig,
+};
+use vmr_desim::SimDuration;
+use vmr_durable::DurabilityPlan;
+use vmr_vcore::{ClientId, FaultPlan};
+
+/// Everything an outcome can disagree on, in comparable form.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    row: String,
+    map_bits: u64,
+    reduce_bits: u64,
+    total_bits: u64,
+    rpcs: u64,
+    empty_replies: u64,
+    grants: u64,
+    reports: u64,
+    peer_failures: u64,
+    server_fallbacks: u64,
+    bytes_p2p: u64,
+    bytes_server_fallback: u64,
+    finished_at: vmr_desim::SimTime,
+    all_done: bool,
+    wal: Vec<u8>,
+}
+
+fn fingerprint(out: &ExperimentOutcome, nodes: usize) -> Fingerprint {
+    let r = &out.reports[0];
+    let snap = out.obs.snapshot();
+    Fingerprint {
+        row: format_row(nodes, 3, 2, r),
+        map_bits: r.map_s.to_bits(),
+        reduce_bits: r.reduce_s.to_bits(),
+        total_bits: r.total_s.to_bits(),
+        rpcs: out.stats.rpcs,
+        empty_replies: out.stats.empty_replies,
+        grants: out.stats.grants,
+        reports: out.stats.reports,
+        peer_failures: out.stats.peer_failures,
+        server_fallbacks: out.stats.server_fallbacks,
+        bytes_p2p: snap.counter("shuffle.bytes_p2p"),
+        bytes_server_fallback: snap.counter("shuffle.bytes_server_fallback"),
+        finished_at: out.finished_at,
+        all_done: out.all_done,
+        wal: out.wal.clone().expect("durable run must carry a WAL"),
+    }
+}
+
+#[test]
+fn baseline_strategy_is_bit_identical_to_legacy_path() {
+    let mut runner = TestRunner::new(Config { cases: 6 });
+    let strat = (
+        any::<u64>(),  // experiment seed
+        4usize..7,     // volunteer nodes
+        any::<bool>(), // inter-client vs server relay
+        any::<bool>(), // inject byzantine + dropout + flaky transfers
+        60u64..900,    // dropout arming time
+    );
+    runner
+        .run(&strat, |(seed, nodes, interclient, faulty, dropout_s)| {
+            let mode = if interclient {
+                MrMode::InterClient
+            } else {
+                MrMode::ServerRelay
+            };
+            let mut cfg = ExperimentConfig::table1(nodes, 3, 2, mode);
+            cfg.seed = seed;
+            cfg.input_bytes = 8 << 20;
+            // Journal every run so the WAL byte streams are compared too.
+            cfg.durable = DurabilityPlan::new(120.0);
+            if faulty {
+                cfg.fault = FaultPlan {
+                    byzantine: vec![ClientId((seed % nodes as u64) as u32)],
+                    corruption_prob: 1.0,
+                    // Flaky transfers exercise retry + server fallback.
+                    peer_transfer_failure_prob: 0.3,
+                    dropouts: vec![(
+                        ClientId(((seed >> 8) % nodes as u64) as u32),
+                        SimDuration::from_secs(dropout_s),
+                    )],
+                    ..FaultPlan::none()
+                };
+            }
+            let base = fingerprint(&run_experiment(&cfg).expect("valid config"), nodes);
+            let mut legacy_cfg = cfg.clone();
+            legacy_cfg.shuffle = ShuffleConfig::legacy_reference();
+            let got = fingerprint(&run_experiment(&legacy_cfg).expect("valid config"), nodes);
+            if got != base {
+                return Err(TestCaseError::fail(format!(
+                    "baseline diverged from the legacy transfer path: \
+                     wal {} vs {} bytes, rpcs {} vs {}, p2p {} vs {}, row {:?} vs {:?}",
+                    base.wal.len(),
+                    got.wal.len(),
+                    base.rpcs,
+                    got.rpcs,
+                    base.bytes_p2p,
+                    got.bytes_p2p,
+                    base.row,
+                    got.row,
+                )));
+            }
+            Ok(())
+        })
+        .unwrap_or_else(|e| panic!("{e}"));
+}

@@ -1,0 +1,93 @@
+//! Shuffle strategy behaviour over full experiment runs: the
+//! `shuffle.*` counter semantics per strategy, the coded byte saving,
+//! and coded map placement.
+
+use vmr_core::{run_experiment, ExperimentConfig, MrJobConfig, MrMode, MrPolicy, ShuffleConfig};
+use vmr_netsim::HostLink;
+use vmr_vcore::{Engine, HostProfile, ProjectConfig};
+
+fn base_cfg() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::table1(6, 4, 2, MrMode::InterClient);
+    cfg.input_bytes = 16 << 20;
+    cfg
+}
+
+/// (bytes_p2p, bytes_server_fallback, chunks_swarmed, coded_sends, all_done)
+fn counters(cfg: &ExperimentConfig) -> (u64, u64, u64, u64, bool) {
+    let out = run_experiment(cfg).expect("valid config");
+    let snap = out.obs.snapshot();
+    (
+        snap.counter("shuffle.bytes_p2p"),
+        snap.counter("shuffle.bytes_server_fallback"),
+        snap.counter("shuffle.chunks_swarmed"),
+        snap.counter("shuffle.coded_sends"),
+        out.all_done,
+    )
+}
+
+#[test]
+fn baseline_counts_p2p_bytes_only() {
+    let (p2p, _fallback, swarmed, coded, done) = counters(&base_cfg());
+    assert!(done);
+    assert!(p2p > 0, "inter-client shuffle must move peer bytes");
+    assert_eq!(swarmed, 0, "baseline never chunks");
+    assert_eq!(coded, 0, "baseline never codes");
+}
+
+#[test]
+fn swarm_counts_chunks_and_completes() {
+    let mut cfg = base_cfg();
+    cfg.shuffle = ShuffleConfig::swarm();
+    let (p2p, _fallback, swarmed, coded, done) = counters(&cfg);
+    assert!(done);
+    assert!(p2p > 0, "swarm still moves peer bytes");
+    assert!(swarmed > 0, "swarm fetches must be chunked");
+    assert_eq!(coded, 0);
+}
+
+#[test]
+fn coded_counts_sends_and_cuts_peer_bytes() {
+    let base = counters(&base_cfg());
+    assert!(base.4);
+    let mut cfg = base_cfg();
+    cfg.shuffle = ShuffleConfig::coded(2);
+    let (p2p, _fallback, swarmed, coded, done) = counters(&cfg);
+    assert!(done);
+    assert!(coded > 0, "the coded plan must record its sends");
+    assert_eq!(swarmed, 0, "coded transfers are whole-file, not chunked");
+    // r=2 on quorum-2 output: every reducer group of 2 splits each
+    // partition, so peer traffic should drop by roughly half — assert
+    // the ≥25% floor the ablation promises.
+    assert!(
+        (p2p as f64) < base.0 as f64 * 0.75,
+        "coded should cut peer bytes ≥25%: coded={p2p} baseline={}",
+        base.0
+    );
+}
+
+#[test]
+fn coded_redundancy_raises_map_placement() {
+    let pc = ProjectConfig {
+        shuffle: ShuffleConfig::coded(3),
+        ..ProjectConfig::default()
+    };
+    let mut eng = Engine::builder(1)
+        .config(pc)
+        .clients((0..8).map(|_| {
+            (
+                HostProfile::pc3001(),
+                HostLink::symmetric_mbit(100.0, 0.000_5),
+            )
+        }))
+        .build();
+    let mut pol = MrPolicy::new();
+    let mut jc = MrJobConfig::paper_wordcount(3, 2, MrMode::InterClient);
+    jc.input_bytes = 6_000_000;
+    let ji = pol.submit_job(&mut eng, jc);
+    // r=3 needs each map output validated on 3 hosts: the strategy
+    // raises the map replication/quorum above the job's configured 2.
+    let wu = pol.tracker.jobs[ji].map_wus[0];
+    let spec = &eng.db.wu(wu).spec;
+    assert_eq!(spec.target_nresults, 3);
+    assert_eq!(spec.min_quorum, 3);
+}

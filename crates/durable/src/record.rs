@@ -213,6 +213,20 @@ pub enum StateChange {
         /// `spot_check_rate` bits.
         spot_bits: u64,
     },
+    /// The shuffle plan of a job was fixed at the map→reduce
+    /// transition (`MrPolicy::create_reduce_wus`): which strategy
+    /// distributes the map outputs and, for coded placement, the
+    /// reducer group size the fetch shares were derived from. Only
+    /// appended for non-baseline strategies, so default-configured runs
+    /// keep their pre-shuffle WAL byte stream.
+    MrShufflePlanned {
+        /// Job index.
+        job: u32,
+        /// `vmr_shuffle::StrategyKind::wire_tag()`.
+        strategy: u8,
+        /// Coded reducer group size (1 = no grouping).
+        group: u32,
+    },
 }
 
 // Variant tags on the wire. Append-only: never renumber.
@@ -237,6 +251,7 @@ const T_TRUST_SPOT_CHECK: u8 = 17;
 const T_WU_QUORUM_OVERRIDE: u8 = 18;
 const T_CREDIT_GRANTED_SCALED: u8 = 19;
 const T_TRUST_CONFIGURED: u8 = 20;
+const T_MR_SHUFFLE_PLANNED: u8 = 21;
 
 impl StateChange {
     /// The canonical state section this change mutates (see
@@ -262,7 +277,8 @@ impl StateChange {
             | StateChange::MrMapValidated { .. }
             | StateChange::MrReduceValidated { .. }
             | StateChange::MrPhase { .. }
-            | StateChange::MrStamp { .. } => section::TRACKER,
+            | StateChange::MrStamp { .. }
+            | StateChange::MrShufflePlanned { .. } => section::TRACKER,
             StateChange::TrustObserved { .. }
             | StateChange::TrustSpotCheck { .. }
             | StateChange::TrustConfigured { .. } => section::TRUST,
@@ -435,6 +451,16 @@ impl StateChange {
                 e.u64(*probation);
                 e.u64(*spot_bits);
             }
+            StateChange::MrShufflePlanned {
+                job,
+                strategy,
+                group,
+            } => {
+                e.u8(T_MR_SHUFFLE_PLANNED);
+                e.u32(*job);
+                e.u8(*strategy);
+                e.u32(*group);
+            }
         }
     }
 
@@ -542,6 +568,11 @@ impl StateChange {
                 probation: d.u64()?,
                 spot_bits: d.u64()?,
             },
+            T_MR_SHUFFLE_PLANNED => StateChange::MrShufflePlanned {
+                job: d.u32()?,
+                strategy: d.u8()?,
+                group: d.u32()?,
+            },
             t => return Err(WireError::BadTag(t)),
         })
     }
@@ -640,6 +671,11 @@ mod tests {
                 probation: 3,
                 spot_bits: 0.05f64.to_bits(),
             },
+            StateChange::MrShufflePlanned {
+                job: 0,
+                strategy: 2,
+                group: 2,
+            },
         ]
     }
 
@@ -663,7 +699,7 @@ mod tests {
         assert_eq!(counts[section::DB], 8);
         assert_eq!(counts[section::CREDIT], 3);
         assert_eq!(counts[section::ASSIM], 1);
-        assert_eq!(counts[section::TRACKER], 6);
+        assert_eq!(counts[section::TRACKER], 7);
         assert_eq!(counts[section::TRUST], 3);
     }
 

@@ -144,6 +144,11 @@ pub struct ProjectConfig {
     /// fixed-quorum baseline.
     #[serde(default)]
     pub trust: vmr_trust::TrustConfig,
+    /// Map-output distribution strategy (`vmr-shuffle`). The default
+    /// `Baseline` strategy is bit-identical to the pre-strategy
+    /// transfer path (enforced by differential proptest).
+    #[serde(default)]
+    pub shuffle: vmr_shuffle::ShuffleConfig,
 }
 
 impl Default for ProjectConfig {
@@ -168,6 +173,7 @@ impl Default for ProjectConfig {
             net: NetConfig::default(),
             shard: ShardConfig::default(),
             trust: vmr_trust::TrustConfig::default(),
+            shuffle: vmr_shuffle::ShuffleConfig::default(),
         }
     }
 }

@@ -28,7 +28,14 @@ use vmr_netsim::{
     TraversalPolicy, TraversalStats,
 };
 use vmr_obs::EventKind;
+use vmr_shuffle::{
+    FetchObs, ShuffleStrategy, StrategyKind, SwarmIndex, SwarmSource, SwarmTransfer,
+};
 use vmr_trust::{Outcome as TrustOutcome, ReplicationDecision, ReplicationPolicy, TrustLedger};
+
+/// Sentinel "source id" for swarm chunks seeded by the data server
+/// (the server is not a client, so it has no `ClientId`).
+const SERVER_SEED: u32 = u32::MAX;
 
 /// Events driving the middleware simulation.
 #[derive(Debug)]
@@ -63,6 +70,14 @@ enum FlowPurpose {
         rid: ResultId,
         input_idx: usize,
         from_peer: Option<ClientId>,
+        /// Swarm chunk index; `None` = whole-file flow.
+        chunk: Option<u32>,
+        /// Server flow taken after peer attempts failed (shuffle
+        /// fallback, as opposed to a regular data-server input).
+        fallback: bool,
+        /// Source is a sibling seed (a reducer re-serving a completed
+        /// chunk), not a validated holder.
+        sibling: bool,
     },
     OutputUpload {
         client: ClientId,
@@ -246,6 +261,17 @@ pub struct Engine {
     /// Write-ahead log handle (disabled unless `attach_durable` ran).
     durable: Journal,
     eobs: EngineObs,
+    /// Shuffle strategy object built from `cfg.shuffle` — owns the
+    /// *decisions* of the transfer path (source pick, chunking, coded
+    /// planning); all mechanics stay in this file so the Baseline
+    /// strategy is bit-identical to the pre-strategy path.
+    shuffle: Box<dyn ShuffleStrategy + Send + Sync>,
+    /// Per-chunk sibling seeds of swarmed files.
+    swarm_index: SwarmIndex,
+    /// In-progress swarmed transfers, keyed (client, result, input).
+    swarm: HashMap<(u32, u32, u32), SwarmTransfer>,
+    /// Pre-resolved `shuffle.*` counters.
+    fobs: FetchObs,
 }
 
 /// Pre-resolved metric handles for the scheduler hot paths. These
@@ -341,6 +367,8 @@ impl Engine {
         let policy = cfg.scale_policy();
         let n_shards = cfg.shard.n.max(1);
         let pool = crate::shard::WorkerPool::from_config(&cfg.shard);
+        let shuffle = cfg.shuffle.build();
+        let fobs = FetchObs::attach(&obs);
         let mut eng = Engine {
             sim,
             net: AggregateNetwork::with_policy(topo, &obs, policy),
@@ -367,6 +395,10 @@ impl Engine {
             fidx: FaultIndex::default(),
             durable: Journal::disabled(),
             eobs,
+            shuffle,
+            swarm_index: SwarmIndex::default(),
+            swarm: HashMap::new(),
+            fobs,
         };
         eng.sim.schedule_at(SimTime::ZERO, Ev::DaemonTick);
         eng
@@ -491,9 +523,12 @@ impl Engine {
             .insert(name.into(), ServedFile { bytes, until });
     }
 
-    /// Stops serving `name` from `client` (job finished).
+    /// Stops serving `name` from `client` (job finished). Sibling
+    /// seeds of the file are dropped with it: once the job stops
+    /// serving a map output, nobody swarms its chunks any more.
     pub fn unregister_served_file(&mut self, client: ClientId, name: &str) {
         self.clients[client.0 as usize].served.remove(name);
+        self.swarm_index.drop_file(name);
     }
 
     /// Extends/reset the serving window of a file ("the map outputs'
@@ -530,6 +565,18 @@ impl Engine {
     /// The engine's WAL handle (disabled unless `attach_durable` ran).
     pub fn durable(&self) -> &Journal {
         &self.durable
+    }
+
+    /// The shuffle strategy in effect — policies consult it for map
+    /// placement and reduce-input fetch planning.
+    pub fn shuffle_strategy(&self) -> &(dyn ShuffleStrategy + Send + Sync) {
+        self.shuffle.as_ref()
+    }
+
+    /// Pre-resolved `shuffle.*` counters (policies account planned
+    /// coded sends here; the engine accounts transfer bytes).
+    pub fn shuffle_obs(&self) -> &FetchObs {
+        &self.fobs
     }
 
     /// Canonical snapshot sections of the vcore-owned server state,
@@ -1233,15 +1280,31 @@ impl Engine {
                         rid,
                         input_idx: idx,
                         from_peer: None,
+                        chunk: None,
+                        fallback: false,
+                        sibling: false,
                     },
                 );
             }
-            FileSource::Peers(peers) => {
-                self.start_peer_download(cid, rid, idx, &file.name, file.bytes, peers.clone());
-            }
+            FileSource::Peers(peers) => match self.shuffle.kind() {
+                StrategyKind::Legacy => {
+                    self.legacy_peer_download(cid, rid, idx, &file.name, file.bytes, peers.clone());
+                }
+                StrategyKind::Swarm => {
+                    self.swarm_pump(cid, rid, idx, &file.name, file.bytes, peers.clone());
+                }
+                StrategyKind::Baseline | StrategyKind::Coded => {
+                    self.start_peer_download(cid, rid, idx, &file.name, file.bytes, peers.clone());
+                }
+            },
         }
     }
 
+    /// Whole-file pull from one source per attempt, the source chosen
+    /// by the shuffle strategy ([`vmr_shuffle::Baseline`] reproduces
+    /// the legacy rotation; Coded follows its planned order). All
+    /// mechanics — fallback budget, local read, serving caps, fault
+    /// and NAT draws — are the legacy path's, in the legacy order.
     fn start_peer_download(
         &mut self,
         cid: ClientId,
@@ -1283,6 +1346,9 @@ impl Engine {
                     rid,
                     input_idx: idx,
                     from_peer: None,
+                    chunk: None,
+                    fallback: true,
+                    sibling: false,
                 },
             );
             return;
@@ -1306,6 +1372,202 @@ impl Engine {
                     rid,
                     input_idx: idx,
                     from_peer: Some(cid),
+                    chunk: None,
+                    fallback: false,
+                    sibling: false,
+                },
+            );
+            self.clients[cid.0 as usize].serving_now += 1;
+            return;
+        }
+
+        // The strategy picks the source for this attempt.
+        let peer = peers[self.shuffle.pick_source(peers.len(), attempts, cid.0)];
+        let bump_and_retry = |eng: &mut Engine, delay: f64| {
+            if let Some(t) = eng.clients[cid.0 as usize].tasks.get_mut(&rid) {
+                t.attempts[idx] += 1;
+            }
+            eng.sim.schedule_in(
+                SimDuration::from_secs_f64(delay),
+                Ev::PeerRetry(cid, rid, idx),
+            );
+        };
+
+        // Peer alive and still serving the file?
+        let (peer_ok, window_expired) = {
+            let p = &self.clients[peer.0 as usize];
+            let window = p.served.get(name).map(|f| f.until);
+            let ok = !p.dropped
+                && window
+                    .map(|until| until.map(|u| now <= u).unwrap_or(true))
+                    .unwrap_or(false);
+            let expired = !p.dropped
+                && window
+                    .map(|until| until.map(|u| now > u).unwrap_or(false))
+                    .unwrap_or(false);
+            (ok, expired)
+        };
+        if !peer_ok {
+            self.stats.peer_failures += 1;
+            self.eobs.peer_failures.inc();
+            if window_expired {
+                self.obs
+                    .journal
+                    .record_with(now.as_micros(), || EventKind::ServingExpiry {
+                        client: peer.0,
+                        file: name.to_string(),
+                    });
+            }
+            bump_and_retry(self, self.cfg.peer_retry_delay_s);
+            return;
+        }
+        // Serving-connection threshold on the mapper side.
+        if self.clients[peer.0 as usize].serving_now >= self.cfg.max_serving_connections {
+            self.stats.busy_deferrals += 1;
+            self.eobs.busy_deferrals.inc();
+            // Busy is not a failure — retry without consuming budget.
+            self.sim.schedule_in(
+                SimDuration::from_secs_f64(self.cfg.serving_busy_retry_s),
+                Ev::PeerRetry(cid, rid, idx),
+            );
+            return;
+        }
+        // Transient transfer fault?
+        let fails = {
+            let c = &mut self.clients[cid.0 as usize];
+            self.fault.peer_attempt_fails(&mut c.rng)
+        };
+        if fails {
+            self.stats.peer_failures += 1;
+            self.eobs.peer_failures.inc();
+            bump_and_retry(self, self.cfg.peer_retry_delay_s);
+            return;
+        }
+        // NAT traversal.
+        let (req_nat, srv_nat) = (
+            self.clients[cid.0 as usize].profile.nat,
+            self.clients[peer.0 as usize].profile.nat,
+        );
+        let outcome = {
+            let c = &mut self.clients[cid.0 as usize];
+            connect(req_nat, srv_nat, &self.traversal, &mut c.rng)
+        };
+        self.stats.traversal.record(outcome);
+        let outcome = match outcome {
+            Some(o) => o,
+            None => {
+                self.stats.peer_failures += 1;
+                self.eobs.peer_failures.inc();
+                bump_and_retry(self, self.cfg.peer_retry_delay_s);
+                return;
+            }
+        };
+        let via = if outcome.path == Path::Relay {
+            vec![self.pick_relay_host(cid)]
+        } else {
+            vec![]
+        };
+        let spec = FlowSpec {
+            src: self.clients[peer.0 as usize].host,
+            dst: self.clients[cid.0 as usize].host,
+            via,
+            bytes,
+            setup_s: outcome.setup_s,
+            priority: Priority::Foreground,
+            rate_cap: None,
+        };
+        let fid = self.net.start_flow(now, spec);
+        self.clients[peer.0 as usize].serving_now += 1;
+        self.flows.insert(
+            fid,
+            FlowPurpose::InputDownload {
+                client: cid,
+                rid,
+                input_idx: idx,
+                from_peer: Some(peer),
+                chunk: None,
+                fallback: false,
+                sibling: false,
+            },
+        );
+    }
+
+    /// The pre-strategy transfer path, preserved verbatim as an
+    /// executable spec: differential tests (and the `SHUFFLE_SMOKE`
+    /// byte-diff) run it via [`StrategyKind::Legacy`] to prove the
+    /// strategy-driven path above is bit-identical under the default
+    /// `Baseline` strategy. Do not "improve" this function — its value
+    /// is being exactly the code the Baseline extraction started from.
+    fn legacy_peer_download(
+        &mut self,
+        cid: ClientId,
+        rid: ResultId,
+        idx: usize,
+        name: &str,
+        bytes: u64,
+        peers: Vec<ClientId>,
+    ) {
+        let now = self.sim.now();
+        let attempts = self.clients[cid.0 as usize].tasks[&rid].attempts[idx];
+
+        // Fall back to the data server after the retry budget
+        // ("after n failed attempts, the user resorts to downloading the
+        // file from the server").
+        if peers.is_empty() || attempts >= self.cfg.peer_retry_limit {
+            self.stats.server_fallbacks += 1;
+            self.eobs.server_fallbacks.inc();
+            self.obs
+                .journal
+                .record_with(now.as_micros(), || EventKind::PeerFallback {
+                    client: cid.0,
+                    file: name.to_string(),
+                });
+            let spec = FlowSpec {
+                src: self.server_host,
+                dst: self.clients[cid.0 as usize].host,
+                via: vec![],
+                bytes,
+                setup_s: self.cfg.rpc_overhead_s,
+                priority: Priority::Foreground,
+                rate_cap: None,
+            };
+            let fid = self.net.start_flow(now, spec);
+            self.flows.insert(
+                fid,
+                FlowPurpose::InputDownload {
+                    client: cid,
+                    rid,
+                    input_idx: idx,
+                    from_peer: None,
+                    chunk: None,
+                    fallback: true,
+                    sibling: false,
+                },
+            );
+            return;
+        }
+
+        // A reducer that is itself a holder of the file reads it from
+        // local disk — no transfer at all.
+        if peers.contains(&cid)
+            && self.clients[cid.0 as usize]
+                .served
+                .get(name)
+                .map(|f| f.until.map(|u| now <= u).unwrap_or(true))
+                .unwrap_or(false)
+        {
+            let host = self.clients[cid.0 as usize].host;
+            let fid = self.net.start_flow(now, FlowSpec::simple(host, host, 0));
+            self.flows.insert(
+                fid,
+                FlowPurpose::InputDownload {
+                    client: cid,
+                    rid,
+                    input_idx: idx,
+                    from_peer: Some(cid),
+                    chunk: None,
+                    fallback: false,
+                    sibling: false,
                 },
             );
             self.clients[cid.0 as usize].serving_now += 1;
@@ -1416,8 +1678,256 @@ impl Engine {
                 rid,
                 input_idx: idx,
                 from_peer: Some(peer),
+                chunk: None,
+                fallback: false,
+                sibling: false,
             },
         );
+    }
+
+    /// Swarm transfer driver: splits the input into fixed-size chunks
+    /// and keeps up to `shuffle.max_parallel_chunks` chunk flows in
+    /// flight, rarest-first, pulling from sibling seeds (reducers that
+    /// already completed a chunk) and validated holders under
+    /// per-source concurrency caps. A chunk whose retry budget is
+    /// exhausted is seeded by the server — the seeder of last resort.
+    /// Re-entered on every chunk completion and `PeerRetry` event.
+    fn swarm_pump(
+        &mut self,
+        cid: ClientId,
+        rid: ResultId,
+        idx: usize,
+        name: &str,
+        bytes: u64,
+        peers: Vec<ClientId>,
+    ) {
+        let now = self.sim.now();
+        let key = (cid.0, rid.0, idx as u32);
+        {
+            let t = &self.clients[cid.0 as usize].tasks[&rid];
+            if t.state != TaskState::Downloading {
+                return; // stale retry after the task became ready
+            }
+        }
+        if !self.swarm.contains_key(&key) {
+            let plan = self
+                .shuffle
+                .chunking(bytes)
+                .unwrap_or_else(|| vmr_shuffle::ChunkPlan::new(bytes, bytes.max(1)));
+            let holders: Vec<u32> = peers.iter().map(|p| p.0).collect();
+            self.swarm
+                .insert(key, SwarmTransfer::new(name.to_string(), holders, plan));
+        }
+        let max_parallel = self.cfg.shuffle.max_parallel_chunks;
+        let per_source_cap = self.cfg.shuffle.per_source_chunks;
+        let retry_limit = self.cfg.shuffle.chunk_retry_limit;
+        loop {
+            // Rarest-first pick of the next chunk under the global cap.
+            let (chunk, chunk_len, attempts, sources) = {
+                let t = &self.swarm[&key];
+                if t.remaining() == 0 || t.inflight() >= max_parallel {
+                    return;
+                }
+                let Some(c) = t.choose_chunk(&self.swarm_index) else {
+                    return; // every remaining chunk is already in flight
+                };
+                (
+                    c,
+                    t.plan.chunk_len(c),
+                    t.attempts(c),
+                    t.sources_for(c, &self.swarm_index, cid.0),
+                )
+            };
+
+            // Retry budget exhausted (or nobody holds the file): the
+            // server seeds this chunk.
+            if sources.is_empty() || attempts >= retry_limit {
+                self.stats.server_fallbacks += 1;
+                self.eobs.server_fallbacks.inc();
+                self.obs
+                    .journal
+                    .record_with(now.as_micros(), || EventKind::PeerFallback {
+                        client: cid.0,
+                        file: name.to_string(),
+                    });
+                let spec = FlowSpec {
+                    src: self.server_host,
+                    dst: self.clients[cid.0 as usize].host,
+                    via: vec![],
+                    bytes: chunk_len,
+                    setup_s: self.cfg.rpc_overhead_s,
+                    priority: Priority::Foreground,
+                    rate_cap: None,
+                };
+                let fid = self.net.start_flow(now, spec);
+                self.flows.insert(
+                    fid,
+                    FlowPurpose::InputDownload {
+                        client: cid,
+                        rid,
+                        input_idx: idx,
+                        from_peer: None,
+                        chunk: Some(chunk),
+                        fallback: true,
+                        sibling: false,
+                    },
+                );
+                self.swarm.get_mut(&key).unwrap().start(chunk, SERVER_SEED);
+                continue;
+            }
+
+            // Walk the candidates in preference order (siblings first);
+            // remember whether anyone was merely busy — busy sources
+            // defer for free, dead/expired ones consume retry budget.
+            let mut pick: Option<SwarmSource> = None;
+            let mut any_busy = false;
+            for s in sources {
+                let scid = s.cid();
+                if scid == cid.0 {
+                    // Self-holder: local read while the window is live.
+                    let live = self.clients[cid.0 as usize]
+                        .served
+                        .get(name)
+                        .map(|f| f.until.map(|u| now <= u).unwrap_or(true))
+                        .unwrap_or(false);
+                    if live {
+                        pick = Some(s);
+                        break;
+                    }
+                    continue;
+                }
+                let p = &self.clients[scid as usize];
+                if p.dropped {
+                    continue;
+                }
+                // Holders must be inside their serving window; sibling
+                // seeds keep chunks for the life of the job.
+                if matches!(s, SwarmSource::Holder(_)) {
+                    let live = p
+                        .served
+                        .get(name)
+                        .map(|f| f.until.map(|u| now <= u).unwrap_or(true))
+                        .unwrap_or(false);
+                    if !live {
+                        continue;
+                    }
+                }
+                if p.serving_now >= self.cfg.max_serving_connections
+                    || !self.swarm[&key].source_has_room(scid, per_source_cap)
+                {
+                    any_busy = true;
+                    continue;
+                }
+                pick = Some(s);
+                break;
+            }
+
+            let Some(src) = pick else {
+                if any_busy {
+                    self.stats.busy_deferrals += 1;
+                    self.eobs.busy_deferrals.inc();
+                    self.sim.schedule_in(
+                        SimDuration::from_secs_f64(self.cfg.serving_busy_retry_s),
+                        Ev::PeerRetry(cid, rid, idx),
+                    );
+                } else {
+                    self.stats.peer_failures += 1;
+                    self.eobs.peer_failures.inc();
+                    self.swarm.get_mut(&key).unwrap().bump_attempt(chunk);
+                    self.sim.schedule_in(
+                        SimDuration::from_secs_f64(self.cfg.peer_retry_delay_s),
+                        Ev::PeerRetry(cid, rid, idx),
+                    );
+                }
+                return;
+            };
+
+            let scid = src.cid();
+            // Self-holder local read: a zero-byte loopback flow.
+            if scid == cid.0 {
+                let host = self.clients[cid.0 as usize].host;
+                let fid = self.net.start_flow(now, FlowSpec::simple(host, host, 0));
+                self.flows.insert(
+                    fid,
+                    FlowPurpose::InputDownload {
+                        client: cid,
+                        rid,
+                        input_idx: idx,
+                        from_peer: Some(cid),
+                        chunk: Some(chunk),
+                        fallback: false,
+                        sibling: false,
+                    },
+                );
+                self.clients[cid.0 as usize].serving_now += 1;
+                self.swarm.get_mut(&key).unwrap().start(chunk, scid);
+                continue;
+            }
+            // Transient transfer fault?
+            let fails = {
+                let c = &mut self.clients[cid.0 as usize];
+                self.fault.peer_attempt_fails(&mut c.rng)
+            };
+            if fails {
+                self.stats.peer_failures += 1;
+                self.eobs.peer_failures.inc();
+                self.swarm.get_mut(&key).unwrap().bump_attempt(chunk);
+                self.sim.schedule_in(
+                    SimDuration::from_secs_f64(self.cfg.peer_retry_delay_s),
+                    Ev::PeerRetry(cid, rid, idx),
+                );
+                return;
+            }
+            // NAT traversal.
+            let (req_nat, srv_nat) = (
+                self.clients[cid.0 as usize].profile.nat,
+                self.clients[scid as usize].profile.nat,
+            );
+            let outcome = {
+                let c = &mut self.clients[cid.0 as usize];
+                connect(req_nat, srv_nat, &self.traversal, &mut c.rng)
+            };
+            self.stats.traversal.record(outcome);
+            let Some(outcome) = outcome else {
+                self.stats.peer_failures += 1;
+                self.eobs.peer_failures.inc();
+                self.swarm.get_mut(&key).unwrap().bump_attempt(chunk);
+                self.sim.schedule_in(
+                    SimDuration::from_secs_f64(self.cfg.peer_retry_delay_s),
+                    Ev::PeerRetry(cid, rid, idx),
+                );
+                return;
+            };
+            let via = if outcome.path == Path::Relay {
+                vec![self.pick_relay_host(cid)]
+            } else {
+                vec![]
+            };
+            let spec = FlowSpec {
+                src: self.clients[scid as usize].host,
+                dst: self.clients[cid.0 as usize].host,
+                via,
+                bytes: chunk_len,
+                setup_s: outcome.setup_s,
+                priority: Priority::Foreground,
+                rate_cap: None,
+            };
+            let fid = self.net.start_flow(now, spec);
+            self.clients[scid as usize].serving_now += 1;
+            self.flows.insert(
+                fid,
+                FlowPurpose::InputDownload {
+                    client: cid,
+                    rid,
+                    input_idx: idx,
+                    from_peer: Some(ClientId(scid)),
+                    chunk: Some(chunk),
+                    fallback: false,
+                    sibling: matches!(src, SwarmSource::Sibling(_)),
+                },
+            );
+            self.swarm.get_mut(&key).unwrap().start(chunk, scid);
+        }
     }
 
     /// Chooses the relay host for a NAT-relayed transfer.
@@ -1454,8 +1964,11 @@ impl Engine {
                 FlowPurpose::InputDownload {
                     client,
                     rid,
-                    input_idx: _,
+                    input_idx,
                     from_peer,
+                    chunk,
+                    fallback,
+                    sibling,
                 } => {
                     if let Some(peer) = from_peer {
                         let p = &mut self.clients[peer.0 as usize];
@@ -1463,11 +1976,41 @@ impl Engine {
                     } else {
                         self.stats.bytes_via_server += comp.spec.bytes as f64;
                     }
-                    let name = self.client_name(client);
-                    let c = &mut self.clients[client.0 as usize];
-                    if c.dropped {
+                    // Shuffle byte accounting (obs only): peer-sourced
+                    // transfers and post-failure server fallbacks.
+                    if fallback {
+                        self.fobs.bytes_server_fallback.add(comp.spec.bytes);
+                    } else if from_peer.is_some() {
+                        self.fobs.bytes_p2p.add(comp.spec.bytes);
+                        // Every peer-sourced chunk counts as swarmed —
+                        // sibling seeds and validated holders alike.
+                        debug_assert!(!sibling || chunk.is_some());
+                        if chunk.is_some() {
+                            self.fobs.chunks_swarmed.inc();
+                        }
+                    }
+                    if self.clients[client.0 as usize].dropped {
                         continue;
                     }
+                    // A swarm chunk: update the transfer state machine;
+                    // the input is pending until its last chunk lands.
+                    if let Some(k) = chunk {
+                        let key = (client.0, rid.0, input_idx as u32);
+                        let Some(t) = self.swarm.get_mut(&key) else {
+                            continue; // task gone (deadline hit, etc.)
+                        };
+                        let src = from_peer.map(|p| p.0).unwrap_or(SERVER_SEED);
+                        let done_all = t.complete(k, Some(src));
+                        let (fname, n_chunks) = (t.name.clone(), t.plan.n_chunks);
+                        // The downloader now seeds this chunk.
+                        self.swarm_index.add_seed(&fname, k, n_chunks, client.0);
+                        if !done_all {
+                            self.start_input_download(client, rid, input_idx);
+                            continue;
+                        }
+                    }
+                    let name = self.client_name(client);
+                    let c = &mut self.clients[client.0 as usize];
                     let mut became_ready = None;
                     if let Some(t) = c.tasks.get_mut(&rid) {
                         t.downloads_pending = t.downloads_pending.saturating_sub(1);
@@ -1478,6 +2021,9 @@ impl Engine {
                         }
                     }
                     if let Some(assigned_at) = became_ready {
+                        // All inputs are in: swarm bookkeeping for this
+                        // task is finished.
+                        self.swarm.retain(|k, _| !(k.0 == client.0 && k.1 == rid.0));
                         self.obs.journal.span(
                             name,
                             "download",
@@ -1669,6 +2215,7 @@ impl Engine {
                 cl.tasks.remove(&rid);
                 cl.run_queue.retain(|&x| x != rid);
                 cl.running.retain(|&x| x != rid);
+                self.swarm.retain(|k, _| !(k.0 == c.0 && k.1 == rid.0));
             }
             self.after_report_transition(policy, wu);
         }
@@ -1709,6 +2256,8 @@ impl Engine {
                 client,
                 rid,
                 input_idx,
+                chunk,
+                ..
             }) = self.flows.remove(&fid)
             {
                 self.net.abort_flow(now, fid);
@@ -1719,7 +2268,13 @@ impl Engine {
                 if client != cid && !self.clients[client.0 as usize].dropped {
                     self.stats.peer_failures += 1;
                     self.eobs.peer_failures.inc();
-                    if let Some(t) = self.clients[client.0 as usize].tasks.get_mut(&rid) {
+                    if let Some(k) = chunk {
+                        // Swarm chunk: return it to the pool and repump.
+                        let key = (client.0, rid.0, input_idx as u32);
+                        if let Some(t) = self.swarm.get_mut(&key) {
+                            t.fail(k, Some(peer.0));
+                        }
+                    } else if let Some(t) = self.clients[client.0 as usize].tasks.get_mut(&rid) {
                         t.attempts[input_idx] += 1;
                     }
                     self.sim.schedule_in(
@@ -1731,6 +2286,10 @@ impl Engine {
                 self.net.abort_flow(now, fid);
             }
         }
+        // Swarm bookkeeping: the dropped host stops seeding, and its
+        // own in-progress transfers die with it.
+        self.swarm_index.drop_client(cid.0);
+        self.swarm.retain(|k, _| k.0 != cid.0);
     }
 
     /// Lane name used in the timeline for a client.

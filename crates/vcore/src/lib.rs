@@ -56,6 +56,7 @@ pub use shard::{run_transition_pass, serve_batch, BatchGrant, WorkerPool};
 pub use transition::{apply_transition, plan_transition, Transition, TransitionPlan};
 pub use types::{ClientId, FileRef, FileSource, OutputFingerprint, ResultId, WuId};
 pub use validate::{check_quorum, Verdict};
+pub use vmr_shuffle::{FetchObs, ShuffleConfig, ShuffleStrategy, StrategyKind};
 pub use vmr_trust::{
     Outcome as TrustOutcome, ReplicationDecision, ReplicationPolicy, TrustConfig, TrustLedger,
 };

@@ -28,6 +28,7 @@ echo "==> feature matrix: vmr-obs recorder compiled out (--no-default-features)"
 cargo build --offline -p vmr-bench --no-default-features
 cargo build --offline -p vmr-durable --no-default-features
 cargo build --offline -p vmr-trust --no-default-features
+cargo build --offline -p vmr-shuffle --no-default-features
 
 echo "==> examples build (EngineBuilder construction surface)"
 cargo build --offline --examples
@@ -73,6 +74,21 @@ if [ "$NO_BENCH" -eq 0 ]; then
         ./target/release/shard_scaling \
             | sed -n 's/^BENCH_shard\.json //p' > BENCH_shard.json
         [ -s BENCH_shard.json ] || { echo "shard_scaling emitted no BENCH line" >&2; exit 1; }
+    fi
+
+    if [ "${SHUFFLE_SMOKE:-0}" = "1" ]; then
+        echo "==> shuffle smoke: strategy ablation, 40/2k/100k legs (SHUFFLE_SMOKE=1)"
+        echo "    (refreshes BENCH_shuffle.json; coded >=25% byte cut at 2000 hosts)"
+        cargo build --offline --release -p vmr-bench --bin shuffle_ablation
+        ./target/release/shuffle_ablation --smoke \
+            | sed -n 's/^BENCH_shuffle\.json //p' > BENCH_shuffle.json
+        [ -s BENCH_shuffle.json ] || { echo "shuffle_ablation emitted no BENCH line" >&2; exit 1; }
+
+        echo "==> shuffle smoke: table1 --quick byte-diffed, baseline vs legacy transfer path"
+        ./target/release/table1 --quick > /tmp/table1_quick_baseline.txt
+        ./target/release/table1 --quick --shuffle legacy > /tmp/table1_quick_legacy.txt
+        diff /tmp/table1_quick_baseline.txt /tmp/table1_quick_legacy.txt \
+            || { echo "baseline shuffle diverged from the legacy transfer path" >&2; exit 1; }
     fi
 
     if [ "${TRUST_SMOKE:-0}" = "1" ]; then
