@@ -18,6 +18,10 @@
 //!   serving threads) feeding histograms in the same registry under
 //!   `prof.*_us` names. Off by default; enabled at runtime with
 //!   [`Obs::set_profiling`].
+//! * **Text exposition** ([`render_prometheus`], [`render_dashboard`],
+//!   [`Dashboard`]) — pure functions of a [`Snapshot`], rendering the
+//!   plaintext scrape format and a periodic operator dashboard; the
+//!   rtnet poll server mounts both on its operations endpoint.
 //!
 //! The whole recorder is behind the **`record`** feature (on by
 //! default). With `--no-default-features` every handle is a zero-sized
@@ -40,7 +44,9 @@
 
 #![warn(missing_docs)]
 
+mod expose;
 mod types;
+pub use expose::{render_dashboard, render_prometheus, Dashboard};
 pub use types::{Event, EventKind, HistogramSummary, MetricValue, Snapshot};
 
 #[cfg(feature = "record")]

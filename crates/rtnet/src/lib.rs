@@ -8,24 +8,45 @@
 //! * [`store`] — per-volunteer output store with serving windows,
 //!   timeout reset, and job-completion cleanup.
 //! * [`server`] — the volunteer's serving endpoint: accept gating and
-//!   the max-inter-client-connection threshold.
+//!   the max-inter-client-connection threshold, one thread per
+//!   connection. Kept as the executable spec the poll runtime is
+//!   differentially tested against.
+//! * [`poll`] — stub-level `mio`: a rebuilt-per-tick readiness set
+//!   over `poll(2)`.
+//! * [`pollserver`] — rtnet v2's runtime: every peer multiplexed on
+//!   one nonblocking event loop, with a connection pool, idle-timeout
+//!   reaping, per-connection write-queue backpressure, accept-gated
+//!   threshold enforcement, and a live `GET /metrics` + `GET /dash`
+//!   operations endpoint.
 //! * [`fetch`] — reducer-side downloads: retry over holders, then fall
 //!   back to the project server.
+//! * [`load`] — nonblocking load generation: thousands of concurrent
+//!   fetcher state machines from one thread (the soak harness).
 //! * [`cluster`] — `run_cluster`: a complete word-count (or any
 //!   [`vmr_mapreduce::MapReduceApp`]) job over loopback TCP with
 //!   pull-model scheduling, replication + quorum, byzantine workers,
-//!   and mapper-failure fall-back.
+//!   mapper-failure fall-back, and either serving runtime
+//!   ([`ClusterConfig::poll_runtime`]).
+//! * [`wait`] — deadline-bounded condition polling for real-socket
+//!   tests (no bare sleeps).
 
 #![warn(missing_docs)]
 
 pub mod cluster;
 pub mod fetch;
+pub mod load;
+pub mod poll;
+pub mod pollserver;
 pub mod proto;
 pub mod server;
 pub mod store;
+pub mod wait;
 
 pub use cluster::{run_cluster, run_cluster_with_obs, ClusterConfig, ClusterReport, ClusterStats};
-pub use fetch::{fetch_once, fetch_with_fallback, FetchError, FetchPolicy, FetchSource};
+pub use fetch::{fetch_once, fetch_with_fallback, http_get, FetchError, FetchPolicy, FetchSource};
+pub use load::{run_load, LoadConfig, LoadReport};
+pub use pollserver::{PollServer, PollServerConfig};
 pub use proto::{Request, Response};
 pub use server::{PeerServer, ServerStats};
 pub use store::OutputStore;
+pub use wait::wait_until;

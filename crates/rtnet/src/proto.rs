@@ -104,9 +104,62 @@ fn read_exact_frame(stream: &mut impl Read) -> io::Result<BytesMut> {
     Ok(BytesMut::from(&buf[..]))
 }
 
-/// Reads one request frame from a stream.
-pub fn read_request(stream: &mut impl Read) -> io::Result<Request> {
-    let mut frame = read_exact_frame(stream)?;
+/// Incremental length-prefix framing for nonblocking transports.
+///
+/// Feed arbitrary byte fragments with [`FrameDecoder::push`] (1-byte
+/// reads, coalesced reads — any split), pull complete frame payloads
+/// (length prefix stripped) with [`FrameDecoder::next_frame`]. The
+/// decoder never blocks and never panics on junk: a corrupt length
+/// prefix surfaces as an error as soon as the four prefix bytes are in.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: BytesMut,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> Self {
+        FrameDecoder::default()
+    }
+
+    /// Appends freshly received bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete frame payload, if one has accumulated.
+    ///
+    /// `Ok(None)` means "need more bytes"; an error means the stream is
+    /// unrecoverable (length prefix of 0 or beyond [`MAX_FRAME`]).
+    pub fn next_frame(&mut self) -> io::Result<Option<BytesMut>> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes(self.buf[..4].try_into().expect("4-byte prefix")) as usize;
+        if len == 0 || len > MAX_FRAME {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad frame length {len}"),
+            ));
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        let _prefix = self.buf.split_to(4);
+        Ok(Some(self.buf.split_to(len)))
+    }
+
+    /// Bytes buffered but not yet consumed as a frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+/// Decodes a request from one complete frame payload (prefix stripped).
+pub fn decode_request(mut frame: BytesMut) -> io::Result<Request> {
+    if frame.is_empty() {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "empty frame"));
+    }
     let tag = frame.get_u8();
     match tag {
         1 => {
@@ -129,9 +182,12 @@ pub fn read_request(stream: &mut impl Read) -> io::Result<Request> {
     }
 }
 
-/// Reads one response frame, verifying the SHA-256 trailer on `Data`.
-pub fn read_response(stream: &mut impl Read) -> io::Result<Response> {
-    let mut frame = read_exact_frame(stream)?;
+/// Decodes a response from one complete frame payload, verifying the
+/// SHA-256 trailer on `Data`.
+pub fn decode_response(mut frame: BytesMut) -> io::Result<Response> {
+    if frame.is_empty() {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "empty frame"));
+    }
     let tag = frame.get_u8();
     match tag {
         1 => {
@@ -139,7 +195,7 @@ pub fn read_response(stream: &mut impl Read) -> io::Result<Response> {
                 return Err(io::Error::new(io::ErrorKind::InvalidData, "truncated DATA"));
             }
             let body_len = frame.get_u64() as usize;
-            if frame.remaining() != body_len + 32 {
+            if frame.remaining() != body_len.saturating_add(32) {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
                     "DATA length mismatch",
@@ -163,6 +219,16 @@ pub fn read_response(stream: &mut impl Read) -> io::Result<Response> {
             format!("unknown response tag {t}"),
         )),
     }
+}
+
+/// Reads one request frame from a stream.
+pub fn read_request(stream: &mut impl Read) -> io::Result<Request> {
+    decode_request(read_exact_frame(stream)?)
+}
+
+/// Reads one response frame, verifying the SHA-256 trailer on `Data`.
+pub fn read_response(stream: &mut impl Read) -> io::Result<Response> {
+    decode_response(read_exact_frame(stream)?)
 }
 
 /// Writes a whole frame buffer to a stream.

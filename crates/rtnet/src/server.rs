@@ -30,17 +30,19 @@ pub struct ServerStats {
 
 /// Registry handles every serving thread bumps; resolved once at
 /// server start so the per-request cost stays at an atomic add.
+/// Shared with [`crate::pollserver::PollServer`] so both runtimes
+/// report under the same `rtnet.*` keys.
 #[derive(Clone)]
-struct ServeObs {
-    served: vmr_obs::Counter,
-    not_found: vmr_obs::Counter,
-    busy: vmr_obs::Counter,
-    gate_rejections: vmr_obs::Counter,
-    serve_scope: vmr_obs::Scope,
+pub(crate) struct ServeObs {
+    pub(crate) served: vmr_obs::Counter,
+    pub(crate) not_found: vmr_obs::Counter,
+    pub(crate) busy: vmr_obs::Counter,
+    pub(crate) gate_rejections: vmr_obs::Counter,
+    pub(crate) serve_scope: vmr_obs::Scope,
 }
 
 impl ServeObs {
-    fn attach(obs: &vmr_obs::Obs) -> Self {
+    pub(crate) fn attach(obs: &vmr_obs::Obs) -> Self {
         ServeObs {
             served: obs.counter("rtnet.served"),
             not_found: obs.counter("rtnet.not_found"),
@@ -330,15 +332,14 @@ mod tests {
     #[test]
     fn timed_out_file_not_served() {
         let store = Arc::new(OutputStore::new());
-        store.put_with_timeout("f", Bytes::from_static(b"x"), Duration::from_millis(10));
+        store.put_with_timeout("f", Bytes::from_static(b"x"), Duration::from_millis(1));
         let srv = PeerServer::start(store.clone(), 4).unwrap();
-        std::thread::sleep(Duration::from_millis(30));
-        assert!(matches!(
-            fetch_once(srv.addr(), "f"),
-            Err(FetchError::NotFound)
+        assert!(crate::wait::wait_until(
+            || matches!(fetch_once(srv.addr(), "f"), Err(FetchError::NotFound)),
+            Duration::from_secs(10)
         ));
         // Reset revives it — the reschedule path of §III.C.
-        store.reset_timeout("f", Some(Duration::from_secs(5)));
+        store.reset_timeout("f", Some(Duration::from_secs(30)));
         assert!(fetch_once(srv.addr(), "f").is_ok());
         srv.shutdown();
     }

@@ -100,6 +100,15 @@ impl OutputStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::wait::wait_until;
+
+    /// The de-flake pattern for window tests: assert "inside the
+    /// window" only on windows far longer than any plausible scheduler
+    /// stall, and assert expiry with a short window under
+    /// [`wait_until`] instead of a bare sleep.
+    const EXPIRY: Duration = Duration::from_millis(1);
+    const GENEROUS: Duration = Duration::from_secs(30);
+    const PATIENCE: Duration = Duration::from_secs(10);
 
     #[test]
     fn put_get_remove() {
@@ -116,10 +125,13 @@ mod tests {
     #[test]
     fn timeout_expires_serving() {
         let s = OutputStore::new();
-        s.put_with_timeout("f", Bytes::from_static(b"x"), Duration::from_millis(20));
-        assert!(s.get("f").is_some());
-        std::thread::sleep(Duration::from_millis(40));
-        assert!(s.get("f").is_none(), "window passed");
+        s.put_with_timeout("f", Bytes::from_static(b"x"), GENEROUS);
+        assert!(s.get("f").is_some(), "inside the window");
+        assert!(s.reset_timeout("f", Some(EXPIRY)));
+        assert!(
+            wait_until(|| s.get("f").is_none(), PATIENCE),
+            "window passed"
+        );
         // The file is still *stored*, just not served.
         assert_eq!(s.len(), 1);
     }
@@ -127,10 +139,9 @@ mod tests {
     #[test]
     fn reset_timeout_revives_file() {
         let s = OutputStore::new();
-        s.put_with_timeout("f", Bytes::from_static(b"x"), Duration::from_millis(10));
-        std::thread::sleep(Duration::from_millis(30));
-        assert!(s.get("f").is_none());
-        assert!(s.reset_timeout("f", Some(Duration::from_secs(10))));
+        s.put_with_timeout("f", Bytes::from_static(b"x"), EXPIRY);
+        assert!(wait_until(|| s.get("f").is_none(), PATIENCE));
+        assert!(s.reset_timeout("f", Some(GENEROUS)));
         assert!(s.get("f").is_some(), "reset makes it servable again");
         assert!(!s.reset_timeout("ghost", None));
     }
@@ -147,37 +158,31 @@ mod tests {
     #[test]
     fn put_replaces_an_expired_entry() {
         let s = OutputStore::new();
-        s.put_with_timeout("f", Bytes::from_static(b"old"), Duration::from_millis(10));
-        std::thread::sleep(Duration::from_millis(30));
-        assert!(s.get("f").is_none(), "window passed");
+        s.put_with_timeout("f", Bytes::from_static(b"old"), EXPIRY);
+        assert!(wait_until(|| s.get("f").is_none(), PATIENCE));
         // Re-put (a rescheduled map re-finishing on the same host):
         // the fresh entry serves indefinitely and carries the new data.
         s.put("f", Bytes::from_static(b"new"));
         assert_eq!(s.get("f").unwrap(), Bytes::from_static(b"new"));
         assert_eq!(s.len(), 1, "replace, not duplicate");
-        std::thread::sleep(Duration::from_millis(20));
         assert!(s.get("f").is_some(), "no window survives the replace");
     }
 
     #[test]
     fn put_with_timeout_restarts_the_window_of_an_expired_entry() {
         let s = OutputStore::new();
-        s.put_with_timeout("f", Bytes::from_static(b"v1"), Duration::from_millis(10));
-        std::thread::sleep(Duration::from_millis(30));
-        assert!(s.get("f").is_none());
-        s.put_with_timeout("f", Bytes::from_static(b"v2"), Duration::from_secs(10));
+        s.put_with_timeout("f", Bytes::from_static(b"v1"), EXPIRY);
+        assert!(wait_until(|| s.get("f").is_none(), PATIENCE));
+        s.put_with_timeout("f", Bytes::from_static(b"v2"), GENEROUS);
         assert_eq!(s.get("f").unwrap(), Bytes::from_static(b"v2"));
     }
 
     #[test]
     fn reset_timeout_to_none_serves_indefinitely() {
         let s = OutputStore::new();
-        s.put_with_timeout("f", Bytes::from_static(b"x"), Duration::from_millis(10));
-        std::thread::sleep(Duration::from_millis(30));
-        assert!(s.get("f").is_none());
+        s.put_with_timeout("f", Bytes::from_static(b"x"), EXPIRY);
+        assert!(wait_until(|| s.get("f").is_none(), PATIENCE));
         assert!(s.reset_timeout("f", None), "None clears the window");
-        assert!(s.get("f").is_some());
-        std::thread::sleep(Duration::from_millis(20));
         assert!(s.get("f").is_some(), "still served: no window remains");
     }
 

@@ -1,0 +1,211 @@
+//! Deterministic protocol-framing property tests for the incremental
+//! decoder behind the poll runtime.
+//!
+//! A nonblocking transport delivers bytes in arbitrary fragments: one
+//! byte at a time, several frames coalesced into one read, a frame's
+//! length prefix split across reads. [`FrameDecoder`] must be
+//! indifferent to all of it. These properties drive the decoder through
+//! an in-memory transport that fragments and coalesces the encoded
+//! stream at random cut points and demand:
+//!
+//! * **split-invariance** — every fragmentation of the same stream
+//!   decodes to the same message sequence;
+//! * **clean truncation** — a stream cut mid-frame yields the complete
+//!   prefix then "need more bytes", never an error or panic, and a
+//!   *frame payload* cut short always decodes to an error;
+//! * **panic-freedom** — arbitrary junk never panics the decoder.
+//!
+//! The vendored proptest runner is seeded deterministically, so every
+//! run replays the same cases.
+
+use bytes::{Bytes, BytesMut};
+use proptest::prelude::*;
+use vmr_rtnet::proto::{
+    decode_request, decode_response, encode_request, encode_response, FrameDecoder, Request,
+    Response,
+};
+
+/// One generated protocol message, either direction.
+#[derive(Clone, Debug, PartialEq)]
+enum Msg {
+    Req(Request),
+    Resp(Response),
+}
+
+fn encode(msg: &Msg, out: &mut BytesMut) {
+    match msg {
+        Msg::Req(r) => encode_request(r, out),
+        Msg::Resp(r) => encode_response(r, out),
+    }
+}
+
+fn decode(msg: &Msg, frame: BytesMut) -> std::io::Result<Msg> {
+    match msg {
+        Msg::Req(_) => decode_request(frame).map(Msg::Req),
+        Msg::Resp(_) => decode_response(frame).map(Msg::Resp),
+    }
+}
+
+/// Builds a message from a selector byte plus raw material.
+fn make_msg(sel: u8, name: String, body: Vec<u8>) -> Msg {
+    match sel % 6 {
+        0 => Msg::Req(Request::Ping),
+        1 => Msg::Req(Request::Get(name)),
+        2 => Msg::Resp(Response::NotFound),
+        3 => Msg::Resp(Response::Busy),
+        4 => Msg::Resp(Response::Pong),
+        _ => Msg::Resp(Response::Data(Bytes::from(body))),
+    }
+}
+
+/// Splits `stream` at the (deduplicated, sorted) fractional cut points
+/// and pushes the fragments through a fresh decoder, collecting every
+/// complete frame.
+fn decode_fragmented(stream: &[u8], cuts: &[f64]) -> std::io::Result<Vec<BytesMut>> {
+    let mut positions: Vec<usize> = cuts
+        .iter()
+        .map(|f| (*f * stream.len() as f64) as usize)
+        .collect();
+    positions.push(0);
+    positions.push(stream.len());
+    positions.sort_unstable();
+    positions.dedup();
+
+    let mut dec = FrameDecoder::new();
+    let mut frames = Vec::new();
+    for pair in positions.windows(2) {
+        dec.push(&stream[pair[0]..pair[1]]);
+        while let Some(frame) = dec.next_frame()? {
+            frames.push(frame);
+        }
+    }
+    Ok(frames)
+}
+
+proptest! {
+    /// Whatever the fragmentation, the decoded message sequence is the
+    /// one that was encoded.
+    #[test]
+    fn any_split_decodes_identically(
+        raw in proptest::collection::vec(
+            (0u8..=255, "[a-zA-Z0-9_./-]{0,40}", proptest::collection::vec(0u8..=255, 0..512)),
+            1..10,
+        ),
+        cuts in proptest::collection::vec(0.0f64..1.0, 0..24),
+    ) {
+        let msgs: Vec<Msg> = raw
+            .into_iter()
+            .map(|(sel, name, body)| make_msg(sel, name, body))
+            .collect();
+        let mut stream = BytesMut::new();
+        for m in &msgs {
+            encode(m, &mut stream);
+        }
+        let frames = decode_fragmented(&stream, &cuts).expect("valid stream never errors");
+        prop_assert_eq!(frames.len(), msgs.len());
+        for (msg, frame) in msgs.iter().zip(frames) {
+            let back = decode(msg, frame).expect("complete frame decodes");
+            prop_assert_eq!(&back, msg);
+        }
+    }
+
+    /// A stream truncated mid-frame decodes its complete prefix and
+    /// then reports "need more bytes" — no error, no phantom frame.
+    #[test]
+    fn truncated_stream_yields_only_complete_prefix(
+        raw in proptest::collection::vec(
+            (0u8..=255, "[a-z]{0,20}", proptest::collection::vec(0u8..=255, 0..128)),
+            1..8,
+        ),
+        cut_frac in 0.0f64..1.0,
+        cuts in proptest::collection::vec(0.0f64..1.0, 0..8),
+    ) {
+        let msgs: Vec<Msg> = raw
+            .into_iter()
+            .map(|(sel, name, body)| make_msg(sel, name, body))
+            .collect();
+        // Frame boundaries, to know how many frames survive the cut.
+        let mut stream = BytesMut::new();
+        let mut boundaries = Vec::with_capacity(msgs.len());
+        for m in &msgs {
+            encode(m, &mut stream);
+            boundaries.push(stream.len());
+        }
+        let cut = (cut_frac * stream.len() as f64) as usize;
+        let complete = boundaries.iter().filter(|b| **b <= cut).count();
+
+        let frames =
+            decode_fragmented(&stream[..cut], &cuts).expect("truncation is not an error");
+        prop_assert_eq!(frames.len(), complete, "exactly the complete prefix");
+        for (msg, frame) in msgs.iter().zip(frames) {
+            prop_assert_eq!(&decode(msg, frame).expect("complete frame"), msg);
+        }
+    }
+
+    /// Every *strict prefix* of a frame payload fails to decode — with
+    /// an error, never a panic or a bogus success.
+    #[test]
+    fn truncated_payload_errors_cleanly(
+        sel in 0u8..=255,
+        name in "[a-zA-Z0-9]{1,32}",
+        body in proptest::collection::vec(0u8..=255, 1..256),
+        trunc_frac in 0.0f64..1.0,
+    ) {
+        let msg = make_msg(sel, name, body);
+        let mut framed = BytesMut::new();
+        encode(&msg, &mut framed);
+        let payload = &framed[4..]; // strip the length prefix
+        let keep = (trunc_frac * payload.len() as f64) as usize;
+        prop_assume!(keep < payload.len());
+        let cut = BytesMut::from(&payload[..keep]);
+        // Only the matching decoder is constrained: a response prefix
+        // may coincidentally parse as some *request*, but it must never
+        // decode as a valid message of its own kind.
+        prop_assert!(
+            decode(&msg, cut).is_err(),
+            "strict payload prefix must not decode"
+        );
+    }
+
+    /// Arbitrary junk, arbitrarily fragmented, never panics the
+    /// decoder; it either errors or keeps waiting for more bytes.
+    #[test]
+    fn junk_never_panics(
+        junk in proptest::collection::vec(0u8..=255, 0..2048),
+        cuts in proptest::collection::vec(0.0f64..1.0, 0..16),
+    ) {
+        match decode_fragmented(&junk, &cuts) {
+            Ok(frames) => {
+                for frame in frames {
+                    let _ = decode_request(frame.clone());
+                    let _ = decode_response(frame);
+                }
+            }
+            Err(e) => prop_assert_eq!(e.kind(), std::io::ErrorKind::InvalidData),
+        }
+    }
+
+    /// Degenerate delivery — one byte per push — still decodes exactly.
+    #[test]
+    fn byte_at_a_time_decodes(
+        sel in 0u8..=255,
+        name in "[a-zA-Z0-9_.]{0,24}",
+        body in proptest::collection::vec(0u8..=255, 0..96),
+    ) {
+        let msg = make_msg(sel, name, body);
+        let mut stream = BytesMut::new();
+        encode(&msg, &mut stream);
+        let mut dec = FrameDecoder::new();
+        let mut got = None;
+        for (i, b) in stream.iter().enumerate() {
+            dec.push(std::slice::from_ref(b));
+            if let Some(frame) = dec.next_frame().expect("valid stream") {
+                prop_assert_eq!(i, stream.len() - 1, "frame only after the last byte");
+                got = Some(frame);
+            }
+        }
+        let back = decode(&msg, got.expect("one frame")).expect("decodes");
+        prop_assert_eq!(back, msg);
+        prop_assert_eq!(dec.buffered(), 0);
+    }
+}

@@ -336,6 +336,20 @@ impl Engine {
         EngineBuilder::new(seed)
     }
 
+    /// The engine's metric registry rendered in Prometheus exposition
+    /// format — the same text the rtnet poll runtime serves on its
+    /// `GET /metrics` endpoint, so simulated and real runs are scraped
+    /// identically.
+    pub fn metrics_text(&self) -> String {
+        vmr_obs::render_prometheus(&self.obs.snapshot())
+    }
+
+    /// A one-shot human-readable dashboard of the engine's registry
+    /// (counters, gauges, latency summaries).
+    pub fn dashboard_text(&self) -> String {
+        vmr_obs::render_dashboard(&self.obs.snapshot(), "vcore engine")
+    }
+
     /// Builds an engine with a server host on `server_link`.
     #[deprecated(note = "use Engine::builder(seed).config(cfg).server_link(link).build()")]
     pub fn new(seed: u64, cfg: ProjectConfig, server_link: HostLink) -> Self {
@@ -2550,6 +2564,28 @@ mod tests {
         dedup.sort();
         dedup.dedup();
         assert_eq!(holders.len(), dedup.len());
+    }
+
+    #[test]
+    fn ops_surface_renders_engine_registry() {
+        let mut eng = small_engine(2);
+        eng.insert_workunit(wu_spec("w0", 0, 1_000));
+        let mut policy = NullPolicy;
+        eng.run_until(&mut policy, SimTime::from_secs(4000), |e| {
+            e.db.all_wus_terminal()
+        });
+        let text = eng.metrics_text();
+        let dash = eng.dashboard_text();
+        assert!(dash.contains("vcore engine"), "dashboard carries its title");
+        if cfg!(feature = "record") {
+            assert!(
+                text.contains("vcore_rpcs"),
+                "scrape must expose the engine counters:\n{text}"
+            );
+            assert!(text.contains("# TYPE vcore_rpcs counter"));
+        } else {
+            assert!(!text.contains("vcore_rpcs"), "recorder compiled out");
+        }
     }
 
     #[test]

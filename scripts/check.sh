@@ -96,6 +96,19 @@ if [ "$NO_BENCH" -eq 0 ]; then
         cargo build --offline --release -p vmr-bench --bin trust_study
         ./target/release/trust_study --smoke > /dev/null
     fi
+
+    if [ "${SOAK_SMOKE:-0}" = "1" ]; then
+        echo "==> rtnet soak smoke: 10k concurrent volunteers vs the poll runtime (SOAK_SMOKE=1)"
+        echo "    (two-process harness; zero lost requests, exact busy accounting, bounded p99)"
+        SOAK_SMOKE=1 cargo test --offline --release -p volunteer-mr \
+            --test soak_rtnet soak_10k_volunteers -- --nocapture
+
+        echo "==> rtnet soak smoke: threaded-vs-poll ladder (refreshes BENCH_rtnet.json)"
+        cargo build --offline --release -p vmr-bench --bin rtnet_soak
+        ./target/release/rtnet_soak --smoke \
+            | sed -n 's/^BENCH_rtnet\.json //p' > BENCH_rtnet.json
+        [ -s BENCH_rtnet.json ] || { echo "rtnet_soak emitted no BENCH line" >&2; exit 1; }
+    fi
 fi
 
 echo "==> OK"

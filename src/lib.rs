@@ -18,5 +18,6 @@ pub use vmr_core as core;
 pub use vmr_desim as desim;
 pub use vmr_mapreduce as mapreduce;
 pub use vmr_netsim as netsim;
+pub use vmr_obs as obs;
 pub use vmr_rtnet as rtnet;
 pub use vmr_vcore as vcore;
